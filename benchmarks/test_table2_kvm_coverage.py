@@ -1,0 +1,108 @@
+"""Table 2: KVM nested-virtualization coverage, Intel and AMD.
+
+Reproduces the paper's central comparison: NecoFuzz vs Syzkaller vs IRIS
+vs Selftests vs KVM-unit-tests, with the A∩B / A−B set algebra. Expected
+shape (paper values in EXPERIMENTS.md): NecoFuzz ≈ 85%/74% leads every
+tool; Syzkaller trails on Intel (~61%) and collapses on AMD (~7%, no
+harness); NecoFuzz subsumes nearly all of Syzkaller's lines.
+"""
+
+import pytest
+
+from common import (
+    BenchReport,
+    SYZKALLER_BUDGET,
+    coverage_percents,
+    klees_row,
+    median_result_lines,
+    necofuzz_runs,
+)
+from repro import Vendor
+from repro.baselines import (
+    IrisCampaign,
+    KvmUnitTestsSuite,
+    SelftestsSuite,
+    SyzkallerCampaign,
+)
+from repro.coverage.report import CoverageTable
+
+
+def _run_table(vendor: Vendor):
+    neco = necofuzz_runs(vendor)
+    syz = [SyzkallerCampaign(vendor=vendor, seed=seed).run(SYZKALLER_BUDGET)
+           for seed in (11, 23, 37, 47, 59)]
+    selftests = SelftestsSuite(vendor).run()
+    unit_tests = KvmUnitTestsSuite(vendor).run()
+    iris = IrisCampaign(seed=11).run(500) if vendor is Vendor.INTEL else None
+
+    table = CoverageTable(f"Table 2 — KVM {vendor.value}",
+                          neco[0].instrumented_lines)
+    table.add("NecoFuzz", median_result_lines(neco))
+    table.add("Syzkaller", median_result_lines(syz))
+    table.add_algebra("NecoFuzz", "Syzkaller")
+    if iris is not None:
+        table.add("IRIS", iris.covered_lines)
+    table.add("Selftests", selftests.covered_lines)
+    table.add_algebra("NecoFuzz", "Selftests")
+    table.add("KVM-unit-tests", unit_tests.covered_lines)
+    return table, neco, syz
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_intel(benchmark, capsys):
+    table = {}
+
+    def experiment():
+        table["result"] = _run_table(Vendor.INTEL)
+        return table["result"]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    cov_table, neco, syz = table["result"]
+
+    report = BenchReport("Table 2 (Intel): KVM nested coverage")
+    report.add(cov_table.render())
+    report.add()
+    report.add(klees_row("NecoFuzz", coverage_percents(neco),
+                         "Syzkaller", coverage_percents(syz)))
+    report.emit(capsys)
+
+    neco_pct = cov_table.reports["NecoFuzz"].percent
+    syz_pct = cov_table.reports["Syzkaller"].percent
+    # Paper shape: NecoFuzz 84.7%, 1.4x over Syzkaller's 61.4%; NecoFuzz
+    # subsumes nearly everything Syzkaller reaches (Syz-Neco = 7.3%).
+    assert neco_pct > 75
+    assert neco_pct > syz_pct * 1.15
+    assert cov_table.reports["Syzkaller-NecoFuzz"].percent < 15
+    assert cov_table.reports["NecoFuzz-Syzkaller"].percent > 15
+    # IRIS sits well below NecoFuzz (paper: 52.3% vs 84.7%, a 1.6x gap).
+    assert cov_table.reports["IRIS"].percent < neco_pct
+    # Selftests reach some host-only code NecoFuzz cannot (paper: 2.4%).
+    assert 0 < cov_table.reports["Selftests-NecoFuzz"].percent < 15
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_amd(benchmark, capsys):
+    table = {}
+
+    def experiment():
+        table["result"] = _run_table(Vendor.AMD)
+        return table["result"]
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    cov_table, neco, syz = table["result"]
+
+    report = BenchReport("Table 2 (AMD): KVM nested coverage")
+    report.add(cov_table.render())
+    report.add()
+    report.add(klees_row("NecoFuzz", coverage_percents(neco),
+                         "Syzkaller", coverage_percents(syz)))
+    report.emit(capsys)
+
+    neco_pct = cov_table.reports["NecoFuzz"].percent
+    syz_pct = cov_table.reports["Syzkaller"].percent
+    # Paper shape: 74.2% vs 7.0% — an order-of-magnitude gap because
+    # Syzkaller has no AMD nested harness.
+    assert neco_pct > 60
+    assert syz_pct < 25
+    assert neco_pct > syz_pct * 3
+    assert cov_table.reports["NecoFuzz-Syzkaller"].percent > 40

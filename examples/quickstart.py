@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: fuzz the simulated KVM's nested VMX for a few hundred cases.
+
+Runs a small NecoFuzz campaign against the Intel KVM model, prints the
+coverage trajectory, and dumps any findings — the 60-second version of
+the paper's 48-hour experiment.
+
+    $ python examples/quickstart.py [iterations]
+"""
+
+import sys
+
+from repro import NecoFuzz, Vendor
+
+
+def main() -> None:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+
+    print(f"NecoFuzz quickstart: {iterations} fuzz-harness VMs vs KVM/Intel\n")
+    campaign = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=7)
+    result = campaign.run(iterations=iterations, sample_every=max(iterations // 12, 1))
+
+    print("coverage trajectory (nested VMX emulation, nested.c analogue):")
+    for point in result.timeline.points:
+        bar = "#" * int(point.coverage * 50)
+        print(f"  {point.iteration:>5} cases |{bar:<50}| "
+              f"{100 * point.coverage:.1f}%")
+
+    print(f"\n{result.summary()}")
+
+    if result.reports:
+        print("\nfindings:")
+        for report in result.reports:
+            print(f"  [{report.anomaly.method.value}] iteration "
+                  f"{report.iteration}: {report.anomaly.message}")
+            print(f"    reproduce with: {report.command_line}")
+    else:
+        print("\nno anomalies in this budget — try more iterations "
+              "(the spurious-triple-fault bug usually appears within ~500).")
+
+    print("\nfuzzer internals:")
+    stats = result.engine_stats
+    print(f"  corpus grew by {stats.queue_adds} inputs; "
+          f"last new coverage at iteration {stats.last_find}")
+    entries = sum(g.oracle.entries for g in campaign.agent._generators.values())
+    rejections = sum(g.oracle.rejections
+                     for g in campaign.agent._generators.values())
+    print(f"  hardware-oracle entries/rejections across configs: "
+          f"{entries}/{rejections}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Reproduce CVE-2023-30456 deterministically, then fuzz for it.
+
+The paper's first KVM finding (§5.5.1): with EPT disabled, a VMCS12 that
+sets the "IA-32e mode guest" VM-entry control while leaving guest
+CR4.PAE = 0 passes both the hardware (which silently assumes PAE) and
+pre-fix KVM's software checks — but KVM's shadow page walker then
+interprets CR4.PAE literally and indexes its 4-entry PDPTE cache with
+long-mode address bits. UBSAN reports the out-of-bounds write.
+
+Part 1 builds the trigger state by hand and walks it through the stack.
+Part 2 shows the patched KVM rejecting the same state.
+Part 3 lets the fuzzer find the condition on its own.
+"""
+
+from repro import NecoFuzz, Vendor
+from repro.arch.registers import Cr4
+from repro.hypervisors import GuestInstruction, KvmHypervisor, VcpuConfig
+from repro.validator.golden import golden_vmcs
+from repro.vmx import fields as F
+
+VMXON, VMCS12 = 0x1000, 0x3000
+
+
+def launch(hv, vcpu, vmcs12):
+    run = lambda m, **o: hv.execute(vcpu, GuestInstruction(m, o))
+    run("vmxon", addr=VMXON)
+    run("vmclear", addr=VMCS12)
+    run("vmptrld", addr=VMCS12)
+    for spec, value in vmcs12.fields():
+        if spec.group is not F.FieldGroup.READ_ONLY:
+            run("vmwrite", field=spec.encoding, value=value)
+    return run("vmlaunch")
+
+
+def trigger_state(hv):
+    vmcs = golden_vmcs(hv.nested_vmx.caps)  # IA-32e guest by default
+    vmcs.write(F.GUEST_CR4, vmcs.read(F.GUEST_CR4) & ~Cr4.PAE)  # the lie
+    vmcs.write(F.GUEST_RIP, 0x7FFF_FFFF_F000)  # bits 38:30 = 511
+    return vmcs
+
+
+def main() -> None:
+    config = VcpuConfig.default(Vendor.INTEL)
+    config.features["ept"] = False  # the vCPU configurator's contribution
+
+    print("=== Part 1: manual trigger against unpatched KVM (Linux 6.2) ===")
+    hv = KvmHypervisor(config)
+    vcpu = hv.create_vcpu()
+    result = launch(hv, vcpu, trigger_state(hv))
+    print(f"vmlaunch: {result.detail} (L{result.level})")
+    for event in hv.sanitizer_events:
+        print(f"  {event}")
+    assert any(e.kind.value == "UBSAN" for e in hv.sanitizer_events)
+
+    print("\n=== Part 2: the fix (commit 112e660, adds the consistency "
+          "check) ===")
+    hv = KvmHypervisor(config, patched=frozenset({"cr4_pae_consistency"}))
+    vcpu = hv.create_vcpu()
+    result = launch(hv, vcpu, trigger_state(hv))
+    print(f"vmlaunch: {result.detail}")
+    print(f"  sanitizer events: {len(hv.sanitizer_events)} (expected 0)")
+
+    print("\n=== Part 3: letting NecoFuzz find it (this is the slow bit) ===")
+    campaign = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=23)
+    budget, chunk = 14000, 1000
+    while campaign.engine.stats.iterations < budget:
+        campaign.run(iterations=chunk)
+        hits = [r for r in campaign.agent.reports.reports
+                if r.anomaly.method.value == "UBSAN"]
+        print(f"  {campaign.engine.stats.iterations:>6} cases, "
+              f"coverage {100 * campaign.agent.coverage_fraction:.1f}%, "
+              f"UBSAN findings: {len(hits)}")
+        if hits:
+            report = hits[0]
+            print(f"\nfound at iteration {report.iteration}:")
+            print(f"  {report.anomaly.message}")
+            print(f"  vCPU config: {report.command_line.split('&&')[0].strip()}")
+            break
+    else:
+        print("not found in this budget — rerun with a different seed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""A finding-to-triage workflow: fuzz, persist, minimize, replay.
+
+Shows the agent-side infrastructure around the fuzzing loop (§4.5):
+crash reports saved to disk with reproduction metadata, corpus
+persistence for campaign resumption, and signature-preserving input
+minimization for manual analysis.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import NecoFuzz, Vendor
+from repro.core.agent import Agent, AgentConfig
+from repro.core.minimizer import CrashMinimizer
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="necofuzz-"))
+    print(f"working directory: {workdir}\n")
+
+    # 1. Fuzz until something falls out.
+    campaign = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=3,
+                        reports_dir=workdir / "reports")
+    budget = 0
+    while not campaign.agent.reports.reports and budget < 2000:
+        campaign.run(iterations=200)
+        budget += 200
+        print(f"  {budget} cases, "
+              f"{100 * campaign.agent.coverage_fraction:.1f}% coverage, "
+              f"{len(campaign.agent.reports.reports)} finding(s)")
+    if not campaign.agent.reports.reports:
+        print("no findings in budget; try another seed")
+        return
+
+    report = campaign.agent.reports.reports[0]
+    print(f"\nfinding: [{report.anomaly.method.value}] {report.anomaly.message}")
+    print(f"saved as: {(workdir / 'reports' / report.file_name())}.json/.bin")
+
+    # 2. Persist the corpus so the campaign can resume later.
+    written = campaign.engine.save_corpus(workdir / "queue")
+    print(f"\ncorpus: {written} inputs saved to {workdir / 'queue'}")
+
+    # 3. Minimize the crash input for manual analysis.
+    minimizer = CrashMinimizer(AgentConfig(), max_replays=200)
+    result = minimizer.minimize(report)
+    print(f"\nminimization: {result.summary()}")
+    nonzero_offsets = [i for i, b in enumerate(result.minimized.data) if b]
+    print(f"  non-zero byte offsets: {nonzero_offsets[:16]}"
+          f"{' ...' if len(nonzero_offsets) > 16 else ''}")
+
+    # 4. Replay the minimized input on a fresh agent — same signature.
+    outcome = Agent(AgentConfig()).run_case(result.minimized)
+    replayed = [a.signature() for a in outcome.anomalies]
+    print(f"\nreplay of minimized input reproduces: {replayed}")
+    assert report.anomaly.signature() in replayed
+
+    # 5. Resume a fresh campaign from the saved corpus.
+    resumed = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=99)
+    loaded = resumed.engine.load_corpus(workdir / "queue")
+    resumed.run(100)
+    print(f"\nresumed campaign from {loaded} corpus inputs: "
+          f"{100 * resumed.agent.coverage_fraction:.1f}% coverage "
+          f"after 100 more cases")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""NecoFuzz: fuzzing nested virtualization via fuzz-harness VMs.
+
+A faithful, laptop-scale reproduction of the EuroSys '26 paper. The
+public API centres on :class:`repro.NecoFuzz` (a campaign against one of
+the simulated L0 hypervisors) plus the substrates it is built from:
+
+* ``repro.vmx`` / ``repro.svm`` — VMCS/VMCB data models;
+* ``repro.cpu`` — the simulated physical CPU (hardware oracle);
+* ``repro.validator`` — the Bochs-derived VM state validator;
+* ``repro.hypervisors`` — simulated KVM / Xen / VirtualBox targets;
+* ``repro.fuzzer`` — the AFL++-style coverage-guided engine;
+* ``repro.baselines`` — Syzkaller / IRIS / Selftests / KVM-unit-tests / XTF;
+* ``repro.analysis`` — Klees-et-al. statistics and the Figure-5 study.
+"""
+
+from repro.arch.cpuid import Vendor
+from repro.core.executor import ComponentToggles
+from repro.core.necofuzz import CampaignResult, NecoFuzz
+
+__version__ = "1.0.0"
+
+__all__ = ["NecoFuzz", "CampaignResult", "ComponentToggles", "Vendor",
+           "__version__"]

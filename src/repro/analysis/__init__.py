@@ -1,0 +1,26 @@
+"""Evaluation methodology: statistics, timelines, Hamming-distance study."""
+
+from repro.analysis.hamming import HammingStudy, run_study
+from repro.analysis.stats import (
+    Comparison,
+    cohens_d,
+    compare,
+    confidence_interval,
+    mann_whitney_u,
+    median_of,
+)
+from repro.analysis.timeline import CoverageTimeline, TimelinePoint, median_timeline
+
+__all__ = [
+    "Comparison",
+    "compare",
+    "median_of",
+    "confidence_interval",
+    "mann_whitney_u",
+    "cohens_d",
+    "CoverageTimeline",
+    "TimelinePoint",
+    "median_timeline",
+    "HammingStudy",
+    "run_study",
+]

@@ -1,0 +1,160 @@
+"""Evaluation statistics following Klees et al. (CCS'18).
+
+The paper reports "medians of five runs over time together with their
+95% confidence intervals (CIs), the p-values from two-sided Mann-Whitney
+U-tests, and Cohen's d effect sizes" (§5.1). These helpers are pure
+Python (no scipy dependency at import time) so the library stays
+self-contained; the Mann-Whitney implementation uses the exact normal
+approximation with tie correction, matching scipy's default for the
+sample sizes involved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import mean, median, stdev
+
+
+def median_of(samples: list[float]) -> float:
+    """The sample median."""
+    if not samples:
+        raise ValueError("no samples")
+    return float(median(samples))
+
+
+def confidence_interval(samples: list[float],
+                        confidence: float = 0.95) -> tuple[float, float]:
+    """A bootstrap-free CI for the median via binomial order statistics.
+
+    For the small n the paper uses (five runs), the distribution-free
+    order-statistic interval is the honest choice; for n < 3 it
+    degenerates to the sample range.
+    """
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("no samples")
+    if n < 3:
+        return ordered[0], ordered[-1]
+    # Find the tightest symmetric (i, j) with binomial coverage >= level.
+    z = {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(confidence, 1.96)
+    spread = int(math.ceil(z * math.sqrt(n) / 2))
+    lo = max(0, n // 2 - spread)
+    hi = min(n - 1, (n - 1) // 2 + spread)
+    return ordered[lo], ordered[hi]
+
+
+def _rankdata(values: list[float]) -> list[float]:
+    """Average ranks (1-based) with ties shared."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        avg_rank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = avg_rank
+        i = j + 1
+    return ranks
+
+
+def mann_whitney_u(a: list[float], b: list[float]) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U-test.
+
+    Returns ``(U, p)`` using the normal approximation with tie
+    correction and continuity correction — adequate for the paper's
+    five-vs-five comparisons (where the smallest achievable two-sided
+    exact p is ~0.008).
+    """
+    n1, n2 = len(a), len(b)
+    if not n1 or not n2:
+        raise ValueError("both samples must be non-empty")
+    combined = list(a) + list(b)
+    ranks = _rankdata(combined)
+    r1 = sum(ranks[:n1])
+    u1 = r1 - n1 * (n1 + 1) / 2
+    u2 = n1 * n2 - u1
+    u = min(u1, u2)
+
+    mu = n1 * n2 / 2
+    # Tie correction for the variance.
+    tie_term = 0.0
+    seen: dict[float, int] = {}
+    for value in combined:
+        seen[value] = seen.get(value, 0) + 1
+    for count in seen.values():
+        tie_term += count ** 3 - count
+    n = n1 + n2
+    sigma_sq = n1 * n2 / 12 * ((n + 1) - tie_term / (n * (n - 1)))
+    if sigma_sq <= 0:
+        return u, 1.0
+    z = (u - mu + 0.5) / math.sqrt(sigma_sq)
+    p = 2 * _normal_sf(abs(z))
+    return u, min(p, 1.0)
+
+
+def _normal_sf(z: float) -> float:
+    """Standard normal survival function."""
+    return 0.5 * math.erfc(z / math.sqrt(2))
+
+
+def cohens_d(a: list[float], b: list[float]) -> float:
+    """Cohen's d with the pooled standard deviation.
+
+    Degenerate (zero-variance) samples return ``inf`` when the means
+    differ — the paper's AMD comparison reports d = 171.97, i.e. the
+    samples barely overlap.
+    """
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("need at least two samples per group")
+    va, vb = stdev(a) ** 2, stdev(b) ** 2
+    pooled = math.sqrt(((len(a) - 1) * va + (len(b) - 1) * vb)
+                       / (len(a) + len(b) - 2))
+    diff = mean(a) - mean(b)
+    if pooled == 0:
+        return math.inf if diff else 0.0
+    return diff / pooled
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A Klees-style comparison of two tools' final coverage."""
+
+    name_a: str
+    name_b: str
+    median_a: float
+    median_b: float
+    ci_a: tuple[float, float]
+    ci_b: tuple[float, float]
+    p_value: float
+    effect_size: float
+
+    @property
+    def improvement(self) -> float:
+        """How many times higher A's median is than B's."""
+        if self.median_b == 0:
+            return math.inf
+        return self.median_a / self.median_b
+
+    def render(self) -> str:
+        """Render as printable text."""
+        return (f"{self.name_a} {self.median_a:.1f}% "
+                f"(95% CI: {self.ci_a[0]:.1f}-{self.ci_a[1]:.1f}) vs "
+                f"{self.name_b} {self.median_b:.1f}% "
+                f"(95% CI: {self.ci_b[0]:.1f}-{self.ci_b[1]:.1f}): "
+                f"{self.improvement:.1f}x, p = {self.p_value:.3f}, "
+                f"d = {self.effect_size:.2f}")
+
+
+def compare(name_a: str, runs_a: list[float],
+            name_b: str, runs_b: list[float]) -> Comparison:
+    """Build the full Klees-style comparison between two sample sets."""
+    _, p = mann_whitney_u(runs_a, runs_b)
+    return Comparison(
+        name_a=name_a, name_b=name_b,
+        median_a=median_of(runs_a), median_b=median_of(runs_b),
+        ci_a=confidence_interval(runs_a), ci_b=confidence_interval(runs_b),
+        p_value=p, effect_size=cohens_d(runs_a, runs_b))

@@ -1,0 +1,85 @@
+"""Coverage-vs-time recording for Figures 3 and 4.
+
+Campaigns are iteration-budgeted; wall-clock hours are a linear mapping
+(``iterations_per_hour``), which preserves the coverage-transition
+*shape* the figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One sample of a coverage trajectory."""
+
+    iteration: int
+    coverage: float  # fraction in [0, 1]
+
+    def hours(self, iterations_per_hour: float) -> float:
+        """This point's position on the virtual wall-clock axis."""
+        return self.iteration / iterations_per_hour
+
+
+@dataclass
+class CoverageTimeline:
+    """A sampled coverage trajectory for one campaign run."""
+
+    label: str
+    iterations_per_hour: float = 10.0
+    points: list[TimelinePoint] = field(default_factory=list)
+
+    def record(self, iteration: int, coverage: float) -> None:
+        """Append one (iteration, coverage) sample."""
+        self.points.append(TimelinePoint(iteration, coverage))
+
+    @property
+    def final_coverage(self) -> float:
+        """Coverage at the last recorded point (0.0 when empty)."""
+        return self.points[-1].coverage if self.points else 0.0
+
+    def at_hour(self, hour: float) -> float:
+        """Coverage at (or before) a given virtual hour."""
+        target = hour * self.iterations_per_hour
+        best = 0.0
+        for point in self.points:
+            if point.iteration <= target:
+                best = point.coverage
+            else:
+                break
+        return best
+
+    def series(self) -> list[tuple[float, float]]:
+        """(hours, coverage%) pairs for plotting/printing."""
+        return [(p.hours(self.iterations_per_hour), 100.0 * p.coverage)
+                for p in self.points]
+
+    def render(self, *, width: int = 60) -> str:
+        """An ASCII sparkline of the trajectory (for bench output)."""
+        if not self.points:
+            return f"{self.label}: (no data)"
+        cells = []
+        marks = " .:-=+*#%@"
+        for i in range(width):
+            idx = min(int(i * len(self.points) / width), len(self.points) - 1)
+            level = self.points[idx].coverage
+            cells.append(marks[min(int(level * (len(marks) - 1)), len(marks) - 1)])
+        return (f"{self.label:<28} |{''.join(cells)}| "
+                f"{100 * self.final_coverage:5.1f}%")
+
+
+def median_timeline(timelines: list[CoverageTimeline],
+                    label: str) -> CoverageTimeline:
+    """Pointwise median across same-length runs (Klees-style reporting)."""
+    if not timelines:
+        return CoverageTimeline(label)
+    length = min(len(t.points) for t in timelines)
+    merged = CoverageTimeline(label, timelines[0].iterations_per_hour)
+    for i in range(length):
+        values = sorted(t.points[i].coverage for t in timelines)
+        mid = len(values) // 2
+        median = (values[mid] if len(values) % 2
+                  else (values[mid - 1] + values[mid]) / 2)
+        merged.record(timelines[0].points[i].iteration, median)
+    return merged

@@ -1,0 +1,6 @@
+"""x86 architecture substrate: registers, segments, MSRs, paging, events."""
+
+from repro.arch.cpuid import Vendor
+from repro.arch.exceptions import GuestFault, HostCrash, TripleFault, Vector
+
+__all__ = ["Vendor", "GuestFault", "HostCrash", "TripleFault", "Vector"]

@@ -1,0 +1,122 @@
+"""Bit-field manipulation helpers.
+
+Every structure in hardware-assisted virtualization (VMCS fields, VMCB
+fields, control registers, access-rights words) is a packed bit field.
+These helpers centralise the extract/deposit/mask arithmetic so that the
+rest of the code reads like the Intel SDM / AMD APM pseudo-code it models.
+All values are non-negative Python ints treated as fixed-width words.
+"""
+
+from __future__ import annotations
+
+
+def bit(position: int) -> int:
+    """Return an integer with only *position* set (bit 0 = LSB)."""
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    return 1 << position
+
+
+def mask(width: int) -> int:
+    """Return a mask of *width* consecutive low bits (``mask(3) == 0b111``)."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def field_mask(low: int, high: int) -> int:
+    """Return a mask covering bits *low*..*high* inclusive."""
+    if low > high:
+        raise ValueError(f"invalid bit range [{low}, {high}]")
+    return mask(high - low + 1) << low
+
+
+def extract(value: int, low: int, high: int) -> int:
+    """Extract bits *low*..*high* (inclusive) of *value*, right-aligned."""
+    return (value >> low) & mask(high - low + 1)
+
+
+def deposit(value: int, low: int, high: int, field: int) -> int:
+    """Return *value* with bits *low*..*high* replaced by *field*.
+
+    Bits of *field* above the destination width are discarded, matching
+    hardware behaviour when a too-wide value is written to a field.
+    """
+    fmask = field_mask(low, high)
+    return (value & ~fmask) | ((field << low) & fmask)
+
+
+def test_bit(value: int, position: int) -> bool:
+    """Return True when bit *position* of *value* is set."""
+    return bool(value & bit(position))
+
+
+def set_bit(value: int, position: int) -> int:
+    """Return *value* with bit *position* set."""
+    return value | bit(position)
+
+
+def clear_bit(value: int, position: int) -> int:
+    """Return *value* with bit *position* cleared."""
+    return value & ~bit(position)
+
+
+def assign_bit(value: int, position: int, flag: bool) -> int:
+    """Return *value* with bit *position* forced to *flag*."""
+    return set_bit(value, position) if flag else clear_bit(value, position)
+
+
+def flip_bit(value: int, position: int) -> int:
+    """Return *value* with bit *position* inverted."""
+    return value ^ bit(position)
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate *value* to *width* bits (hardware register write semantics)."""
+    return value & mask(width)
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in *value*."""
+    return bin(value & ((1 << value.bit_length()) - 1)).count("1") if value else 0
+
+
+def hamming(a: int, b: int, width: int | None = None) -> int:
+    """Hamming distance between *a* and *b*.
+
+    When *width* is given, both operands are truncated first so that the
+    comparison is over a fixed-width word (the VMCS layout comparison in
+    the paper's Figure 5 is over an 8,000-bit serialised state).
+    """
+    if width is not None:
+        a = truncate(a, width)
+        b = truncate(b, width)
+    return (a ^ b).bit_count()
+
+
+def bytes_hamming(a: bytes, b: bytes) -> int:
+    """Hamming distance between two equal-length byte strings."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return sum((x ^ y).bit_count() for x, y in zip(a, b))
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend a *width*-bit value to a Python int."""
+    value = truncate(value, width)
+    sign = 1 << (width - 1)
+    return (value ^ sign) - sign
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return True when *value* is aligned to *alignment* (a power of two)."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value & (alignment - 1)) == 0
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to the nearest multiple of *alignment*."""
+    if alignment <= 0 or alignment & (alignment - 1):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)

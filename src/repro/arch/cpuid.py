@@ -1,0 +1,101 @@
+"""CPUID feature flags relevant to vCPU configuration.
+
+The vCPU configurator (paper §3.5/§4.4) mutates which hardware-assisted
+virtualization features a guest sees. We model the feature universe as
+named flags grouped by vendor; the configurator core turns a fuzz-input
+bit array into an enable/disable map over these names, and the adapters
+translate the map into hypervisor-specific knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Vendor(Enum):
+    """CPU vendor — selects VT-x vs. AMD-V code paths everywhere."""
+
+    INTEL = "intel"
+    AMD = "amd"
+
+
+@dataclass(frozen=True)
+class CpuFeature:
+    """One configurable CPU feature.
+
+    ``default`` is the state a stock cloud vCPU would expose;
+    ``kvm_param``/``qemu_flag`` name the knob each adapter uses.
+    """
+
+    name: str
+    vendor: Vendor | None  # None = vendor-independent
+    default: bool
+    kvm_param: str | None = None
+    qemu_flag: str | None = None
+    description: str = ""
+
+
+#: The configurable feature universe, mirroring the paper's examples:
+#: EPT, unrestricted guest, VPID, shadow VMCS, APICv, PML, etc.
+FEATURES: tuple[CpuFeature, ...] = (
+    CpuFeature("ept", Vendor.INTEL, True, kvm_param="ept",
+               description="Extended page tables (nested paging)"),
+    CpuFeature("unrestricted_guest", Vendor.INTEL, True,
+               kvm_param="unrestricted_guest",
+               description="Real-mode guest execution without paging"),
+    CpuFeature("vpid", Vendor.INTEL, True, kvm_param="vpid",
+               description="Virtual processor identifiers"),
+    CpuFeature("flexpriority", Vendor.INTEL, True, kvm_param="flexpriority",
+               description="TPR shadow / virtual APIC accesses"),
+    CpuFeature("enable_shadow_vmcs", Vendor.INTEL, True,
+               kvm_param="enable_shadow_vmcs",
+               description="VMCS shadowing for nested vmread/vmwrite"),
+    CpuFeature("pml", Vendor.INTEL, True, kvm_param="pml",
+               description="Page-modification logging"),
+    CpuFeature("apicv", Vendor.INTEL, True, kvm_param="enable_apicv",
+               description="APIC virtualization / posted interrupts"),
+    CpuFeature("preemption_timer", Vendor.INTEL, True,
+               kvm_param="preemption_timer",
+               description="VMX preemption timer"),
+    CpuFeature("vmfunc", Vendor.INTEL, False, qemu_flag="vmx-vmfunc",
+               description="VM functions (EPTP switching)"),
+    CpuFeature("ple", Vendor.INTEL, True, kvm_param="ple_gap",
+               description="Pause-loop exiting"),
+    CpuFeature("npt", Vendor.AMD, True, kvm_param="npt",
+               description="Nested page tables"),
+    CpuFeature("avic", Vendor.AMD, False, kvm_param="avic",
+               description="Advanced virtual interrupt controller"),
+    CpuFeature("vgif", Vendor.AMD, True, kvm_param="vgif",
+               description="Virtual global interrupt flag"),
+    CpuFeature("vls", Vendor.AMD, True, kvm_param="vls",
+               description="Virtual VMLOAD/VMSAVE"),
+    CpuFeature("sev", Vendor.AMD, False, kvm_param="sev",
+               description="Secure encrypted virtualization"),
+    CpuFeature("lbrv", Vendor.AMD, True, kvm_param="lbrv",
+               description="LBR virtualization"),
+    CpuFeature("pause_filter", Vendor.AMD, True, kvm_param="pause_filter_count",
+               description="PAUSE intercept filtering"),
+    CpuFeature("nested", None, True, kvm_param="nested",
+               description="Nested virtualization master switch"),
+    CpuFeature("x2apic", None, True, qemu_flag="x2apic",
+               description="x2APIC mode"),
+    CpuFeature("hv_passthrough", None, False, qemu_flag="hv-passthrough",
+               description="Hyper-V enlightenment passthrough"),
+    CpuFeature("pt", Vendor.INTEL, False, qemu_flag="intel-pt",
+               description="Intel Processor Trace"),
+    CpuFeature("sgx", Vendor.INTEL, False, qemu_flag="sgx",
+               description="Intel SGX enclaves"),
+)
+
+FEATURES_BY_NAME: dict[str, CpuFeature] = {f.name: f for f in FEATURES}
+
+
+def features_for(vendor: Vendor) -> tuple[CpuFeature, ...]:
+    """The features applicable to *vendor* (vendor-neutral ones included)."""
+    return tuple(f for f in FEATURES if f.vendor is None or f.vendor is vendor)
+
+
+def default_feature_map(vendor: Vendor) -> dict[str, bool]:
+    """The stock enable/disable map for a default cloud vCPU."""
+    return {f.name: f.default for f in features_for(vendor)}

@@ -1,0 +1,157 @@
+"""Model-specific register (MSR) indices and canonical-address rules.
+
+The VM-entry/exit MSR-load/store mechanism moves (index, value) pairs
+between memory areas and MSRs. CVE-2024-21106 (paper §5.5.3) is exactly a
+missing canonicality check on a value loaded into ``IA32_KERNEL_GS_BASE``
+during nested VM entry — the helpers here are what a correct hypervisor
+must call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --- Architectural MSR indices (SDM Vol. 4) -------------------------------
+IA32_TSC = 0x10
+IA32_APIC_BASE = 0x1B
+IA32_FEATURE_CONTROL = 0x3A
+IA32_SPEC_CTRL = 0x48
+IA32_PAT = 0x277
+IA32_MTRR_DEF_TYPE = 0x2FF
+IA32_SYSENTER_CS = 0x174
+IA32_SYSENTER_ESP = 0x175
+IA32_SYSENTER_EIP = 0x176
+IA32_DEBUGCTL = 0x1D9
+IA32_PERF_GLOBAL_CTRL = 0x38F
+IA32_EFER = 0xC0000080
+IA32_STAR = 0xC0000081
+IA32_LSTAR = 0xC0000082
+IA32_CSTAR = 0xC0000083
+IA32_FMASK = 0xC0000084
+IA32_FS_BASE = 0xC0000100
+IA32_GS_BASE = 0xC0000101
+IA32_KERNEL_GS_BASE = 0xC0000102
+IA32_TSC_AUX = 0xC0000103
+
+# VMX capability MSRs (detailed layouts live in repro.vmx.msr_caps).
+IA32_VMX_BASIC = 0x480
+IA32_VMX_PINBASED_CTLS = 0x481
+IA32_VMX_PROCBASED_CTLS = 0x482
+IA32_VMX_EXIT_CTLS = 0x483
+IA32_VMX_ENTRY_CTLS = 0x484
+IA32_VMX_MISC = 0x485
+IA32_VMX_CR0_FIXED0 = 0x486
+IA32_VMX_CR0_FIXED1 = 0x487
+IA32_VMX_CR4_FIXED0 = 0x488
+IA32_VMX_CR4_FIXED1 = 0x489
+IA32_VMX_PROCBASED_CTLS2 = 0x48B
+IA32_VMX_EPT_VPID_CAP = 0x48C
+IA32_VMX_TRUE_PINBASED_CTLS = 0x48D
+IA32_VMX_TRUE_PROCBASED_CTLS = 0x48E
+IA32_VMX_TRUE_EXIT_CTLS = 0x48F
+IA32_VMX_TRUE_ENTRY_CTLS = 0x490
+IA32_VMX_VMFUNC = 0x491
+
+# AMD
+VM_CR = 0xC0010114
+VM_HSAVE_PA = 0xC0010117
+
+#: MSRs whose loaded values must be canonical addresses (SDM 26.4).
+CANONICAL_MSRS = frozenset({
+    IA32_SYSENTER_ESP,
+    IA32_SYSENTER_EIP,
+    IA32_FS_BASE,
+    IA32_GS_BASE,
+    IA32_KERNEL_GS_BASE,
+    IA32_LSTAR,
+    IA32_CSTAR,
+})
+
+#: MSRs that may never appear in a VM-entry MSR-load area (SDM 26.4).
+MSR_LOAD_FORBIDDEN = frozenset({
+    IA32_FS_BASE,  # loaded from VMCS guest state instead
+    IA32_GS_BASE,
+})
+
+
+def is_canonical(address: int, *, virtual_address_width: int = 48) -> bool:
+    """Return True when *address* is canonical for the given VA width.
+
+    A canonical address has bits [63 : width-1] all equal. The classic
+    non-canonical probe value from the paper is ``0x8000000000000000``.
+    """
+    address &= (1 << 64) - 1
+    top = address >> (virtual_address_width - 1)
+    all_ones = (1 << (64 - virtual_address_width + 1)) - 1
+    return top == 0 or top == all_ones
+
+
+@dataclass(frozen=True)
+class MsrEntry:
+    """One slot of a VM-entry/exit MSR-load/store area (16 bytes each)."""
+
+    index: int
+    value: int
+    reserved: int = 0
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the architectural 16-byte slot layout."""
+        return (
+            self.index.to_bytes(4, "little")
+            + self.reserved.to_bytes(4, "little")
+            + (self.value & ((1 << 64) - 1)).to_bytes(8, "little")
+        )
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "MsrEntry":
+        """Parse one 16-byte MSR area slot."""
+        if len(raw) != 16:
+            raise ValueError(f"MSR entry must be 16 bytes, got {len(raw)}")
+        return cls(
+            index=int.from_bytes(raw[0:4], "little"),
+            reserved=int.from_bytes(raw[4:8], "little"),
+            value=int.from_bytes(raw[8:16], "little"),
+        )
+
+
+def msr_load_entry_valid(entry: MsrEntry) -> bool:
+    """Architectural validity of a VM-entry MSR-load slot (SDM 26.4).
+
+    The reserved dword must be zero, the MSR must not be in the forbidden
+    list, and values destined for canonical-address MSRs must be canonical.
+    This is the check VirtualBox omitted (CVE-2024-21106).
+    """
+    if entry.reserved:
+        return False
+    if entry.index in MSR_LOAD_FORBIDDEN:
+        return False
+    if entry.index in CANONICAL_MSRS and not is_canonical(entry.value):
+        return False
+    return True
+
+
+class MsrFile:
+    """A sparse MSR register file with default values.
+
+    Used by the simulated physical CPU and by the L0 hypervisors to model
+    per-vCPU MSR state. Reading an undefined MSR returns zero rather than
+    faulting, matching the relaxed behaviour of our harness environment.
+    """
+
+    def __init__(self, initial: dict[int, int] | None = None) -> None:
+        self._values: dict[int, int] = dict(initial or {})
+
+    def read(self, index: int) -> int:
+        """Read an MSR (0 when never written)."""
+        return self._values.get(index, 0)
+
+    def write(self, index: int, value: int) -> None:
+        """Write an MSR, truncating to 64 bits."""
+        self._values[index] = value & ((1 << 64) - 1)
+
+    def snapshot(self) -> dict[int, int]:
+        """A copy of all explicitly-written MSRs."""
+        return dict(self._values)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._values

@@ -1,0 +1,202 @@
+"""x86 control/status register bit definitions and validity rules.
+
+These are the architectural registers whose values appear in VMCS/VMCB
+guest- and host-state areas. The bit layouts follow the Intel SDM Vol. 3
+and the AMD APM Vol. 2; the validity helpers encode the architectural
+constraints that both the physical CPU (``repro.cpu``) and the VM state
+validator (``repro.validator``) enforce.
+"""
+
+from __future__ import annotations
+
+from repro.arch.bits import bit, test_bit
+
+
+class Cr0:
+    """CR0 control register bits (SDM Vol. 3, 2.5)."""
+
+    PE = bit(0)   # Protection Enable
+    MP = bit(1)   # Monitor Coprocessor
+    EM = bit(2)   # Emulation
+    TS = bit(3)   # Task Switched
+    ET = bit(4)   # Extension Type (fixed to 1 on modern CPUs)
+    NE = bit(5)   # Numeric Error
+    WP = bit(16)  # Write Protect
+    AM = bit(18)  # Alignment Mask
+    NW = bit(29)  # Not Write-through
+    CD = bit(30)  # Cache Disable
+    PG = bit(31)  # Paging
+
+    #: Bits that are architecturally reserved (must be zero) in CR0.
+    RESERVED = ~(PE | MP | EM | TS | ET | NE | WP | AM | NW | CD | PG) & ((1 << 64) - 1)
+
+
+class Cr4:
+    """CR4 control register bits (SDM Vol. 3, 2.5)."""
+
+    VME = bit(0)
+    PVI = bit(1)
+    TSD = bit(2)
+    DE = bit(3)
+    PSE = bit(4)
+    PAE = bit(5)          # Physical Address Extension
+    MCE = bit(6)
+    PGE = bit(7)
+    PCE = bit(8)
+    OSFXSR = bit(9)
+    OSXMMEXCPT = bit(10)
+    UMIP = bit(11)
+    LA57 = bit(12)
+    VMXE = bit(13)        # VMX Enable
+    SMXE = bit(14)
+    FSGSBASE = bit(16)
+    PCIDE = bit(17)
+    OSXSAVE = bit(18)
+    SMEP = bit(20)
+    SMAP = bit(21)
+    PKE = bit(22)
+    CET = bit(23)
+    PKS = bit(24)
+
+    RESERVED = ~(
+        VME | PVI | TSD | DE | PSE | PAE | MCE | PGE | PCE | OSFXSR
+        | OSXMMEXCPT | UMIP | LA57 | VMXE | SMXE | FSGSBASE | PCIDE
+        | OSXSAVE | SMEP | SMAP | PKE | CET | PKS
+    ) & ((1 << 64) - 1)
+
+
+class Efer:
+    """IA32_EFER / EFER MSR bits (SDM Vol. 4 / APM Vol. 2)."""
+
+    SCE = bit(0)    # Syscall Enable
+    LME = bit(8)    # Long Mode Enable
+    LMA = bit(10)   # Long Mode Active
+    NXE = bit(11)   # No-Execute Enable
+    SVME = bit(12)  # Secure Virtual Machine Enable (AMD)
+    LMSLE = bit(13)
+    FFXSR = bit(14)
+    TCE = bit(15)
+
+    RESERVED = ~(SCE | LME | LMA | NXE | SVME | LMSLE | FFXSR | TCE) & ((1 << 64) - 1)
+
+
+class Rflags:
+    """RFLAGS bits (SDM Vol. 1, 3.4.3)."""
+
+    CF = bit(0)
+    FIXED_1 = bit(1)  # bit 1 is always 1
+    PF = bit(2)
+    AF = bit(4)
+    ZF = bit(6)
+    SF = bit(7)
+    TF = bit(8)
+    IF = bit(9)
+    DF = bit(10)
+    OF = bit(11)
+    IOPL = bit(12) | bit(13)
+    NT = bit(14)
+    RF = bit(16)
+    VM = bit(17)  # Virtual-8086 mode
+    AC = bit(18)
+    VIF = bit(19)
+    VIP = bit(20)
+    ID = bit(21)
+
+    #: Reserved-zero bits in the low 32 bits (3, 5, 15, 22..31).
+    RESERVED = (bit(3) | bit(5) | bit(15) | (((1 << 10) - 1) << 22)) | (
+        ((1 << 32) - 1) << 32
+    )
+
+
+class Dr6:
+    """DR6 debug status register."""
+
+    #: Bits 4..11 and 16..31 read as 1; bit 12 must be 0.
+    FIXED_1 = (((1 << 8) - 1) << 4) | (((1 << 16) - 1) << 16) & ~bit(16)
+    RTM = bit(16)
+
+
+class Dr7:
+    """DR7 debug control register."""
+
+    #: Bit 10 reads as 1.
+    FIXED_1 = bit(10)
+    GD = bit(13)
+    #: Upper 32 bits must be zero when loaded by VM entry.
+    HIGH_RESERVED = ((1 << 32) - 1) << 32
+
+
+def cr0_valid(value: int, *, unrestricted_guest: bool = False) -> bool:
+    """Check architectural CR0 validity for a guest context.
+
+    Without the *unrestricted guest* VMX feature, the guest must run with
+    ``CR0.PE`` and ``CR0.PG`` both set. Independently, ``PG=1`` requires
+    ``PE=1``, and the cache-control combination ``NW=1, CD=0`` is invalid.
+    """
+    if value & Cr0.RESERVED:
+        return False
+    pe = test_bit(value, 0)
+    pg = test_bit(value, 31)
+    nw = test_bit(value, 29)
+    cd = test_bit(value, 30)
+    if pg and not pe:
+        return False
+    if nw and not cd:
+        return False
+    if not unrestricted_guest and not (pe and pg):
+        return False
+    return True
+
+
+def cr4_valid(value: int) -> bool:
+    """Check CR4 for reserved-bit violations."""
+    return not value & Cr4.RESERVED
+
+
+def efer_valid(value: int) -> bool:
+    """Check EFER for reserved-bit violations."""
+    return not value & Efer.RESERVED
+
+
+def efer_consistent_with_cr0(efer: int, cr0: int) -> bool:
+    """EFER.LMA must equal (EFER.LME & CR0.PG) (SDM 26.3.1.1)."""
+    lme = bool(efer & Efer.LME)
+    lma = bool(efer & Efer.LMA)
+    pg = bool(cr0 & Cr0.PG)
+    return lma == (lme and pg)
+
+
+def long_mode_requires_pae(efer: int, cr4: int) -> bool:
+    """Return True when the EFER/CR4 pair satisfies the long-mode PAE rule.
+
+    Architecturally, IA-32e mode (``EFER.LME=1`` with paging) requires
+    ``CR4.PAE=1``. This is the constraint whose mishandling underlies
+    CVE-2023-30456 (paper §5.5.1).
+    """
+    if efer & Efer.LME:
+        return bool(cr4 & Cr4.PAE)
+    return True
+
+
+def rflags_canonicalize(value: int) -> int:
+    """Force the architecturally fixed RFLAGS bits (bit 1 set, reserved 0)."""
+    value |= Rflags.FIXED_1
+    value &= ~Rflags.RESERVED
+    return value
+
+
+def rflags_valid(value: int) -> bool:
+    """Check the fixed/reserved RFLAGS bit rules."""
+    if not value & Rflags.FIXED_1:
+        return False
+    if value & Rflags.RESERVED:
+        return False
+    return True
+
+
+#: Register file order used by the execution harness when materialising
+#: general-purpose register state from fuzzing input.
+GPR_NAMES = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)

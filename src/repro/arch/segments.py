@@ -1,0 +1,186 @@
+"""Segment selectors, bases, limits, and access-rights encodings.
+
+VMCS guest-state checks on segment registers are among the most intricate
+parts of VM-entry validation (SDM 26.3.1.2) — they were also the subject
+of the two Bochs bugs the paper's authors fixed while building their
+validator. The encodings here follow the VMCS access-rights format: the
+low 16 bits mirror the descriptor AR byte layout, plus the "unusable"
+flag at bit 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.bits import bit, extract, test_bit
+
+#: Segment register names in VMCS encoding order.
+SEGMENT_NAMES = ("es", "cs", "ss", "ds", "fs", "gs", "ldtr", "tr")
+
+
+class AccessRights:
+    """Bit positions within a VMCS access-rights word."""
+
+    TYPE_LOW, TYPE_HIGH = 0, 3
+    S = bit(4)           # descriptor type: 0=system, 1=code/data
+    DPL_LOW, DPL_HIGH = 5, 6
+    P = bit(7)           # present
+    AVL = bit(12)
+    L = bit(13)          # 64-bit code segment
+    DB = bit(14)         # default operation size
+    G = bit(15)          # granularity
+    UNUSABLE = bit(16)
+
+    #: Reserved bits: 8..11 and 17..31 must be zero.
+    RESERVED = (((1 << 4) - 1) << 8) | (((1 << 15) - 1) << 17)
+
+
+# Segment type values for code/data descriptors (S=1), SDM Vol. 3, 3.4.5.1.
+SEG_TYPE_DATA_RO = 0x1          # read-only, accessed
+SEG_TYPE_DATA_RW = 0x3          # read/write, accessed
+SEG_TYPE_DATA_RW_EXPAND_DOWN = 0x7
+SEG_TYPE_CODE_EO = 0x9          # execute-only, accessed
+SEG_TYPE_CODE_ER = 0xB          # execute/read, accessed
+SEG_TYPE_CODE_EO_CONFORMING = 0xD
+SEG_TYPE_CODE_ER_CONFORMING = 0xF
+
+# System segment types (S=0).
+SYS_TYPE_LDT = 0x2
+SYS_TYPE_TSS_16_BUSY = 0x3
+SYS_TYPE_TSS_32_BUSY = 0xB
+SYS_TYPE_TSS_64_BUSY = 0xB  # same encoding, interpreted in long mode
+
+
+@dataclass
+class Segment:
+    """A full segment register image as stored in the VMCS guest state."""
+
+    selector: int = 0
+    base: int = 0
+    limit: int = 0xFFFF
+    access_rights: int = AccessRights.P | AccessRights.S | SEG_TYPE_DATA_RW
+
+    @property
+    def seg_type(self) -> int:
+        """Descriptor type field (AR bits 3:0)."""
+        return extract(self.access_rights, AccessRights.TYPE_LOW, AccessRights.TYPE_HIGH)
+
+    @property
+    def s(self) -> bool:
+        """True for code/data descriptors, False for system descriptors."""
+        return bool(self.access_rights & AccessRights.S)
+
+    @property
+    def dpl(self) -> int:
+        """Descriptor privilege level (AR bits 6:5)."""
+        return extract(self.access_rights, AccessRights.DPL_LOW, AccessRights.DPL_HIGH)
+
+    @property
+    def present(self) -> bool:
+        """Descriptor present bit (AR.P)."""
+        return bool(self.access_rights & AccessRights.P)
+
+    @property
+    def long_mode(self) -> bool:
+        """AR.L — 64-bit code segment flag."""
+        return bool(self.access_rights & AccessRights.L)
+
+    @property
+    def db(self) -> bool:
+        """Default operation size flag (AR.D/B)."""
+        return bool(self.access_rights & AccessRights.DB)
+
+    @property
+    def granularity(self) -> bool:
+        """Limit granularity flag (AR.G)."""
+        return bool(self.access_rights & AccessRights.G)
+
+    @property
+    def unusable(self) -> bool:
+        """VMX unusable flag (AR bit 16)."""
+        return bool(self.access_rights & AccessRights.UNUSABLE)
+
+    @property
+    def rpl(self) -> int:
+        """Requested privilege level — low two selector bits."""
+        return self.selector & 3
+
+    @property
+    def ti(self) -> bool:
+        """Selector table-indicator bit (0=GDT, 1=LDT)."""
+        return test_bit(self.selector, 2)
+
+    def is_code(self) -> bool:
+        """True when this is a code segment (S=1, type bit 3 set)."""
+        return self.s and bool(self.seg_type & 0x8)
+
+    def is_writable_data(self) -> bool:
+        """True when this is a writable data segment."""
+        return self.s and not self.seg_type & 0x8 and bool(self.seg_type & 0x2)
+
+    def is_expand_down(self) -> bool:
+        """True for expand-down data segments (type bit 2 set, data)."""
+        return self.s and not self.seg_type & 0x8 and bool(self.seg_type & 0x4)
+
+
+def ar_reserved_ok(access_rights: int) -> bool:
+    """Return True when the AR word has all reserved bits clear."""
+    return not access_rights & AccessRights.RESERVED
+
+
+def granularity_consistent(limit: int, access_rights: int) -> bool:
+    """Check the SDM limit/granularity consistency rule.
+
+    If any of limit[11:0] is not all-ones, G must be 0; if any of
+    limit[31:20] is non-zero, G must be 1.
+    """
+    g = bool(access_rights & AccessRights.G)
+    low = limit & 0xFFF
+    high = limit & 0xFFF00000
+    if low != 0xFFF and g:
+        return False
+    if high and not g:
+        return False
+    return True
+
+
+def flat_segment(selector: int = 0x8, *, code: bool = False, long_mode: bool = False,
+                 dpl: int = 0) -> Segment:
+    """Build a flat 4 GiB (or 64-bit) segment as a hypervisor would.
+
+    This is the canonical segment shape used by the fuzz-harness VM's
+    template initialisation sequence.
+    """
+    seg_type = SEG_TYPE_CODE_ER if code else SEG_TYPE_DATA_RW
+    ar = seg_type | AccessRights.S | AccessRights.P | AccessRights.G | (dpl << 5)
+    if code and long_mode:
+        ar |= AccessRights.L
+    else:
+        ar |= AccessRights.DB
+    return Segment(selector=selector, base=0, limit=0xFFFFFFFF, access_rights=ar)
+
+
+def unusable_segment() -> Segment:
+    """A segment marked unusable (what a null selector load produces)."""
+    return Segment(selector=0, base=0, limit=0, access_rights=AccessRights.UNUSABLE)
+
+
+def tss_segment(selector: int = 0x28, *, long_mode: bool = True) -> Segment:
+    """A busy TSS segment suitable for the guest/host TR checks."""
+    seg_type = SYS_TYPE_TSS_64_BUSY if long_mode else SYS_TYPE_TSS_32_BUSY
+    return Segment(
+        selector=selector,
+        base=0x1000,
+        limit=0x67,
+        access_rights=seg_type | AccessRights.P,
+    )
+
+
+def ldtr_segment(selector: int = 0x30) -> Segment:
+    """A valid LDTR image (system descriptor type 2)."""
+    return Segment(
+        selector=selector,
+        base=0x2000,
+        limit=0xFFFF,
+        access_rights=SYS_TYPE_LDT | AccessRights.P,
+    )

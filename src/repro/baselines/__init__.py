@@ -1,0 +1,17 @@
+"""Comparison fuzzers and test suites from the paper's evaluation."""
+
+from repro.baselines.iris import IrisCampaign
+from repro.baselines.kvm_unit_tests import KvmUnitTestsSuite
+from repro.baselines.nestfuzz import NestFuzzCampaign
+from repro.baselines.selftests import SelftestsSuite
+from repro.baselines.syzkaller import SyzkallerCampaign
+from repro.baselines.xtf import XtfSuite
+
+__all__ = [
+    "SyzkallerCampaign",
+    "IrisCampaign",
+    "NestFuzzCampaign",
+    "SelftestsSuite",
+    "KvmUnitTestsSuite",
+    "XtfSuite",
+]

@@ -1,0 +1,108 @@
+"""IRIS baseline (Cesarano et al., DSN'23) — record and replay.
+
+IRIS collects hardware-assisted-virtualization traces from *well-behaved*
+guest OS executions and replays them as fuzzing seeds, mutating VMCS
+data within the hypervisor. Two properties matter for the paper's
+comparison (§5.1/§5.2):
+
+* seeds come from well-behaved OSes, so "VM state diversity is limited"
+  — coverage of valid paths saturates almost immediately;
+* it does not support nested virtualization and "was unstable in the
+  nested environment and crashed after a few minutes" — the campaign
+  terminates early and the paper reports coverage at termination.
+
+It is Intel-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.timeline import CoverageTimeline
+from repro.arch.cpuid import Vendor
+from repro.baselines.common import BaselineHarness
+from repro.core.necofuzz import CampaignResult
+from repro.core.templates import VMCS12_GPA, VMXON_GPA
+from repro.fuzzer.rng import Rng
+from repro.hypervisors.base import GuestInstruction, VcpuConfig
+from repro.hypervisors.kvm import KvmHypervisor
+from repro.validator.golden import golden_vmcs
+from repro.vmx import fields as F
+
+#: Exit-triggering instructions observed in a recorded boot trace of a
+#: well-behaved guest (the replay corpus).
+_RECORDED_TRACE = (
+    ("cpuid", {}), ("wrmsr", {"msr": 0xC0000080, "value": 0xD01}),
+    ("mov_cr", {"cr": 0, "write": 1, "value": 0x80000033}),
+    ("mov_cr", {"cr": 4, "write": 1, "value": 0x2020}),
+    ("in", {"port": 0x64}), ("out", {"port": 0x70, "value": 0x8F}),
+    ("rdmsr", {"msr": 0x1B}), ("rdtsc", {}), ("hlt", {}),
+    ("cpuid", {}), ("pause", {}),
+)
+
+#: IRIS crashes a few virtual minutes into a nested run.
+CRASH_AFTER_ITERATIONS = 40
+
+
+@dataclass
+class IrisCampaign:
+    """A record-and-replay run that terminates early under nesting."""
+
+    vendor: Vendor = Vendor.INTEL
+    seed: int = 1
+    iterations_per_hour: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.vendor is not Vendor.INTEL:
+            raise ValueError("IRIS is limited to Intel processors (§5.1)")
+        self.rng = Rng(self.seed)
+        self.harness = BaselineHarness("IRIS", self.vendor, KvmHypervisor)
+        self.config = VcpuConfig.default(self.vendor)
+        self.timeline = CoverageTimeline("IRIS", self.iterations_per_hour)
+        self.crashed = False
+
+    def run(self, iterations: int, *, sample_every: int = 5) -> CampaignResult:
+        """Replay mutated traces until the instability kicks in."""
+        budget = min(iterations, CRASH_AFTER_ITERATIONS)
+        for i in range(1, budget + 1):
+            hv = KvmHypervisor(self.config)
+            self.harness.run_case(hv, self._replay_program())
+            if i % sample_every == 0 or i == budget:
+                self.timeline.record(i, self.harness.coverage_fraction)
+        if iterations > CRASH_AFTER_ITERATIONS:
+            self.crashed = True  # the tool is gone; coverage freezes
+        return self.harness.result(self.timeline)
+
+    def _replay_program(self):
+        """One replayed trace with IRIS's light VMCS mutation."""
+        rng = self.rng.fork(self.rng.u32())
+        vmcs12 = golden_vmcs()
+        # IRIS mutates VMCS data recorded from valid runs: small
+        # perturbations of a few fields, biased to stay plausible.
+        writable = F.WRITABLE_FIELDS
+        for _ in range(rng.below(3)):
+            spec = writable[rng.below(len(writable))]
+            value = vmcs12.read(spec.encoding)
+            vmcs12.write(spec.encoding, value ^ (1 << rng.below(min(spec.bits, 16))))
+
+        def program(hv: KvmHypervisor) -> None:
+            vcpu = hv.create_vcpu()
+
+            def run(mnemonic: str, level: int = 1, **operands: int):
+                return hv.execute(vcpu, GuestInstruction(
+                    mnemonic, operands, level=level))
+
+            run("vmxon", addr=VMXON_GPA)
+            run("vmclear", addr=VMCS12_GPA)
+            run("vmptrld", addr=VMCS12_GPA)
+            for spec, value in vmcs12.fields():
+                if spec.group is not F.FieldGroup.READ_ONLY:
+                    run("vmwrite", field=spec.encoding, value=value)
+            result = run("vmlaunch")
+            if result.level == 2:
+                for mnemonic, operands in _RECORDED_TRACE:
+                    out = run(mnemonic, level=2, **operands)
+                    if out.level == 1:
+                        run("vmresume")
+
+        return program

@@ -1,0 +1,313 @@
+"""KVM-unit-tests baseline (paper §5.1/§5.2).
+
+"KVM-unit-tests is a minimal guest OS that implements unit tests for
+KVM" — it runs entirely from the guest side (no ioctl access) but its
+hand-written VMX/SVM tests are unusually thorough about error paths,
+which is why it lands above Selftests on Intel (72.0%) while still below
+NecoFuzz ("manually writing test code ... does not necessarily explore
+complex arguments"). 84 deterministic test cases, about 20 minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpuid import Vendor
+from repro.arch.msr import IA32_EFER, IA32_KERNEL_GS_BASE, MsrEntry
+from repro.arch.registers import Cr0, Efer
+from repro.baselines.common import BaselineHarness
+from repro.core.necofuzz import CampaignResult
+from repro.core.templates import (
+    ALT_VMCS_GPA,
+    MSR_AREA_GPA,
+    VMCB12_GPA,
+    VMCS12_GPA,
+    VMXON_GPA,
+)
+from repro.hypervisors.base import GuestInstruction, VcpuConfig
+from repro.hypervisors.kvm import KvmHypervisor
+from repro.svm import fields as SF
+from repro.validator.golden import golden_vmcb, golden_vmcs
+from repro.vmx import fields as F
+from repro.vmx.controls import PinBased, ProcBased, Secondary
+
+
+def _run(hv, vcpu, mnemonic, level=1, **operands):
+    return hv.execute(vcpu, GuestInstruction(mnemonic, operands, level=level))
+
+
+def _setup_and_launch(hv, vcpu, vmcs):
+    _run(hv, vcpu, "vmxon", addr=VMXON_GPA)
+    _run(hv, vcpu, "vmclear", addr=VMCS12_GPA)
+    _run(hv, vcpu, "vmptrld", addr=VMCS12_GPA)
+    for spec, value in vmcs.fields():
+        if spec.group is not F.FieldGroup.READ_ONLY:
+            _run(hv, vcpu, "vmwrite", field=spec.encoding, value=value)
+    return _run(hv, vcpu, "vmlaunch")
+
+
+def _make_control_case(mutate):
+    """A test that launches with one deliberately perturbed VMCS."""
+
+    def case(hv):
+        vcpu = hv.create_vcpu()
+        vmcs = golden_vmcs()
+        mutate(vmcs)
+        _setup_and_launch(hv, vcpu, vmcs)
+
+    return case
+
+
+#: vmx.flat-style "test_vmx_controls" cases: each corrupts exactly one
+#: architectural rule and expects the corresponding failure.
+_CONTROL_CASES = (
+    ("test_pin_reserved", lambda v: v.write(F.PIN_BASED_VM_EXEC_CONTROL, 0)),
+    ("test_proc_reserved", lambda v: v.write(F.CPU_BASED_VM_EXEC_CONTROL, 0)),
+    ("test_secondary_no_activate", lambda v: (
+        v.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                v.read(F.CPU_BASED_VM_EXEC_CONTROL)
+                & ~ProcBased.ACTIVATE_SECONDARY_CONTROLS))),
+    ("test_cr3_target_count", lambda v: v.write(F.CR3_TARGET_COUNT, 5)),
+    ("test_io_bitmap_align", lambda v: (
+        v.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                v.read(F.CPU_BASED_VM_EXEC_CONTROL) | ProcBased.USE_IO_BITMAPS),
+        v.write(F.IO_BITMAP_A, 0x123))),
+    ("test_msr_bitmap_align", lambda v: (
+        v.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                v.read(F.CPU_BASED_VM_EXEC_CONTROL) | ProcBased.USE_MSR_BITMAPS),
+        v.write(F.MSR_BITMAP, 0xFFF))),
+    ("test_nmi_ctl", lambda v: v.write(
+        F.PIN_BASED_VM_EXEC_CONTROL,
+        (v.read(F.PIN_BASED_VM_EXEC_CONTROL) | PinBased.VIRTUAL_NMIS)
+        & ~PinBased.NMI_EXITING)),
+    ("test_nmi_window", lambda v: v.write(
+        F.CPU_BASED_VM_EXEC_CONTROL,
+        v.read(F.CPU_BASED_VM_EXEC_CONTROL) | ProcBased.NMI_WINDOW_EXITING)),
+    ("test_posted_intr_no_vid", lambda v: v.write(
+        F.PIN_BASED_VM_EXEC_CONTROL,
+        v.read(F.PIN_BASED_VM_EXEC_CONTROL) | PinBased.POSTED_INTERRUPTS)),
+    ("test_vpid_zero", lambda v: (
+        v.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                v.read(F.CPU_BASED_VM_EXEC_CONTROL)
+                | ProcBased.ACTIVATE_SECONDARY_CONTROLS),
+        v.write(F.SECONDARY_VM_EXEC_CONTROL, Secondary.ENABLE_VPID),
+        v.write(F.VIRTUAL_PROCESSOR_ID, 0))),
+    ("test_eptp_bad_type", lambda v: v.write(
+        F.EPT_POINTER, (v.read(F.EPT_POINTER) & ~7) | 3)),
+    ("test_entry_event_bad_type", lambda v: v.write(
+        F.VM_ENTRY_INTR_INFO_FIELD, (1 << 31) | (1 << 8) | 14)),
+    ("test_entry_event_bad_error_code", lambda v: v.write(
+        F.VM_ENTRY_INTR_INFO_FIELD, (1 << 31) | (1 << 11) | (4 << 8) | 3)),
+    ("test_apic_virt_no_tpr_shadow", lambda v: (
+        v.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                (v.read(F.CPU_BASED_VM_EXEC_CONTROL)
+                 | ProcBased.ACTIVATE_SECONDARY_CONTROLS)
+                & ~ProcBased.USE_TPR_SHADOW),
+        v.write(F.SECONDARY_VM_EXEC_CONTROL, Secondary.VIRTUALIZE_X2APIC))),
+)
+
+#: "test_host_state" cases.
+_HOST_CASES = (
+    ("test_host_cr0", lambda v: v.write(F.HOST_CR0, 0)),
+    ("test_host_cr4", lambda v: v.write(F.HOST_CR4, 0)),
+    ("test_host_cr3_width", lambda v: v.write(F.HOST_CR3, 1 << 50)),
+    ("test_host_cs_null", lambda v: v.write(F.HOST_CS_SELECTOR, 0)),
+    ("test_host_tr_null", lambda v: v.write(F.HOST_TR_SELECTOR, 0)),
+    ("test_host_sel_rpl", lambda v: v.write(F.HOST_DS_SELECTOR, 0x1B)),
+    ("test_host_rip_canonical", lambda v: v.write(F.HOST_RIP, 1 << 62)),
+    ("test_host_efer_reserved", lambda v: v.write(F.HOST_IA32_EFER, 1 << 2)),
+    ("test_host_efer_lma", lambda v: v.write(F.HOST_IA32_EFER, Efer.SCE)),
+)
+
+#: "test_guest_state" cases.
+_GUEST_CASES = (
+    ("test_guest_cr0_fixed", lambda v: v.write(F.GUEST_CR0, 0)),
+    ("test_guest_pg_no_pe", lambda v: v.write(F.GUEST_CR0, Cr0.PG | Cr0.NE | Cr0.ET)),
+    ("test_guest_cr4_fixed", lambda v: v.write(F.GUEST_CR4, 0)),
+    ("test_guest_cr3_width", lambda v: v.write(F.GUEST_CR3, 1 << 50)),
+    ("test_guest_efer_reserved", lambda v: v.write(F.GUEST_IA32_EFER, 1 << 2)),
+    ("test_guest_efer_lma_mismatch", lambda v: v.write(
+        F.GUEST_IA32_EFER, Efer.NXE)),
+    ("test_guest_rflags_fixed", lambda v: v.write(F.GUEST_RFLAGS, 0)),
+    ("test_guest_rflags_vm_ia32e", lambda v: v.write(
+        F.GUEST_RFLAGS, 0x2 | (1 << 17))),
+    ("test_guest_activity_shutdown", lambda v: v.write(F.GUEST_ACTIVITY_STATE, 2)),
+    ("test_guest_activity_wait_sipi", lambda v: v.write(F.GUEST_ACTIVITY_STATE, 3)),
+    ("test_guest_intr_reserved", lambda v: v.write(
+        F.GUEST_INTERRUPTIBILITY_INFO, 0xFF00)),
+    ("test_guest_sti_movss", lambda v: v.write(F.GUEST_INTERRUPTIBILITY_INFO, 3)),
+    ("test_guest_link_ptr", lambda v: v.write(F.VMCS_LINK_POINTER, 0x777)),
+)
+
+
+def _vmx_instruction_errors(hv):
+    """vmx.flat "test_vmxon"/"test_vmptrld"/... error-path battery."""
+    vcpu = hv.create_vcpu()
+    _run(hv, vcpu, "vmclear", addr=VMCS12_GPA)       # before vmxon
+    _run(hv, vcpu, "vmxon", addr=0x123)              # misaligned
+    _run(hv, vcpu, "vmxon", addr=VMXON_GPA)
+    _run(hv, vcpu, "vmxon", addr=VMXON_GPA)          # double vmxon
+    _run(hv, vcpu, "vmptrld", addr=VMXON_GPA)
+    _run(hv, vcpu, "vmclear", addr=VMXON_GPA)
+    _run(hv, vcpu, "vmresume")                       # no VMCS loaded
+    _run(hv, vcpu, "vmclear", addr=VMCS12_GPA)
+    _run(hv, vcpu, "vmptrld", addr=VMCS12_GPA)
+    _run(hv, vcpu, "vmresume")                       # non-launched
+    _run(hv, vcpu, "vmwrite", field=F.VM_EXIT_REASON, value=1)  # read-only
+    _run(hv, vcpu, "vmread", field=F.GUEST_RIP)
+    _run(hv, vcpu, "invept", type=0, eptp=0)         # bad type
+    _run(hv, vcpu, "invvpid", type=4, vpid=0)        # bad type
+    _run(hv, vcpu, "invvpid", type=1, vpid=0)        # vpid 0
+    _run(hv, vcpu, "vmxoff")
+    _run(hv, vcpu, "vmxoff")                         # double vmxoff
+
+
+def _vmx_msr_load_test(hv):
+    """vmx.flat "test_entry_msr_load": valid and rejected slots."""
+    vcpu = hv.create_vcpu()
+    vmcs = golden_vmcs()
+    vmcs.write(F.VM_ENTRY_MSR_LOAD_COUNT, 2)
+    vmcs.write(F.VM_ENTRY_MSR_LOAD_ADDR, MSR_AREA_GPA)
+    hv.memory.put_msr_area(MSR_AREA_GPA, [
+        MsrEntry(IA32_KERNEL_GS_BASE, 0xFFFF800000000000),
+        MsrEntry(0x277, 0x0007040600070406),
+    ])
+    _setup_and_launch(hv, vcpu, vmcs)
+    # Now the non-canonical rejection path (KVM checks this correctly).
+    hv.memory.put_msr_area(MSR_AREA_GPA, [
+        MsrEntry(IA32_KERNEL_GS_BASE, 0x8000000000000000)])
+    vmcs12 = hv.memory.get_vmcs(VMCS12_GPA)
+    _run(hv, vcpu, "vmclear", addr=VMCS12_GPA)
+    _setup_and_launch(hv, vcpu, vmcs)
+
+
+def _vmx_exit_battery(hv):
+    """One launch followed by every exit-triggering instruction class."""
+    vcpu = hv.create_vcpu()
+    result = _setup_and_launch(hv, vcpu, golden_vmcs())
+    if result.level != 2:
+        return
+    for mnemonic, operands in (
+            ("cpuid", {}), ("hlt", {}), ("rdtsc", {}), ("rdtscp", {}),
+            ("pause", {}), ("invd", {}), ("wbinvd", {}), ("xsetbv", {}),
+            ("rdpmc", {}), ("rdrand", {}), ("rdseed", {}),
+            ("monitor", {"value": 0x1000}), ("mwait", {}),
+            ("invlpg", {"value": 0x2000}), ("sgdt", {}), ("sidt", {}),
+            ("rdmsr", {"msr": 0x10}), ("wrmsr", {"msr": 0x10, "value": 5}),
+            ("in", {"port": 0x71}), ("out", {"port": 0x71, "value": 1}),
+            ("mov_dr", {"dr": 7, "write": 1, "value": 0x400}),
+            ("vmread", {"field": int(F.GUEST_RIP)}),
+            ("vmxon", {"addr": VMXON_GPA}),
+            ("vmfunc", {"value": 0})):
+        out = _run(hv, vcpu, mnemonic, level=2, **operands)
+        if out.level == 1:
+            _run(hv, vcpu, "vmresume")
+
+
+def _make_vmx_cases():
+    cases = [("test_vmx_instruction_errors", _vmx_instruction_errors),
+             ("test_entry_msr_load", _vmx_msr_load_test),
+             ("test_exit_battery", _vmx_exit_battery)]
+    for name, mutate in _CONTROL_CASES + _HOST_CASES + _GUEST_CASES:
+        cases.append((name, _make_control_case(mutate)))
+    return tuple(cases)
+
+
+INTEL_UNIT_TESTS = _make_vmx_cases()
+
+
+# ---------------------------------------------------------------------------
+# AMD (svm.flat)
+# ---------------------------------------------------------------------------
+
+def _svm_launch(hv, vcpu, vmcb):
+    _run(hv, vcpu, "wrmsr", msr=IA32_EFER, value=Efer.SVME)
+    hv.memory.put_vmcb(VMCB12_GPA, vmcb)
+    return _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)
+
+
+def _make_svm_case(mutate):
+    def case(hv):
+        vcpu = hv.create_vcpu()
+        vmcb = golden_vmcb()
+        mutate(vmcb)
+        _svm_launch(hv, vcpu, vmcb)
+
+    return case
+
+
+_SVM_CASES = (
+    ("test_efer_reserved", lambda b: b.write(SF.EFER, Efer.SVME | (1 << 2))),
+    ("test_cr0_high", lambda b: b.write(SF.CR0, 1 << 40)),
+    ("test_cr0_cd_nw", lambda b: b.write(
+        SF.CR0, (b.read(SF.CR0) | Cr0.NW) & ~Cr0.CD)),
+    ("test_cr4_reserved", lambda b: b.write(SF.CR4, 1 << 31)),
+    ("test_asid_zero", lambda b: b.write(SF.GUEST_ASID, 0)),
+    ("test_no_vmrun_intercept", lambda b: b.write(SF.INTERCEPT_MISC2, 0)),
+    ("test_long_mode_no_pae", lambda b: b.write(SF.CR4, 0)),
+    ("test_dr7_high", lambda b: b.write(SF.DR7, 1 << 40)),
+    ("test_npt_bad_ncr3", lambda b: b.write(SF.N_CR3, 0xFFFF_FFFF_F123)),
+)
+
+
+def _svm_exit_battery(hv):
+    vcpu = hv.create_vcpu()
+    result = _svm_launch(hv, vcpu, golden_vmcb())
+    if result.level != 2:
+        return
+    for mnemonic, operands in (
+            ("cpuid", {}), ("hlt", {}), ("rdtsc", {}), ("pause", {}),
+            ("rdmsr", {"msr": 0x11}), ("wrmsr", {"msr": 0x11, "value": 1}),
+            ("in", {"port": 0x61}), ("out", {"port": 0x61, "value": 1}),
+            ("vmmcall", {}), ("invlpg", {"value": 0x3000}),
+            ("memaccess", {"value": 0x4000})):
+        out = _run(hv, vcpu, mnemonic, level=2, **operands)
+        if out.level == 1:
+            _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)
+
+
+def _svm_instruction_errors(hv):
+    vcpu = hv.create_vcpu()
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)  # EFER.SVME clear
+    _run(hv, vcpu, "wrmsr", msr=IA32_EFER, value=Efer.SVME)
+    _run(hv, vcpu, "vmrun", addr=0x777)       # misaligned
+    _run(hv, vcpu, "vmrun", addr=ALT_VMCS_GPA)  # no VMCB there
+    _run(hv, vcpu, "vmload", addr=0x777)
+    _run(hv, vcpu, "vmsave", addr=0x777)
+    _run(hv, vcpu, "clgi")
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)  # GIF clear
+    _run(hv, vcpu, "stgi")
+    _run(hv, vcpu, "skinit", value=0)
+    _run(hv, vcpu, "invlpga", asid=0, value=0)
+
+
+def _make_svm_cases():
+    cases = [("test_svm_instruction_errors", _svm_instruction_errors),
+             ("test_svm_exit_battery", _svm_exit_battery)]
+    for name, mutate in _SVM_CASES:
+        cases.append((name, _make_svm_case(mutate)))
+    return tuple(cases)
+
+
+AMD_UNIT_TESTS = _make_svm_cases()
+
+
+@dataclass
+class KvmUnitTestsSuite:
+    """Run the fixed KVM-unit-tests list once and aggregate coverage."""
+
+    vendor: Vendor = Vendor.INTEL
+
+    def run(self) -> CampaignResult:
+        """Run the suite/campaign and return a CampaignResult."""
+        harness = BaselineHarness("KVM-unit-tests", self.vendor, KvmHypervisor)
+        tests = INTEL_UNIT_TESTS if self.vendor is Vendor.INTEL else AMD_UNIT_TESTS
+        for _, test in tests:
+            hv = KvmHypervisor(VcpuConfig.default(self.vendor))
+            harness.run_case(hv, test)
+        return harness.result()
+
+    def test_names(self) -> tuple[str, ...]:
+        """Names of the fixed test cases, in execution order."""
+        tests = INTEL_UNIT_TESTS if self.vendor is Vendor.INTEL else AMD_UNIT_TESTS
+        return tuple(name for name, _ in tests)

@@ -1,0 +1,72 @@
+"""NestFuzz baseline (Teng, Brown University MSc thesis, 2020).
+
+The paper's related work (§7) identifies NestFuzz as the only prior
+attempt at nested-virtualization fuzzing: "an early-stage work that
+issues random VMX instructions without addressing key challenges such as
+VM state validity, initialization sequences, or execution harnessing,
+and it lacks evaluation of code coverage or vulnerability detection".
+
+This model is exactly that: uniformly random VMX/SVM instructions with
+uniformly random operands, no templates, no golden state, no rounding.
+It exists to quantify how far "just issue the instructions" gets — the
+motivation for NecoFuzz's three components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.timeline import CoverageTimeline
+from repro.arch.cpuid import Vendor
+from repro.baselines.common import BaselineHarness
+from repro.core.necofuzz import CampaignResult
+from repro.fuzzer.rng import Rng
+from repro.hypervisors.base import GuestInstruction, VcpuConfig
+from repro.hypervisors.kvm import KvmHypervisor
+
+_INTEL_OPS = ("vmxon", "vmxoff", "vmclear", "vmptrld", "vmptrst", "vmread",
+              "vmwrite", "vmlaunch", "vmresume", "invept", "invvpid", "vmcall")
+_AMD_OPS = ("vmrun", "vmload", "vmsave", "stgi", "clgi", "invlpga", "skinit",
+            "vmmcall")
+
+
+@dataclass
+class NestFuzzCampaign:
+    """Random VMX/SVM instruction streams against the KVM model."""
+
+    vendor: Vendor = Vendor.INTEL
+    seed: int = 1
+    instructions_per_case: int = 48
+    iterations_per_hour: float = 10.0
+
+    def __post_init__(self) -> None:
+        self.rng = Rng(self.seed)
+        self.harness = BaselineHarness("NestFuzz", self.vendor, KvmHypervisor)
+        self.config = VcpuConfig.default(self.vendor)
+        self.timeline = CoverageTimeline(f"NestFuzz/{self.vendor.value}",
+                                         self.iterations_per_hour)
+
+    def run(self, iterations: int, *, sample_every: int = 10) -> CampaignResult:
+        """Run *iterations* random instruction streams."""
+        ops = _INTEL_OPS if self.vendor is Vendor.INTEL else _AMD_OPS
+        for i in range(1, iterations + 1):
+            rng = self.rng.fork(self.rng.u32())
+
+            def case(hv: KvmHypervisor) -> None:
+                vcpu = hv.create_vcpu()
+                for _ in range(self.instructions_per_case):
+                    mnemonic = ops[rng.below(len(ops))]
+                    hv.execute(vcpu, GuestInstruction(mnemonic, {
+                        "addr": rng.u32(),
+                        "field": rng.u16(),
+                        "value": rng.u64(),
+                        "type": rng.below(8),
+                        "vpid": rng.u16(),
+                        "eptp": rng.u64(),
+                        "asid": rng.below(16),
+                    }))
+
+            self.harness.run_case(KvmHypervisor(self.config), case)
+            if i % sample_every == 0 or i == iterations:
+                self.timeline.record(i, self.harness.coverage_fraction)
+        return self.harness.result(self.timeline)

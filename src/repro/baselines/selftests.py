@@ -1,0 +1,376 @@
+"""Linux KVM selftests baseline (paper §5.1/§5.2).
+
+The selftests in ``tools/testing/selftests/kvm`` drive nested
+virtualization both from the guest (via small guest programs) and from
+the host (via the ioctl surface — notably ``KVM_{GET,SET}_NESTED_STATE``,
+which is why the paper measures a nonzero "Selftests − NecoFuzz" slice:
+selftests reach host-only code a guest-side fuzzer cannot).
+
+A fixed, deterministic list of test cases, run once, coverage aggregated
+— "Selftests run only 60 test cases in about 80 seconds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpuid import Vendor
+from repro.arch.msr import IA32_EFER
+from repro.arch.registers import Cr4, Efer
+from repro.baselines.common import BaselineHarness
+from repro.core.necofuzz import CampaignResult
+from repro.core.templates import ALT_VMCS_GPA, VMCB12_GPA, VMCS12_GPA, VMXON_GPA
+from repro.hypervisors.base import GuestInstruction, VcpuConfig
+from repro.hypervisors.kvm import KvmHypervisor
+from repro.svm import fields as SF
+from repro.validator.golden import golden_vmcb, golden_vmcs
+from repro.vmx import fields as F
+from repro.vmx.controls import EntryControls, PinBased, ProcBased
+
+
+def _run(hv, vcpu, mnemonic, level=1, **operands):
+    return hv.execute(vcpu, GuestInstruction(mnemonic, operands, level=level))
+
+
+def _write_vmcs(hv, vcpu, vmcs):
+    for spec, value in vmcs.fields():
+        if spec.group is not F.FieldGroup.READ_ONLY:
+            _run(hv, vcpu, "vmwrite", field=spec.encoding, value=value)
+
+
+def _vmx_setup(hv, vcpu, vmcs=None):
+    """The canonical selftest VMX bring-up."""
+    _run(hv, vcpu, "vmxon", addr=VMXON_GPA)
+    _run(hv, vcpu, "vmclear", addr=VMCS12_GPA)
+    _run(hv, vcpu, "vmptrld", addr=VMCS12_GPA)
+    _write_vmcs(hv, vcpu, vmcs or golden_vmcs())
+
+
+# ---------------------------------------------------------------------------
+# Intel test cases (each mirrors a real selftest by name)
+# ---------------------------------------------------------------------------
+
+def vmx_basic_test(hv):
+    """vmx: boot L2, take exits, resume."""
+    vcpu = hv.create_vcpu()
+    _vmx_setup(hv, vcpu)
+    _run(hv, vcpu, "vmlaunch")
+    _run(hv, vcpu, "cpuid", level=2)
+    _run(hv, vcpu, "vmresume")
+    _run(hv, vcpu, "hlt", level=2)
+
+
+def vmx_close_while_nested_test(hv):
+    """vmx: vmxoff while L2 is active."""
+    vcpu = hv.create_vcpu()
+    _vmx_setup(hv, vcpu)
+    _run(hv, vcpu, "vmlaunch")
+    _run(hv, vcpu, "vmxoff")  # teardown while L2 "active"
+
+
+def vmx_state_test(hv):
+    """state_test: the KVM_{GET,SET}_NESTED_STATE round trip."""
+    vcpu = hv.create_vcpu()
+    _vmx_setup(hv, vcpu)
+    _run(hv, vcpu, "vmlaunch")
+    blob = hv.nested_vmx.vmx_get_nested_state(vcpu.vmx)
+    hv.nested_vmx.vmx_set_nested_state(vcpu.vmx, blob)
+
+
+def vmx_set_nested_state_test(hv):
+    """vmx_set_nested_state_test: invalid-blob rejection paths."""
+    vcpu = hv.create_vcpu()
+    nested = hv.nested_vmx
+    nested.vmx_set_nested_state(vcpu.vmx, {"format": "svm"})
+    nested.vmx_set_nested_state(vcpu.vmx, {"format": "vmx", "guest_mode": True})
+    nested.vmx_set_nested_state(vcpu.vmx, {
+        "format": "vmx", "vmxon": True, "vmxon_ptr": 0x123})  # misaligned
+    nested.vmx_set_nested_state(vcpu.vmx, {
+        "format": "vmx", "vmxon": True, "vmxon_ptr": VMXON_GPA,
+        "current_vmptr": 0xF0000000})  # outside guest RAM
+    nested.vmx_set_nested_state(vcpu.vmx, {
+        "format": "vmx", "vmxon": True, "vmxon_ptr": VMXON_GPA,
+        "current_vmptr": VMCS12_GPA, "vmcs12": golden_vmcs().serialize()})
+
+
+def vmx_preemption_timer_test(hv):
+    """vmx: launch with the preemption timer armed."""
+    vcpu = hv.create_vcpu()
+    vmcs = golden_vmcs()
+    vmcs.write(F.PIN_BASED_VM_EXEC_CONTROL,
+               vmcs.read(F.PIN_BASED_VM_EXEC_CONTROL) | PinBased.PREEMPTION_TIMER)
+    vmcs.write(F.VMX_PREEMPTION_TIMER_VALUE, 100)
+    _vmx_setup(hv, vcpu, vmcs)
+    _run(hv, vcpu, "vmlaunch")
+    _run(hv, vcpu, "pause", level=2)
+
+
+def vmx_invalid_state_test(hv):
+    """Entry with an invalid guest state must fail with reason 33."""
+    vcpu = hv.create_vcpu()
+    vmcs = golden_vmcs()
+    vmcs.write(F.GUEST_ACTIVITY_STATE, 3)  # rejected by KVM's checks
+    _vmx_setup(hv, vcpu, vmcs)
+    _run(hv, vcpu, "vmlaunch")
+
+
+def vmx_msr_intercept_test(hv):
+    """vmx: MSR-bitmap intercept routing."""
+    vcpu = hv.create_vcpu()
+    vmcs = golden_vmcs()
+    vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL,
+               vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL) | ProcBased.USE_MSR_BITMAPS)
+    vmcs.write(F.MSR_BITMAP, 0x12000)
+    _vmx_setup(hv, vcpu, vmcs)
+    _run(hv, vcpu, "vmlaunch")
+    _run(hv, vcpu, "rdmsr", level=2, msr=0x1B)   # even: L0 handles
+    _run(hv, vcpu, "rdmsr", level=2, msr=0xC0000101)  # odd: to L1
+    _run(hv, vcpu, "vmresume")
+
+
+def vmx_io_bitmap_test(hv):
+    """vmx: I/O-bitmap intercept routing."""
+    vcpu = hv.create_vcpu()
+    vmcs = golden_vmcs()
+    vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL,
+               vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL) | ProcBased.USE_IO_BITMAPS)
+    vmcs.write(F.IO_BITMAP_A, 0x10000)
+    vmcs.write(F.IO_BITMAP_B, 0x11000)
+    _vmx_setup(hv, vcpu, vmcs)
+    _run(hv, vcpu, "vmlaunch")
+    _run(hv, vcpu, "out", level=2, port=0x71, value=1)
+    _run(hv, vcpu, "vmresume")
+    _run(hv, vcpu, "in", level=2, port=0x70)
+
+
+def vmx_cr_intercept_test(hv):
+    """vmx: CR0 mask and CR3-target intercepts."""
+    vcpu = hv.create_vcpu()
+    vmcs = golden_vmcs()
+    vmcs.write(F.CR0_GUEST_HOST_MASK, 0x80000001)
+    vmcs.write(F.CR0_READ_SHADOW, 0x80000001)
+    vmcs.write(F.CR3_TARGET_COUNT, 1)
+    vmcs.write(F.CR3_TARGET_VALUE0, 0x30000)
+    _vmx_setup(hv, vcpu, vmcs)
+    _run(hv, vcpu, "vmlaunch")
+    _run(hv, vcpu, "mov_cr", level=2, cr=0, write=1, value=0x33)
+    _run(hv, vcpu, "vmresume")
+    _run(hv, vcpu, "mov_cr", level=2, cr=3, write=1, value=0x30000)
+
+
+def vmx_vmcall_test(hv):
+    """vmx: vmcall exits reach L1."""
+    vcpu = hv.create_vcpu()
+    _vmx_setup(hv, vcpu)
+    _run(hv, vcpu, "vmlaunch")
+    _run(hv, vcpu, "vmcall", level=2)
+    _run(hv, vcpu, "vmresume")
+
+
+def vmx_invept_invvpid_test(hv):
+    """vmx: invept/invvpid valid and invalid operands."""
+    vcpu = hv.create_vcpu()
+    _vmx_setup(hv, vcpu)
+    _run(hv, vcpu, "invept", type=2, eptp=0)
+    _run(hv, vcpu, "invept", type=1, eptp=0x20000 | 6 | (3 << 3))
+    _run(hv, vcpu, "invvpid", type=1, vpid=1)
+    _run(hv, vcpu, "invvpid", type=0, vpid=1, linear_addr=0x1000)
+
+
+def vmx_error_paths_test(hv):
+    """vmx: the VMfail error-path battery."""
+    vcpu = hv.create_vcpu()
+    _run(hv, vcpu, "vmlaunch")                    # before vmxon: #UD path
+    _run(hv, vcpu, "vmxon", addr=VMXON_GPA)
+    _run(hv, vcpu, "vmxon", addr=VMXON_GPA)       # VMXON_IN_VMX_ROOT
+    _run(hv, vcpu, "vmclear", addr=VMXON_GPA)     # VMCLEAR_VMXON_POINTER
+    _run(hv, vcpu, "vmclear", addr=0x123)         # misaligned
+    _run(hv, vcpu, "vmptrld", addr=VMXON_GPA)     # VMPTRLD_VMXON_POINTER
+    _run(hv, vcpu, "vmptrld", addr=ALT_VMCS_GPA)  # wrong revision
+    _run(hv, vcpu, "vmlaunch")                    # no current VMCS
+    _run(hv, vcpu, "vmwrite", field=0xFFFF, value=0)  # unsupported
+    _run(hv, vcpu, "vmread", field=0xFFFF)
+    _run(hv, vcpu, "vmptrst")
+
+
+def vmx_ept_access_test(hv):
+    """vmx: an L2 memory access under nested EPT."""
+    vcpu = hv.create_vcpu()
+    _vmx_setup(hv, vcpu)
+    _run(hv, vcpu, "vmlaunch")
+    _run(hv, vcpu, "memaccess", level=2, value=0x5000)
+    _run(hv, vcpu, "vmresume")
+
+
+def vmx_exception_test(hv):
+    """vmx: exception-bitmap reflection."""
+    vcpu = hv.create_vcpu()
+    vmcs = golden_vmcs()
+    vmcs.write(F.EXCEPTION_BITMAP, 1 << 14)  # trap #PF to L1
+    _vmx_setup(hv, vcpu, vmcs)
+    _run(hv, vcpu, "vmlaunch")
+    _run(hv, vcpu, "exception", level=2, vector=14, value=0x1000)
+    _run(hv, vcpu, "vmresume")
+    _run(hv, vcpu, "exception", level=2, vector=3)
+
+
+def vmx_apic_access_test(hv):
+    """vmx: TPR-shadow configuration."""
+    vcpu = hv.create_vcpu()
+    vmcs = golden_vmcs()
+    proc = vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL) | ProcBased.USE_TPR_SHADOW
+    vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL, proc)
+    vmcs.write(F.VIRTUAL_APIC_PAGE_ADDR, 0x13000)
+    vmcs.write(F.TPR_THRESHOLD, 5)
+    _vmx_setup(hv, vcpu, vmcs)
+    _run(hv, vcpu, "vmlaunch")
+
+
+def vmx_ia32e_test(hv):
+    """vmx: legacy (non-IA-32e) guest entry."""
+    vcpu = hv.create_vcpu()
+    vmcs = golden_vmcs()
+    vmcs.write(F.VM_ENTRY_CONTROLS,
+               vmcs.read(F.VM_ENTRY_CONTROLS) & ~EntryControls.IA32E_MODE_GUEST)
+    vmcs.write(F.GUEST_IA32_EFER, 0)
+    vmcs.write(F.GUEST_CR4, Cr4.PAE | Cr4.VMXE)
+    _vmx_setup(hv, vcpu, vmcs)
+    _run(hv, vcpu, "vmlaunch")
+
+
+INTEL_SELFTESTS = (
+    ("vmx_basic_test", vmx_basic_test),
+    ("vmx_close_while_nested_test", vmx_close_while_nested_test),
+    ("state_test", vmx_state_test),
+    ("vmx_set_nested_state_test", vmx_set_nested_state_test),
+    ("vmx_preemption_timer_test", vmx_preemption_timer_test),
+    ("vmx_invalid_state_test", vmx_invalid_state_test),
+    ("vmx_msr_intercept_test", vmx_msr_intercept_test),
+    ("vmx_io_bitmap_test", vmx_io_bitmap_test),
+    ("vmx_cr_intercept_test", vmx_cr_intercept_test),
+    ("vmx_vmcall_test", vmx_vmcall_test),
+    ("vmx_invept_invvpid_test", vmx_invept_invvpid_test),
+    ("vmx_error_paths_test", vmx_error_paths_test),
+    ("vmx_ept_access_test", vmx_ept_access_test),
+    ("vmx_exception_test", vmx_exception_test),
+    ("vmx_apic_access_test", vmx_apic_access_test),
+    ("vmx_ia32e_test", vmx_ia32e_test),
+)
+
+
+# ---------------------------------------------------------------------------
+# AMD test cases
+# ---------------------------------------------------------------------------
+
+def _svm_setup(hv, vcpu, vmcb=None):
+    _run(hv, vcpu, "wrmsr", msr=IA32_EFER, value=Efer.SVME)
+    hv.memory.put_vmcb(VMCB12_GPA, vmcb or golden_vmcb())
+
+
+def svm_vmrun_test(hv):
+    """svm: boot L2 twice with exits between."""
+    vcpu = hv.create_vcpu()
+    _svm_setup(hv, vcpu)
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)
+    _run(hv, vcpu, "cpuid", level=2)
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)
+    _run(hv, vcpu, "hlt", level=2)
+
+
+def svm_state_test(hv):
+    """svm: nested-state ioctl round trip."""
+    vcpu = hv.create_vcpu()
+    _svm_setup(hv, vcpu)
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)
+    blob = hv.nested_svm.svm_get_nested_state(vcpu.svm)
+    hv.nested_svm.svm_set_nested_state(vcpu.svm, blob)
+    hv.nested_svm.svm_leave_nested(vcpu.svm)
+
+
+def svm_set_nested_state_test(hv):
+    """svm: invalid-blob rejection paths."""
+    vcpu = hv.create_vcpu()
+    nested = hv.nested_svm
+    nested.svm_set_nested_state(vcpu.svm, {"format": "vmx"})
+    nested.svm_set_nested_state(vcpu.svm, {"format": "svm", "guest_mode": True})
+    nested.svm_set_nested_state(vcpu.svm, {
+        "format": "svm", "svme": True, "hsave_pa": 0x123})
+    nested.svm_set_nested_state(vcpu.svm, {
+        "format": "svm", "svme": True, "guest_mode": True,
+        "vmcb12_pa": VMCB12_GPA, "vmcb12": golden_vmcb().serialize()})
+
+
+def svm_vmcall_test(hv):
+    """svm: vmmcall exits reach L1."""
+    vcpu = hv.create_vcpu()
+    _svm_setup(hv, vcpu)
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)
+    _run(hv, vcpu, "vmmcall", level=2)
+
+
+def svm_intercept_test(hv):
+    """svm: exception/MSR/IO intercept routing."""
+    vcpu = hv.create_vcpu()
+    vmcb = golden_vmcb()
+    vmcb.write(SF.INTERCEPT_EXCEPTIONS, 1 << 14)
+    _svm_setup(hv, vcpu, vmcb)
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)
+    _run(hv, vcpu, "exception", level=2, vector=14)
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)
+    _run(hv, vcpu, "rdmsr", level=2, msr=0xC0000101)
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)
+    _run(hv, vcpu, "out", level=2, port=0x71, value=2)
+
+
+def svm_gif_test(hv):
+    """svm: GIF toggling and vmload/vmsave."""
+    vcpu = hv.create_vcpu()
+    _svm_setup(hv, vcpu)
+    _run(hv, vcpu, "clgi")
+    _run(hv, vcpu, "stgi")
+    _run(hv, vcpu, "vmload", addr=VMCB12_GPA)
+    _run(hv, vcpu, "vmsave", addr=VMCB12_GPA)
+    _run(hv, vcpu, "invlpga", asid=1, value=0x1000)
+
+
+def svm_errors_test(hv):
+    """svm: the #UD/#GP error-path battery."""
+    vcpu = hv.create_vcpu()
+    _run(hv, vcpu, "vmrun", addr=VMCB12_GPA)  # EFER.SVME clear
+    _svm_setup(hv, vcpu)
+    _run(hv, vcpu, "vmrun", addr=0x123)       # misaligned
+    _run(hv, vcpu, "vmload", addr=0x123)
+    _run(hv, vcpu, "vmsave", addr=0xF0000000)
+    _run(hv, vcpu, "skinit", value=0)
+
+
+AMD_SELFTESTS = (
+    ("svm_vmrun_test", svm_vmrun_test),
+    ("svm_nested_state_test", svm_state_test),
+    ("svm_set_nested_state_test", svm_set_nested_state_test),
+    ("svm_vmcall_test", svm_vmcall_test),
+    ("svm_intercept_test", svm_intercept_test),
+    ("svm_gif_test", svm_gif_test),
+    ("svm_errors_test", svm_errors_test),
+)
+
+
+@dataclass
+class SelftestsSuite:
+    """Run the fixed selftest list once and aggregate coverage."""
+
+    vendor: Vendor = Vendor.INTEL
+
+    def run(self) -> CampaignResult:
+        """Run the suite/campaign and return a CampaignResult."""
+        harness = BaselineHarness("Selftests", self.vendor, KvmHypervisor)
+        tests = INTEL_SELFTESTS if self.vendor is Vendor.INTEL else AMD_SELFTESTS
+        for _, test in tests:
+            hv = KvmHypervisor(VcpuConfig.default(self.vendor))
+            harness.run_case(hv, test)
+        return harness.result()
+
+    def test_names(self) -> tuple[str, ...]:
+        """Names of the fixed test cases, in execution order."""
+        tests = INTEL_SELFTESTS if self.vendor is Vendor.INTEL else AMD_SELFTESTS
+        return tuple(name for name, _ in tests)

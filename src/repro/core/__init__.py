@@ -1,0 +1,30 @@
+"""NecoFuzz core: the paper's primary contribution."""
+
+from repro.core.agent import Agent, AgentConfig
+from repro.core.detectors import Anomaly, AnomalyDetector, DetectionMethod, Watchdog
+from repro.core.executor import ComponentToggles, UefiExecutor
+from repro.core.harness import VmExecutionHarness
+from repro.core.necofuzz import CampaignResult, NecoFuzz, golden_seed
+from repro.core.reports import CrashReport, ReportStore
+from repro.core.state_generator import VmcbStateGenerator, VmStateGenerator
+from repro.core.vcpu_config import VcpuConfigurator
+
+__all__ = [
+    "NecoFuzz",
+    "CampaignResult",
+    "golden_seed",
+    "Agent",
+    "AgentConfig",
+    "ComponentToggles",
+    "UefiExecutor",
+    "VmExecutionHarness",
+    "VmStateGenerator",
+    "VmcbStateGenerator",
+    "VcpuConfigurator",
+    "AnomalyDetector",
+    "Anomaly",
+    "DetectionMethod",
+    "Watchdog",
+    "CrashReport",
+    "ReportStore",
+]

@@ -1,0 +1,82 @@
+"""Asynchronous-event injection — the §6.3 future-work extension.
+
+The paper's NecoFuzz "focuses on VM exits explicitly triggered by guest
+instructions" and leaves interrupts, NMIs, and timer-based exits to
+future work, because on real hardware they "require precise event
+injection and temporal control, which complicate repeatability and
+determinism". In a simulated substrate both objections disappear: the
+schedule below is a pure function of the fuzzing input, so injected
+events are exactly as repeatable as everything else.
+
+The extension is **off by default** — the paper's evaluation numbers
+assume it is absent (the corresponding reflect branches are part of the
+documented uncovered residue). `benchmarks/test_ext_async_events.py`
+measures what turning it on buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpuid import Vendor
+from repro.fuzzer.input import FuzzInput, InputCursor, RESERVED_REGION
+from repro.hypervisors.base import GuestInstruction
+
+#: Intel-side asynchronous event kinds (see repro.hypervisors.l2map).
+INTEL_ASYNC_EVENTS = (
+    "async_extint", "async_intr_window", "async_nmi_window",
+    "async_preempt_timer", "async_mtf", "async_apic_access",
+    "async_apic_write", "async_eoi", "async_tpr", "async_pml_full",
+)
+
+#: AMD-side asynchronous event kinds.
+AMD_ASYNC_EVENTS = (
+    "async_extint", "async_nmi", "async_vintr", "async_smi", "async_init",
+)
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One pending asynchronous event."""
+
+    at_iteration: int
+    mnemonic: str
+    vector: int
+
+    def instruction(self) -> GuestInstruction:
+        """The synthetic L2 exit this event manifests as."""
+        return GuestInstruction(self.mnemonic,
+                                {"vector": self.vector, "value": self.vector},
+                                level=2)
+
+
+class AsyncEventSchedule:
+    """A deterministic event schedule derived from the fuzzing input.
+
+    Events are pinned to runtime-loop iteration indices, giving the
+    "precise temporal control" the extension needs: replaying the same
+    input reproduces the same interleaving.
+    """
+
+    def __init__(self, vendor: Vendor, fuzz_input: FuzzInput,
+                 *, horizon: int = 32, max_events: int = 4) -> None:
+        kinds = (INTEL_ASYNC_EVENTS if vendor is Vendor.INTEL
+                 else AMD_ASYNC_EVENTS)
+        cursor = InputCursor(fuzz_input.region(RESERVED_REGION), spread=True)
+        count = cursor.below(max_events + 1)
+        events = []
+        for _ in range(count):
+            events.append(ScheduledEvent(
+                at_iteration=cursor.below(horizon),
+                mnemonic=kinds[cursor.below(len(kinds))],
+                vector=cursor.below(256)))
+        self._by_iteration: dict[int, list[ScheduledEvent]] = {}
+        for event in sorted(events, key=lambda e: e.at_iteration):
+            self._by_iteration.setdefault(event.at_iteration, []).append(event)
+
+    def due(self, iteration: int) -> list[ScheduledEvent]:
+        """Events that fire before the given runtime-loop iteration."""
+        return self._by_iteration.get(iteration, [])
+
+    def __len__(self) -> int:
+        return sum(len(events) for events in self._by_iteration.values())

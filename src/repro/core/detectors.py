@@ -1,0 +1,125 @@
+"""Anomaly detection: sanitizers, log monitoring, and the watchdog.
+
+Mirrors §4.5: "the agent uses Kernel Address Sanitizer (KASAN) and
+Undefined Behavior Sanitizer (UBSAN), and monitors kernel log messages
+for relevant anomalies"; for Xen "it monitors hypervisor-specific
+diagnostic logs for assertion failures, critical warnings, or other
+signs of unexpected hypervisor behavior". Host hangs are caught by the
+watchdog (§3.2), which restarts the hypervisor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.hypervisors.base import L0Hypervisor, SanitizerKind
+
+
+class DetectionMethod(Enum):
+    """Table-6 detection channels."""
+
+    UBSAN = "UBSAN"
+    KASAN = "KASAN"
+    ASSERTION = "Assertion"
+    VM_CRASH = "VM Crash"
+    HOST_CRASH = "Host Crash"
+    LOG_PATTERN = "Kernel Log"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One detected anomaly, as the agent records it."""
+
+    method: DetectionMethod
+    location: str
+    message: str
+
+    def signature(self) -> str:
+        """Deduplication key: method + location."""
+        return f"{self.method.value}@{self.location}"
+
+    def __str__(self) -> str:
+        return f"[{self.method.value}] {self.location}: {self.message}"
+
+
+#: Log substrings that indicate trouble even without a sanitizer splat.
+LOG_PATTERNS: tuple[tuple[str, DetectionMethod], ...] = (
+    ("general protection fault", DetectionMethod.LOG_PATTERN),
+    ("BUG:", DetectionMethod.LOG_PATTERN),
+    ("WARNING:", DetectionMethod.LOG_PATTERN),
+    ("Assertion", DetectionMethod.ASSERTION),
+    ("inconsistent", DetectionMethod.LOG_PATTERN),
+)
+
+_SANITIZER_TO_METHOD = {
+    SanitizerKind.UBSAN: DetectionMethod.UBSAN,
+    SanitizerKind.KASAN: DetectionMethod.KASAN,
+    SanitizerKind.ASSERTION: DetectionMethod.ASSERTION,
+    SanitizerKind.WARN: DetectionMethod.LOG_PATTERN,
+}
+
+#: WARN-level events that are expected noise rather than findings
+#: (hardware rejecting a fuzzed vmcs02 is business as usual).
+_BENIGN_WARN_LOCATIONS = frozenset({
+    "nested_vmx_run", "nested_svm_vmrun", "virtual_vmentry",
+})
+
+
+@dataclass
+class AnomalyDetector:
+    """Collects anomalies from one hypervisor after each test case."""
+
+    seen_signatures: set[str] = field(default_factory=set)
+
+    def scan(self, hv: L0Hypervisor) -> list[Anomaly]:
+        """Harvest sanitizer events and log patterns from *hv*."""
+        anomalies: list[Anomaly] = []
+        for event in hv.sanitizer_events:
+            if (event.kind is SanitizerKind.WARN
+                    and event.location in _BENIGN_WARN_LOCATIONS):
+                continue
+            anomalies.append(Anomaly(_SANITIZER_TO_METHOD[event.kind],
+                                     event.location, event.message))
+        # Sanitizer events are mirrored verbatim into the kernel log;
+        # skip those lines so each event is reported once.
+        reported = {a.message for a in anomalies}
+        reported |= {str(event) for event in hv.sanitizer_events}
+        for line in hv.log.lines:
+            for pattern, method in LOG_PATTERNS:
+                if pattern in line and line not in reported:
+                    anomalies.append(Anomaly(method, hv.name, line))
+                    reported.add(line)
+                    break
+        return anomalies
+
+    def is_new(self, anomaly: Anomaly) -> bool:
+        """True the first time a (method, location) signature appears."""
+        signature = anomaly.signature()
+        if signature in self.seen_signatures:
+            return False
+        self.seen_signatures.add(signature)
+        return True
+
+
+@dataclass
+class Watchdog:
+    """The hardware-watchdog + in-hypervisor-agent pair of §3.2.
+
+    On a host crash or hang it records the event and restarts the L0
+    hypervisor so the campaign continues; "since crashes are rare, the
+    overhead of restarting has minimal impact on fuzzing efficiency".
+    """
+
+    restarts: int = 0
+
+    def handle_host_crash(self, hv: L0Hypervisor, message: str) -> Anomaly:
+        """Record the crash and bring the hypervisor back."""
+        self.restarts += 1
+        anomaly = Anomaly(DetectionMethod.HOST_CRASH, hv.name, message)
+        hv.reset()
+        return anomaly
+
+    def handle_vm_crash(self, hv: L0Hypervisor, message: str) -> Anomaly:
+        """The guest died unexpectedly; the host survives."""
+        return Anomaly(DetectionMethod.VM_CRASH, hv.name, message)

@@ -1,0 +1,85 @@
+"""The UEFI executor analogue (paper §4.1/§4.5).
+
+"The core fuzzing logic within the fuzz-harness VM is orchestrated by an
+executor, implemented as a self-contained UEFI application." The agent
+embeds the fuzzing input into the executor at build time; the executor
+then runs without talking back to the fuzzer: initialization phase,
+runtime phase, termination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.cpuid import Vendor
+from repro.core.harness import HarnessStats, VmExecutionHarness
+from repro.core.state_generator import GeneratedState
+from repro.fuzzer.input import FuzzInput
+from repro.hypervisors.base import L0Hypervisor
+
+
+@dataclass
+class ComponentToggles:
+    """The §5.3 ablation switches over the three VM-generator parts."""
+
+    use_harness: bool = True
+    use_validator: bool = True
+    use_configurator: bool = True
+
+    @classmethod
+    def none(cls) -> "ComponentToggles":
+        """The "w/o ALL" configuration."""
+        return cls(False, False, False)
+
+
+@dataclass
+class ExecutorResult:
+    """Everything one executor run reports to the agent."""
+
+    harness: HarnessStats
+    state_meta: GeneratedState
+    completed: bool = True
+
+
+@dataclass
+class UefiExecutor:
+    """One build of the executor with its embedded input.
+
+    The state generator is injected by the agent (its oracle learns
+    across iterations, as the real validator's corrections persist in
+    the executor binary between rebuilds).
+    """
+
+    vendor: Vendor
+    embedded_input: FuzzInput
+    state_generator: object
+    toggles: ComponentToggles = field(default_factory=ComponentToggles)
+    runtime_iterations: int = 24
+    #: §6.3 extension: schedule asynchronous events in the runtime loop.
+    async_events: bool = False
+    #: Optional (vm_state, meta) produced ahead of time — the agent uses
+    #: this to keep state generation outside the coverage tracer, the
+    #: way the real executor is built before the VM boots.
+    pregenerated: tuple | None = None
+
+    def run(self, hv: L0Hypervisor) -> ExecutorResult:
+        """Boot the fuzz-harness VM on *hv* and run both phases.
+
+        HostCrash / VmCrash exceptions propagate to the agent, which
+        plays the role of the hardware watchdog.
+        """
+        vcpu = hv.create_vcpu()
+        if self.pregenerated is not None:
+            vm_state, meta = self.pregenerated
+        else:
+            vm_state, meta = self.state_generator.generate(self.embedded_input)
+        harness = VmExecutionHarness(
+            self.vendor,
+            mutate=self.toggles.use_harness,
+            runtime_iterations=self.runtime_iterations,
+            async_events=self.async_events)
+        stats = HarnessStats()
+        harness.run_init_phase(hv, vcpu, self.embedded_input, vm_state, stats)
+        if stats.entered_l2:
+            harness.run_runtime_phase(hv, vcpu, self.embedded_input, stats)
+        return ExecutorResult(harness=stats, state_meta=meta)

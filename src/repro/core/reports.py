@@ -1,0 +1,74 @@
+"""Crash/anomaly reports and reproduction metadata (paper §4.5).
+
+"Upon detecting an anomaly ... the agent saves the current fuzzing input
+to a timestamped file within a designated directory." Reports carry
+everything needed to replay a finding: the raw input, the vCPU
+configuration command line, and the anomaly description.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.detectors import Anomaly
+from repro.fuzzer.input import FuzzInput
+
+
+@dataclass(frozen=True)
+class CrashReport:
+    """One saved finding."""
+
+    iteration: int
+    anomaly: Anomaly
+    fuzz_input: FuzzInput
+    command_line: str
+    hypervisor: str
+
+    def file_name(self) -> str:
+        """Deterministic "timestamped" name: iteration counter + signature."""
+        sig = self.anomaly.signature().replace("@", "_").replace("/", "_")
+        return f"crash-{self.iteration:08d}-{sig}"
+
+    def to_json(self) -> str:
+        """Serialise the report metadata (input saved separately)."""
+        return json.dumps({
+            "iteration": self.iteration,
+            "hypervisor": self.hypervisor,
+            "method": self.anomaly.method.value,
+            "location": self.anomaly.location,
+            "message": self.anomaly.message,
+            "command_line": self.command_line,
+        }, indent=2)
+
+
+@dataclass
+class ReportStore:
+    """Collects reports in memory; optionally mirrors them to disk."""
+
+    directory: Path | None = None
+    reports: list[CrashReport] = field(default_factory=list)
+
+    def save(self, report: CrashReport) -> None:
+        """Record a report (and write it out when a directory is set)."""
+        self.reports.append(report)
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            stem = self.directory / report.file_name()
+            stem.with_suffix(".json").write_text(report.to_json())
+            stem.with_suffix(".bin").write_bytes(report.fuzz_input.data)
+
+    def by_method(self) -> dict[str, list[CrashReport]]:
+        """Group reports by detection method (Table-6 style)."""
+        groups: dict[str, list[CrashReport]] = {}
+        for report in self.reports:
+            groups.setdefault(report.anomaly.method.value, []).append(report)
+        return groups
+
+    def unique_locations(self) -> set[str]:
+        """Distinct anomaly sites — the "previously unknown bug" count."""
+        return {r.anomaly.signature() for r in self.reports}
+
+    def __len__(self) -> int:
+        return len(self.reports)

@@ -1,0 +1,309 @@
+"""Instruction templates for the VM execution harness (paper §3.3/§4.2).
+
+Two template families:
+
+* the **initialization sequence** — the largely fixed vmxon→vmclear→
+  vmptrld→vmwrite*→vmlaunch chain (or its SVM twin), written once by
+  hand and *mutated* in argument values, ordering, and repetition by the
+  fuzzing input; and
+* the **exit-triggering library** — one template per instruction class
+  of Table 1, each wrapping the instruction with minimal setup and
+  deriving its parameters (registers, ports, MSR indices) from fuzzing
+  input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch import msr as MSR
+from repro.arch.cpuid import Vendor
+from repro.fuzzer.input import InputCursor
+from repro.hypervisors.base import GuestInstruction
+
+#: Guest-physical addresses the harness uses for its structures.
+VMXON_GPA = 0x1000
+VMCS12_GPA = 0x3000
+VMCB12_GPA = 0x3000
+ALT_VMCS_GPA = 0x4000
+MSR_AREA_GPA = 0x15000
+HSAVE_GPA = 0x6000
+
+#: MSR indices worth probing — architectural MSRs plus the canonical-
+#: address family central to CVE-2024-21106.
+INTERESTING_MSRS = (
+    MSR.IA32_TSC, MSR.IA32_APIC_BASE, MSR.IA32_FEATURE_CONTROL,
+    MSR.IA32_SYSENTER_CS, MSR.IA32_SYSENTER_ESP, MSR.IA32_SYSENTER_EIP,
+    MSR.IA32_DEBUGCTL, MSR.IA32_PAT, MSR.IA32_EFER, MSR.IA32_STAR,
+    MSR.IA32_LSTAR, MSR.IA32_FS_BASE, MSR.IA32_GS_BASE,
+    MSR.IA32_KERNEL_GS_BASE, MSR.IA32_TSC_AUX, MSR.IA32_VMX_BASIC,
+    MSR.IA32_VMX_PINBASED_CTLS, MSR.IA32_VMX_PROCBASED_CTLS,
+    MSR.VM_CR, MSR.VM_HSAVE_PA,
+)
+
+#: Values likely to sit on validity boundaries.
+BOUNDARY_VALUES = (
+    0, 1, 0x7F, 0x80, 0xFF, 0xFFF, 0x1000, 0xFFFF, 0x8000_0000,
+    0xFFFF_FFFF, 0x0000_8000_0000_0000, 0x8000_0000_0000_0000,
+    0xFFFF_7FFF_FFFF_FFFF, 0xFFFF_FFFF_FFFF_FFFF,
+)
+
+
+@dataclass(frozen=True)
+class ExitTemplate:
+    """One exit-triggering instruction template."""
+
+    name: str
+    mnemonic: str
+    #: Operand builder: cursor -> operand dict.
+    build: Callable[[InputCursor], dict[str, int]]
+    #: Levels this template may execute at (1=L1 hypervisor, 2=L2 guest).
+    levels: tuple[int, ...] = (1, 2)
+
+    def instantiate(self, cursor: InputCursor, level: int) -> GuestInstruction:
+        """Materialise an instruction from fuzzing input."""
+        return GuestInstruction(self.mnemonic, self.build(cursor), level=level)
+
+
+def _no_operands(cursor: InputCursor) -> dict[str, int]:
+    return {}
+
+
+def _msr_operands(cursor: InputCursor) -> dict[str, int]:
+    if cursor.chance(3, 4):
+        index = INTERESTING_MSRS[cursor.below(len(INTERESTING_MSRS))]
+    else:
+        index = cursor.u32()
+    return {"msr": index, "value": BOUNDARY_VALUES[cursor.below(len(BOUNDARY_VALUES))]
+            if cursor.chance(1, 2) else cursor.u64()}
+
+
+def _io_operands(cursor: InputCursor) -> dict[str, int]:
+    return {"port": cursor.u16(), "value": cursor.u32(),
+            "size": (1, 2, 4)[cursor.below(3)]}
+
+
+def _cr_operands(cursor: InputCursor) -> dict[str, int]:
+    return {"cr": (0, 3, 4, 8)[cursor.below(4)],
+            "write": cursor.below(2),
+            "value": BOUNDARY_VALUES[cursor.below(len(BOUNDARY_VALUES))]
+            if cursor.chance(1, 2) else cursor.u64()}
+
+
+def _dr_operands(cursor: InputCursor) -> dict[str, int]:
+    return {"dr": cursor.below(8), "write": cursor.below(2),
+            "value": cursor.u64()}
+
+
+def _exception_operands(cursor: InputCursor) -> dict[str, int]:
+    return {"vector": cursor.below(32), "value": cursor.u32()}
+
+
+def _memaccess_operands(cursor: InputCursor) -> dict[str, int]:
+    return {"value": cursor.u64()}
+
+
+def _invept_operands(cursor: InputCursor) -> dict[str, int]:
+    return {"type": cursor.below(4), "eptp": cursor.u64()}
+
+
+def _invvpid_operands(cursor: InputCursor) -> dict[str, int]:
+    return {"type": cursor.below(5), "vpid": cursor.u16(),
+            "linear_addr": cursor.u64()}
+
+
+def _invlpga_operands(cursor: InputCursor) -> dict[str, int]:
+    return {"asid": cursor.below(4), "value": cursor.u64()}
+
+
+#: Runtime-phase library shared by both vendors (Table 1 MISC / reg / IO
+#: classes). VMX/SVM-specific entries are appended per vendor.
+_COMMON_TEMPLATES: tuple[ExitTemplate, ...] = (
+    ExitTemplate("cpuid", "cpuid", _no_operands),
+    ExitTemplate("hlt", "hlt", _no_operands),
+    ExitTemplate("pause", "pause", _no_operands),
+    ExitTemplate("rdtsc", "rdtsc", _no_operands),
+    ExitTemplate("rdtscp", "rdtscp", _no_operands),
+    ExitTemplate("rdpmc", "rdpmc", _no_operands),
+    ExitTemplate("rdrand", "rdrand", _no_operands),
+    ExitTemplate("rdseed", "rdseed", _no_operands),
+    ExitTemplate("invd", "invd", _no_operands),
+    ExitTemplate("wbinvd", "wbinvd", _no_operands),
+    ExitTemplate("invlpg", "invlpg", _memaccess_operands),
+    ExitTemplate("monitor", "monitor", _memaccess_operands),
+    ExitTemplate("mwait", "mwait", _no_operands),
+    ExitTemplate("xsetbv", "xsetbv", _memaccess_operands),
+    ExitTemplate("rdmsr", "rdmsr", _msr_operands),
+    ExitTemplate("wrmsr", "wrmsr", _msr_operands),
+    ExitTemplate("io_in", "in", _io_operands),
+    ExitTemplate("io_out", "out", _io_operands),
+    ExitTemplate("mov_cr", "mov_cr", _cr_operands),
+    ExitTemplate("mov_dr", "mov_dr", _dr_operands),
+    ExitTemplate("exception", "exception", _exception_operands, levels=(2,)),
+    ExitTemplate("memaccess", "memaccess", _memaccess_operands, levels=(2,)),
+    ExitTemplate("sgdt", "sgdt", _memaccess_operands),
+    ExitTemplate("sidt", "sidt", _memaccess_operands),
+)
+
+def _vmwrite_cr_operands(cursor: InputCursor) -> dict[str, int]:
+    """L1 reprogramming the VMCS12 guest mode between vmresumes.
+
+    The VMX twin of :data:`VMCB_STORE_TARGETS`: targeted vmwrites to the
+    mode-defining guest fields with values straddling architectural
+    boundaries (CR4 with/without PAE, CR0 with/without PG, EFER LMA/LME
+    combinations, large page-walk addresses).
+    """
+    from repro.vmx import fields as F
+
+    targets: tuple[tuple[int, tuple[int, ...]], ...] = (
+        (F.GUEST_CR0, (0x80000031, 0x80000011, 0x31, 0x11)),
+        (F.GUEST_CR4, (0x2020, 0x2000, 0x20, 0x0)),
+        (F.GUEST_IA32_EFER, (0xD01, 0x501, 0x101, 0x0)),
+        (F.GUEST_RIP, (0x40000, 0x7FFF_FFFF_F000, 0xFFFF_8000_0000_0000)),
+        (F.GUEST_CR3, (0x30000, 0x123, 0x7FFF_FFFF_F000)),
+        (F.GUEST_ACTIVITY_STATE, (0, 1, 2, 3)),
+        (F.VM_ENTRY_CONTROLS, (0x93FF, 0x91FF, 0x13FF)),
+    )
+    encoding, values = targets[cursor.below(len(targets))]
+    if cursor.chance(3, 4):
+        value = values[cursor.below(len(values))]
+    else:
+        value = cursor.u64()
+    return {"field": encoding, "value": value}
+
+
+def _vmcs_addr_operands(cursor: InputCursor) -> dict[str, int]:
+    """An address for vmclear/vmptrld: usually a plausible VMCS page,
+    sometimes the vmxon region or garbage (the error paths matter)."""
+    choice = cursor.below(8)
+    if choice < 4:
+        return {"addr": (VMCS12_GPA, ALT_VMCS_GPA)[choice & 1]}
+    if choice == 4:
+        return {"addr": VMXON_GPA}
+    if choice == 5:
+        return {"addr": cursor.u32() | 1}  # misaligned
+    return {"addr": cursor.u64()}
+
+
+_INTEL_TEMPLATES: tuple[ExitTemplate, ...] = _COMMON_TEMPLATES + (
+    ExitTemplate("vmcall", "vmcall", _no_operands),
+    ExitTemplate("invept", "invept", _invept_operands, levels=(1,)),
+    ExitTemplate("invvpid", "invvpid", _invvpid_operands, levels=(1,)),
+    ExitTemplate("vmptrst", "vmptrst", _no_operands, levels=(1,)),
+    ExitTemplate("invpcid", "invpcid", _memaccess_operands),
+    ExitTemplate("encls", "encls", _memaccess_operands),
+    ExitTemplate("xsaves", "xsaves", _memaccess_operands),
+    ExitTemplate("xrstors", "xrstors", _memaccess_operands),
+    ExitTemplate("l1_vmclear", "vmclear", _vmcs_addr_operands, levels=(1,)),
+    ExitTemplate("l1_vmptrld", "vmptrld", _vmcs_addr_operands, levels=(1,)),
+    ExitTemplate("l1_vmxon", "vmxon", _vmcs_addr_operands, levels=(1,)),
+    ExitTemplate("l1_vmread", "vmread",
+                 lambda c: {"field": c.u16()}, levels=(1,)),
+    ExitTemplate("l1_vmwrite", "vmwrite",
+                 lambda c: {"field": c.u16(), "value": c.u64()}, levels=(1,)),
+    ExitTemplate("l1_vmwrite_cr", "vmwrite", _vmwrite_cr_operands, levels=(1,)),
+    ExitTemplate("l1_vmwrite_cr2", "vmwrite", _vmwrite_cr_operands, levels=(1,)),
+    ExitTemplate("l1_vmlaunch", "vmlaunch", _no_operands, levels=(1,)),
+    ExitTemplate("l1_vmxoff", "vmxoff", _no_operands, levels=(1,)),
+    ExitTemplate("l2_vmxon", "vmxon", lambda c: {"addr": VMXON_GPA}, levels=(2,)),
+    ExitTemplate("l2_vmread", "vmread", lambda c: {"field": c.u16()}, levels=(2,)),
+    ExitTemplate("vmfunc", "vmfunc", _memaccess_operands, levels=(2,)),
+)
+
+#: VMCB12 fields the store template gravitates to, with value pools that
+#: sit on mode boundaries (CR0 with/without PG, EFER with/without LME...).
+VMCB_STORE_TARGETS: tuple[tuple[str, tuple[int, ...]], ...] = (
+    ("cr0", (0x80000031, 0x80000011, 0x31, 0x11, 0x23)),
+    ("cr4", (0x20, 0x0, 0x80000020, 1 << 31)),
+    ("efer", (0x1D01, 0x1101, 0x1000, 0xD01, 0x0)),
+    ("rflags", (0x2, 0x202, 0x3202)),
+    ("rip", (0x40000, 0x0, 0x7FFF_FFFF_F000)),
+    ("cs_attrib", (0x29B, 0x49B, 0x69B, 0x0)),
+    ("guest_asid", (0, 1, 2, 0xFFFF)),
+    ("intercept_misc2", (0, 1, 0xFFFF)),
+    ("vintr_control", (0, 1 << 9, 1 << 25, (1 << 25) | (1 << 9))),
+    ("n_cr3", (0x20000, 0x123, 0xF0000000)),
+)
+
+
+def _vmcb_store_operands(cursor: InputCursor) -> dict[str, int]:
+    """L1 rewriting a VMCB12 field in memory between vmruns."""
+    target = cursor.below(len(VMCB_STORE_TARGETS))
+    _, values = VMCB_STORE_TARGETS[target]
+    if cursor.chance(3, 4):
+        value = values[cursor.below(len(values))]
+    else:
+        value = cursor.u64()
+    return {"target": target, "value": value}
+
+
+def _vmcb_addr_operands(cursor: InputCursor) -> dict[str, int]:
+    """An address for vmload/vmsave: usually the VMCB12 page, sometimes
+    misaligned or wild (the #GP paths matter)."""
+    choice = cursor.below(8)
+    if choice < 5:
+        return {"addr": VMCB12_GPA}
+    if choice == 5:
+        return {"addr": cursor.u32() | 1}
+    return {"addr": cursor.u64()}
+
+
+_AMD_TEMPLATES: tuple[ExitTemplate, ...] = _COMMON_TEMPLATES + (
+    ExitTemplate("vmmcall", "vmmcall", _no_operands),
+    ExitTemplate("invlpga", "invlpga", _invlpga_operands, levels=(1,)),
+    ExitTemplate("stgi", "stgi", _no_operands, levels=(1,)),
+    ExitTemplate("clgi", "clgi", _no_operands, levels=(1,)),
+    ExitTemplate("skinit", "skinit", _memaccess_operands, levels=(1,)),
+    ExitTemplate("vmload", "vmload", _vmcb_addr_operands, levels=(1,)),
+    ExitTemplate("vmsave", "vmsave", _vmcb_addr_operands, levels=(1,)),
+    ExitTemplate("vmcb_store", "vmcb_store", _vmcb_store_operands, levels=(1,)),
+    ExitTemplate("vmcb_store2", "vmcb_store", _vmcb_store_operands, levels=(1,)),
+    ExitTemplate("l2_vmrun", "vmrun", lambda c: {"addr": VMCB12_GPA}, levels=(2,)),
+)
+
+
+def runtime_templates(vendor: Vendor) -> tuple[ExitTemplate, ...]:
+    """The exit-triggering template library for *vendor*."""
+    return _INTEL_TEMPLATES if vendor is Vendor.INTEL else _AMD_TEMPLATES
+
+
+# ---------------------------------------------------------------------------
+# Initialization sequence
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InitStep:
+    """One step of the initialization template."""
+
+    mnemonic: str
+    operands: dict[str, int]
+    #: Whether the mutation engine may perturb this step's arguments.
+    mutable_args: bool = True
+
+
+def intel_init_sequence() -> list[InitStep]:
+    """The canonical VMX setup chain (§2.1). vmwrites are inserted by
+    the harness between vmptrld and vmlaunch."""
+    return [
+        InitStep("vmxon", {"addr": VMXON_GPA}),
+        InitStep("vmclear", {"addr": VMCS12_GPA}),
+        InitStep("vmptrld", {"addr": VMCS12_GPA}),
+        InitStep("vmlaunch", {}, mutable_args=False),
+    ]
+
+
+def amd_init_sequence() -> list[InitStep]:
+    """The canonical SVM setup chain: enable SVME, set the host save
+    area, clear GIF, vmrun."""
+    return [
+        InitStep("wrmsr", {"msr": MSR.IA32_EFER, "value": 1 << 12}),  # SVME
+        InitStep("wrmsr", {"msr": MSR.VM_HSAVE_PA, "value": HSAVE_GPA}),
+        InitStep("clgi", {}),
+        InitStep("vmrun", {"addr": VMCB12_GPA}, mutable_args=False),
+    ]
+
+
+def init_sequence(vendor: Vendor) -> list[InitStep]:
+    """The hand-written initialization template for *vendor*."""
+    return intel_init_sequence() if vendor is Vendor.INTEL else amd_init_sequence()

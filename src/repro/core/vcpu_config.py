@@ -1,0 +1,47 @@
+"""The vCPU configurator core (paper §3.5/§4.4).
+
+"The vCPU configuration is generally represented as a bit array, where
+each bit indicates whether a specific CPU feature is enabled or
+disabled." The core is hypervisor-independent: it turns configuration
+bits from the fuzzing input into a feature map over the universe in
+:mod:`repro.arch.cpuid`; per-hypervisor adapters
+(:mod:`repro.core.adapters`) translate the map into module parameters or
+command-line options.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.cpuid import Vendor, default_feature_map, features_for
+from repro.fuzzer.input import FuzzInput
+from repro.hypervisors.base import VcpuConfig
+
+
+@dataclass
+class VcpuConfigurator:
+    """Hypervisor-independent configuration generator."""
+
+    vendor: Vendor
+    #: Ablation switch: disabled -> always the stock default config.
+    enabled: bool = True
+    #: Features that must keep their defaults (e.g. `nested` stays on —
+    #: turning it off would fuzz nothing).
+    pinned: frozenset[str] = frozenset({"nested"})
+
+    def generate(self, fuzz_input: FuzzInput) -> VcpuConfig:
+        """Derive a vCPU configuration from the input's config region."""
+        features = default_feature_map(self.vendor)
+        if not self.enabled:
+            return VcpuConfig(self.vendor, features)
+        cursor = fuzz_input.config_cursor()
+        bits = int.from_bytes(cursor.take_bytes(8), "little")
+        for position, feature in enumerate(features_for(self.vendor)):
+            if feature.name in self.pinned:
+                continue
+            features[feature.name] = bool(bits >> position & 1)
+        return VcpuConfig(self.vendor, features)
+
+    def bit_width(self) -> int:
+        """Number of configuration bits in use (for documentation)."""
+        return len(features_for(self.vendor))

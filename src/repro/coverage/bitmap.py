@@ -1,0 +1,113 @@
+"""AFL-style edge-coverage bitmap.
+
+The agent maps hypervisor traces onto "a shared memory bitmap monitored
+by AFL++ to guide mutation" (paper §4.1). We reproduce the classic AFL
+scheme: 64 KiB of per-edge hit counters, bucketed into power-of-two
+classes, with a persistent *virgin map* deciding whether a run found new
+behaviour.
+"""
+
+from __future__ import annotations
+
+MAP_SIZE = 1 << 16
+
+#: AFL's count-class buckets: a hit count maps to one bit of the byte.
+_BUCKETS = ((1, 1), (2, 2), (3, 4), (4, 8), (8, 16), (16, 32), (32, 64),
+            (128, 128))
+
+
+def classify_count(count: int) -> int:
+    """Map a raw hit count to its AFL count-class bit."""
+    if count == 0:
+        return 0
+    for threshold, bucket in _BUCKETS:
+        if count <= threshold:
+            return bucket
+    return 128
+
+
+def edge_index(prev_id: int, cur_id: int) -> int:
+    """AFL edge hash: ``(prev >> 1) ^ cur`` folded into the map."""
+    return ((prev_id >> 1) ^ cur_id) & (MAP_SIZE - 1)
+
+
+from functools import lru_cache
+
+
+@lru_cache(maxsize=65536)
+def stable_line_id(filename: str, lineno: int) -> int:
+    """Deterministic 16-bit id for a source location.
+
+    ``hash()`` is randomized per interpreter run; campaigns must be
+    reproducible, so we use a small FNV-1a over the location string.
+    """
+    h = 0x811C9DC5
+    for byte in f"{filename}:{lineno}".encode():
+        h ^= byte
+        h = (h * 0x01000193) & 0xFFFFFFFF
+    return h & (MAP_SIZE - 1)
+
+
+class CoverageBitmap:
+    """One run's edge-hit bitmap."""
+
+    def __init__(self) -> None:
+        self.counts = bytearray(MAP_SIZE)
+        self.touched: set[int] = set()
+
+    def record_edge(self, prev_id: int, cur_id: int) -> None:
+        """Count one traversal of the (prev, cur) edge."""
+        idx = edge_index(prev_id, cur_id)
+        if self.counts[idx] < 255:
+            self.counts[idx] += 1
+        self.touched.add(idx)
+
+    def record_trace(self, edges) -> None:
+        """Record a set of ((file, line), (file, line)) trace edges."""
+        for (pf, pl), (cf, cl) in edges:
+            self.record_edge(stable_line_id(pf, pl), stable_line_id(cf, cl))
+
+    def classified(self) -> bytes:
+        """The bucketed bitmap, as AFL would compare it."""
+        return bytes(classify_count(c) for c in self.counts)
+
+    def reset(self) -> None:
+        """Clear all recorded state."""
+        self.counts = bytearray(MAP_SIZE)
+        self.touched = set()
+
+    def count_nonzero(self) -> int:
+        """Number of map cells with at least one hit."""
+        return sum(1 for c in self.counts if c)
+
+
+class VirginMap:
+    """Cumulative map of behaviour already seen (AFL's virgin_bits)."""
+
+    def __init__(self) -> None:
+        self.bits = bytearray(MAP_SIZE)  # accumulated classified bits
+
+    def has_new_bits(self, run: CoverageBitmap) -> int:
+        """Merge *run* into the map.
+
+        Returns 2 for brand-new edges, 1 for new count buckets on known
+        edges, 0 for nothing new — the same tri-state AFL uses to decide
+        whether an input is interesting.
+        """
+        ret = 0
+        counts = run.counts
+        bits = self.bits
+        for idx in run.touched:
+            count = counts[idx]
+            if not count:
+                continue
+            cls = classify_count(count)
+            old = bits[idx]
+            if cls & ~old:
+                ret = 2 if old == 0 else max(ret, 1)
+                bits[idx] = old | cls
+        return ret
+
+    def density(self) -> float:
+        """Fraction of map bytes touched (AFL's map density)."""
+        return sum(1 for b in self.bits if b) / MAP_SIZE

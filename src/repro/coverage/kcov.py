@@ -1,0 +1,134 @@
+"""Line-coverage collection for the simulated hypervisors (kcov analogue).
+
+The paper measures coverage with KCOV on KVM and gcov on Xen, restricted
+to the nested-virtualization source files (``nested.c`` etc.). We do the
+same thing for the simulated hypervisors: a ``sys.settrace``-based tracer
+restricted to the nested-virtualization *Python modules*, counting
+executable source lines exactly as gcov counts instrumented lines.
+
+Only code objects defined inside functions/classes count as instrumented
+(module top level runs at import, before any fuzzing, and would dilute
+the denominator the way unreachable boilerplate would in C).
+"""
+
+from __future__ import annotations
+
+import sys
+from types import CodeType, FrameType, ModuleType
+from typing import Iterable
+
+Line = tuple[str, int]
+
+
+#: Code objects with CO_OPTIMIZED are real function bodies; module and
+#: class bodies (which run at import time, before fuzzing) lack it.
+_CO_OPTIMIZED = 0x0001
+
+
+def executable_lines(module: ModuleType) -> set[Line]:
+    """All instrumentable (file, line) pairs of *module*'s function bodies.
+
+    Only function code objects count: module/class bodies execute at
+    import time, so counting them would dilute the denominator with
+    lines no fuzzer could ever (re)cover — the way gcov counts basic
+    blocks, not struct definitions.
+    """
+    filename = module.__file__
+    if filename is None:
+        raise ValueError(f"module {module.__name__} has no source file")
+    with open(filename, encoding="utf-8") as f:
+        source = f.read()
+    top = compile(source, filename, "exec")
+    lines: set[Line] = set()
+
+    def walk(code: CodeType) -> None:
+        if code.co_flags & _CO_OPTIMIZED:
+            lines.add((filename, code.co_firstlineno))
+            for _, _, lineno in code.co_lines():
+                if lineno is not None:
+                    lines.add((filename, lineno))
+        for const in code.co_consts:
+            if isinstance(const, CodeType):
+                walk(const)
+
+    walk(top)
+    return lines
+
+
+class KcovTracer:
+    """Trace executed lines in a fixed set of target modules.
+
+    ``run_lines``/``run_edges`` accumulate for the current test case and
+    are harvested by :meth:`drain`; the caller (the agent) merges them
+    into campaign-cumulative sets. Edges are (prev_line, cur_line) pairs
+    within target code, the raw material for the AFL bitmap.
+    """
+
+    def __init__(self, modules: Iterable[ModuleType]) -> None:
+        self.modules = tuple(modules)
+        self.instrumented: set[Line] = set()
+        self._files: set[str] = set()
+        for module in self.modules:
+            self.instrumented |= executable_lines(module)
+            if module.__file__:
+                self._files.add(module.__file__)
+        self.run_lines: set[Line] = set()
+        self.run_edges: set[tuple[Line, Line]] = set()
+        self._prev: Line | None = None
+        self._active = False
+
+    # --- trace plumbing ---------------------------------------------------
+
+    def _local_trace(self, frame: FrameType, event: str, arg):
+        if event == "line":
+            cur = (frame.f_code.co_filename, frame.f_lineno)
+            self.run_lines.add(cur)
+            if self._prev is not None:
+                self.run_edges.add((self._prev, cur))
+            self._prev = cur
+        return self._local_trace
+
+    def _global_trace(self, frame: FrameType, event: str, arg):
+        if event == "call" and frame.f_code.co_filename in self._files:
+            cur = (frame.f_code.co_filename, frame.f_code.co_firstlineno)
+            self.run_lines.add(cur)
+            if self._prev is not None:
+                self.run_edges.add((self._prev, cur))
+            self._prev = cur
+            return self._local_trace
+        return None
+
+    def start(self) -> None:
+        """Begin tracing (nestable calls are not supported)."""
+        if self._active:
+            raise RuntimeError("tracer already active")
+        self._active = True
+        self._prev = None
+        sys.settrace(self._global_trace)
+
+    def stop(self) -> None:
+        """Stop tracing."""
+        sys.settrace(None)
+        self._active = False
+
+    def __enter__(self) -> "KcovTracer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def drain(self) -> tuple[set[Line], set[tuple[Line, Line]]]:
+        """Harvest and reset the current run's lines and edges."""
+        lines, edges = self.run_lines, self.run_edges
+        self.run_lines, self.run_edges = set(), set()
+        self._prev = None
+        return lines, edges
+
+    # --- reporting helpers ---------------------------------------------------
+
+    def coverage_fraction(self, covered: set[Line]) -> float:
+        """Covered fraction of the instrumented lines."""
+        if not self.instrumented:
+            return 0.0
+        return len(covered & self.instrumented) / len(self.instrumented)

@@ -1,0 +1,120 @@
+"""Coverage reporting: totals, percentages, and set algebra.
+
+Table 2 / Table 4 report coverage percentages plus the paper's
+``A ∩ B`` / ``A − B`` rows; :class:`CoverageReport` is the object those
+benches print from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Line = tuple[str, int]
+
+
+@dataclass
+class CoverageReport:
+    """Line coverage of one tool relative to one instrumented total."""
+
+    name: str
+    covered: set[Line]
+    instrumented: set[Line]
+
+    def __post_init__(self) -> None:
+        # Only instrumented lines count — stray trace data is clipped.
+        self.covered = self.covered & self.instrumented
+
+    @property
+    def total_lines(self) -> int:
+        """Size of the instrumented universe."""
+        return len(self.instrumented)
+
+    @property
+    def covered_lines(self) -> int:
+        """Number of instrumented lines covered."""
+        return len(self.covered)
+
+    @property
+    def percent(self) -> float:
+        """Covered percentage of the instrumented universe."""
+        if not self.instrumented:
+            return 0.0
+        return 100.0 * self.covered_lines / self.total_lines
+
+    def intersect(self, other: "CoverageReport") -> "CoverageReport":
+        """Lines covered by both (the paper's A ∩ B rows)."""
+        return CoverageReport(f"{self.name}∩{other.name}",
+                              self.covered & other.covered, self.instrumented)
+
+    def minus(self, other: "CoverageReport") -> "CoverageReport":
+        """Lines covered by self but not other (the paper's A − B rows)."""
+        return CoverageReport(f"{self.name}-{other.name}",
+                              self.covered - other.covered, self.instrumented)
+
+    def union(self, other: "CoverageReport") -> "CoverageReport":
+        """Lines covered by either report."""
+        return CoverageReport(f"{self.name}∪{other.name}",
+                              self.covered | other.covered, self.instrumented)
+
+    def row(self) -> str:
+        """One Table-2-style row: name, percentage, #lines."""
+        return f"{self.name:<24} {self.percent:6.1f}%  {self.covered_lines:>6}"
+
+
+@dataclass
+class CoverageTable:
+    """A Table-2/Table-4-shaped collection of reports."""
+
+    title: str
+    instrumented: set[Line]
+    reports: dict[str, CoverageReport] = field(default_factory=dict)
+
+    def add(self, name: str, covered: set[Line]) -> CoverageReport:
+        """Add one tool's coverage as a report row."""
+        report = CoverageReport(name, covered, self.instrumented)
+        self.reports[name] = report
+        return report
+
+    def add_algebra(self, a: str, b: str) -> None:
+        """Add the A−B, B−A, and A∩B rows for two existing reports."""
+        ra, rb = self.reports[a], self.reports[b]
+        for derived in (ra.minus(rb), rb.minus(ra), ra.intersect(rb)):
+            self.reports[derived.name] = derived
+
+    def render(self) -> str:
+        """Render the whole table as printable text."""
+        lines = [self.title,
+                 f"{'':<24} {'cov%':>7}  {'#line':>6}",
+                 f"{'Total':<24} {100.0:6.1f}%  {len(self.instrumented):>6}"]
+        lines += [report.row() for report in self.reports.values()]
+        return "\n".join(lines)
+
+
+def annotate_source(module, covered: set[Line],
+                    instrumented: set[Line] | None = None) -> str:
+    """Render *module*'s source with gcov-style per-line coverage marks.
+
+    ``#####`` marks instrumented-but-uncovered lines (gcov's notation for
+    never-executed lines), ``1`` marks covered lines, and ``-`` marks
+    non-instrumented lines. Useful for eyeballing exactly which checks a
+    campaign never reached.
+    """
+    from repro.coverage.kcov import executable_lines
+
+    filename = module.__file__
+    if instrumented is None:
+        instrumented = executable_lines(module)
+    instrumented_linenos = {l for f, l in instrumented if f == filename}
+    covered_linenos = {l for f, l in covered if f == filename}
+
+    out = []
+    with open(filename, encoding="utf-8") as source:
+        for lineno, text in enumerate(source, 1):
+            if lineno in covered_linenos:
+                mark = "1"
+            elif lineno in instrumented_linenos:
+                mark = "#####"
+            else:
+                mark = "-"
+            out.append(f"{mark:>9}:{lineno:5}:{text.rstrip()}")
+    return "\n".join(out)

@@ -1,0 +1,18 @@
+"""Simulated physical CPU — the hardware oracle for VM-state validity."""
+
+from repro.cpu.entry_checks import CheckStage, Violation, check_all
+from repro.cpu.physical_cpu import EntryOutcome, VmxCpu, VmxResult, VmxResultKind
+from repro.cpu.svm_cpu import SvmCpu, VmrunOutcome, check_vmcb
+
+__all__ = [
+    "VmxCpu",
+    "SvmCpu",
+    "VmxResult",
+    "VmxResultKind",
+    "EntryOutcome",
+    "VmrunOutcome",
+    "CheckStage",
+    "Violation",
+    "check_all",
+    "check_vmcb",
+]

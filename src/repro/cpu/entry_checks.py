@@ -1,0 +1,641 @@
+"""Hardware VM-entry consistency checks (Intel SDM 26.2 / 26.3).
+
+This is the ground-truth model the paper uses the physical CPU for: given
+a VMCS and the CPU's capability MSRs, decide whether VM entry succeeds,
+and if not, which category of failure it is. The checks are grouped the
+way hardware performs them:
+
+* checks on VMX controls and host state happen *before* the entry and
+  produce VMfailValid (VM-instruction errors 7 / 8);
+* checks on guest state happen *during* the entry and produce a failed
+  VM entry (exit reason 33 "invalid guest state" / 34 "MSR load fail").
+
+The implementation intentionally includes behaviours that are silent or
+undocumented (see :mod:`repro.cpu.quirks`) so the Bochs-derived validator
+has real gaps for the hardware-oracle loop to correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.arch import msr as MSR
+from repro.arch.bits import test_bit
+from repro.arch.exceptions import InterruptionInfo
+from repro.arch.msr import MsrEntry, is_canonical
+from repro.arch.paging import MAX_PHYSADDR_WIDTH, EptPointer
+from repro.arch.registers import Cr0, Cr4, Dr7, Efer, Rflags
+from repro.arch.segments import AccessRights, Segment, granularity_consistent
+from repro.vmx import fields as F
+from repro.vmx.controls import (
+    ActivityState,
+    EntryControls,
+    ExitControls,
+    Interruptibility,
+    PinBased,
+    ProcBased,
+    Secondary,
+)
+from repro.vmx.msr_caps import VmxCapabilities
+from repro.vmx.vmcs import Vmcs
+
+PAGE_MASK = 0xFFF
+ADDR_LIMIT = 1 << MAX_PHYSADDR_WIDTH
+
+
+class CheckStage(Enum):
+    """Which architectural check group flagged the violation."""
+
+    CONTROLS = "controls"      # -> VMfailValid(7)
+    HOST_STATE = "host_state"  # -> VMfailValid(8)
+    GUEST_STATE = "guest_state"  # -> VM-entry failure, reason 33
+    MSR_LOAD = "msr_load"        # -> VM-entry failure, reason 34
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed consistency check."""
+
+    stage: CheckStage
+    field: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"[{self.stage.value}] {self.field}: {self.reason}"
+
+
+def _physaddr_ok(addr: int) -> bool:
+    """Address fits in the supported physical-address width."""
+    return addr < ADDR_LIMIT
+
+
+def read_segment(vmcs: Vmcs, name: str) -> Segment:
+    """Materialise a guest segment register image from VMCS fields."""
+    return Segment(
+        selector=vmcs.read(F.SEGMENT_SELECTOR_FIELDS[name]),
+        base=vmcs.read(F.SEGMENT_BASE_FIELDS[name]),
+        limit=vmcs.read(F.SEGMENT_LIMIT_FIELDS[name]),
+        access_rights=vmcs.read(F.SEGMENT_AR_FIELDS[name]),
+    )
+
+
+# --------------------------------------------------------------------------
+# SDM 26.2.1 — checks on VMX controls
+# --------------------------------------------------------------------------
+
+def check_vm_controls(vmcs: Vmcs, caps: VmxCapabilities) -> list[Violation]:
+    """Checks on VM-execution, VM-exit, and VM-entry control fields."""
+    v: list[Violation] = []
+
+    def bad(field: str, reason: str) -> None:
+        v.append(Violation(CheckStage.CONTROLS, field, reason))
+
+    pin = vmcs.read(F.PIN_BASED_VM_EXEC_CONTROL)
+    proc = vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL)
+    proc2 = vmcs.read(F.SECONDARY_VM_EXEC_CONTROL)
+    entry = vmcs.read(F.VM_ENTRY_CONTROLS)
+    exit_ = vmcs.read(F.VM_EXIT_CONTROLS)
+
+    if not caps.pin_based.permits(pin):
+        bad("pin_based_vm_exec_control", "reserved bits violate allowed settings")
+    if not caps.proc_based.permits(proc):
+        bad("cpu_based_vm_exec_control", "reserved bits violate allowed settings")
+    secondary_active = bool(proc & ProcBased.ACTIVATE_SECONDARY_CONTROLS)
+    if secondary_active and not caps.secondary.permits(proc2):
+        bad("secondary_vm_exec_control", "reserved bits violate allowed settings")
+    if not caps.entry.permits(entry):
+        bad("vm_entry_controls", "reserved bits violate allowed settings")
+    if not caps.exit.permits(exit_):
+        bad("vm_exit_controls", "reserved bits violate allowed settings")
+
+    effective_proc2 = proc2 if secondary_active else 0
+
+    cr3_count = vmcs.read(F.CR3_TARGET_COUNT)
+    if cr3_count > 4:
+        bad("cr3_target_count", f"count {cr3_count} exceeds 4")
+
+    if proc & ProcBased.USE_IO_BITMAPS:
+        for field, name in ((F.IO_BITMAP_A, "io_bitmap_a"), (F.IO_BITMAP_B, "io_bitmap_b")):
+            addr = vmcs.read(field)
+            if addr & PAGE_MASK or not _physaddr_ok(addr):
+                bad(name, f"address {addr:#x} not 4K-aligned in physical range")
+
+    if proc & ProcBased.USE_MSR_BITMAPS:
+        addr = vmcs.read(F.MSR_BITMAP)
+        if addr & PAGE_MASK or not _physaddr_ok(addr):
+            bad("msr_bitmap", f"address {addr:#x} not 4K-aligned in physical range")
+
+    if proc & ProcBased.USE_TPR_SHADOW:
+        addr = vmcs.read(F.VIRTUAL_APIC_PAGE_ADDR)
+        if addr & PAGE_MASK or not _physaddr_ok(addr):
+            bad("virtual_apic_page_addr", f"bad address {addr:#x}")
+        tpr = vmcs.read(F.TPR_THRESHOLD)
+        if tpr & ~0xF and not effective_proc2 & Secondary.VIRTUAL_INTR_DELIVERY:
+            bad("tpr_threshold", "bits 31:4 must be zero")
+    else:
+        if effective_proc2 & (Secondary.VIRTUALIZE_X2APIC
+                              | Secondary.APIC_REGISTER_VIRT
+                              | Secondary.VIRTUAL_INTR_DELIVERY):
+            bad("secondary_vm_exec_control",
+                "APIC virtualization requires use-TPR-shadow")
+
+    if not pin & PinBased.NMI_EXITING and pin & PinBased.VIRTUAL_NMIS:
+        bad("pin_based_vm_exec_control", "virtual NMIs require NMI exiting")
+    if not pin & PinBased.VIRTUAL_NMIS and proc & ProcBased.NMI_WINDOW_EXITING:
+        bad("cpu_based_vm_exec_control", "NMI-window exiting requires virtual NMIs")
+
+    if effective_proc2 & Secondary.VIRTUALIZE_APIC_ACCESSES:
+        addr = vmcs.read(F.APIC_ACCESS_ADDR)
+        if addr & PAGE_MASK or not _physaddr_ok(addr):
+            bad("apic_access_addr", f"bad address {addr:#x}")
+        if effective_proc2 & Secondary.VIRTUALIZE_X2APIC:
+            bad("secondary_vm_exec_control",
+                "x2APIC mode conflicts with APIC-access virtualization")
+
+    if pin & PinBased.POSTED_INTERRUPTS:
+        if not effective_proc2 & Secondary.VIRTUAL_INTR_DELIVERY:
+            bad("posted_intr_notification_vector",
+                "posted interrupts require virtual-interrupt delivery")
+        if not exit_ & ExitControls.ACK_INTR_ON_EXIT:
+            bad("vm_exit_controls",
+                "posted interrupts require acknowledge-interrupt-on-exit")
+        nv = vmcs.read(F.POSTED_INTR_NV)
+        if nv & ~0xFF:
+            bad("posted_intr_notification_vector", "vector must be 8 bits")
+        desc = vmcs.read(F.POSTED_INTR_DESC_ADDR)
+        if desc & 0x3F or not _physaddr_ok(desc):
+            bad("posted_intr_desc_addr", "descriptor must be 64-byte aligned")
+
+    if effective_proc2 & Secondary.ENABLE_VPID and not vmcs.read(F.VIRTUAL_PROCESSOR_ID):
+        bad("virtual_processor_id", "VPID must be nonzero when enable-VPID set")
+
+    if effective_proc2 & Secondary.ENABLE_EPT:
+        eptp = EptPointer(vmcs.read(F.EPT_POINTER))
+        if not eptp.valid(ept_5level=caps.ept_5level):
+            bad("ept_pointer", f"invalid EPTP {eptp.raw:#x}")
+    if effective_proc2 & Secondary.UNRESTRICTED_GUEST and not effective_proc2 & Secondary.ENABLE_EPT:
+        bad("secondary_vm_exec_control", "unrestricted guest requires EPT")
+    if effective_proc2 & Secondary.ENABLE_PML:
+        if not effective_proc2 & Secondary.ENABLE_EPT:
+            bad("secondary_vm_exec_control", "PML requires EPT")
+        addr = vmcs.read(F.PML_ADDRESS)
+        if addr & PAGE_MASK or not _physaddr_ok(addr):
+            bad("pml_address", f"bad address {addr:#x}")
+    if effective_proc2 & Secondary.EPT_VIOLATION_VE:
+        addr = vmcs.read(F.VE_INFORMATION_ADDRESS)
+        if addr & PAGE_MASK or not _physaddr_ok(addr):
+            bad("virtualization_exception_info_addr", f"bad address {addr:#x}")
+    if effective_proc2 & Secondary.ENABLE_VMFUNC:
+        func = vmcs.read(F.VM_FUNCTION_CONTROL)
+        if func & ~1:
+            bad("vm_function_control", "unsupported VM functions enabled")
+        if func & 1:
+            if not effective_proc2 & Secondary.ENABLE_EPT:
+                bad("vm_function_control", "EPTP switching requires EPT")
+            lst = vmcs.read(F.EPTP_LIST_ADDRESS)
+            if lst & PAGE_MASK or not _physaddr_ok(lst):
+                bad("eptp_list_address", f"bad address {lst:#x}")
+    if effective_proc2 & Secondary.SHADOW_VMCS:
+        for field, name in ((F.VMREAD_BITMAP, "vmread_bitmap"),
+                            (F.VMWRITE_BITMAP, "vmwrite_bitmap")):
+            addr = vmcs.read(field)
+            if addr & PAGE_MASK or not _physaddr_ok(addr):
+                bad(name, f"bad address {addr:#x}")
+
+    # VM-exit control cross-checks.
+    if not pin & PinBased.PREEMPTION_TIMER and exit_ & ExitControls.SAVE_PREEMPTION_TIMER:
+        bad("vm_exit_controls",
+            "save-preemption-timer requires activate-preemption-timer")
+
+    for count_field, addr_field, cname, aname in (
+        (F.VM_EXIT_MSR_STORE_COUNT, F.VM_EXIT_MSR_STORE_ADDR,
+         "vm_exit_msr_store_count", "vm_exit_msr_store_addr"),
+        (F.VM_EXIT_MSR_LOAD_COUNT, F.VM_EXIT_MSR_LOAD_ADDR,
+         "vm_exit_msr_load_count", "vm_exit_msr_load_addr"),
+        (F.VM_ENTRY_MSR_LOAD_COUNT, F.VM_ENTRY_MSR_LOAD_ADDR,
+         "vm_entry_msr_load_count", "vm_entry_msr_load_addr"),
+    ):
+        count = vmcs.read(count_field)
+        if count:
+            if count > 512:
+                bad(cname, f"MSR count {count} exceeds the architectural limit")
+            addr = vmcs.read(addr_field)
+            if addr & 0xF or not _physaddr_ok(addr):
+                bad(aname, f"MSR area {addr:#x} must be 16-byte aligned")
+            last = addr + count * 16 - 1
+            if not _physaddr_ok(last):
+                bad(cname, "MSR area extends past physical address width")
+
+    # VM-entry interruption information (SDM 26.2.1.3).
+    intr_info = InterruptionInfo.decode(vmcs.read(F.VM_ENTRY_INTR_INFO_FIELD))
+    if not intr_info.consistent():
+        bad("vm_entry_intr_info", "inconsistent event injection")
+    if intr_info.valid and intr_info.deliver_error_code:
+        err = vmcs.read(F.VM_ENTRY_EXCEPTION_ERROR_CODE)
+        if err & ~0x7FFF:
+            bad("vm_entry_exception_error_code", "bits 31:15 must be zero")
+
+    if entry & EntryControls.ENTRY_TO_SMM or entry & EntryControls.DEACTIVATE_DUAL_MONITOR:
+        bad("vm_entry_controls", "SMM entry controls invalid outside SMM")
+
+    return v
+
+
+# --------------------------------------------------------------------------
+# SDM 26.2.2 / 26.2.3 — checks on host state
+# --------------------------------------------------------------------------
+
+def check_host_state(vmcs: Vmcs, caps: VmxCapabilities) -> list[Violation]:
+    """Checks on the host-state area (VMfailValid error 8 when violated)."""
+    v: list[Violation] = []
+
+    def bad(field: str, reason: str) -> None:
+        v.append(Violation(CheckStage.HOST_STATE, field, reason))
+
+    cr0 = vmcs.read(F.HOST_CR0)
+    cr4 = vmcs.read(F.HOST_CR4)
+    cr3 = vmcs.read(F.HOST_CR3)
+    if not caps.cr0_valid_for_vmx(cr0):
+        bad("host_cr0", f"{cr0:#x} violates CR0 fixed bits")
+    if not caps.cr4_valid_for_vmx(cr4):
+        bad("host_cr4", f"{cr4:#x} violates CR4 fixed bits")
+    if cr3 >> MAX_PHYSADDR_WIDTH:
+        bad("host_cr3", f"{cr3:#x} exceeds physical address width")
+
+    exit_ = vmcs.read(F.VM_EXIT_CONTROLS)
+    entry = vmcs.read(F.VM_ENTRY_CONTROLS)
+    host64 = bool(exit_ & ExitControls.HOST_ADDR_SPACE_SIZE)
+
+    # Our model is a 64-bit host: "host address-space size" must be 1, and
+    # the IA-32e guest control requires it (SDM 26.2.2).
+    if not host64:
+        bad("vm_exit_controls", "64-bit CPU requires host address-space size")
+    if host64:
+        if not cr4 & Cr4.PAE:
+            bad("host_cr4", "64-bit host requires CR4.PAE")
+    if entry & EntryControls.IA32E_MODE_GUEST and not host64:
+        bad("vm_entry_controls", "IA-32e guest requires 64-bit host")
+
+    for name, field in F.HOST_SELECTOR_FIELDS.items():
+        sel = vmcs.read(field)
+        if sel & 0x7:
+            bad(f"host_{name}_selector", "TI/RPL bits must be zero")
+    if not vmcs.read(F.HOST_CS_SELECTOR):
+        bad("host_cs_selector", "must not be null")
+    if not vmcs.read(F.HOST_TR_SELECTOR):
+        bad("host_tr_selector", "must not be null")
+
+    for field, name in ((F.HOST_FS_BASE, "host_fs_base"),
+                        (F.HOST_GS_BASE, "host_gs_base"),
+                        (F.HOST_TR_BASE, "host_tr_base"),
+                        (F.HOST_GDTR_BASE, "host_gdtr_base"),
+                        (F.HOST_IDTR_BASE, "host_idtr_base"),
+                        (F.HOST_IA32_SYSENTER_ESP, "host_ia32_sysenter_esp"),
+                        (F.HOST_IA32_SYSENTER_EIP, "host_ia32_sysenter_eip"),
+                        (F.HOST_RIP, "host_rip")):
+        addr = vmcs.read(field)
+        if not is_canonical(addr):
+            bad(name, f"{addr:#x} not canonical")
+
+    if exit_ & ExitControls.LOAD_EFER:
+        efer = vmcs.read(F.HOST_IA32_EFER)
+        if efer & Efer.RESERVED:
+            bad("host_ia32_efer", "reserved bits set")
+        lma = bool(efer & Efer.LMA)
+        lme = bool(efer & Efer.LME)
+        if lma != host64 or lme != host64:
+            bad("host_ia32_efer", "LMA/LME must match host address-space size")
+
+    if exit_ & ExitControls.LOAD_PAT:
+        pat = vmcs.read(F.HOST_IA32_PAT)
+        if not _pat_valid(pat):
+            bad("host_ia32_pat", "invalid PAT memory type")
+
+    return v
+
+
+def _pat_valid(pat: int) -> bool:
+    """Each PAT byte must encode a valid memory type (0,1,4,5,6,7)."""
+    valid_types = {0, 1, 4, 5, 6, 7}
+    return all((pat >> (8 * i)) & 0xFF in valid_types for i in range(8))
+
+
+# --------------------------------------------------------------------------
+# SDM 26.3.1 — checks on guest state (performed during entry)
+# --------------------------------------------------------------------------
+
+def check_guest_state(vmcs: Vmcs, caps: VmxCapabilities) -> list[Violation]:
+    """Checks on the guest-state area (failed entry, reason 33).
+
+    Includes the hardware quirk central to CVE-2023-30456: when the
+    "IA-32e mode guest" entry control is 1, hardware *assumes* CR4.PAE
+    rather than checking it, so that combination passes here.
+    """
+    v: list[Violation] = []
+
+    def bad(field: str, reason: str) -> None:
+        v.append(Violation(CheckStage.GUEST_STATE, field, reason))
+
+    entry = vmcs.read(F.VM_ENTRY_CONTROLS)
+    proc = vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL)
+    proc2 = vmcs.read(F.SECONDARY_VM_EXEC_CONTROL)
+    effective_proc2 = proc2 if proc & ProcBased.ACTIVATE_SECONDARY_CONTROLS else 0
+    unrestricted = bool(effective_proc2 & Secondary.UNRESTRICTED_GUEST)
+    ia32e_guest = bool(entry & EntryControls.IA32E_MODE_GUEST)
+
+    cr0 = vmcs.read(F.GUEST_CR0)
+    cr4 = vmcs.read(F.GUEST_CR4)
+    cr3 = vmcs.read(F.GUEST_CR3)
+
+    if not caps.cr0_valid_for_vmx(cr0, unrestricted_guest=unrestricted):
+        bad("guest_cr0", f"{cr0:#x} violates CR0 fixed bits")
+    if test_bit(cr0, 31) and not test_bit(cr0, 0):
+        bad("guest_cr0", "PG=1 requires PE=1")
+    if not caps.cr4_valid_for_vmx(cr4):
+        bad("guest_cr4", f"{cr4:#x} violates CR4 fixed bits")
+
+    if ia32e_guest:
+        if not cr0 & Cr0.PG:
+            bad("guest_cr0", "IA-32e mode guest requires CR0.PG")
+        # HARDWARE QUIRK (CVE-2023-30456): the SDM says CR4.PAE must be 1
+        # here, but the CPU silently assumes it and does not fail the
+        # entry. We therefore do NOT flag guest_cr4.PAE==0.
+    else:
+        if cr4 & Cr4.PCIDE:
+            bad("guest_cr4", "PCIDE requires IA-32e mode")
+
+    if cr3 >> MAX_PHYSADDR_WIDTH:
+        bad("guest_cr3", f"{cr3:#x} exceeds physical address width")
+
+    dr7 = vmcs.read(F.GUEST_DR7)
+    if entry & EntryControls.LOAD_DEBUG_CONTROLS:
+        if dr7 & Dr7.HIGH_RESERVED:
+            bad("guest_dr7", "bits 63:32 must be zero")
+        if vmcs.read(F.GUEST_IA32_DEBUGCTL) & ~0x1DDF:
+            bad("guest_ia32_debugctl", "reserved bits set")
+    if entry & EntryControls.LOAD_PERF_GLOBAL_CTRL:
+        if vmcs.read(F.GUEST_IA32_PERF_GLOBAL_CTRL) & ~0x7_0000_0003:
+            bad("guest_ia32_perf_global_ctrl", "reserved bits set")
+    if entry & EntryControls.LOAD_BNDCFGS:
+        bndcfgs = vmcs.read(F.GUEST_IA32_BNDCFGS)
+        if bndcfgs & 0xFFC:
+            bad("guest_ia32_bndcfgs", "reserved bits set")
+        if not is_canonical(bndcfgs & ~0xFFF):
+            bad("guest_ia32_bndcfgs", "base not canonical")
+
+    if entry & EntryControls.LOAD_EFER:
+        efer = vmcs.read(F.GUEST_IA32_EFER)
+        if efer & Efer.RESERVED:
+            bad("guest_ia32_efer", "reserved bits set")
+        if bool(efer & Efer.LMA) != ia32e_guest:
+            bad("guest_ia32_efer", "LMA must equal IA-32e-mode-guest control")
+        if cr0 & Cr0.PG and bool(efer & Efer.LMA) != bool(efer & Efer.LME):
+            bad("guest_ia32_efer", "LMA must equal LME when paging enabled")
+
+    if entry & EntryControls.LOAD_PAT and not _pat_valid(vmcs.read(F.GUEST_IA32_PAT)):
+        bad("guest_ia32_pat", "invalid PAT memory type")
+
+    _check_guest_segments(vmcs, bad, ia32e_guest=ia32e_guest,
+                          unrestricted=unrestricted,
+                          virtual_8086=bool(vmcs.read(F.GUEST_RFLAGS) & Rflags.VM))
+
+    for field, name in ((F.GUEST_GDTR_BASE, "guest_gdtr_base"),
+                        (F.GUEST_IDTR_BASE, "guest_idtr_base")):
+        if not is_canonical(vmcs.read(field)):
+            bad(name, "base not canonical")
+    for field, name in ((F.GUEST_GDTR_LIMIT, "guest_gdtr_limit"),
+                        (F.GUEST_IDTR_LIMIT, "guest_idtr_limit")):
+        if vmcs.read(field) & ~0xFFFF:
+            bad(name, "bits 31:16 must be zero")
+
+    rip = vmcs.read(F.GUEST_RIP)
+    cs_ar = vmcs.read(F.GUEST_CS_AR_BYTES)
+    cs_long = bool(cs_ar & AccessRights.L)
+    if not ia32e_guest or not cs_long:
+        if rip & ~0xFFFFFFFF:
+            bad("guest_rip", "bits 63:32 must be zero outside 64-bit code")
+    elif not is_canonical(rip):
+        bad("guest_rip", "not canonical")
+
+    rflags = vmcs.read(F.GUEST_RFLAGS)
+    if rflags & Rflags.RESERVED or not rflags & Rflags.FIXED_1:
+        bad("guest_rflags", "fixed/reserved bit violation")
+    if rflags & Rflags.VM and (ia32e_guest or not cr0 & Cr0.PE):
+        bad("guest_rflags", "VM flag invalid in IA-32e mode or without PE")
+    intr_info = InterruptionInfo.decode(vmcs.read(F.VM_ENTRY_INTR_INFO_FIELD))
+    if intr_info.valid and intr_info.event_type == 0 and not rflags & Rflags.IF:
+        bad("guest_rflags", "IF must be set to inject external interrupt")
+
+    activity = vmcs.read(F.GUEST_ACTIVITY_STATE)
+    if activity not in ActivityState.ALL:
+        bad("guest_activity_state", f"unsupported value {activity}")
+    interruptibility = vmcs.read(F.GUEST_INTERRUPTIBILITY_INFO)
+    if interruptibility & Interruptibility.RESERVED:
+        bad("guest_interruptibility_info", "reserved bits set")
+    sti = bool(interruptibility & Interruptibility.STI_BLOCKING)
+    movss = bool(interruptibility & Interruptibility.MOV_SS_BLOCKING)
+    if sti and movss:
+        bad("guest_interruptibility_info", "STI and MOV-SS blocking both set")
+    if activity == ActivityState.HLT and (sti or movss):
+        bad("guest_activity_state", "HLT state with blocking-by-STI/MOV-SS")
+    if activity in (ActivityState.SHUTDOWN, ActivityState.WAIT_FOR_SIPI):
+        if intr_info.valid:
+            bad("guest_activity_state",
+                "event injection invalid in shutdown/wait-for-SIPI")
+    if not rflags & Rflags.IF and sti:
+        bad("guest_interruptibility_info", "STI blocking requires RFLAGS.IF")
+
+    pending_dbg = vmcs.read(F.GUEST_PENDING_DBG_EXCEPTIONS)
+    if pending_dbg & ~0x1600F:
+        bad("guest_pending_dbg_exceptions", "reserved bits set")
+
+    link = vmcs.read(F.VMCS_LINK_POINTER)
+    if link != (1 << 64) - 1:
+        if link & PAGE_MASK or not _physaddr_ok(link):
+            bad("vmcs_link_pointer", f"bad shadow-VMCS pointer {link:#x}")
+
+    if not ia32e_guest and cr0 & Cr0.PG and cr4 & Cr4.PAE:
+        for field, name in ((F.GUEST_PDPTE0, "guest_pdpte0"),
+                            (F.GUEST_PDPTE1, "guest_pdpte1"),
+                            (F.GUEST_PDPTE2, "guest_pdpte2"),
+                            (F.GUEST_PDPTE3, "guest_pdpte3")):
+            pdpte = vmcs.read(field)
+            if pdpte & 1 and pdpte & 0x1E6:  # reserved bits in present PDPTE
+                bad(name, "reserved bits set in present PDPTE")
+
+    for field, name in ((F.GUEST_SYSENTER_ESP, "guest_sysenter_esp"),
+                        (F.GUEST_SYSENTER_EIP, "guest_sysenter_eip")):
+        if not is_canonical(vmcs.read(field)):
+            bad(name, "not canonical")
+
+    return v
+
+
+def _check_guest_segments(vmcs: Vmcs, bad, *, ia32e_guest: bool,
+                          unrestricted: bool, virtual_8086: bool) -> None:
+    """Guest segment-register checks (SDM 26.3.1.2)."""
+    segments = {name: read_segment(vmcs, name) for name in F.SEGMENT_AR_FIELDS}
+    cs, ss, tr, ldtr = segments["cs"], segments["ss"], segments["tr"], segments["ldtr"]
+
+    if virtual_8086:
+        # In v8086 mode every segment must look like base = selector<<4,
+        # limit 0xFFFF, AR 0xF3.
+        for name, seg in segments.items():
+            if name in ("ldtr", "tr"):
+                continue
+            if seg.base != (seg.selector << 4) & 0xFFFF0:
+                bad(f"guest_{name}_base", "v8086 base must equal selector<<4")
+            if seg.limit != 0xFFFF:
+                bad(f"guest_{name}_limit", "v8086 limit must be 0xFFFF")
+            if seg.access_rights != 0xF3:
+                bad(f"guest_{name}_ar_bytes", "v8086 AR must be 0xF3")
+        return
+
+    if tr.unusable:
+        bad("guest_tr_ar_bytes", "TR must be usable")
+    else:
+        if ia32e_guest and tr.seg_type != 0xB:
+            bad("guest_tr_ar_bytes", "TR type must be 64-bit busy TSS")
+        if not ia32e_guest and tr.seg_type not in (0x3, 0xB):
+            bad("guest_tr_ar_bytes", "TR type must be busy TSS")
+        if tr.s:
+            bad("guest_tr_ar_bytes", "TR must be a system descriptor")
+        if not tr.present:
+            bad("guest_tr_ar_bytes", "TR must be present")
+        if not granularity_consistent(tr.limit, tr.access_rights):
+            bad("guest_tr_limit", "limit/granularity inconsistent")
+    if tr.selector & 0x4:
+        bad("guest_tr_selector", "TI bit must be zero")
+
+    if not ldtr.unusable:
+        if ldtr.seg_type != 0x2:
+            bad("guest_ldtr_ar_bytes", "LDTR type must be LDT")
+        if ldtr.s:
+            bad("guest_ldtr_ar_bytes", "LDTR must be a system descriptor")
+        if not ldtr.present:
+            bad("guest_ldtr_ar_bytes", "LDTR must be present")
+        if ldtr.selector & 0x4:
+            bad("guest_ldtr_selector", "TI bit must be zero")
+        if not granularity_consistent(ldtr.limit, ldtr.access_rights):
+            bad("guest_ldtr_limit", "limit/granularity inconsistent")
+
+    if cs.unusable:
+        bad("guest_cs_ar_bytes", "CS must be usable")
+        return
+
+    if not cs.is_code():
+        if not (unrestricted and cs.seg_type == 0x3):
+            bad("guest_cs_ar_bytes", "CS must be a code segment")
+    if not cs.s:
+        bad("guest_cs_ar_bytes", "CS must be a code/data descriptor")
+    if not cs.present:
+        bad("guest_cs_ar_bytes", "CS must be present")
+    if cs.long_mode and cs.db:
+        bad("guest_cs_ar_bytes", "CS.L and CS.D/B may not both be set")
+    if ia32e_guest and not cs.long_mode and not unrestricted:
+        # Compatibility-mode code is fine; nothing to flag. (Intentional
+        # no-op branch kept for symmetry with the SDM's case analysis.)
+        pass
+    if not granularity_consistent(cs.limit, cs.access_rights):
+        bad("guest_cs_limit", "limit/granularity inconsistent")
+
+    # CS/SS privilege interaction.
+    if cs.seg_type in (0x9, 0xB):  # non-conforming
+        if not ss.unusable and cs.dpl != ss.dpl:
+            bad("guest_cs_ar_bytes", "non-conforming CS.DPL must equal SS.DPL")
+    elif cs.seg_type in (0xD, 0xF):  # conforming
+        if not ss.unusable and cs.dpl > ss.dpl:
+            bad("guest_cs_ar_bytes", "conforming CS.DPL must be <= SS.DPL")
+    elif cs.seg_type == 0x3 and cs.dpl != 0:
+        bad("guest_cs_ar_bytes", "type-3 CS requires DPL 0")
+
+    if not ss.unusable:
+        if ss.seg_type not in (0x3, 0x7):
+            bad("guest_ss_ar_bytes", "SS must be writable data")
+        if not ss.present:
+            bad("guest_ss_ar_bytes", "SS must be present")
+        if not granularity_consistent(ss.limit, ss.access_rights):
+            bad("guest_ss_limit", "limit/granularity inconsistent")
+        if not unrestricted and ss.rpl != cs.rpl:
+            bad("guest_ss_selector", "SS.RPL must equal CS.RPL")
+        if ss.dpl != ss.rpl and not unrestricted and cs.seg_type != 0x3:
+            bad("guest_ss_ar_bytes", "SS.DPL must equal SS.RPL")
+
+    for name in ("ds", "es", "fs", "gs"):
+        seg = segments[name]
+        if seg.unusable:
+            continue
+        if not seg.s:
+            bad(f"guest_{name}_ar_bytes", "must be a code/data descriptor")
+        if not seg.seg_type & 1:
+            bad(f"guest_{name}_ar_bytes", "must be accessed")
+        if seg.is_code() and not seg.seg_type & 2:
+            bad(f"guest_{name}_ar_bytes", "code segment must be readable")
+        if not seg.present:
+            bad(f"guest_{name}_ar_bytes", "must be present")
+        if not granularity_consistent(seg.limit, seg.access_rights):
+            bad(f"guest_{name}_limit", "limit/granularity inconsistent")
+        if seg.access_rights & AccessRights.RESERVED:
+            bad(f"guest_{name}_ar_bytes", "reserved AR bits set")
+
+    for name in ("cs", "ss", "tr", "ldtr"):
+        seg = segments[name]
+        if not seg.unusable and seg.access_rights & AccessRights.RESERVED:
+            bad(f"guest_{name}_ar_bytes", "reserved AR bits set")
+
+    # Base canonicality in 64-bit contexts.
+    for name in ("tr", "fs", "gs"):
+        if not is_canonical(segments[name].base):
+            bad(f"guest_{name}_base", "base not canonical")
+    if not segments["ldtr"].unusable and not is_canonical(ldtr.base):
+        bad("guest_ldtr_base", "base not canonical")
+    if cs.base & ~0xFFFFFFFF:
+        bad("guest_cs_base", "bits 63:32 must be zero")
+    for name in ("ss", "ds", "es"):
+        seg = segments[name]
+        if not seg.unusable and seg.base & ~0xFFFFFFFF:
+            bad(f"guest_{name}_base", "bits 63:32 must be zero")
+
+
+# --------------------------------------------------------------------------
+# SDM 26.4 — MSR-load area checks (performed after guest-state load)
+# --------------------------------------------------------------------------
+
+def check_msr_load_area(entries: list[MsrEntry]) -> list[Violation]:
+    """Validate a VM-entry MSR-load area; failures yield exit reason 34."""
+    v: list[Violation] = []
+    for slot, entry in enumerate(entries):
+        if entry.reserved:
+            v.append(Violation(CheckStage.MSR_LOAD, f"msr_load[{slot}]",
+                               "reserved dword must be zero"))
+        if entry.index in MSR.MSR_LOAD_FORBIDDEN:
+            v.append(Violation(CheckStage.MSR_LOAD, f"msr_load[{slot}]",
+                               f"MSR {entry.index:#x} may not be loaded here"))
+        if entry.index in MSR.CANONICAL_MSRS and not is_canonical(entry.value):
+            v.append(Violation(CheckStage.MSR_LOAD, f"msr_load[{slot}]",
+                               f"non-canonical value {entry.value:#x} "
+                               f"for MSR {entry.index:#x}"))
+    return v
+
+
+def check_all(vmcs: Vmcs, caps: VmxCapabilities,
+              msr_entries: list[MsrEntry] | None = None) -> list[Violation]:
+    """Run every entry-check group in architectural order.
+
+    Hardware stops at the first failing *group*; we mirror that: control
+    violations suppress host checks, and so on, matching what an L1
+    hypervisor can observe.
+    """
+    violations = check_vm_controls(vmcs, caps)
+    if violations:
+        return violations
+    violations = check_host_state(vmcs, caps)
+    if violations:
+        return violations
+    violations = check_guest_state(vmcs, caps)
+    if violations:
+        return violations
+    if msr_entries:
+        violations = check_msr_load_area(msr_entries)
+    return violations

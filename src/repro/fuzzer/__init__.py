@@ -1,0 +1,18 @@
+"""Coverage-guided fuzzing engine (the AFL++ role in the paper)."""
+
+from repro.fuzzer.engine import EngineStats, FuzzEngine, RunFeedback
+from repro.fuzzer.input import INPUT_SIZE, FuzzInput, InputCursor
+from repro.fuzzer.queue import QueueEntry, SeedQueue
+from repro.fuzzer.rng import Rng
+
+__all__ = [
+    "FuzzEngine",
+    "RunFeedback",
+    "EngineStats",
+    "FuzzInput",
+    "InputCursor",
+    "INPUT_SIZE",
+    "SeedQueue",
+    "QueueEntry",
+    "Rng",
+]

@@ -1,0 +1,142 @@
+"""Coverage-guided fuzzing main loop (the AFL++ role).
+
+The engine owns the seed queue and the virgin map; the *executor
+callback* (provided by the agent) runs one input against the target and
+reports back a :class:`RunFeedback`. Setting ``coverage_guided=False``
+turns the engine into the breadth-first black-box fuzzer evaluated in
+Table 5: inputs are fresh mutations of the seeds and the feedback bitmap
+is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.coverage.bitmap import CoverageBitmap, VirginMap
+from repro.fuzzer.input import (
+    CONFIG_REGION,
+    HARNESS_REGION,
+    INPUT_SIZE,
+    MUTATION_REGION,
+    VM_STATE_REGION,
+    FuzzInput,
+)
+from repro.fuzzer.mutators import havoc, region_havoc, splice
+
+#: The partitions region-aware havoc keeps in motion.
+_REGIONS = (VM_STATE_REGION, MUTATION_REGION, HARNESS_REGION, CONFIG_REGION)
+from repro.fuzzer.queue import SeedQueue
+from repro.fuzzer.rng import Rng
+
+
+@dataclass
+class RunFeedback:
+    """What one target execution reported back to the engine."""
+
+    bitmap: CoverageBitmap
+    crashed: bool = False
+    anomaly: str | None = None
+
+
+@dataclass
+class EngineStats:
+    """Campaign counters."""
+
+    iterations: int = 0
+    queue_adds: int = 0
+    crashes: int = 0
+    anomalies: int = 0
+    last_find: int = 0
+
+
+ExecuteFn = Callable[[FuzzInput], RunFeedback]
+
+
+@dataclass
+class FuzzEngine:
+    """The fuzzing loop."""
+
+    execute: ExecuteFn
+    rng: Rng
+    coverage_guided: bool = True
+    queue: SeedQueue = field(default_factory=SeedQueue)
+    virgin: VirginMap = field(default_factory=VirginMap)
+    stats: EngineStats = field(default_factory=EngineStats)
+    crash_inputs: list[tuple[FuzzInput, str]] = field(default_factory=list)
+
+    def add_seed(self, data: bytes) -> None:
+        """Register one initial seed."""
+        self.queue.add_seed(FuzzInput.normalize(data))
+
+    def _next_input(self) -> FuzzInput:
+        """Produce the next candidate via seed selection + mutation."""
+        if not len(self.queue):
+            return FuzzInput(self.rng.bytes(INPUT_SIZE))
+        entry = self.queue.pick(self.rng)
+        data = entry.data
+        if len(self.queue) > 1 and self.rng.chance(0.1):
+            partner = self.queue.pick_other(self.rng, entry)
+            data = splice(data, partner.data, self.rng)
+        data = havoc(data, self.rng)
+        return FuzzInput(region_havoc(data, self.rng, _REGIONS))
+
+    def step(self) -> RunFeedback:
+        """One fuzzing iteration: mutate, execute, triage."""
+        self.stats.iterations += 1
+        candidate = self._next_input()
+        feedback = self.execute(candidate)
+        if feedback.crashed or feedback.anomaly:
+            self.stats.crashes += feedback.crashed
+            self.stats.anomalies += feedback.anomaly is not None
+            self.crash_inputs.append((candidate, feedback.anomaly or "crash"))
+        if self.coverage_guided:
+            new_bits = self.virgin.has_new_bits(feedback.bitmap)
+            if new_bits:
+                self.queue.add_finding(candidate.data, self.stats.iterations,
+                                       new_bits)
+                self.stats.queue_adds += 1
+                self.stats.last_find = self.stats.iterations
+        else:
+            # Black-box mode still merges the map so external observers
+            # can measure coverage, but scheduling ignores it.
+            self.virgin.has_new_bits(feedback.bitmap)
+        return feedback
+
+    def run(self, iterations: int) -> EngineStats:
+        """Run *iterations* fuzzing steps."""
+        for _ in range(iterations):
+            self.step()
+        return self.stats
+
+    # --- corpus persistence (AFL queue-directory style) -----------------
+
+    def save_corpus(self, directory) -> int:
+        """Write every queue entry to *directory* as ``id:NNNNNN`` files.
+
+        Returns the number of entries written. The format matches AFL's
+        queue directory closely enough to eyeball with the same habits.
+        """
+        from pathlib import Path
+
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        for index, entry in enumerate(self.queue.entries):
+            suffix = f",found:{entry.found_at}" if entry.found_at else ",seed"
+            (path / f"id:{index:06d}{suffix}").write_bytes(entry.data)
+        return len(self.queue.entries)
+
+    def load_corpus(self, directory) -> int:
+        """Seed the queue from a directory written by :meth:`save_corpus`.
+
+        Returns the number of inputs loaded. Files are loaded in sorted
+        order so resumed campaigns are deterministic.
+        """
+        from pathlib import Path
+
+        count = 0
+        for file in sorted(Path(directory).iterdir()):
+            if file.is_file():
+                self.add_seed(file.read_bytes())
+                count += 1
+        return count

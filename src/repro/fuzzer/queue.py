@@ -1,0 +1,66 @@
+"""Seed queue with AFL-style favored-entry scheduling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fuzzer.rng import Rng
+
+
+@dataclass
+class QueueEntry:
+    """One queued seed."""
+
+    data: bytes
+    found_at: int            # iteration number when discovered
+    new_bits: int            # 2 = new edge, 1 = new bucket, 0 = initial seed
+    exercised: int = 0       # times picked for mutation
+    favored: bool = False
+
+
+@dataclass
+class SeedQueue:
+    """The fuzzer's corpus.
+
+    A light version of AFL's culling: entries that found brand-new edges
+    are favored; picking prefers favored, under-exercised entries.
+    """
+
+    entries: list[QueueEntry] = field(default_factory=list)
+
+    def add_seed(self, data: bytes) -> QueueEntry:
+        """Add an initial seed (always kept, never favored)."""
+        entry = QueueEntry(data, found_at=0, new_bits=0)
+        self.entries.append(entry)
+        return entry
+
+    def add_finding(self, data: bytes, iteration: int, new_bits: int) -> QueueEntry:
+        """Add an input that produced new coverage."""
+        entry = QueueEntry(data, found_at=iteration, new_bits=new_bits,
+                           favored=new_bits == 2)
+        self.entries.append(entry)
+        return entry
+
+    def pick(self, rng: Rng) -> QueueEntry:
+        """Select the next entry to mutate."""
+        if not self.entries:
+            raise RuntimeError("empty seed queue")
+        favored = [e for e in self.entries if e.favored and e.exercised < 32]
+        pool = favored if favored and rng.chance(0.75) else self.entries
+        entry = rng.choice(pool)
+        entry.exercised += 1
+        return entry
+
+    def pick_other(self, rng: Rng, entry: QueueEntry) -> QueueEntry:
+        """A second, different entry (splice partner); may equal *entry*
+        when the queue has a single element."""
+        if len(self.entries) == 1:
+            return entry
+        for _ in range(4):
+            other = rng.choice(self.entries)
+            if other is not entry:
+                return other
+        return entry
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,35 @@
+"""Simulated L0 hypervisors — the fuzz targets (KVM, Xen, VirtualBox)."""
+
+from repro.hypervisors.base import (
+    ExecResult,
+    GuestInstruction,
+    L0Hypervisor,
+    SanitizerEvent,
+    SanitizerKind,
+    VcpuConfig,
+    VmCrash,
+)
+from repro.hypervisors.kvm import KvmHypervisor
+from repro.hypervisors.vbox import VboxHypervisor
+from repro.hypervisors.xen import XenHypervisor
+
+#: Registry used by the agent and the configurator adapters.
+HYPERVISORS = {
+    "kvm": KvmHypervisor,
+    "xen": XenHypervisor,
+    "virtualbox": VboxHypervisor,
+}
+
+__all__ = [
+    "L0Hypervisor",
+    "KvmHypervisor",
+    "XenHypervisor",
+    "VboxHypervisor",
+    "HYPERVISORS",
+    "VcpuConfig",
+    "GuestInstruction",
+    "ExecResult",
+    "SanitizerEvent",
+    "SanitizerKind",
+    "VmCrash",
+]

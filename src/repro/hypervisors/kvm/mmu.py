@@ -1,0 +1,90 @@
+"""KVM MMU model: root validation, shadow paging, PDPTE loading.
+
+Two of the paper's KVM findings live here:
+
+* **CVE-2023-30456** (§5.5.1): with EPT disabled, a VMCS12 combining the
+  "IA-32e mode guest" entry control with ``guest CR4.PAE = 0`` passes the
+  (buggy) consistency checks; KVM then "interprets CR4.PAE literally and
+  mismanages page tables" — modelled as an out-of-bounds index into the
+  4-entry PDPTE cache during the L2 page walk, reported by UBSAN.
+
+* **Shadow-root bug** (§5.5.1, second bug / Table 6 #3): an invalid EPT
+  pointer makes ``mmu_check_root()`` fail, and pre-patch KVM responds
+  with a *triple-fault VM exit even though the L2 VM never started*. The
+  fix [10] loads a dummy root backed by the zero page instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.paging import PdpteCache, pae_pdpte_index
+from repro.hypervisors.memory import GuestMemory
+
+
+@dataclass
+class MmuRoot:
+    """The active paging root for one vCPU context."""
+
+    hpa: int
+    dummy: bool = False
+
+
+@dataclass
+class KvmMmu:
+    """Per-vCPU MMU state (struct kvm_mmu, heavily abridged)."""
+
+    memory: GuestMemory
+    pdptrs: PdpteCache = field(default_factory=PdpteCache)
+    root: MmuRoot | None = None
+
+    #: The zero page used by the patched dummy-root path.
+    ZERO_PAGE_HPA = 0x0
+
+    def mmu_check_root(self, root_gpa: int) -> bool:
+        """Validate that a guest paging root refers to visible memory.
+
+        Mirrors KVM's ``mmu_check_root()``: the root must fall inside a
+        memslot (our guest RAM window) — a format-valid pointer into
+        unbacked space still fails here.
+        """
+        return self.memory.in_guest_ram(root_gpa)
+
+    def load_root(self, root_gpa: int, *, dummy_root_patch: bool) -> bool:
+        """Load a new paging root, applying the dummy-root fix if enabled.
+
+        Returns True when a usable root is installed. Pre-patch, an
+        invisible root installs nothing and the caller mis-handles the
+        failure; post-patch we install a dummy root backed by the zero
+        page so later guest accesses take a clean fault.
+        """
+        if self.mmu_check_root(root_gpa):
+            self.root = MmuRoot(root_gpa & ~0xFFF)
+            return True
+        if dummy_root_patch:
+            self.root = MmuRoot(self.ZERO_PAGE_HPA, dummy=True)
+            return True
+        self.root = None
+        return False
+
+    def load_pdptrs(self, cr3: int, *, believed_long_mode: bool,
+                    pae_enabled: bool, walk_address: int) -> int | None:
+        """Load the PAE PDPTE cache for a guest page walk.
+
+        Returns the index written when it was out of bounds (the UBSAN
+        condition), or None when the load was clean. The index KVM uses
+        depends on the paging mode it *believes* the guest is in; the
+        CVE-2023-30456 confusion is ``believed_long_mode=True`` while the
+        PDPTE cache (sized for ``pae_enabled`` legacy paging) is active.
+        """
+        if believed_long_mode and not pae_enabled:
+            # KVM takes CR4.PAE literally: the walk uses long-mode index
+            # bits against the 4-entry legacy cache.
+            index = pae_pdpte_index(walk_address, long_mode_guest=True)
+            self.pdptrs.load(index, cr3 | 0x1)
+            if self.pdptrs.oob_write is not None:
+                return index
+            return None
+        index = pae_pdpte_index(walk_address, long_mode_guest=False)
+        self.pdptrs.load(index, cr3 | 0x1)
+        return None

@@ -1,0 +1,96 @@
+"""Guest-physical memory model for the fuzz-harness VM.
+
+The L1 guest owns a small physical address space in which it places its
+VMXON region, VMCS12/VMCB12 images, bitmaps, and MSR-load/store areas.
+L0 must be able to read those structures during emulation — and must
+refuse to let VMCS12 point into L0-reserved memory (the isolation rule
+from paper §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.msr import MsrEntry
+from repro.svm.vmcb import Vmcb
+from repro.vmx.vmcs import Vmcs
+
+PAGE_SIZE = 4096
+
+#: Guest-physical window assigned to the L1 VM.
+GUEST_RAM_BASE = 0x0
+GUEST_RAM_SIZE = 0x1000_0000  # 256 MiB
+
+#: Host-physical region backing L0 itself; a VMCS12 pointer translated
+#: into this window must be rejected by the nested code.
+L0_RESERVED_BASE = 0xF000_0000
+L0_RESERVED_SIZE = 0x1000_0000
+
+
+@dataclass
+class GuestMemory:
+    """Sparse typed guest memory: structures live at page granularity."""
+
+    def __init__(self) -> None:
+        self.vmcs_pages: dict[int, Vmcs] = {}
+        self.vmcb_pages: dict[int, Vmcb] = {}
+        self.msr_areas: dict[int, list[MsrEntry]] = {}
+        self.raw_pages: dict[int, bytes] = {}
+
+    # --- address classification ----------------------------------------------
+
+    @staticmethod
+    def in_guest_ram(gpa: int) -> bool:
+        """True when *gpa* falls in the guest RAM window."""
+        return GUEST_RAM_BASE <= gpa < GUEST_RAM_BASE + GUEST_RAM_SIZE
+
+    @staticmethod
+    def in_l0_reserved(gpa: int) -> bool:
+        """True when *gpa* falls in L0's reserved window."""
+        return L0_RESERVED_BASE <= gpa < L0_RESERVED_BASE + L0_RESERVED_SIZE
+
+    # --- typed accessors ----------------------------------------------------------
+
+    def put_vmcs(self, gpa: int, vmcs: Vmcs) -> None:
+        """Place a VMCS image at *gpa* (page-aligned)."""
+        self.vmcs_pages[gpa & ~(PAGE_SIZE - 1)] = vmcs
+
+    def get_vmcs(self, gpa: int) -> Vmcs | None:
+        """The VMCS at *gpa*, or None."""
+        return self.vmcs_pages.get(gpa & ~(PAGE_SIZE - 1))
+
+    def ensure_vmcs(self, gpa: int, revision_id: int = 0x12) -> Vmcs:
+        """Return the VMCS at *gpa*, materialising an empty one if needed."""
+        key = gpa & ~(PAGE_SIZE - 1)
+        if key not in self.vmcs_pages:
+            self.vmcs_pages[key] = Vmcs(revision_id)
+        return self.vmcs_pages[key]
+
+    def put_vmcb(self, gpa: int, vmcb: Vmcb) -> None:
+        """Place a VMCB image at *gpa* (page-aligned)."""
+        self.vmcb_pages[gpa & ~(PAGE_SIZE - 1)] = vmcb
+
+    def get_vmcb(self, gpa: int) -> Vmcb | None:
+        """The VMCB at *gpa*, or None."""
+        return self.vmcb_pages.get(gpa & ~(PAGE_SIZE - 1))
+
+    def put_msr_area(self, gpa: int, entries: list[MsrEntry]) -> None:
+        """Place a VM-entry/exit MSR area at *gpa* (16-byte aligned)."""
+        self.msr_areas[gpa & ~0xF] = list(entries)
+
+    #: Architectural bound on VM-entry/exit MSR-area length (SDM 26.4
+    #: caps the recommended count at 512; we refuse to materialise more).
+    MSR_AREA_MAX = 512
+
+    def get_msr_area(self, gpa: int, count: int) -> list[MsrEntry]:
+        """Read *count* MSR slots from *gpa* (missing slots read as zero).
+
+        The count is clamped to :attr:`MSR_AREA_MAX` — a fuzzed count
+        field must never translate into an unbounded allocation.
+        """
+        count = min(count, self.MSR_AREA_MAX)
+        area = self.msr_areas.get(gpa & ~0xF, [])
+        out = list(area[:count])
+        while len(out) < count:
+            out.append(MsrEntry(0, 0))
+        return out

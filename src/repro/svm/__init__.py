@@ -1,0 +1,6 @@
+"""AMD-V data model: VMCB layout, intercept bits, exit codes."""
+
+from repro.svm.exit_codes import SvmExitCode
+from repro.svm.vmcb import Vmcb
+
+__all__ = ["Vmcb", "SvmExitCode"]

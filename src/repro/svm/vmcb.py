@@ -1,0 +1,134 @@
+"""The VM control block (VMCB) object — AMD-V's counterpart to the VMCS."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.arch.bits import bytes_hamming, truncate
+from repro.arch.registers import Cr0, Efer
+from repro.svm import fields as F
+from repro.svm.fields import ALL_FIELDS, LAYOUT_BYTES, SPEC_BY_NAME, VmcbField
+
+
+class Vmcb:
+    """One VM control block.
+
+    Unlike the VMCS, the VMCB is addressed by plain field names — AMD-V
+    has no vmread/vmwrite indirection; software reads and writes the
+    structure directly in memory.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[str, int] = {spec.name: 0 for spec in ALL_FIELDS}
+
+    def read(self, name: str) -> int:
+        """Read a field by name."""
+        if name not in self._values:
+            raise KeyError(f"unknown VMCB field {name!r}")
+        return self._values[name]
+
+    def write(self, name: str, value: int) -> None:
+        """Write a field by name, truncating to the field width."""
+        spec = SPEC_BY_NAME.get(name)
+        if spec is None:
+            raise KeyError(f"unknown VMCB field {name!r}")
+        self._values[name] = truncate(value, spec.bits)
+
+    def __getitem__(self, name: str) -> int:
+        return self.read(name)
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self.write(name, value)
+
+    def fields(self) -> Iterator[tuple[VmcbField, int]]:
+        """Iterate (spec, value) pairs in canonical layout order."""
+        for spec in ALL_FIELDS:
+            yield spec, self._values[spec.name]
+
+    # --- convenience predicates used by emulation code ---------------------
+
+    @property
+    def nested_paging(self) -> bool:
+        """True when the NP_ENABLE control bit is set."""
+        return bool(self._values[F.NP_CONTROL] & F.NpControl.NP_ENABLE)
+
+    @property
+    def long_mode_active(self) -> bool:
+        """True when EFER.LMA is set in the save area."""
+        return bool(self._values[F.EFER] & Efer.LMA)
+
+    @property
+    def paging_enabled(self) -> bool:
+        """True when CR0.PG is set in the save area."""
+        return bool(self._values[F.CR0] & Cr0.PG)
+
+    @property
+    def vgif_enabled(self) -> bool:
+        """True when the VGIF feature-enable bit is set."""
+        return bool(self._values[F.VINTR_CONTROL] & F.VintrControl.V_GIF_ENABLE)
+
+    @property
+    def vgif_value(self) -> bool:
+        """The virtual GIF value (meaningful only with VGIF)."""
+        return bool(self._values[F.VINTR_CONTROL] & F.VintrControl.V_GIF)
+
+    @property
+    def avic_enabled(self) -> bool:
+        """True when the AVIC-enable bit is set."""
+        return bool(self._values[F.VINTR_CONTROL] & F.VintrControl.AVIC_ENABLE)
+
+    # --- whole-structure operations ----------------------------------------
+
+    def copy(self) -> "Vmcb":
+        """Deep copy."""
+        dup = Vmcb()
+        dup._values = dict(self._values)
+        return dup
+
+    def diff(self, other: "Vmcb") -> list[tuple[VmcbField, int, int]]:
+        """Fields whose values differ, as (spec, self_value, other_value)."""
+        return [
+            (spec, self._values[spec.name], other._values[spec.name])
+            for spec in ALL_FIELDS
+            if self._values[spec.name] != other._values[spec.name]
+        ]
+
+    def serialize(self) -> bytes:
+        """Pack every field into the canonical little-endian layout."""
+        out = bytearray()
+        for spec in ALL_FIELDS:
+            nbytes = (spec.bits + 7) // 8
+            out += self._values[spec.name].to_bytes(nbytes, "little")
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, raw: bytes) -> "Vmcb":
+        """Unpack a serialised layout; short input raises ValueError."""
+        if len(raw) < LAYOUT_BYTES:
+            raise ValueError(
+                f"need {LAYOUT_BYTES} bytes for a VMCB image, got {len(raw)}"
+            )
+        vmcb = cls()
+        offset = 0
+        for spec in ALL_FIELDS:
+            nbytes = (spec.bits + 7) // 8
+            value = int.from_bytes(raw[offset:offset + nbytes], "little")
+            vmcb._values[spec.name] = truncate(value, spec.bits)
+            offset += nbytes
+        return vmcb
+
+    def hamming(self, other: "Vmcb") -> int:
+        """Bitwise Hamming distance over the serialised layout."""
+        return bytes_hamming(self.serialize(), other.serialize())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vmcb):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self.serialize())
+
+    def __repr__(self) -> str:
+        nonzero = sum(1 for v in self._values.values() if v)
+        return f"<Vmcb nonzero_fields={nonzero}/{len(self._values)}>"

@@ -1,0 +1,19 @@
+"""Bochs-derived VM state validator with hardware-oracle correction."""
+
+from repro.validator.base import Correction
+from repro.validator.golden import golden_vmcb, golden_vmcs
+from repro.validator.oracle import HardwareOracle, OracleReport
+from repro.validator.rounding import RoundingReport, VmStateValidator
+from repro.validator.svm_validator import SvmHardwareOracle, VmcbValidator
+
+__all__ = [
+    "Correction",
+    "VmStateValidator",
+    "RoundingReport",
+    "HardwareOracle",
+    "OracleReport",
+    "VmcbValidator",
+    "SvmHardwareOracle",
+    "golden_vmcs",
+    "golden_vmcb",
+]

@@ -1,0 +1,55 @@
+"""Shared types for the Bochs-derived VM state validator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vmx import fields as F
+from repro.vmx.vmcs import Vmcs
+
+
+@dataclass(frozen=True)
+class Correction:
+    """One rounding step applied by the validator.
+
+    ``rule`` names the specification clause (or Bochs routine) that
+    motivated the fix; the before/after pair makes the rounding auditable
+    and feeds the Hamming-distance experiments.
+    """
+
+    field: str
+    before: int
+    after: int
+    rule: str
+
+    def __str__(self) -> str:
+        return f"{self.field}: {self.before:#x} -> {self.after:#x} ({self.rule})"
+
+
+class Rounder:
+    """Helper that applies and records field corrections on one VMCS."""
+
+    def __init__(self, vmcs: Vmcs) -> None:
+        self.vmcs = vmcs
+        self.corrections: list[Correction] = []
+
+    def force(self, encoding: int, value: int, rule: str) -> None:
+        """Set a field to *value*, recording a correction when it changes."""
+        before = self.vmcs.read(encoding)
+        spec = F.SPEC_BY_ENCODING[encoding]
+        after = value & ((1 << spec.bits) - 1)
+        if before != after:
+            self.vmcs.write(encoding, after)
+            self.corrections.append(Correction(spec.name, before, after, rule))
+
+    def set_bits(self, encoding: int, bits: int, rule: str) -> None:
+        """OR *bits* into a field."""
+        self.force(encoding, self.vmcs.read(encoding) | bits, rule)
+
+    def clear_bits(self, encoding: int, bits: int, rule: str) -> None:
+        """Clear *bits* in a field."""
+        self.force(encoding, self.vmcs.read(encoding) & ~bits, rule)
+
+    def read(self, encoding: int) -> int:
+        """Read a field of the VMCS being rounded."""
+        return self.vmcs.read(encoding)

@@ -1,0 +1,14 @@
+"""Intel VT-x data model: VMCS layout, control bits, capability MSRs."""
+
+from repro.vmx.exit_reasons import ExitReason, VmInstructionError
+from repro.vmx.msr_caps import VmxCapabilities, capabilities_for_features, default_capabilities
+from repro.vmx.vmcs import Vmcs
+
+__all__ = [
+    "Vmcs",
+    "ExitReason",
+    "VmInstructionError",
+    "VmxCapabilities",
+    "capabilities_for_features",
+    "default_capabilities",
+]

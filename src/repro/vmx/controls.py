@@ -1,0 +1,189 @@
+"""VMX control field bit definitions (SDM Vol. 3, Chapter 24).
+
+Each control field has *allowed-0* and *allowed-1* settings advertised by
+the IA32_VMX_* capability MSRs: bits that must be 1 (reserved-1) and bits
+that may be 1. The hypervisor must consult these before writing control
+fields — incorrect reserved bits are the canonical "obvious error" that
+the paper's validator rounds away.
+"""
+
+from __future__ import annotations
+
+from repro.arch.bits import bit
+
+
+class PinBased:
+    """Pin-based VM-execution controls."""
+
+    EXT_INTR_EXITING = bit(0)
+    NMI_EXITING = bit(3)
+    VIRTUAL_NMIS = bit(5)
+    PREEMPTION_TIMER = bit(6)
+    POSTED_INTERRUPTS = bit(7)
+
+    #: Default-1 class reserved bits (must be 1 without TRUE_* MSRs).
+    DEFAULT1 = bit(1) | bit(2) | bit(4)
+    KNOWN = (EXT_INTR_EXITING | NMI_EXITING | VIRTUAL_NMIS | PREEMPTION_TIMER
+             | POSTED_INTERRUPTS | DEFAULT1)
+
+
+class ProcBased:
+    """Primary processor-based VM-execution controls."""
+
+    INTR_WINDOW_EXITING = bit(2)
+    USE_TSC_OFFSETTING = bit(3)
+    HLT_EXITING = bit(7)
+    INVLPG_EXITING = bit(9)
+    MWAIT_EXITING = bit(10)
+    RDPMC_EXITING = bit(11)
+    RDTSC_EXITING = bit(12)
+    CR3_LOAD_EXITING = bit(15)
+    CR3_STORE_EXITING = bit(16)
+    CR8_LOAD_EXITING = bit(19)
+    CR8_STORE_EXITING = bit(20)
+    USE_TPR_SHADOW = bit(21)
+    NMI_WINDOW_EXITING = bit(22)
+    MOV_DR_EXITING = bit(23)
+    UNCOND_IO_EXITING = bit(24)
+    USE_IO_BITMAPS = bit(25)
+    MONITOR_TRAP_FLAG = bit(27)
+    USE_MSR_BITMAPS = bit(28)
+    MONITOR_EXITING = bit(29)
+    PAUSE_EXITING = bit(30)
+    ACTIVATE_SECONDARY_CONTROLS = bit(31)
+
+    DEFAULT1 = bit(1) | bit(4) | bit(5) | bit(6) | bit(8) | bit(13) | bit(14) | bit(26)
+    KNOWN = (INTR_WINDOW_EXITING | USE_TSC_OFFSETTING | HLT_EXITING
+             | INVLPG_EXITING | MWAIT_EXITING | RDPMC_EXITING | RDTSC_EXITING
+             | CR3_LOAD_EXITING | CR3_STORE_EXITING | CR8_LOAD_EXITING
+             | CR8_STORE_EXITING | USE_TPR_SHADOW | NMI_WINDOW_EXITING
+             | MOV_DR_EXITING | UNCOND_IO_EXITING | USE_IO_BITMAPS
+             | MONITOR_TRAP_FLAG | USE_MSR_BITMAPS | MONITOR_EXITING
+             | PAUSE_EXITING | ACTIVATE_SECONDARY_CONTROLS | DEFAULT1)
+
+
+class Secondary:
+    """Secondary processor-based VM-execution controls."""
+
+    VIRTUALIZE_APIC_ACCESSES = bit(0)
+    ENABLE_EPT = bit(1)
+    DESC_TABLE_EXITING = bit(2)
+    ENABLE_RDTSCP = bit(3)
+    VIRTUALIZE_X2APIC = bit(4)
+    ENABLE_VPID = bit(5)
+    WBINVD_EXITING = bit(6)
+    UNRESTRICTED_GUEST = bit(7)
+    APIC_REGISTER_VIRT = bit(8)
+    VIRTUAL_INTR_DELIVERY = bit(9)
+    PAUSE_LOOP_EXITING = bit(10)
+    RDRAND_EXITING = bit(11)
+    ENABLE_INVPCID = bit(12)
+    ENABLE_VMFUNC = bit(13)
+    SHADOW_VMCS = bit(14)
+    ENCLS_EXITING = bit(15)
+    RDSEED_EXITING = bit(16)
+    ENABLE_PML = bit(17)
+    EPT_VIOLATION_VE = bit(18)
+    CONCEAL_VMX_FROM_PT = bit(19)
+    ENABLE_XSAVES = bit(20)
+    MODE_BASED_EPT_EXEC = bit(22)
+    SUB_PAGE_PERMISSIONS = bit(23)
+    PT_USE_GPA = bit(24)
+    USE_TSC_SCALING = bit(25)
+    ENABLE_USER_WAIT_PAUSE = bit(26)
+    ENABLE_ENCLV_EXITING = bit(28)
+
+    DEFAULT1 = 0
+    KNOWN = (VIRTUALIZE_APIC_ACCESSES | ENABLE_EPT | DESC_TABLE_EXITING
+             | ENABLE_RDTSCP | VIRTUALIZE_X2APIC | ENABLE_VPID
+             | WBINVD_EXITING | UNRESTRICTED_GUEST | APIC_REGISTER_VIRT
+             | VIRTUAL_INTR_DELIVERY | PAUSE_LOOP_EXITING | RDRAND_EXITING
+             | ENABLE_INVPCID | ENABLE_VMFUNC | SHADOW_VMCS | ENCLS_EXITING
+             | RDSEED_EXITING | ENABLE_PML | EPT_VIOLATION_VE
+             | CONCEAL_VMX_FROM_PT | ENABLE_XSAVES | MODE_BASED_EPT_EXEC
+             | SUB_PAGE_PERMISSIONS | PT_USE_GPA | USE_TSC_SCALING
+             | ENABLE_USER_WAIT_PAUSE | ENABLE_ENCLV_EXITING)
+
+
+class EntryControls:
+    """VM-entry controls."""
+
+    LOAD_DEBUG_CONTROLS = bit(2)
+    IA32E_MODE_GUEST = bit(9)
+    ENTRY_TO_SMM = bit(10)
+    DEACTIVATE_DUAL_MONITOR = bit(11)
+    LOAD_PERF_GLOBAL_CTRL = bit(13)
+    LOAD_PAT = bit(14)
+    LOAD_EFER = bit(15)
+    LOAD_BNDCFGS = bit(16)
+    CONCEAL_VMX_FROM_PT = bit(17)
+    LOAD_RTIT_CTL = bit(18)
+    LOAD_CET_STATE = bit(20)
+    LOAD_PKRS = bit(22)
+
+    DEFAULT1 = bit(0) | bit(1) | bit(3) | bit(4) | bit(5) | bit(6) | bit(7) | bit(8)
+    KNOWN = (LOAD_DEBUG_CONTROLS | IA32E_MODE_GUEST | ENTRY_TO_SMM
+             | DEACTIVATE_DUAL_MONITOR | LOAD_PERF_GLOBAL_CTRL | LOAD_PAT
+             | LOAD_EFER | LOAD_BNDCFGS | CONCEAL_VMX_FROM_PT | LOAD_RTIT_CTL
+             | LOAD_CET_STATE | LOAD_PKRS | DEFAULT1)
+
+
+class ExitControls:
+    """VM-exit controls."""
+
+    SAVE_DEBUG_CONTROLS = bit(2)
+    HOST_ADDR_SPACE_SIZE = bit(9)  # 64-bit host
+    LOAD_PERF_GLOBAL_CTRL = bit(12)
+    ACK_INTR_ON_EXIT = bit(15)
+    SAVE_PAT = bit(18)
+    LOAD_PAT = bit(19)
+    SAVE_EFER = bit(20)
+    LOAD_EFER = bit(21)
+    SAVE_PREEMPTION_TIMER = bit(22)
+    CLEAR_BNDCFGS = bit(23)
+    CONCEAL_VMX_FROM_PT = bit(24)
+    CLEAR_RTIT_CTL = bit(25)
+    LOAD_CET_STATE = bit(28)
+    LOAD_PKRS = bit(29)
+
+    DEFAULT1 = (bit(0) | bit(1) | bit(3) | bit(4) | bit(5) | bit(6) | bit(7)
+                | bit(8) | bit(10) | bit(11) | bit(13) | bit(14) | bit(16) | bit(17))
+    KNOWN = (SAVE_DEBUG_CONTROLS | HOST_ADDR_SPACE_SIZE | LOAD_PERF_GLOBAL_CTRL
+             | ACK_INTR_ON_EXIT | SAVE_PAT | LOAD_PAT | SAVE_EFER | LOAD_EFER
+             | SAVE_PREEMPTION_TIMER | CLEAR_BNDCFGS | CONCEAL_VMX_FROM_PT
+             | CLEAR_RTIT_CTL | LOAD_CET_STATE | LOAD_PKRS | DEFAULT1)
+
+
+class ActivityState:
+    """Guest activity-state values (SDM 24.4.2).
+
+    SHUTDOWN and WAIT_FOR_SIPI are the auxiliary-processor states whose
+    blind propagation into VMCS02 is Xen bug #4 in the paper.
+    """
+
+    ACTIVE = 0
+    HLT = 1
+    SHUTDOWN = 2
+    WAIT_FOR_SIPI = 3
+
+    ALL = (ACTIVE, HLT, SHUTDOWN, WAIT_FOR_SIPI)
+
+
+class Interruptibility:
+    """Guest interruptibility-state bits (SDM 24.4.2)."""
+
+    STI_BLOCKING = bit(0)
+    MOV_SS_BLOCKING = bit(1)
+    SMI_BLOCKING = bit(2)
+    NMI_BLOCKING = bit(3)
+    ENCLAVE_INTERRUPTION = bit(4)
+
+    RESERVED = ~(STI_BLOCKING | MOV_SS_BLOCKING | SMI_BLOCKING | NMI_BLOCKING
+                 | ENCLAVE_INTERRUPTION) & ((1 << 32) - 1)
+
+
+class VmFunc:
+    """VM-function controls."""
+
+    EPTP_SWITCHING = bit(0)
+    KNOWN = EPTP_SWITCHING

@@ -1,0 +1,126 @@
+"""VM-exit reason codes (SDM Appendix C) and VM-instruction errors."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.arch.bits import bit
+
+
+class ExitReason(IntEnum):
+    """Basic exit reasons — the low 16 bits of the VM-exit reason field."""
+
+    EXCEPTION_NMI = 0
+    EXTERNAL_INTERRUPT = 1
+    TRIPLE_FAULT = 2
+    INIT_SIGNAL = 3
+    SIPI = 4
+    IO_SMI = 5
+    OTHER_SMI = 6
+    INTERRUPT_WINDOW = 7
+    NMI_WINDOW = 8
+    TASK_SWITCH = 9
+    CPUID = 10
+    GETSEC = 11
+    HLT = 12
+    INVD = 13
+    INVLPG = 14
+    RDPMC = 15
+    RDTSC = 16
+    RSM = 17
+    VMCALL = 18
+    VMCLEAR = 19
+    VMLAUNCH = 20
+    VMPTRLD = 21
+    VMPTRST = 22
+    VMREAD = 23
+    VMRESUME = 24
+    VMWRITE = 25
+    VMXOFF = 26
+    VMXON = 27
+    CR_ACCESS = 28
+    DR_ACCESS = 29
+    IO_INSTRUCTION = 30
+    MSR_READ = 31
+    MSR_WRITE = 32
+    INVALID_GUEST_STATE = 33
+    MSR_LOAD_FAIL = 34
+    MWAIT_INSTRUCTION = 36
+    MONITOR_TRAP_FLAG = 37
+    MONITOR_INSTRUCTION = 39
+    PAUSE_INSTRUCTION = 40
+    MCE_DURING_VMENTRY = 41
+    TPR_BELOW_THRESHOLD = 43
+    APIC_ACCESS = 44
+    VIRTUALIZED_EOI = 45
+    GDTR_IDTR_ACCESS = 46
+    LDTR_TR_ACCESS = 47
+    EPT_VIOLATION = 48
+    EPT_MISCONFIG = 49
+    INVEPT = 50
+    RDTSCP = 51
+    PREEMPTION_TIMER = 52
+    INVVPID = 53
+    WBINVD = 54
+    XSETBV = 55
+    APIC_WRITE = 56
+    RDRAND = 57
+    INVPCID = 58
+    VMFUNC = 59
+    ENCLS = 60
+    RDSEED = 61
+    PML_FULL = 62
+    XSAVES = 63
+    XRSTORS = 64
+
+
+#: Bit 31 of the exit-reason field: VM entry failed.
+ENTRY_FAILURE_BIT = bit(31)
+
+#: Exit reasons produced by VMX instructions executed in the guest —
+#: the set the L0 hypervisor's nested dispatcher must route to
+#: nested-virtualization emulation.
+VMX_INSTRUCTION_EXITS = frozenset({
+    ExitReason.VMCLEAR, ExitReason.VMLAUNCH, ExitReason.VMPTRLD,
+    ExitReason.VMPTRST, ExitReason.VMREAD, ExitReason.VMRESUME,
+    ExitReason.VMWRITE, ExitReason.VMXOFF, ExitReason.VMXON,
+    ExitReason.INVEPT, ExitReason.INVVPID, ExitReason.VMFUNC,
+})
+
+
+class VmInstructionError(IntEnum):
+    """VM-instruction error numbers (SDM 30.4)."""
+
+    VMCALL_IN_VMX_ROOT = 1
+    VMCLEAR_INVALID_ADDRESS = 2
+    VMCLEAR_VMXON_POINTER = 3
+    VMLAUNCH_NONCLEAR_VMCS = 4
+    VMRESUME_NONLAUNCHED_VMCS = 5
+    VMRESUME_AFTER_VMXOFF = 6
+    ENTRY_INVALID_CONTROL_FIELDS = 7
+    ENTRY_INVALID_HOST_STATE = 8
+    VMPTRLD_INVALID_ADDRESS = 9
+    VMPTRLD_VMXON_POINTER = 10
+    VMPTRLD_INCORRECT_REVISION_ID = 11
+    UNSUPPORTED_VMCS_COMPONENT = 12
+    VMWRITE_READ_ONLY_COMPONENT = 13
+    VMXON_IN_VMX_ROOT = 15
+    ENTRY_INVALID_EXECUTIVE_VMCS_PTR = 16
+    ENTRY_NONLAUNCHED_EXECUTIVE_VMCS = 17
+    ENTRY_EXECUTIVE_VMCS_PTR_NOT_VMXON = 18
+    VMCALL_NONCLEAR_VMCS = 19
+    VMCALL_INVALID_EXIT_CONTROL = 20
+    VMCALL_INCORRECT_MSEG_REVISION = 22
+    VMXOFF_UNDER_DUAL_MONITOR = 23
+    VMCALL_INVALID_SMM_MONITOR = 24
+    ENTRY_INVALID_VM_EXECUTION_CONTROL = 25
+    ENTRY_EVENTS_BLOCKED_BY_MOV_SS = 26
+    INVALID_OPERAND_TO_INVEPT_INVVPID = 28
+
+
+class EntryFailReason(IntEnum):
+    """Exit reasons reported for a failed VM entry (with bit 31 set)."""
+
+    INVALID_GUEST_STATE = ExitReason.INVALID_GUEST_STATE
+    MSR_LOAD_FAIL = ExitReason.MSR_LOAD_FAIL
+    MCE = ExitReason.MCE_DURING_VMENTRY

@@ -1,0 +1,172 @@
+"""The VM control structure (VMCS) object.
+
+A VMCS is modelled as a typed mapping from field encodings to values,
+with the architectural launch-state machine (clear / launched) attached.
+Serialisation follows the canonical field layout from
+:mod:`repro.vmx.fields` so that Hamming-distance comparisons (paper
+Figure 5) are well defined over an 8,000-bit state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.arch.bits import bytes_hamming, truncate
+from repro.vmx import fields as F
+from repro.vmx.fields import ALL_FIELDS, SPEC_BY_ENCODING, FieldGroup, FieldSpec
+
+
+class VmcsState:
+    """Architectural VMCS launch states (SDM 24.1)."""
+
+    CLEAR = "clear"
+    LAUNCHED = "launched"
+
+
+class Vmcs:
+    """One VM control structure.
+
+    Values are stored truncated to their field width. Unknown encodings
+    raise ``KeyError`` — the same condition that makes a real vmread /
+    vmwrite fail with VMfailValid(12).
+    """
+
+    def __init__(self, revision_id: int = 0x12) -> None:
+        self.revision_id = revision_id
+        self.launch_state = VmcsState.CLEAR
+        self._values: dict[int, int] = {spec.encoding: 0 for spec in ALL_FIELDS}
+        # Architectural default: the VMCS link pointer must be all-ones
+        # unless VMCS shadowing is in use.
+        self._values[F.VMCS_LINK_POINTER] = (1 << 64) - 1
+
+    # --- field access -----------------------------------------------------
+
+    def read(self, encoding: int) -> int:
+        """Read a field by encoding (vmread semantics)."""
+        if encoding not in self._values:
+            raise KeyError(f"unsupported VMCS component {encoding:#x}")
+        return self._values[encoding]
+
+    def write(self, encoding: int, value: int) -> None:
+        """Write a field by encoding, truncating to the field width."""
+        spec = SPEC_BY_ENCODING.get(encoding)
+        if spec is None:
+            raise KeyError(f"unsupported VMCS component {encoding:#x}")
+        self._values[encoding] = truncate(value, spec.bits)
+
+    def __getitem__(self, encoding: int) -> int:
+        return self.read(encoding)
+
+    def __setitem__(self, encoding: int, value: int) -> None:
+        self.write(encoding, value)
+
+    def by_name(self, name: str) -> int:
+        """Read a field by its symbolic name."""
+        return self.read(F.SPEC_BY_NAME[name].encoding)
+
+    def set_by_name(self, name: str, value: int) -> None:
+        """Write a field by its symbolic name."""
+        self.write(F.SPEC_BY_NAME[name].encoding, value)
+
+    def fields(self) -> Iterator[tuple[FieldSpec, int]]:
+        """Iterate (spec, value) pairs in canonical layout order."""
+        for spec in ALL_FIELDS:
+            yield spec, self._values[spec.encoding]
+
+    # --- launch state -----------------------------------------------------
+
+    def clear(self) -> None:
+        """vmclear semantics: flush and mark the VMCS clear."""
+        self.launch_state = VmcsState.CLEAR
+
+    def mark_launched(self) -> None:
+        """Successful vmlaunch moves the VMCS to the launched state."""
+        self.launch_state = VmcsState.LAUNCHED
+
+    @property
+    def launched(self) -> bool:
+        """True when in the launched state."""
+        return self.launch_state == VmcsState.LAUNCHED
+
+    # --- whole-structure operations ----------------------------------------
+
+    def copy(self) -> "Vmcs":
+        """Deep copy, preserving launch state."""
+        dup = Vmcs(self.revision_id)
+        dup._values = dict(self._values)
+        dup.launch_state = self.launch_state
+        return dup
+
+    def load_dict(self, values: dict[int, int]) -> None:
+        """Bulk-write fields from an encoding->value mapping."""
+        for encoding, value in values.items():
+            self.write(encoding, value)
+
+    def diff(self, other: "Vmcs") -> list[tuple[FieldSpec, int, int]]:
+        """Fields whose values differ, as (spec, self_value, other_value)."""
+        return [
+            (spec, self._values[spec.encoding], other._values[spec.encoding])
+            for spec in ALL_FIELDS
+            if self._values[spec.encoding] != other._values[spec.encoding]
+        ]
+
+    def serialize(self) -> bytes:
+        """Pack every field into the canonical little-endian layout."""
+        out = bytearray()
+        for spec in ALL_FIELDS:
+            out += self._values[spec.encoding].to_bytes(spec.bits // 8, "little")
+        return bytes(out)
+
+    @classmethod
+    def deserialize(cls, raw: bytes, revision_id: int = 0x12) -> "Vmcs":
+        """Unpack a serialised layout (inverse of :meth:`serialize`).
+
+        Extra trailing bytes are ignored; short input raises ValueError.
+        This is also how the state generator interprets raw fuzzing input
+        as "several kilobytes of binary data treated as raw VMCS content".
+        """
+        if len(raw) < F.LAYOUT_BYTES:
+            raise ValueError(
+                f"need {F.LAYOUT_BYTES} bytes for a VMCS image, got {len(raw)}"
+            )
+        vmcs = cls(revision_id)
+        offset = 0
+        for spec in ALL_FIELDS:
+            nbytes = spec.bits // 8
+            vmcs._values[spec.encoding] = int.from_bytes(
+                raw[offset:offset + nbytes], "little"
+            )
+            offset += nbytes
+        return vmcs
+
+    def hamming(self, other: "Vmcs") -> int:
+        """Bitwise Hamming distance over the serialised layout."""
+        return bytes_hamming(self.serialize(), other.serialize())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Vmcs):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(self.serialize())
+
+    def __repr__(self) -> str:
+        nonzero = sum(1 for v in self._values.values() if v)
+        return (f"<Vmcs rev={self.revision_id:#x} state={self.launch_state} "
+                f"nonzero_fields={nonzero}/{len(self._values)}>")
+
+
+def guest_state_fields() -> tuple[FieldSpec, ...]:
+    """All guest-state field specs."""
+    return tuple(s for s in ALL_FIELDS if s.group is FieldGroup.GUEST)
+
+
+def host_state_fields() -> tuple[FieldSpec, ...]:
+    """All host-state field specs."""
+    return tuple(s for s in ALL_FIELDS if s.group is FieldGroup.HOST)
+
+
+def control_fields() -> tuple[FieldSpec, ...]:
+    """All control field specs."""
+    return tuple(s for s in ALL_FIELDS if s.group is FieldGroup.CONTROL)

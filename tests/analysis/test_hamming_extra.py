@@ -1,0 +1,52 @@
+"""Additional property tests for the Hamming study machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hamming import Distribution, run_study
+from repro.arch.cpuid import Vendor, default_feature_map
+from repro.vmx.msr_caps import capabilities_for_features
+
+
+class TestDistribution:
+    def test_stats(self):
+        dist = Distribution("d", (1, 2, 3, 4, 5))
+        assert dist.mean == 3
+        assert dist.minimum == 1 and dist.maximum == 5
+        assert dist.stdev > 0
+
+    def test_single_sample_stdev_zero(self):
+        assert Distribution("d", (7,)).stdev == 0.0
+
+    def test_render(self):
+        text = Distribution("random vs validated", (10, 20)).render()
+        assert "mean" in text and "random vs validated" in text
+
+    @given(st.lists(st.integers(min_value=0, max_value=8000),
+                    min_size=2, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_within_range(self, samples):
+        dist = Distribution("d", tuple(samples))
+        assert dist.minimum <= dist.mean <= dist.maximum
+
+
+class TestStudyUnderRestrictedCaps:
+    def test_study_with_feature_restricted_vcpu(self):
+        """The study holds for restricted capability sets too — the
+        validator simply pins more feature bits."""
+        features = default_feature_map(Vendor.INTEL)
+        features["ept"] = False
+        features["apicv"] = False
+        caps = capabilities_for_features(features)
+        study = run_study(repetitions=60, seed=2, caps=caps)
+        assert (study.random_vs_validated.mean
+                > study.default_vs_validated.mean * 0.8)
+        assert study.pairwise_validated.mean > 100
+
+    def test_distances_bounded_by_layout(self):
+        from repro.vmx.fields import LAYOUT_BITS
+
+        study = run_study(repetitions=40, seed=5)
+        for dist in (study.random_vs_validated, study.default_vs_validated,
+                     study.pairwise_validated):
+            assert dist.maximum <= LAYOUT_BITS

@@ -1,0 +1,106 @@
+"""Tests for the Klees-et-al. statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    cohens_d,
+    compare,
+    confidence_interval,
+    mann_whitney_u,
+    median_of,
+)
+
+samples = st.lists(st.floats(min_value=0, max_value=100,
+                             allow_nan=False), min_size=3, max_size=12)
+
+
+class TestMedianCi:
+    def test_median(self):
+        assert median_of([3.0, 1.0, 2.0]) == 2.0
+        assert median_of([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+    def test_median_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_of([])
+
+    def test_ci_contains_median(self):
+        data = [84.2, 84.5, 84.7, 85.0, 85.2]
+        lo, hi = confidence_interval(data)
+        assert lo <= median_of(data) <= hi
+
+    def test_tiny_sample_degenerates_to_range(self):
+        assert confidence_interval([1.0, 5.0]) == (1.0, 5.0)
+
+    @given(samples)
+    @settings(max_examples=50, deadline=None)
+    def test_ci_within_data_range(self, data):
+        lo, hi = confidence_interval(data)
+        assert min(data) <= lo <= hi <= max(data)
+
+
+class TestMannWhitney:
+    def test_clearly_different_samples(self):
+        a = [84.0, 84.5, 85.0, 84.7, 84.9]
+        b = [61.0, 61.5, 60.8, 61.4, 61.2]
+        _, p = mann_whitney_u(a, b)
+        assert p < 0.05  # the paper reports p = 0.012 for this shape
+
+    def test_identical_samples_not_significant(self):
+        a = [50.0] * 5
+        _, p = mann_whitney_u(a, list(a))
+        assert p > 0.5
+
+    def test_symmetric(self):
+        a, b = [1.0, 2.0, 3.0], [4.0, 5.0, 6.0]
+        _, p1 = mann_whitney_u(a, b)
+        _, p2 = mann_whitney_u(b, a)
+        assert p1 == pytest.approx(p2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    @given(samples, samples)
+    @settings(max_examples=50, deadline=None)
+    def test_p_in_unit_interval(self, a, b):
+        _, p = mann_whitney_u(a, b)
+        assert 0.0 <= p <= 1.0
+
+
+class TestCohensD:
+    def test_large_effect(self):
+        a = [84.0, 84.5, 85.0, 84.7, 84.9]
+        b = [61.0, 61.5, 60.8, 61.4, 61.2]
+        assert cohens_d(a, b) > 8  # the paper reports d = 12.17
+
+    def test_zero_variance_infinite(self):
+        assert math.isinf(cohens_d([74.2] * 5, [7.0] * 5))
+
+    def test_zero_variance_equal_means_zero(self):
+        assert cohens_d([5.0] * 4, [5.0] * 4) == 0.0
+
+    def test_sign_follows_direction(self):
+        assert cohens_d([10.0, 11.0], [1.0, 2.0]) > 0
+        assert cohens_d([1.0, 2.0], [10.0, 11.0]) < 0
+
+    def test_small_samples_rejected(self):
+        with pytest.raises(ValueError):
+            cohens_d([1.0], [2.0, 3.0])
+
+
+class TestComparison:
+    def test_full_comparison(self):
+        comp = compare("NecoFuzz", [84.0, 84.5, 85.0, 84.7, 84.9],
+                       "Syzkaller", [61.0, 61.5, 60.8, 61.4, 61.2])
+        assert comp.improvement == pytest.approx(84.7 / 61.2, rel=0.05)
+        assert comp.p_value < 0.05
+        rendered = comp.render()
+        assert "NecoFuzz" in rendered and "p =" in rendered and "d =" in rendered
+
+    def test_improvement_infinite_when_b_zero(self):
+        comp = compare("A", [1.0, 2.0, 3.0], "B", [0.0, 0.0, 0.0])
+        assert math.isinf(comp.improvement)

@@ -1,0 +1,89 @@
+"""Tests for coverage timelines and the Hamming-distance study."""
+
+import pytest
+
+from repro.analysis.hamming import run_study, validity_probability_exponent
+from repro.analysis.timeline import CoverageTimeline, median_timeline
+
+
+class TestTimeline:
+    def test_record_and_final(self):
+        timeline = CoverageTimeline("t", iterations_per_hour=10)
+        timeline.record(10, 0.5)
+        timeline.record(20, 0.7)
+        assert timeline.final_coverage == 0.7
+
+    def test_hours_mapping(self):
+        timeline = CoverageTimeline("t", iterations_per_hour=10)
+        timeline.record(480, 0.8)
+        assert timeline.series() == [(48.0, 80.0)]
+
+    def test_at_hour(self):
+        timeline = CoverageTimeline("t", iterations_per_hour=10)
+        timeline.record(10, 0.5)
+        timeline.record(100, 0.8)
+        assert timeline.at_hour(1.0) == 0.5
+        assert timeline.at_hour(10.0) == 0.8
+        assert timeline.at_hour(0.1) == 0.0
+
+    def test_empty_timeline(self):
+        timeline = CoverageTimeline("t")
+        assert timeline.final_coverage == 0.0
+        assert "no data" in timeline.render()
+
+    def test_render_sparkline(self):
+        timeline = CoverageTimeline("NecoFuzz", iterations_per_hour=10)
+        for i in range(1, 11):
+            timeline.record(i * 10, i / 10)
+        rendered = timeline.render()
+        assert "NecoFuzz" in rendered and "100.0%" in rendered
+
+    def test_median_timeline(self):
+        runs = []
+        for offset in (0.0, 0.1, 0.2):
+            timeline = CoverageTimeline("run", iterations_per_hour=10)
+            timeline.record(10, 0.5 + offset)
+            timeline.record(20, 0.6 + offset)
+            runs.append(timeline)
+        merged = median_timeline(runs, "median")
+        assert merged.points[0].coverage == pytest.approx(0.6)
+        assert merged.points[1].coverage == pytest.approx(0.7)
+
+    def test_median_timeline_empty(self):
+        assert median_timeline([], "m").points == []
+
+
+class TestHammingStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_study(repetitions=120, seed=3)
+
+    def test_paper_ordering(self, study):
+        """Figure 5's qualitative ordering: random↔validated largest,
+        then pairwise, then default↔validated."""
+        assert (study.random_vs_validated.mean
+                > study.pairwise_validated.mean
+                > study.default_vs_validated.mean * 0.9)
+
+    def test_random_states_effectively_never_valid(self, study):
+        # The "one in 2^492.6" argument: the exponent is enormous.
+        assert validity_probability_exponent(study) > 300
+
+    def test_validated_population_is_diverse(self, study):
+        assert study.pairwise_validated.mean > 500
+        assert study.pairwise_validated.stdev > 0
+
+    def test_distributions_have_spread(self, study):
+        for dist in (study.random_vs_validated, study.default_vs_validated,
+                     study.pairwise_validated):
+            assert dist.minimum < dist.mean < dist.maximum
+
+    def test_render(self, study):
+        text = study.render()
+        assert "165 fields" in text and "8000 bits" in text
+        assert "random vs validated" in text
+
+    def test_deterministic(self):
+        a = run_study(repetitions=40, seed=9)
+        b = run_study(repetitions=40, seed=9)
+        assert a.random_vs_validated.samples == b.random_vs_validated.samples

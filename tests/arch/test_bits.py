@@ -1,0 +1,122 @@
+"""Unit tests for the bit-manipulation helpers."""
+
+import pytest
+
+from repro.arch import bits
+
+
+class TestBitBasics:
+    def test_bit_positions(self):
+        assert bits.bit(0) == 1
+        assert bits.bit(7) == 0x80
+        assert bits.bit(63) == 1 << 63
+
+    def test_bit_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits.bit(-1)
+
+    def test_mask(self):
+        assert bits.mask(0) == 0
+        assert bits.mask(3) == 0b111
+        assert bits.mask(64) == (1 << 64) - 1
+
+    def test_mask_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits.mask(-2)
+
+    def test_field_mask(self):
+        assert bits.field_mask(4, 7) == 0xF0
+        assert bits.field_mask(0, 0) == 1
+
+    def test_field_mask_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            bits.field_mask(5, 3)
+
+
+class TestExtractDeposit:
+    def test_extract(self):
+        assert bits.extract(0xABCD, 4, 7) == 0xC
+        assert bits.extract(0xFF00, 8, 15) == 0xFF
+        assert bits.extract(0, 0, 63) == 0
+
+    def test_deposit(self):
+        assert bits.deposit(0, 4, 7, 0xC) == 0xC0
+        assert bits.deposit(0xFFFF, 0, 3, 0) == 0xFFF0
+
+    def test_deposit_truncates_wide_field(self):
+        # A value wider than the destination is silently truncated,
+        # matching hardware register-write semantics.
+        assert bits.deposit(0, 0, 3, 0x1F) == 0xF
+
+    def test_roundtrip(self):
+        value = bits.deposit(0x1234, 8, 11, 0x9)
+        assert bits.extract(value, 8, 11) == 0x9
+
+
+class TestSingleBitOps:
+    def test_test_bit(self):
+        assert bits.test_bit(0b100, 2)
+        assert not bits.test_bit(0b100, 1)
+
+    def test_set_clear_flip(self):
+        assert bits.set_bit(0, 5) == 32
+        assert bits.clear_bit(32, 5) == 0
+        assert bits.flip_bit(0, 5) == 32
+        assert bits.flip_bit(32, 5) == 0
+
+    def test_assign_bit(self):
+        assert bits.assign_bit(0, 3, True) == 8
+        assert bits.assign_bit(8, 3, False) == 0
+
+
+class TestArithmetic:
+    def test_truncate(self):
+        assert bits.truncate(0x1FF, 8) == 0xFF
+        assert bits.truncate(0x1FF, 16) == 0x1FF
+
+    def test_popcount(self):
+        assert bits.popcount(0) == 0
+        assert bits.popcount(0xFF) == 8
+        assert bits.popcount(0b1010101) == 4
+
+    def test_hamming(self):
+        assert bits.hamming(0, 0) == 0
+        assert bits.hamming(0b1111, 0) == 4
+        assert bits.hamming(0xFF, 0x0F, width=4) == 0  # truncated equal
+
+    def test_bytes_hamming(self):
+        assert bits.bytes_hamming(b"\x00\x00", b"\xff\x00") == 8
+        assert bits.bytes_hamming(b"", b"") == 0
+
+    def test_bytes_hamming_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bits.bytes_hamming(b"\x00", b"\x00\x00")
+
+    def test_sign_extend(self):
+        assert bits.sign_extend(0x80, 8) == -128
+        assert bits.sign_extend(0x7F, 8) == 127
+        assert bits.sign_extend(0xFFFF, 16) == -1
+
+    def test_sign_extend_canonical_address(self):
+        # Bit 47 set -> upper bits become ones (canonical high half).
+        extended = bits.sign_extend(0x8000_0000_0000, 48) & ((1 << 64) - 1)
+        assert extended == 0xFFFF_8000_0000_0000
+
+
+class TestAlignment:
+    def test_is_aligned(self):
+        assert bits.is_aligned(0x1000, 4096)
+        assert not bits.is_aligned(0x1001, 4096)
+        assert bits.is_aligned(0, 16)
+
+    def test_is_aligned_bad_alignment(self):
+        with pytest.raises(ValueError):
+            bits.is_aligned(4, 3)
+
+    def test_align_down(self):
+        assert bits.align_down(0x1FFF, 4096) == 0x1000
+        assert bits.align_down(0x1000, 4096) == 0x1000
+
+    def test_align_down_bad_alignment(self):
+        with pytest.raises(ValueError):
+            bits.align_down(7, 0)

@@ -1,0 +1,60 @@
+"""Unit tests for the event/fault model."""
+
+from repro.arch import exceptions as E
+
+
+class TestInterruptionInfo:
+    def test_decode_encode_roundtrip(self):
+        raw = (1 << 31) | (3 << 8) | (1 << 11) | 14  # valid #PF w/ error code
+        info = E.InterruptionInfo.decode(raw)
+        assert info.valid
+        assert info.vector == 14
+        assert info.event_type == E.EventType.HARDWARE_EXCEPTION
+        assert info.deliver_error_code
+        assert info.encode() == raw
+
+    def test_invalid_info_always_consistent(self):
+        assert E.InterruptionInfo.decode(0).consistent()
+        assert E.InterruptionInfo.decode(0x7FFF_FFFF).consistent()
+
+    def test_reserved_type_inconsistent(self):
+        raw = (1 << 31) | (1 << 8) | 3  # type 1 is reserved
+        info = E.InterruptionInfo.decode(raw)
+        assert not info.consistent()
+
+    def test_nmi_must_use_vector_two(self):
+        good = (1 << 31) | (2 << 8) | 2
+        bad = (1 << 31) | (2 << 8) | 3
+        assert E.InterruptionInfo.decode(good).consistent()
+        assert not E.InterruptionInfo.decode(bad).consistent()
+
+    def test_hw_exception_vector_range(self):
+        bad = (1 << 31) | (3 << 8) | 77
+        assert not E.InterruptionInfo.decode(bad).consistent()
+
+    def test_error_code_only_for_hw_exceptions(self):
+        soft = (1 << 31) | (4 << 8) | (1 << 11) | 13
+        assert not E.InterruptionInfo.decode(soft).consistent()
+
+    def test_error_code_only_for_ec_vectors(self):
+        bp = (1 << 31) | (3 << 8) | (1 << 11) | 3  # #BP pushes no error code
+        gp = (1 << 31) | (3 << 8) | (1 << 11) | 13
+        assert not E.InterruptionInfo.decode(bp).consistent()
+        assert E.InterruptionInfo.decode(gp).consistent()
+
+
+class TestExceptionTypes:
+    def test_guest_fault_carries_vector(self):
+        fault = E.GuestFault(E.Vector.GP, error_code=0)
+        assert fault.vector == E.Vector.GP
+        assert fault.error_code == 0
+        assert "GP" in str(fault)
+
+    def test_host_crash_hang_flag(self):
+        crash = E.HostCrash("wedged", hang=True)
+        assert crash.hang
+        assert not E.HostCrash("reset").hang
+
+    def test_error_code_vector_set(self):
+        assert E.Vector.PF in E.ERROR_CODE_VECTORS
+        assert E.Vector.UD not in E.ERROR_CODE_VECTORS

@@ -1,0 +1,84 @@
+"""Unit tests for MSR modelling and canonical-address rules."""
+
+import pytest
+
+from repro.arch import msr as M
+
+
+class TestCanonical:
+    def test_low_half_canonical(self):
+        assert M.is_canonical(0)
+        assert M.is_canonical(0x7FFF_FFFF_FFFF)
+
+    def test_high_half_canonical(self):
+        assert M.is_canonical(0xFFFF_8000_0000_0000)
+        assert M.is_canonical(0xFFFF_FFFF_FFFF_FFFF)
+
+    def test_non_canonical_hole(self):
+        # The paper's probe value for CVE-2024-21106.
+        assert not M.is_canonical(0x8000_0000_0000_0000)
+        assert not M.is_canonical(0x0000_8000_0000_0000)
+
+    def test_la57_width(self):
+        addr = 0x0080_0000_0000_0000
+        assert not M.is_canonical(addr, virtual_address_width=48)
+        assert M.is_canonical(addr, virtual_address_width=57)
+
+
+class TestMsrEntry:
+    def test_roundtrip(self):
+        entry = M.MsrEntry(M.IA32_KERNEL_GS_BASE, 0xFFFF_8000_0000_1234)
+        assert M.MsrEntry.from_bytes(entry.to_bytes()) == entry
+
+    def test_slot_is_sixteen_bytes(self):
+        assert len(M.MsrEntry(0, 0).to_bytes()) == 16
+
+    def test_from_bytes_wrong_size(self):
+        with pytest.raises(ValueError):
+            M.MsrEntry.from_bytes(b"\x00" * 15)
+
+    def test_value_truncated_to_64_bits(self):
+        entry = M.MsrEntry(0, (1 << 64) + 5)
+        assert M.MsrEntry.from_bytes(entry.to_bytes()).value == 5
+
+
+class TestMsrLoadValidity:
+    def test_canonical_value_accepted(self):
+        assert M.msr_load_entry_valid(
+            M.MsrEntry(M.IA32_KERNEL_GS_BASE, 0xFFFF_8000_0000_0000))
+
+    def test_non_canonical_rejected(self):
+        assert not M.msr_load_entry_valid(
+            M.MsrEntry(M.IA32_KERNEL_GS_BASE, 0x8000_0000_0000_0000))
+
+    def test_non_canonical_ok_for_plain_msr(self):
+        assert M.msr_load_entry_valid(M.MsrEntry(M.IA32_TSC, 0x8000_0000_0000_0000))
+
+    def test_forbidden_msrs(self):
+        assert not M.msr_load_entry_valid(M.MsrEntry(M.IA32_FS_BASE, 0))
+        assert not M.msr_load_entry_valid(M.MsrEntry(M.IA32_GS_BASE, 0))
+
+    def test_reserved_dword(self):
+        assert not M.msr_load_entry_valid(M.MsrEntry(M.IA32_TSC, 0, reserved=1))
+
+
+class TestMsrFile:
+    def test_default_zero(self):
+        assert M.MsrFile().read(0x1234) == 0
+
+    def test_write_read(self):
+        f = M.MsrFile()
+        f.write(M.IA32_EFER, 0xD01)
+        assert f.read(M.IA32_EFER) == 0xD01
+        assert M.IA32_EFER in f
+
+    def test_write_truncates(self):
+        f = M.MsrFile()
+        f.write(0x10, 1 << 65)
+        assert f.read(0x10) == 0
+
+    def test_snapshot_is_copy(self):
+        f = M.MsrFile({0x10: 5})
+        snap = f.snapshot()
+        snap[0x10] = 99
+        assert f.read(0x10) == 5

@@ -1,0 +1,91 @@
+"""Unit tests for the paging models (EPTP, PDPTE cache, page walks)."""
+
+import pytest
+
+from repro.arch import paging as P
+
+
+class TestEptPointer:
+    def test_valid_wb_4level(self):
+        eptp = P.EptPointer(0x20000 | 6 | (3 << 3))
+        assert eptp.valid()
+        assert eptp.memory_type == 6
+        assert eptp.walk_length == 4
+        assert eptp.pml4_address == 0x20000
+
+    def test_bad_memory_type(self):
+        assert not P.EptPointer(0x20000 | 3 | (3 << 3)).valid()
+
+    def test_bad_walk_length(self):
+        assert not P.EptPointer(0x20000 | 6 | (1 << 3)).valid()
+
+    def test_five_level_gated(self):
+        eptp = P.EptPointer(0x20000 | 6 | (4 << 3))
+        assert not eptp.valid()
+        assert eptp.valid(ept_5level=True)
+
+    def test_reserved_bits(self):
+        assert not P.EptPointer(0x20000 | 6 | (3 << 3) | (1 << 8)).valid()
+
+    def test_address_width(self):
+        assert not P.EptPointer((1 << 50) | 6 | (3 << 3)).valid()
+
+    def test_accessed_dirty_flag(self):
+        assert P.EptPointer(6 | (3 << 3) | (1 << 6)).accessed_dirty
+
+
+class TestCr3:
+    def test_long_mode_width(self):
+        assert P.cr3_valid(0x1000, long_mode=True)
+        assert not P.cr3_valid(1 << 50, long_mode=True)
+
+    def test_legacy_always_ok(self):
+        assert P.cr3_valid(1 << 50, long_mode=False)
+
+
+class TestPdpteCache:
+    def test_in_bounds_load(self):
+        cache = P.PdpteCache()
+        cache.load(3, 0x1001)
+        assert cache.entry(3) == 0x1001
+        assert cache.oob_write is None
+
+    def test_out_of_bounds_recorded(self):
+        cache = P.PdpteCache()
+        cache.load(511, 0xDEAD)
+        assert cache.oob_write == (511, 0xDEAD)
+
+    def test_entry_bounds_checked(self):
+        with pytest.raises(IndexError):
+            P.PdpteCache().entry(4)
+
+
+class TestPdpteIndex:
+    def test_legacy_pae_index_bounded(self):
+        for address in (0, 0xFFFF_FFFF, 0x7FFF_FFFF_F000, (1 << 64) - 1):
+            assert 0 <= P.pae_pdpte_index(address, long_mode_guest=False) <= 3
+
+    def test_long_mode_index_can_exceed_four(self):
+        # The CVE-2023-30456 confusion: long-mode bits 38:30 index a
+        # 4-entry array.
+        assert P.pae_pdpte_index(0x7FFF_FFFF_F000, long_mode_guest=True) > 3
+
+    def test_long_mode_small_address_in_bounds(self):
+        assert P.pae_pdpte_index(0x4000_0000, long_mode_guest=True) == 1
+
+
+class TestPageTableMemory:
+    def test_table_creation_and_rw(self):
+        mem = P.PageTableMemory()
+        mem.write_entry(0x1000, 5, 0xABC)
+        assert mem.read_entry(0x1000, 5) == 0xABC
+        assert mem.read_entry(0x1000, 6) == 0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            P.PageTableMemory().table_at(0x1001)
+
+    def test_index_wraps(self):
+        mem = P.PageTableMemory()
+        mem.write_entry(0x2000, 512, 7)  # wraps to index 0
+        assert mem.read_entry(0x2000, 0) == 7

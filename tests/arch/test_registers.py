@@ -1,0 +1,81 @@
+"""Unit tests for control-register bit definitions and validity rules."""
+
+from repro.arch import registers as R
+
+
+class TestCr0Rules:
+    def test_valid_protected_paged(self):
+        cr0 = R.Cr0.PE | R.Cr0.PG | R.Cr0.NE | R.Cr0.ET
+        assert R.cr0_valid(cr0)
+
+    def test_pg_requires_pe(self):
+        assert not R.cr0_valid(R.Cr0.PG | R.Cr0.NE, unrestricted_guest=True)
+
+    def test_nw_without_cd_invalid(self):
+        cr0 = R.Cr0.PE | R.Cr0.PG | R.Cr0.NW
+        assert not R.cr0_valid(cr0)
+
+    def test_nw_with_cd_valid(self):
+        cr0 = R.Cr0.PE | R.Cr0.PG | R.Cr0.NW | R.Cr0.CD
+        assert R.cr0_valid(cr0)
+
+    def test_unrestricted_guest_allows_realmode(self):
+        assert R.cr0_valid(R.Cr0.ET, unrestricted_guest=True)
+        assert not R.cr0_valid(R.Cr0.ET, unrestricted_guest=False)
+
+    def test_reserved_bits_rejected(self):
+        assert not R.cr0_valid(R.Cr0.PE | R.Cr0.PG | (1 << 8))
+
+
+class TestCr4Rules:
+    def test_known_bits_valid(self):
+        assert R.cr4_valid(R.Cr4.PAE | R.Cr4.VMXE | R.Cr4.SMEP)
+
+    def test_reserved_bit_rejected(self):
+        assert not R.cr4_valid(1 << 31)
+        assert not R.cr4_valid(1 << 15)
+
+
+class TestEferRules:
+    def test_valid_long_mode(self):
+        assert R.efer_valid(R.Efer.LME | R.Efer.LMA | R.Efer.NXE)
+
+    def test_reserved_rejected(self):
+        assert not R.efer_valid(1 << 2)
+        assert not R.efer_valid(1 << 9)
+
+    def test_lma_consistency(self):
+        cr0_paged = R.Cr0.PE | R.Cr0.PG
+        assert R.efer_consistent_with_cr0(R.Efer.LME | R.Efer.LMA, cr0_paged)
+        assert not R.efer_consistent_with_cr0(R.Efer.LME, cr0_paged)
+        # The APM-permitted transitional state: LME=1, PG=0, LMA=0.
+        assert R.efer_consistent_with_cr0(R.Efer.LME, R.Cr0.PE)
+
+    def test_long_mode_requires_pae(self):
+        assert R.long_mode_requires_pae(R.Efer.LME, R.Cr4.PAE)
+        assert not R.long_mode_requires_pae(R.Efer.LME, 0)
+        assert R.long_mode_requires_pae(0, 0)  # no long mode, no rule
+
+
+class TestRflags:
+    def test_canonicalize_sets_fixed_one(self):
+        assert R.rflags_canonicalize(0) & R.Rflags.FIXED_1
+
+    def test_canonicalize_clears_reserved(self):
+        value = R.rflags_canonicalize(0xFFFF_FFFF)
+        assert not value & R.Rflags.RESERVED
+
+    def test_valid_after_canonicalize(self):
+        assert R.rflags_valid(R.rflags_canonicalize(0xDEADBEEF))
+
+    def test_zero_invalid(self):
+        assert not R.rflags_valid(0)
+
+    def test_reserved_bit_invalid(self):
+        assert not R.rflags_valid(R.Rflags.FIXED_1 | (1 << 3))
+
+
+class TestGprNames:
+    def test_sixteen_registers(self):
+        assert len(R.GPR_NAMES) == 16
+        assert "rax" in R.GPR_NAMES and "r15" in R.GPR_NAMES

@@ -1,0 +1,75 @@
+"""Unit tests for segment models and access-rights rules."""
+
+from repro.arch import segments as S
+
+
+class TestSegmentProperties:
+    def test_flat_code_segment(self):
+        seg = S.flat_segment(0x8, code=True, long_mode=True)
+        assert seg.is_code()
+        assert seg.long_mode
+        assert not seg.db  # L and D/B may not both be set
+        assert seg.present
+        assert seg.s
+        assert not seg.unusable
+
+    def test_flat_data_segment(self):
+        seg = S.flat_segment(0x10)
+        assert not seg.is_code()
+        assert seg.is_writable_data()
+        assert seg.db
+        assert seg.granularity
+
+    def test_dpl_extraction(self):
+        seg = S.flat_segment(0x8, code=True, dpl=3)
+        assert seg.dpl == 3
+
+    def test_rpl_and_ti(self):
+        seg = S.Segment(selector=0x1F)
+        assert seg.rpl == 3
+        assert seg.ti
+
+    def test_unusable_segment(self):
+        seg = S.unusable_segment()
+        assert seg.unusable
+        assert seg.selector == 0
+
+    def test_tss_segment_long_mode(self):
+        tss = S.tss_segment(long_mode=True)
+        assert tss.seg_type == 0xB
+        assert not tss.s  # system descriptor
+        assert tss.present
+
+    def test_ldtr_segment(self):
+        ldtr = S.ldtr_segment()
+        assert ldtr.seg_type == S.SYS_TYPE_LDT
+        assert not ldtr.s
+
+    def test_expand_down_detection(self):
+        seg = S.Segment(access_rights=S.SEG_TYPE_DATA_RW_EXPAND_DOWN
+                        | S.AccessRights.S | S.AccessRights.P)
+        assert seg.is_expand_down()
+
+
+class TestAccessRightsRules:
+    def test_reserved_bits(self):
+        assert S.ar_reserved_ok(0x9B)
+        assert not S.ar_reserved_ok(0x9B | (1 << 9))
+        assert not S.ar_reserved_ok(0x9B | (1 << 20))
+
+    def test_unusable_bit_not_reserved(self):
+        assert S.ar_reserved_ok(S.AccessRights.UNUSABLE)
+
+
+class TestGranularity:
+    def test_byte_granular_small_limit(self):
+        assert S.granularity_consistent(0xFFFF, 0x93)  # G=0, small limit
+
+    def test_page_granular_full_limit(self):
+        assert S.granularity_consistent(0xFFFFFFFF, 0x93 | S.AccessRights.G)
+
+    def test_big_limit_requires_g(self):
+        assert not S.granularity_consistent(0xFFFFFFFF, 0x93)
+
+    def test_partial_low_bits_forbid_g(self):
+        assert not S.granularity_consistent(0x1234, 0x93 | S.AccessRights.G)

@@ -1,0 +1,63 @@
+"""Tests for the baseline scaffolding (shared coverage/anomaly plumbing)."""
+
+from repro.arch.cpuid import Vendor
+from repro.arch.exceptions import HostCrash
+from repro.baselines.common import BaselineHarness
+from repro.hypervisors import KvmHypervisor, VcpuConfig, XenHypervisor
+from repro.hypervisors.base import VmCrash
+
+
+class TestBaselineHarness:
+    def test_coverage_accumulates_across_cases(self):
+        harness = BaselineHarness("t", Vendor.INTEL, KvmHypervisor)
+
+        def case(hv):
+            vcpu = hv.create_vcpu()
+            from repro.hypervisors import GuestInstruction
+
+            hv.execute(vcpu, GuestInstruction("vmxon", {"addr": 0x1000}))
+
+        harness.run_case(KvmHypervisor(VcpuConfig.default(Vendor.INTEL)), case)
+        first = harness.coverage_fraction
+        assert first > 0
+        harness.run_case(KvmHypervisor(VcpuConfig.default(Vendor.INTEL)), case)
+        assert harness.coverage_fraction >= first
+        assert harness.cases == 2
+
+    def test_host_crash_absorbed(self):
+        harness = BaselineHarness("t", Vendor.INTEL, XenHypervisor)
+        hv = XenHypervisor(VcpuConfig.default(Vendor.INTEL))
+
+        def crashing_case(_hv):
+            _hv.crashed = True
+            raise HostCrash("synthetic hang", hang=True)
+
+        harness.run_case(hv, crashing_case)
+        assert harness.watchdog.restarts == 1
+        assert not hv.crashed  # restarted
+        assert any(a.method.value == "Host Crash" for a in harness.anomalies)
+
+    def test_vm_crash_recorded(self):
+        harness = BaselineHarness("t", Vendor.INTEL, KvmHypervisor)
+        hv = KvmHypervisor(VcpuConfig.default(Vendor.INTEL))
+
+        def crashing_case(_hv):
+            raise VmCrash("guest died")
+
+        harness.run_case(hv, crashing_case)
+        assert any(a.method.value == "VM Crash" for a in harness.anomalies)
+        assert harness.watchdog.restarts == 0
+
+    def test_result_packaging(self):
+        harness = BaselineHarness("tool", Vendor.INTEL, KvmHypervisor)
+        result = harness.result()
+        assert result.instrumented_lines == harness.tracer.instrumented
+        assert result.engine_stats.iterations == 0
+        assert result.timeline.label == "tool"
+
+    def test_same_universe_as_campaigns(self):
+        harness = BaselineHarness("t", Vendor.AMD, KvmHypervisor)
+        import repro.hypervisors.kvm.nested_svm as mod
+
+        files = {f for f, _ in harness.tracer.instrumented}
+        assert files == {mod.__file__}

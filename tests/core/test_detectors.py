@@ -1,0 +1,80 @@
+"""Tests for anomaly detection, log monitoring, and the watchdog."""
+
+from repro.arch.cpuid import Vendor
+from repro.core.detectors import (
+    Anomaly,
+    AnomalyDetector,
+    DetectionMethod,
+    Watchdog,
+)
+from repro.hypervisors import KvmHypervisor, VcpuConfig
+from repro.hypervisors.base import SanitizerKind
+
+
+def make_hv():
+    return KvmHypervisor(VcpuConfig.default(Vendor.INTEL))
+
+
+class TestAnomalyDetector:
+    def test_clean_hypervisor_no_anomalies(self):
+        assert AnomalyDetector().scan(make_hv()) == []
+
+    def test_sanitizer_events_surface(self):
+        hv = make_hv()
+        hv.report_sanitizer(SanitizerKind.UBSAN, "load_pdptrs", "oob index 511")
+        anomalies = AnomalyDetector().scan(hv)
+        assert len(anomalies) == 1
+        assert anomalies[0].method is DetectionMethod.UBSAN
+
+    def test_sanitizer_log_mirror_not_double_counted(self):
+        hv = make_hv()
+        hv.report_sanitizer(SanitizerKind.ASSERTION, "somewhere", "bad")
+        anomalies = AnomalyDetector().scan(hv)
+        assert len(anomalies) == 1
+
+    def test_benign_warns_filtered(self):
+        hv = make_hv()
+        hv.report_sanitizer(SanitizerKind.WARN, "nested_vmx_run",
+                            "hardware rejected vmcs02")
+        assert AnomalyDetector().scan(hv) == []
+
+    def test_log_pattern_detection(self):
+        hv = make_hv()
+        hv.log.write("general protection fault, probably for non-canonical "
+                     "address 0x8000000000000000")
+        anomalies = AnomalyDetector().scan(hv)
+        assert len(anomalies) == 1
+        assert anomalies[0].method is DetectionMethod.LOG_PATTERN
+
+    def test_is_new_deduplicates_by_signature(self):
+        detector = AnomalyDetector()
+        a = Anomaly(DetectionMethod.UBSAN, "load_pdptrs", "first")
+        b = Anomaly(DetectionMethod.UBSAN, "load_pdptrs", "second message")
+        c = Anomaly(DetectionMethod.ASSERTION, "load_pdptrs", "third")
+        assert detector.is_new(a)
+        assert not detector.is_new(b)   # same method+location
+        assert detector.is_new(c)       # different method
+
+    def test_signature_format(self):
+        anomaly = Anomaly(DetectionMethod.HOST_CRASH, "xen", "hang")
+        assert anomaly.signature() == "Host Crash@xen"
+
+
+class TestWatchdog:
+    def test_host_crash_restarts(self):
+        watchdog = Watchdog()
+        hv = make_hv()
+        hv.crashed = True
+        hv.log.write("panic")
+        anomaly = watchdog.handle_host_crash(hv, "host hung")
+        assert anomaly.method is DetectionMethod.HOST_CRASH
+        assert watchdog.restarts == 1
+        assert not hv.crashed          # reset brought it back
+        assert hv.log.lines == []      # logs cleared on restart
+
+    def test_vm_crash_does_not_restart(self):
+        watchdog = Watchdog()
+        hv = make_hv()
+        anomaly = watchdog.handle_vm_crash(hv, "guest died")
+        assert anomaly.method is DetectionMethod.VM_CRASH
+        assert watchdog.restarts == 0

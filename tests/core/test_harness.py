@@ -1,0 +1,125 @@
+"""Tests for the VM execution harness (init + runtime phases)."""
+
+from repro.arch.cpuid import Vendor
+from repro.core.harness import HarnessStats, VmExecutionHarness
+from repro.core.state_generator import VmcbStateGenerator, VmStateGenerator
+from repro.fuzzer.input import FuzzInput
+from repro.fuzzer.rng import Rng
+from repro.hypervisors import KvmHypervisor, VcpuConfig
+from repro.vmx.msr_caps import default_capabilities
+
+
+def build(vendor, seed=1, mutate=True):
+    from repro.core.necofuzz import golden_seed
+
+    hv = KvmHypervisor(VcpuConfig.default(vendor))
+    vcpu = hv.create_vcpu()
+    # Campaign-realistic input: golden VM state, random directive regions.
+    fi = FuzzInput(golden_seed(vendor, Rng(seed)))
+    if vendor is Vendor.INTEL:
+        caps = hv.nested_vmx.caps
+        state, _ = VmStateGenerator(caps).generate(fi)
+    else:
+        state, _ = VmcbStateGenerator().generate(fi)
+        # AMD needs EFER.SVME, which the init template sets via wrmsr.
+    harness = VmExecutionHarness(vendor, mutate=mutate, runtime_iterations=12)
+    return hv, vcpu, fi, state, harness
+
+
+class TestInitPhase:
+    def test_init_can_reach_l2(self):
+        """A healthy fraction of generated states boot; the rest probe
+        the boundary (VMfail / failed-entry error paths) by design."""
+        entered = 0
+        for seed in range(12):
+            hv, vcpu, fi, state, harness = build(Vendor.INTEL, seed)
+            stats = HarnessStats()
+            harness.run_init_phase(hv, vcpu, fi, state, stats)
+            entered += stats.entered_l2
+        assert entered >= 3
+
+    def test_amd_init_can_reach_l2(self):
+        entered = 0
+        for seed in range(12):
+            hv, vcpu, fi, state, harness = build(Vendor.AMD, seed)
+            stats = HarnessStats()
+            harness.run_init_phase(hv, vcpu, fi, state, stats)
+            entered += stats.entered_l2
+        assert entered >= 4
+
+    def test_vm_entries_counted(self):
+        hv, vcpu, fi, state, harness = build(Vendor.INTEL)
+        stats = HarnessStats()
+        harness.run_init_phase(hv, vcpu, fi, state, stats)
+        assert stats.vm_entries >= 1
+        assert stats.instructions > 100  # the vmwrite storm
+
+    def test_unmutated_init_is_deterministic_shape(self):
+        """Ablation mode must keep the canonical fixed sequence."""
+        results = []
+        for _ in range(2):
+            hv, vcpu, fi, state, harness = build(Vendor.INTEL, 5, mutate=False)
+            stats = HarnessStats()
+            harness.run_init_phase(hv, vcpu, fi, state, stats)
+            results.append(stats.instructions)
+        assert results[0] == results[1]
+
+    def test_mutation_varies_sequences(self):
+        lengths = set()
+        for seed in range(16):
+            hv, vcpu, fi, state, harness = build(Vendor.INTEL, seed)
+            stats = HarnessStats()
+            harness.run_init_phase(hv, vcpu, fi, state, stats)
+            lengths.add(stats.instructions)
+        assert len(lengths) > 2  # ordering/repetition mutations visible
+
+
+class TestRuntimePhase:
+    def _booted(self, vendor, seed=1, mutate=True):
+        hv, vcpu, fi, state, harness = build(vendor, seed, mutate)
+        stats = HarnessStats()
+        harness.run_init_phase(hv, vcpu, fi, state, stats)
+        return hv, vcpu, fi, harness, stats
+
+    def test_runtime_produces_l2_exits(self):
+        total_exits = 0
+        for seed in range(10):
+            hv, vcpu, fi, harness, stats = self._booted(Vendor.INTEL, seed)
+            if not stats.entered_l2:
+                continue
+            harness.run_runtime_phase(hv, vcpu, fi, stats)
+            total_exits += stats.l2_exits_to_l1 + stats.l0_handled_exits
+        assert total_exits > 5
+
+    def test_runtime_reenters_after_exit(self):
+        for seed in range(10):
+            hv, vcpu, fi, harness, stats = self._booted(Vendor.INTEL, seed)
+            if stats.entered_l2:
+                before = stats.vm_entries
+                harness.run_runtime_phase(hv, vcpu, fi, stats)
+                if stats.l2_exits_to_l1:
+                    assert stats.vm_entries > before
+                break
+
+    def test_fixed_mode_uses_reduced_template_set(self):
+        hv, vcpu, fi, harness, stats = self._booted(Vendor.INTEL, 3,
+                                                    mutate=False)
+        if stats.entered_l2:
+            harness.run_runtime_phase(hv, vcpu, fi, stats)
+        mnemonics = {r.detail for r in stats.results}
+        assert stats.instructions > 0
+
+    def test_crashed_host_stops_runtime(self):
+        hv, vcpu, fi, harness, stats = self._booted(Vendor.INTEL, 1)
+        hv.crashed = True
+        before = stats.instructions
+        harness.run_runtime_phase(hv, vcpu, fi, stats)
+        assert stats.instructions == before
+
+
+class TestStats:
+    def test_result_ring_is_bounded(self):
+        hv, vcpu, fi, state, harness = build(Vendor.INTEL)
+        stats = HarnessStats()
+        harness.run_init_phase(hv, vcpu, fi, state, stats)
+        assert len(stats.results) <= 64

@@ -1,0 +1,65 @@
+"""Tests for crash-input minimization."""
+
+from repro import NecoFuzz, Vendor
+from repro.core.agent import AgentConfig
+from repro.core.minimizer import CrashMinimizer
+
+
+def find_a_crash():
+    campaign = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=3)
+    campaign.run(500)
+    reports = campaign.agent.reports.reports
+    assert reports, "campaign found nothing to minimize"
+    return reports[0]
+
+
+class TestMinimizer:
+    def test_minimization_preserves_signature(self):
+        report = find_a_crash()
+        minimizer = CrashMinimizer(AgentConfig(), max_replays=150)
+        result = minimizer.minimize(report)
+        # The minimized input must still reproduce on a fresh agent.
+        from repro.core.agent import Agent
+
+        outcome = Agent(AgentConfig()).run_case(result.minimized)
+        assert any(a.signature() == result.signature
+                   for a in outcome.anomalies)
+
+    def test_minimization_reduces_entropy(self):
+        report = find_a_crash()
+        minimizer = CrashMinimizer(AgentConfig(), max_replays=150)
+        result = minimizer.minimize(report)
+        original_nonzero = sum(1 for b in report.fuzz_input.data if b)
+        assert result.nonzero_bytes <= original_nonzero
+        # Block zeroing should strip a lot of the 2 KiB.
+        assert result.zero_bytes > 1024
+
+    def test_replay_budget_respected(self):
+        report = find_a_crash()
+        minimizer = CrashMinimizer(AgentConfig(), max_replays=20)
+        result = minimizer.minimize(report)
+        assert result.replays <= 20
+
+    def test_summary(self):
+        report = find_a_crash()
+        minimizer = CrashMinimizer(AgentConfig(), max_replays=30)
+        result = minimizer.minimize(report)
+        assert "non-zero bytes" in result.summary()
+
+
+class TestNestFuzzBaseline:
+    def test_low_coverage_without_structure(self):
+        """§7's point: random VMX instructions without state validity or
+        init sequencing go nowhere near NecoFuzz."""
+        from repro.baselines import NestFuzzCampaign
+
+        nest = NestFuzzCampaign(vendor=Vendor.INTEL, seed=2).run(60)
+        neco = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=2).run(60)
+        assert nest.coverage_fraction < neco.coverage_fraction
+        assert nest.coverage_percent < 45
+
+    def test_amd_also_low(self):
+        from repro.baselines import NestFuzzCampaign
+
+        nest = NestFuzzCampaign(vendor=Vendor.AMD, seed=2).run(60)
+        assert nest.coverage_percent < 45

@@ -1,0 +1,123 @@
+"""Tests for raw -> rounded -> boundary-injected state generation (§4.3)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cpuid import Vendor
+from repro.core.state_generator import (
+    MAX_BITS_PER_FIELD,
+    MAX_FIELDS_PER_ITERATION,
+    VmcbStateGenerator,
+    VmStateGenerator,
+    state_generator_for,
+)
+from repro.fuzzer.input import INPUT_SIZE, FuzzInput
+from repro.fuzzer.rng import Rng
+from repro.vmx import fields as F
+from repro.vmx.msr_caps import default_capabilities
+
+raw_inputs = st.binary(min_size=INPUT_SIZE, max_size=INPUT_SIZE)
+
+
+def make_input(seed=1):
+    return FuzzInput.from_rng(Rng(seed))
+
+
+class TestVmxGeneration:
+    def test_generation_is_deterministic(self):
+        gen_a = VmStateGenerator(default_capabilities())
+        gen_b = VmStateGenerator(default_capabilities())
+        fi = make_input()
+        vmcs_a, _ = gen_a.generate(fi)
+        vmcs_b, _ = gen_b.generate(fi)
+        assert vmcs_a == vmcs_b
+
+    def test_mutation_budget_respected(self):
+        gen = VmStateGenerator(default_capabilities())
+        for seed in range(20):
+            _, meta = gen.generate(make_input(seed))
+            assert 1 <= len(meta.mutated_fields) <= MAX_FIELDS_PER_ITERATION
+            assert meta.flipped_bits <= (MAX_FIELDS_PER_ITERATION
+                                         * MAX_BITS_PER_FIELD)
+
+    def test_rounding_happens_before_injection(self):
+        gen = VmStateGenerator(default_capabilities())
+        _, meta = gen.generate(make_input())
+        assert meta.rounding_corrections > 0
+        assert meta.oracle_entered is not None
+
+    def test_near_boundary_property(self):
+        """Generated states differ from their fully-valid counterpart by
+        at most the injection budget — the boundary-orientation claim."""
+        gen = VmStateGenerator(default_capabilities())
+        validator = gen.validator
+        for seed in range(10):
+            vmcs, meta = gen.generate(make_input(seed))
+            revalidated = vmcs.copy()
+            validator.round_to_valid(revalidated)
+            gen.oracle.apply_learned(revalidated)
+            # Distance back to the valid region is small and bounded.
+            assert vmcs.hamming(revalidated) <= meta.flipped_bits + 8
+
+    def test_without_validator_uses_golden_base(self):
+        gen = VmStateGenerator(default_capabilities(), use_validator=False)
+        vmcs, meta = gen.generate(make_input())
+        assert meta.rounding_corrections == 0
+        assert meta.oracle_entered is None
+        # Golden base: the link pointer keeps its all-ones default.
+        assert vmcs.read(F.VMCS_LINK_POINTER) in ((1 << 64) - 1,
+                                                  vmcs.read(F.VMCS_LINK_POINTER))
+
+    def test_priority_field_bias(self):
+        import collections
+
+        gen = VmStateGenerator(default_capabilities())
+        counter = collections.Counter()
+        for seed in range(150):
+            _, meta = gen.generate(make_input(seed))
+            counter.update(meta.mutated_fields)
+        from repro.core.state_generator import _PRIORITY_FIELDS
+
+        priority_names = {F.SPEC_BY_ENCODING[e].name for e in _PRIORITY_FIELDS}
+        priority_hits = sum(c for name, c in counter.items()
+                            if name in priority_names)
+        assert priority_hits > sum(counter.values()) // 2
+
+    @given(raw_inputs)
+    @settings(max_examples=15, deadline=None)
+    def test_any_input_produces_a_state(self, raw):
+        gen = VmStateGenerator(default_capabilities())
+        vmcs, meta = gen.generate(FuzzInput(raw))
+        assert meta.flipped_bits >= 1
+        assert vmcs.serialize()
+
+
+class TestVmcbGeneration:
+    def test_deterministic(self):
+        fi = make_input()
+        vmcb_a, _ = VmcbStateGenerator().generate(fi)
+        vmcb_b, _ = VmcbStateGenerator().generate(fi)
+        assert vmcb_a == vmcb_b
+
+    def test_oracle_consulted(self):
+        _, meta = VmcbStateGenerator().generate(make_input())
+        assert meta.oracle_entered is not None
+
+    def test_without_validator(self):
+        vmcb, meta = VmcbStateGenerator(use_validator=False).generate(make_input())
+        assert meta.rounding_corrections == 0
+
+    @given(raw_inputs)
+    @settings(max_examples=15, deadline=None)
+    def test_any_input_produces_a_state(self, raw):
+        vmcb, meta = VmcbStateGenerator().generate(FuzzInput(raw))
+        assert meta.flipped_bits >= 1
+
+
+class TestFactory:
+    def test_vendor_dispatch(self):
+        caps = default_capabilities()
+        assert isinstance(state_generator_for(Vendor.INTEL, caps),
+                          VmStateGenerator)
+        assert isinstance(state_generator_for(Vendor.AMD, caps),
+                          VmcbStateGenerator)

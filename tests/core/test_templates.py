@@ -1,0 +1,93 @@
+"""Tests for the instruction-template library (paper Table 1 / §4.2)."""
+
+from repro.arch.cpuid import Vendor
+from repro.core import templates as T
+from repro.fuzzer.input import InputCursor
+from repro.hypervisors.l2map import AMD_L2_EXITS, INTEL_L2_EXITS
+
+
+def cursor(data=bytes(range(256))):
+    return InputCursor(data)
+
+
+class TestLibraryShape:
+    def test_table1_classes_present_intel(self):
+        names = {t.name for t in T.runtime_templates(Vendor.INTEL)}
+        # VMX instructions, privileged registers, I/O+MSR, misc.
+        assert {"l1_vmclear", "l1_vmptrld", "invept"} <= names
+        assert {"mov_cr", "mov_dr"} <= names
+        assert {"io_in", "io_out", "rdmsr", "wrmsr"} <= names
+        assert {"cpuid", "hlt", "rdtsc", "pause", "rdrand"} <= names
+
+    def test_table1_classes_present_amd(self):
+        names = {t.name for t in T.runtime_templates(Vendor.AMD)}
+        assert {"l2_vmrun", "vmload", "vmsave", "stgi", "clgi"} <= names
+        assert {"mov_cr", "rdmsr", "io_out", "cpuid"} <= names
+
+    def test_levels_are_sane(self):
+        for vendor in (Vendor.INTEL, Vendor.AMD):
+            for template in T.runtime_templates(vendor):
+                assert template.levels
+                assert set(template.levels) <= {1, 2}
+
+    def test_both_levels_available(self):
+        for vendor in (Vendor.INTEL, Vendor.AMD):
+            templates = T.runtime_templates(vendor)
+            assert any(1 in t.levels for t in templates)
+            assert any(2 in t.levels for t in templates)
+
+
+class TestInstantiation:
+    def test_instantiate_sets_level(self):
+        template = T.runtime_templates(Vendor.INTEL)[0]
+        instr = template.instantiate(cursor(), 2)
+        assert instr.level == 2
+        assert instr.mnemonic == template.mnemonic
+
+    def test_all_templates_instantiate(self):
+        for vendor in (Vendor.INTEL, Vendor.AMD):
+            c = cursor()
+            for template in T.runtime_templates(vendor):
+                instr = template.instantiate(c, template.levels[0])
+                assert all(isinstance(v, int) for v in instr.operands.values())
+
+    def test_msr_operands_bias_interesting(self):
+        hits = 0
+        c = cursor(bytes(range(256)) * 4)
+        for _ in range(64):
+            operands = T._msr_operands(c)
+            if operands["msr"] in T.INTERESTING_MSRS:
+                hits += 1
+        assert hits > 20  # the 3/4 bias must be visible
+
+    def test_cr_operand_range(self):
+        c = cursor()
+        for _ in range(32):
+            assert T._cr_operands(c)["cr"] in (0, 3, 4, 8)
+
+    def test_l2_mnemonics_have_exit_mappings(self):
+        for template in T.runtime_templates(Vendor.INTEL):
+            if 2 in template.levels and template.mnemonic not in ("nop",):
+                assert template.mnemonic in INTEL_L2_EXITS
+        # RDRAND/RDSEED have no SVM intercept on the parts we model, so
+        # they legitimately never exit on AMD.
+        no_amd_intercept = {"rdrand", "rdseed"}
+        for template in T.runtime_templates(Vendor.AMD):
+            if 2 in template.levels and template.mnemonic not in no_amd_intercept:
+                assert template.mnemonic in AMD_L2_EXITS
+
+
+class TestInitSequences:
+    def test_intel_sequence_shape(self):
+        steps = T.intel_init_sequence()
+        mnemonics = [s.mnemonic for s in steps]
+        assert mnemonics == ["vmxon", "vmclear", "vmptrld", "vmlaunch"]
+        assert not steps[-1].mutable_args  # the entry itself is fixed
+
+    def test_amd_sequence_shape(self):
+        mnemonics = [s.mnemonic for s in T.amd_init_sequence()]
+        assert mnemonics == ["wrmsr", "wrmsr", "clgi", "vmrun"]
+
+    def test_dispatch_by_vendor(self):
+        assert T.init_sequence(Vendor.INTEL)[0].mnemonic == "vmxon"
+        assert T.init_sequence(Vendor.AMD)[0].mnemonic == "wrmsr"

@@ -1,0 +1,102 @@
+"""Tests for the vCPU configurator core and its adapters."""
+
+import pytest
+
+from repro.arch.cpuid import Vendor, features_for
+from repro.core.adapters import KvmAdapter, VboxAdapter, XenAdapter, adapter_for
+from repro.core.vcpu_config import VcpuConfigurator
+from repro.fuzzer.input import FuzzInput
+from repro.fuzzer.rng import Rng
+from repro.hypervisors import KvmHypervisor, VboxHypervisor, VcpuConfig, XenHypervisor
+
+
+def make_input(seed=1):
+    return FuzzInput.from_rng(Rng(seed))
+
+
+class TestConfiguratorCore:
+    def test_deterministic(self):
+        configurator = VcpuConfigurator(Vendor.INTEL)
+        fi = make_input()
+        assert configurator.generate(fi).features == configurator.generate(fi).features
+
+    def test_covers_feature_universe(self):
+        configurator = VcpuConfigurator(Vendor.INTEL)
+        config = configurator.generate(make_input())
+        for feature in features_for(Vendor.INTEL):
+            assert feature.name in config.features
+
+    def test_nested_is_pinned(self):
+        configurator = VcpuConfigurator(Vendor.INTEL)
+        for seed in range(30):
+            config = configurator.generate(make_input(seed))
+            assert config.enabled("nested")
+
+    def test_diversity_across_inputs(self):
+        configurator = VcpuConfigurator(Vendor.INTEL)
+        maps = {tuple(sorted(configurator.generate(make_input(s)).features.items()))
+                for s in range(30)}
+        assert len(maps) > 15
+
+    def test_disabled_returns_defaults(self):
+        configurator = VcpuConfigurator(Vendor.INTEL, enabled=False)
+        from repro.arch.cpuid import default_feature_map
+
+        for seed in range(5):
+            config = configurator.generate(make_input(seed))
+            assert config.features == default_feature_map(Vendor.INTEL)
+
+    def test_bit_width_documented(self):
+        assert VcpuConfigurator(Vendor.INTEL).bit_width() == len(
+            features_for(Vendor.INTEL))
+
+    def test_amd_features(self):
+        config = VcpuConfigurator(Vendor.AMD).generate(make_input())
+        assert "npt" in config.features
+        assert "ept" not in config.features
+
+
+class TestAdapters:
+    def test_registry(self):
+        assert isinstance(adapter_for("kvm"), KvmAdapter)
+        assert isinstance(adapter_for("xen"), XenAdapter)
+        assert isinstance(adapter_for("virtualbox"), VboxAdapter)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown hypervisor"):
+            adapter_for("hyperv")
+
+    def test_kvm_build(self):
+        hv = KvmAdapter().build(VcpuConfig.default(Vendor.INTEL))
+        assert isinstance(hv, KvmHypervisor)
+
+    def test_xen_build(self):
+        hv = XenAdapter().build(VcpuConfig.default(Vendor.AMD))
+        assert isinstance(hv, XenHypervisor)
+
+    def test_vbox_build(self):
+        hv = VboxAdapter().build(VcpuConfig.default(Vendor.INTEL))
+        assert isinstance(hv, VboxHypervisor)
+
+    def test_patched_passthrough(self):
+        hv = KvmAdapter(patched=frozenset({"dummy_root"})).build(
+            VcpuConfig.default(Vendor.INTEL))
+        assert "dummy_root" in hv.patched
+
+    def test_kvm_command_line(self):
+        config = VcpuConfig.default(Vendor.INTEL)
+        config.features["ept"] = False
+        line = KvmAdapter().command_line(config)
+        assert "modprobe kvm-intel" in line
+        assert "ept=0" in line
+        assert "qemu-kvm" in line
+
+    def test_xen_command_line(self):
+        config = VcpuConfig.default(Vendor.INTEL)
+        config.features["ept"] = False
+        line = XenAdapter().command_line(config)
+        assert "xl create" in line and "hap=0" in line
+
+    def test_vbox_command_line(self):
+        line = VboxAdapter().command_line(VcpuConfig.default(Vendor.INTEL))
+        assert "--nested-hw-virt on" in line

@@ -1,0 +1,51 @@
+"""Tests for the L1 VMCB-store runtime template (bug #5's enabler)."""
+
+from repro.arch.cpuid import Vendor
+from repro.arch.registers import Cr0
+from repro.core.harness import VmExecutionHarness, HarnessStats
+from repro.core.templates import VMCB12_GPA, VMCB_STORE_TARGETS
+from repro.hypervisors import GuestInstruction, KvmHypervisor, VcpuConfig
+from repro.svm import fields as SF
+from repro.validator.golden import golden_vmcb
+
+
+class TestVmcbStore:
+    def _hv(self):
+        hv = KvmHypervisor(VcpuConfig.default(Vendor.AMD))
+        hv.memory.put_vmcb(VMCB12_GPA, golden_vmcb())
+        return hv
+
+    def test_store_writes_targeted_field(self):
+        hv = self._hv()
+        harness = VmExecutionHarness(Vendor.AMD)
+        stats = HarnessStats()
+        cr0_index = next(i for i, (name, _) in enumerate(VMCB_STORE_TARGETS)
+                         if name == "cr0")
+        instr = GuestInstruction("vmcb_store",
+                                 {"target": cr0_index, "value": 0x11})
+        result = harness._exec(hv, hv.create_vcpu(), instr, stats)
+        assert result.ok
+        assert hv.memory.get_vmcb(VMCB12_GPA).read(SF.CR0) == 0x11
+
+    def test_store_without_vmcb_is_noop(self):
+        hv = KvmHypervisor(VcpuConfig.default(Vendor.AMD))
+        harness = VmExecutionHarness(Vendor.AMD)
+        result = harness._exec(hv, hv.create_vcpu(),
+                               GuestInstruction("vmcb_store",
+                                                {"target": 0, "value": 1}),
+                               HarnessStats())
+        assert result.ok and "no VMCB" in result.detail
+
+    def test_target_index_wraps(self):
+        hv = self._hv()
+        harness = VmExecutionHarness(Vendor.AMD)
+        instr = GuestInstruction("vmcb_store",
+                                 {"target": len(VMCB_STORE_TARGETS), "value": 5})
+        assert harness._exec(hv, hv.create_vcpu(), instr, HarnessStats()).ok
+
+    def test_store_targets_include_mode_fields(self):
+        names = {name for name, _ in VMCB_STORE_TARGETS}
+        assert {"cr0", "cr4", "efer"} <= names
+        # The bug-#5 trigger value (CR0 without PG) is in the pool.
+        cr0_values = dict(VMCB_STORE_TARGETS)["cr0"]
+        assert any(not v & Cr0.PG for v in cr0_values)

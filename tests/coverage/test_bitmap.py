@@ -1,0 +1,112 @@
+"""Tests for the AFL edge bitmap and virgin map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage.bitmap import (
+    MAP_SIZE,
+    CoverageBitmap,
+    VirginMap,
+    classify_count,
+    edge_index,
+    stable_line_id,
+)
+
+
+class TestClassification:
+    def test_zero(self):
+        assert classify_count(0) == 0
+
+    def test_afl_buckets(self):
+        assert classify_count(1) == 1
+        assert classify_count(2) == 2
+        assert classify_count(3) == 4
+        assert classify_count(4) == 8
+        assert classify_count(7) == 16
+        assert classify_count(200) == 128
+
+    @given(st.integers(min_value=1, max_value=255))
+    @settings(max_examples=60, deadline=None)
+    def test_single_bit_set(self, count):
+        cls = classify_count(count)
+        assert cls and cls & (cls - 1) == 0  # power of two
+
+    @given(st.integers(min_value=1, max_value=254))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone(self, count):
+        assert classify_count(count + 1) >= classify_count(count)
+
+
+class TestEdgeHash:
+    def test_within_map(self):
+        assert 0 <= edge_index(0xFFFF, 0xFFFF) < MAP_SIZE
+
+    def test_direction_sensitive(self):
+        assert edge_index(10, 20) != edge_index(20, 10)
+
+    def test_stable_line_id_deterministic(self):
+        assert stable_line_id("a.py", 5) == stable_line_id("a.py", 5)
+        assert stable_line_id("a.py", 5) != stable_line_id("a.py", 6)
+
+
+class TestBitmap:
+    def test_record_and_count(self):
+        bitmap = CoverageBitmap()
+        bitmap.record_edge(1, 2)
+        bitmap.record_edge(1, 2)
+        assert bitmap.count_nonzero() == 1
+        assert bitmap.counts[edge_index(1, 2)] == 2
+
+    def test_saturates_at_255(self):
+        bitmap = CoverageBitmap()
+        for _ in range(300):
+            bitmap.record_edge(1, 2)
+        assert bitmap.counts[edge_index(1, 2)] == 255
+
+    def test_record_trace(self):
+        bitmap = CoverageBitmap()
+        bitmap.record_trace([((("a.py"), 1), (("a.py"), 2))])
+        assert bitmap.count_nonzero() == 1
+
+    def test_reset(self):
+        bitmap = CoverageBitmap()
+        bitmap.record_edge(1, 2)
+        bitmap.reset()
+        assert bitmap.count_nonzero() == 0
+        assert not bitmap.touched
+
+
+class TestVirginMap:
+    def test_new_edge_returns_two(self):
+        virgin = VirginMap()
+        run = CoverageBitmap()
+        run.record_edge(1, 2)
+        assert virgin.has_new_bits(run) == 2
+
+    def test_same_edge_same_count_returns_zero(self):
+        virgin = VirginMap()
+        run = CoverageBitmap()
+        run.record_edge(1, 2)
+        virgin.has_new_bits(run)
+        rerun = CoverageBitmap()
+        rerun.record_edge(1, 2)
+        assert virgin.has_new_bits(rerun) == 0
+
+    def test_new_count_bucket_returns_one(self):
+        virgin = VirginMap()
+        run = CoverageBitmap()
+        run.record_edge(1, 2)
+        virgin.has_new_bits(run)
+        hotter = CoverageBitmap()
+        for _ in range(10):
+            hotter.record_edge(1, 2)
+        assert virgin.has_new_bits(hotter) == 1
+
+    def test_density_grows(self):
+        virgin = VirginMap()
+        assert virgin.density() == 0.0
+        run = CoverageBitmap()
+        for i in range(50):
+            run.record_edge(i, i + 1)
+        virgin.has_new_bits(run)
+        assert virgin.density() > 0

@@ -1,0 +1,93 @@
+"""Tests for the settrace-based line coverage (kcov analogue)."""
+
+import pytest
+
+from repro.coverage.kcov import KcovTracer, executable_lines
+
+# A tiny target module defined in-repo for tracing tests.
+from tests.coverage import traced_target
+
+
+class TestExecutableLines:
+    def test_function_bodies_counted(self):
+        lines = executable_lines(traced_target)
+        linenos = {lineno for _, lineno in lines}
+        assert traced_target.BRANCH_TRUE_LINE in linenos
+        assert traced_target.BRANCH_FALSE_LINE in linenos
+
+    def test_module_level_not_counted(self):
+        lines = executable_lines(traced_target)
+        linenos = {lineno for _, lineno in lines}
+        assert traced_target.MODULE_LEVEL_LINE not in linenos
+
+    def test_class_body_not_counted(self):
+        lines = executable_lines(traced_target)
+        linenos = {lineno for _, lineno in lines}
+        assert traced_target.CLASS_ATTR_LINE not in linenos
+
+    def test_method_body_counted(self):
+        lines = executable_lines(traced_target)
+        linenos = {lineno for _, lineno in lines}
+        assert traced_target.METHOD_BODY_LINE in linenos
+
+
+class TestTracing:
+    def test_branch_coverage_distinguished(self):
+        tracer = KcovTracer([traced_target])
+        with tracer:
+            traced_target.branchy(True)
+        lines, _ = tracer.drain()
+        linenos = {lineno for _, lineno in lines}
+        assert traced_target.BRANCH_TRUE_LINE in linenos
+        assert traced_target.BRANCH_FALSE_LINE not in linenos
+
+        with tracer:
+            traced_target.branchy(False)
+        lines, _ = tracer.drain()
+        linenos = {lineno for _, lineno in lines}
+        assert traced_target.BRANCH_FALSE_LINE in linenos
+
+    def test_untraced_module_ignored(self):
+        tracer = KcovTracer([traced_target])
+        with tracer:
+            sorted([3, 1, 2])  # stdlib work only
+        lines, edges = tracer.drain()
+        assert lines == set()
+        assert edges == set()
+
+    def test_edges_recorded(self):
+        tracer = KcovTracer([traced_target])
+        with tracer:
+            traced_target.branchy(True)
+        _, edges = tracer.drain()
+        assert edges  # consecutive-line transitions exist
+
+    def test_drain_resets(self):
+        tracer = KcovTracer([traced_target])
+        with tracer:
+            traced_target.branchy(True)
+        tracer.drain()
+        assert tracer.run_lines == set()
+
+    def test_nested_start_rejected(self):
+        tracer = KcovTracer([traced_target])
+        with tracer:
+            with pytest.raises(RuntimeError):
+                tracer.start()
+
+    def test_coverage_fraction(self):
+        tracer = KcovTracer([traced_target])
+        assert tracer.coverage_fraction(set()) == 0.0
+        with tracer:
+            traced_target.branchy(True)
+            traced_target.branchy(False)
+            traced_target.Helper().method()
+            traced_target.looper(3)
+        lines, _ = tracer.drain()
+        fraction = tracer.coverage_fraction(lines)
+        assert fraction == 1.0
+
+    def test_fraction_clips_to_instrumented(self):
+        tracer = KcovTracer([traced_target])
+        bogus = {("elsewhere.py", 1)}
+        assert tracer.coverage_fraction(bogus) == 0.0

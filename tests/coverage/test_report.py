@@ -1,0 +1,66 @@
+"""Tests for coverage set algebra and table rendering."""
+
+from repro.coverage.report import CoverageReport, CoverageTable
+
+INSTRUMENTED = {("f.py", i) for i in range(1, 101)}
+
+
+def lines(*nums):
+    return {("f.py", n) for n in nums}
+
+
+class TestCoverageReport:
+    def test_percent(self):
+        report = CoverageReport("tool", lines(*range(1, 51)), INSTRUMENTED)
+        assert report.percent == 50.0
+        assert report.covered_lines == 50
+
+    def test_stray_lines_clipped(self):
+        report = CoverageReport("tool", {("other.py", 1)}, INSTRUMENTED)
+        assert report.covered_lines == 0
+
+    def test_empty_instrumented(self):
+        assert CoverageReport("tool", set(), set()).percent == 0.0
+
+    def test_intersect(self):
+        a = CoverageReport("A", lines(1, 2, 3), INSTRUMENTED)
+        b = CoverageReport("B", lines(2, 3, 4), INSTRUMENTED)
+        both = a.intersect(b)
+        assert both.covered == lines(2, 3)
+        assert both.name == "A∩B"
+
+    def test_minus(self):
+        a = CoverageReport("A", lines(1, 2, 3), INSTRUMENTED)
+        b = CoverageReport("B", lines(2, 3, 4), INSTRUMENTED)
+        assert a.minus(b).covered == lines(1)
+        assert b.minus(a).covered == lines(4)
+
+    def test_union(self):
+        a = CoverageReport("A", lines(1), INSTRUMENTED)
+        b = CoverageReport("B", lines(2), INSTRUMENTED)
+        assert a.union(b).covered == lines(1, 2)
+
+    def test_row_format(self):
+        row = CoverageReport("NecoFuzz", lines(*range(1, 86)), INSTRUMENTED).row()
+        assert "NecoFuzz" in row and "85.0%" in row
+
+
+class TestCoverageTable:
+    def test_table_2_shape(self):
+        table = CoverageTable("KVM coverage", INSTRUMENTED)
+        table.add("NecoFuzz", lines(*range(1, 86)))
+        table.add("Syzkaller", lines(*range(1, 62)))
+        table.add_algebra("NecoFuzz", "Syzkaller")
+        rendered = table.render()
+        assert "Total" in rendered
+        assert "NecoFuzz-Syzkaller" in rendered
+        assert "NecoFuzz∩Syzkaller" in rendered
+
+    def test_algebra_values(self):
+        table = CoverageTable("t", INSTRUMENTED)
+        table.add("A", lines(1, 2, 3))
+        table.add("B", lines(3, 4))
+        table.add_algebra("A", "B")
+        assert table.reports["A-B"].covered_lines == 2
+        assert table.reports["B-A"].covered_lines == 1
+        assert table.reports["A∩B"].covered_lines == 1

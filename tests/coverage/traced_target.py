@@ -1,0 +1,34 @@
+"""A tiny module used as a tracing target by the kcov tests.
+
+The *_LINE constants are maintained by hand; keep them in sync when
+editing this file.
+"""
+
+MODULE_LEVEL_VALUE = 42  # executes at import time
+
+
+def branchy(flag: bool) -> str:
+    if flag:
+        return "true-arm"   # BRANCH_TRUE_LINE
+    return "false-arm"      # BRANCH_FALSE_LINE
+
+
+def looper(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += i
+    return total
+
+
+class Helper:
+    CLASS_ATTRIBUTE = "set at import"  # CLASS_ATTR_LINE
+
+    def method(self) -> int:
+        return 7  # METHOD_BODY_LINE
+
+
+MODULE_LEVEL_LINE = 7
+BRANCH_TRUE_LINE = 12
+BRANCH_FALSE_LINE = 13
+CLASS_ATTR_LINE = 24
+METHOD_BODY_LINE = 27

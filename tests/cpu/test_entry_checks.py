@@ -1,0 +1,248 @@
+"""Unit tests for the hardware VM-entry consistency checks."""
+
+import pytest
+
+from repro.arch.msr import IA32_KERNEL_GS_BASE, IA32_LSTAR, IA32_TSC, MsrEntry
+from repro.arch.registers import Cr0, Cr4, Efer
+from repro.cpu.entry_checks import (
+    CheckStage,
+    check_all,
+    check_guest_state,
+    check_host_state,
+    check_msr_load_area,
+    check_vm_controls,
+)
+from repro.validator.golden import golden_vmcs
+from repro.vmx import fields as F
+from repro.vmx.controls import (
+    ActivityState,
+    EntryControls,
+    ExitControls,
+    PinBased,
+    ProcBased,
+    Secondary,
+)
+from repro.vmx.msr_caps import default_capabilities
+
+
+@pytest.fixture
+def caps():
+    return default_capabilities()
+
+
+@pytest.fixture
+def vmcs(caps):
+    return golden_vmcs(caps)
+
+
+def fields_flagged(violations):
+    return {v.field for v in violations}
+
+
+class TestControlChecks:
+    def test_golden_passes(self, vmcs, caps):
+        assert check_vm_controls(vmcs, caps) == []
+
+    def test_reserved_pin_bits(self, vmcs, caps):
+        vmcs.write(F.PIN_BASED_VM_EXEC_CONTROL, 0)
+        assert "pin_based_vm_exec_control" in fields_flagged(
+            check_vm_controls(vmcs, caps))
+
+    def test_cr3_target_count(self, vmcs, caps):
+        vmcs.write(F.CR3_TARGET_COUNT, 7)
+        assert "cr3_target_count" in fields_flagged(check_vm_controls(vmcs, caps))
+
+    def test_io_bitmap_alignment(self, vmcs, caps):
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                   vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL) | ProcBased.USE_IO_BITMAPS)
+        vmcs.write(F.IO_BITMAP_A, 0x123)
+        assert "io_bitmap_a" in fields_flagged(check_vm_controls(vmcs, caps))
+
+    def test_virtual_nmis_require_nmi_exiting(self, vmcs, caps):
+        pin = vmcs.read(F.PIN_BASED_VM_EXEC_CONTROL) | PinBased.VIRTUAL_NMIS
+        vmcs.write(F.PIN_BASED_VM_EXEC_CONTROL, pin & ~PinBased.NMI_EXITING)
+        assert "pin_based_vm_exec_control" in fields_flagged(
+            check_vm_controls(vmcs, caps))
+
+    def test_posted_interrupts_need_ack_on_exit(self, vmcs, caps):
+        proc = vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                   proc | ProcBased.USE_TPR_SHADOW
+                   | ProcBased.ACTIVATE_SECONDARY_CONTROLS)
+        vmcs.write(F.SECONDARY_VM_EXEC_CONTROL,
+                   vmcs.read(F.SECONDARY_VM_EXEC_CONTROL)
+                   | Secondary.VIRTUAL_INTR_DELIVERY)
+        vmcs.write(F.VIRTUAL_APIC_PAGE_ADDR, 0x13000)
+        vmcs.write(F.PIN_BASED_VM_EXEC_CONTROL,
+                   vmcs.read(F.PIN_BASED_VM_EXEC_CONTROL)
+                   | PinBased.POSTED_INTERRUPTS)
+        violations = check_vm_controls(vmcs, caps)
+        assert any("acknowledge" in v.reason for v in violations)
+
+    def test_unrestricted_guest_requires_ept(self, vmcs, caps):
+        proc2 = vmcs.read(F.SECONDARY_VM_EXEC_CONTROL)
+        vmcs.write(F.SECONDARY_VM_EXEC_CONTROL,
+                   (proc2 | Secondary.UNRESTRICTED_GUEST) & ~Secondary.ENABLE_EPT)
+        violations = check_vm_controls(vmcs, caps)
+        assert any("unrestricted" in v.reason for v in violations)
+
+    def test_invalid_eptp(self, vmcs, caps):
+        vmcs.write(F.EPT_POINTER, 0x20000 | 3)  # bad memory type
+        assert "ept_pointer" in fields_flagged(check_vm_controls(vmcs, caps))
+
+    def test_vpid_zero(self, vmcs, caps):
+        if not vmcs.read(F.SECONDARY_VM_EXEC_CONTROL) & Secondary.ENABLE_VPID:
+            pytest.skip("VPID not enabled in golden state")
+        vmcs.write(F.VIRTUAL_PROCESSOR_ID, 0)
+        assert "virtual_processor_id" in fields_flagged(
+            check_vm_controls(vmcs, caps))
+
+    def test_msr_area_alignment(self, vmcs, caps):
+        vmcs.write(F.VM_ENTRY_MSR_LOAD_COUNT, 1)
+        vmcs.write(F.VM_ENTRY_MSR_LOAD_ADDR, 0x15008 | 1)
+        assert "vm_entry_msr_load_addr" in fields_flagged(
+            check_vm_controls(vmcs, caps))
+
+    def test_smm_controls_rejected(self, vmcs, caps):
+        vmcs.write(F.VM_ENTRY_CONTROLS,
+                   vmcs.read(F.VM_ENTRY_CONTROLS) | EntryControls.ENTRY_TO_SMM)
+        assert "vm_entry_controls" in fields_flagged(check_vm_controls(vmcs, caps))
+
+    def test_inconsistent_injection(self, vmcs, caps):
+        vmcs.write(F.VM_ENTRY_INTR_INFO_FIELD, (1 << 31) | (2 << 8) | 9)
+        assert "vm_entry_intr_info" in fields_flagged(check_vm_controls(vmcs, caps))
+
+
+class TestHostChecks:
+    def test_golden_passes(self, vmcs, caps):
+        assert check_host_state(vmcs, caps) == []
+
+    def test_host_cr0_fixed(self, vmcs, caps):
+        vmcs.write(F.HOST_CR0, 0)
+        assert "host_cr0" in fields_flagged(check_host_state(vmcs, caps))
+
+    def test_host_cr4_needs_pae(self, vmcs, caps):
+        vmcs.write(F.HOST_CR4, Cr4.VMXE)
+        assert "host_cr4" in fields_flagged(check_host_state(vmcs, caps))
+
+    def test_host_selector_rpl(self, vmcs, caps):
+        vmcs.write(F.HOST_DS_SELECTOR, 0x1B)
+        assert "host_ds_selector" in fields_flagged(check_host_state(vmcs, caps))
+
+    def test_host_cs_null(self, vmcs, caps):
+        vmcs.write(F.HOST_CS_SELECTOR, 0)
+        assert "host_cs_selector" in fields_flagged(check_host_state(vmcs, caps))
+
+    def test_host_tr_null(self, vmcs, caps):
+        vmcs.write(F.HOST_TR_SELECTOR, 0)
+        assert "host_tr_selector" in fields_flagged(check_host_state(vmcs, caps))
+
+    def test_host_rip_canonical(self, vmcs, caps):
+        vmcs.write(F.HOST_RIP, 0x8000_0000_0000_0000)
+        assert "host_rip" in fields_flagged(check_host_state(vmcs, caps))
+
+    def test_host_efer_lma(self, vmcs, caps):
+        vmcs.write(F.HOST_IA32_EFER, Efer.NXE)  # LMA/LME clear on 64-bit host
+        assert "host_ia32_efer" in fields_flagged(check_host_state(vmcs, caps))
+
+    def test_host_pat(self, vmcs, caps):
+        vmcs.write(F.VM_EXIT_CONTROLS,
+                   vmcs.read(F.VM_EXIT_CONTROLS) | ExitControls.LOAD_PAT)
+        vmcs.write(F.HOST_IA32_PAT, 0x02)  # type 2 is reserved
+        assert "host_ia32_pat" in fields_flagged(check_host_state(vmcs, caps))
+
+
+class TestGuestChecks:
+    def test_golden_passes(self, vmcs, caps):
+        assert check_guest_state(vmcs, caps) == []
+
+    def test_pg_without_pe(self, vmcs, caps):
+        vmcs.write(F.GUEST_CR0, (Cr0.PG | Cr0.NE | Cr0.ET) & ~Cr0.PE)
+        flagged = fields_flagged(check_guest_state(vmcs, caps))
+        assert "guest_cr0" in flagged
+
+    def test_ia32e_requires_paging(self, vmcs, caps):
+        vmcs.write(F.GUEST_CR0, Cr0.PE | Cr0.NE | Cr0.ET)
+        assert "guest_cr0" in fields_flagged(check_guest_state(vmcs, caps))
+
+    def test_cve_2023_30456_quirk_no_pae_check(self, vmcs, caps):
+        """The CPU silently tolerates IA-32e with CR4.PAE=0 (§5.5.1)."""
+        vmcs.write(F.GUEST_CR4, vmcs.read(F.GUEST_CR4) & ~Cr4.PAE)
+        flagged = fields_flagged(check_guest_state(vmcs, caps))
+        assert "guest_cr4" not in flagged
+
+    def test_efer_lma_must_match_ia32e(self, vmcs, caps):
+        vmcs.write(F.GUEST_IA32_EFER, Efer.NXE)  # LMA clear, IA-32e set
+        assert "guest_ia32_efer" in fields_flagged(check_guest_state(vmcs, caps))
+
+    def test_rflags_fixed_bit(self, vmcs, caps):
+        vmcs.write(F.GUEST_RFLAGS, 0)
+        assert "guest_rflags" in fields_flagged(check_guest_state(vmcs, caps))
+
+    def test_activity_state_range(self, vmcs, caps):
+        vmcs.write(F.GUEST_ACTIVITY_STATE, 9)
+        assert "guest_activity_state" in fields_flagged(
+            check_guest_state(vmcs, caps))
+
+    def test_wait_for_sipi_is_architecturally_legal(self, vmcs, caps):
+        """Hardware accepts WAIT_FOR_SIPI — the danger exploited by Xen
+        bug #4 is precisely that the state is enterable."""
+        vmcs.write(F.GUEST_ACTIVITY_STATE, ActivityState.WAIT_FOR_SIPI)
+        assert "guest_activity_state" not in fields_flagged(
+            check_guest_state(vmcs, caps))
+
+    def test_sti_and_movss_blocking(self, vmcs, caps):
+        vmcs.write(F.GUEST_RFLAGS, vmcs.read(F.GUEST_RFLAGS) | 0x200)
+        vmcs.write(F.GUEST_INTERRUPTIBILITY_INFO, 3)
+        assert "guest_interruptibility_info" in fields_flagged(
+            check_guest_state(vmcs, caps))
+
+    def test_tr_must_be_usable(self, vmcs, caps):
+        vmcs.write(F.GUEST_TR_AR_BYTES, 1 << 16)
+        assert "guest_tr_ar_bytes" in fields_flagged(check_guest_state(vmcs, caps))
+
+    def test_cs_l_and_db_conflict(self, vmcs, caps):
+        ar = vmcs.read(F.GUEST_CS_AR_BYTES) | (1 << 13) | (1 << 14)
+        vmcs.write(F.GUEST_CS_AR_BYTES, ar)
+        assert "guest_cs_ar_bytes" in fields_flagged(check_guest_state(vmcs, caps))
+
+    def test_link_pointer(self, vmcs, caps):
+        vmcs.write(F.VMCS_LINK_POINTER, 0x123)
+        assert "vmcs_link_pointer" in fields_flagged(check_guest_state(vmcs, caps))
+
+    def test_debugctl_reserved(self, vmcs, caps):
+        vmcs.write(F.VM_ENTRY_CONTROLS,
+                   vmcs.read(F.VM_ENTRY_CONTROLS)
+                   | EntryControls.LOAD_DEBUG_CONTROLS)
+        vmcs.write(F.GUEST_IA32_DEBUGCTL, 1 << 20)
+        assert "guest_ia32_debugctl" in fields_flagged(
+            check_guest_state(vmcs, caps))
+
+
+class TestMsrLoadChecks:
+    def test_clean_area(self):
+        assert check_msr_load_area([MsrEntry(IA32_TSC, 5)]) == []
+
+    def test_non_canonical_kernel_gs_base(self):
+        violations = check_msr_load_area(
+            [MsrEntry(IA32_KERNEL_GS_BASE, 0x8000_0000_0000_0000)])
+        assert violations and violations[0].stage is CheckStage.MSR_LOAD
+
+    def test_non_canonical_lstar(self):
+        assert check_msr_load_area([MsrEntry(IA32_LSTAR, 1 << 62)])
+
+    def test_slot_index_in_message(self):
+        violations = check_msr_load_area(
+            [MsrEntry(IA32_TSC, 0), MsrEntry(IA32_TSC, 0, reserved=3)])
+        assert "msr_load[1]" in violations[0].field
+
+
+class TestCheckAll:
+    def test_stops_at_first_failing_group(self, vmcs, caps):
+        vmcs.write(F.PIN_BASED_VM_EXEC_CONTROL, 0)   # controls violation
+        vmcs.write(F.HOST_CS_SELECTOR, 0)            # host violation
+        violations = check_all(vmcs, caps)
+        assert all(v.stage is CheckStage.CONTROLS for v in violations)
+
+    def test_golden_passes_everything(self, vmcs, caps):
+        assert check_all(vmcs, caps, [MsrEntry(IA32_TSC, 1)]) == []

@@ -1,0 +1,96 @@
+"""Property-based tests over the hardware VM-entry machinery."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.entry_checks import CheckStage, check_all
+from repro.cpu.physical_cpu import VmxCpu
+from repro.cpu.quirks import apply_entry_fixups
+from repro.validator.golden import golden_vmcs
+from repro.validator.rounding import VmStateValidator
+from repro.vmx import fields as F
+from repro.vmx.msr_caps import default_capabilities
+from repro.vmx.vmcs import Vmcs
+
+raw_vmcs = st.binary(min_size=F.LAYOUT_BYTES, max_size=F.LAYOUT_BYTES)
+
+
+class TestCheckProperties:
+    @given(raw_vmcs)
+    @settings(max_examples=40, deadline=None)
+    def test_first_violation_defines_the_stage(self, raw):
+        """check_all mirrors hardware: one failing group at a time."""
+        vmcs = Vmcs.deserialize(raw)
+        violations = check_all(vmcs, default_capabilities())
+        stages = {v.stage for v in violations}
+        assert len(stages) <= 1
+
+    @given(raw_vmcs)
+    @settings(max_examples=30, deadline=None)
+    def test_fixups_preserve_validity(self, raw):
+        """The silent roundings never invalidate an accepted state."""
+        caps = default_capabilities()
+        vmcs = Vmcs.deserialize(raw)
+        VmStateValidator(caps).round_to_valid(vmcs)
+        before = check_all(vmcs, caps)
+        if before:
+            return  # only accepted states are entered and fixed up
+        apply_entry_fixups(vmcs)
+        assert check_all(vmcs, caps) == []
+
+    @given(raw_vmcs)
+    @settings(max_examples=30, deadline=None)
+    def test_fixups_idempotent(self, raw):
+        vmcs = Vmcs.deserialize(raw)
+        apply_entry_fixups(vmcs)
+        assert apply_entry_fixups(vmcs) == []
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_single_control_field_fuzz_never_crashes_checks(self, value):
+        """Whatever lands in a control field, the checker returns a list
+        (no exception) — the robustness the L0 models rely on."""
+        vmcs = golden_vmcs()
+        vmcs.write(F.VM_ENTRY_INTR_INFO_FIELD, value)
+        violations = check_all(vmcs, default_capabilities())
+        assert isinstance(violations, list)
+
+
+class TestEntryStateMachineProperties:
+    @given(raw_vmcs)
+    @settings(max_examples=20, deadline=None)
+    def test_failed_entry_never_marks_launched(self, raw):
+        cpu = VmxCpu()
+        cpu.vmxon(0x1000)
+        cpu.vmclear(0x2000)
+        image = Vmcs.deserialize(raw)
+        image.clear()
+        cpu.install_vmcs(0x2000, image)
+        cpu.vmptrld(0x2000)
+        outcome = cpu.vmlaunch()
+        if not outcome.entered:
+            assert not cpu.current_vmcs.launched
+        else:
+            assert cpu.current_vmcs.launched
+
+    @given(raw_vmcs)
+    @settings(max_examples=20, deadline=None)
+    def test_entry_outcome_consistency(self, raw):
+        """entered, failed_entry, and VMfail are mutually exclusive."""
+        cpu = VmxCpu()
+        cpu.vmxon(0x1000)
+        cpu.vmclear(0x2000)
+        image = Vmcs.deserialize(raw)
+        image.clear()
+        cpu.install_vmcs(0x2000, image)
+        cpu.vmptrld(0x2000)
+        outcome = cpu.vmlaunch()
+        if outcome.entered:
+            assert outcome.vmx_result.ok and not outcome.failed_entry
+        elif outcome.failed_entry:
+            assert outcome.vmx_result.ok  # a failed entry is not VMfail
+            assert outcome.violations
+            assert outcome.violations[0].stage in (CheckStage.GUEST_STATE,
+                                                   CheckStage.MSR_LOAD)
+        else:
+            assert not outcome.vmx_result.ok

@@ -1,0 +1,84 @@
+"""Unit tests for the silent-hardware-behaviour catalogue."""
+
+from repro.arch.registers import Cr4, Efer, Rflags
+from repro.cpu.quirks import UNDOCUMENTED_FIELDS, apply_entry_fixups
+from repro.validator.golden import golden_vmcs
+from repro.vmx import fields as F
+from repro.vmx.controls import EntryControls
+
+
+class TestSilentFixups:
+    def test_golden_state_needs_no_fixups(self):
+        vmcs = golden_vmcs()
+        # Golden already satisfies every silently-enforced property
+        # except possibly the CS accessed bit.
+        fixups = apply_entry_fixups(vmcs)
+        assert all(f.field in UNDOCUMENTED_FIELDS for f in fixups)
+
+    def test_ia32e_pae_assumed_not_written_back(self):
+        """The CVE-2023-30456 quirk: hardware *assumes* CR4.PAE during
+        the entry but does not rewrite the stored field — the stored
+        inconsistency survives for software to stumble over."""
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_CR4, vmcs.read(F.GUEST_CR4) & ~Cr4.PAE)
+        fixups = apply_entry_fixups(vmcs)
+        assert not vmcs.read(F.GUEST_CR4) & Cr4.PAE
+        assert not any(f.field == "guest_cr4" for f in fixups)
+
+    def test_pae_less_ia32e_state_still_enters(self):
+        """...and the hardware entry checks tolerate the combination."""
+        from repro.cpu.entry_checks import check_guest_state
+        from repro.vmx.msr_caps import default_capabilities
+
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_CR4, vmcs.read(F.GUEST_CR4) & ~Cr4.PAE)
+        flagged = {v.field for v in check_guest_state(vmcs,
+                                                      default_capabilities())}
+        assert "guest_cr4" not in flagged
+
+    def test_rflags_fixed_bits_forced(self):
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_RFLAGS, (1 << 3) | (1 << 15))  # reserved bits only
+        apply_entry_fixups(vmcs)
+        rflags = vmcs.read(F.GUEST_RFLAGS)
+        assert rflags & Rflags.FIXED_1
+        assert not rflags & Rflags.RESERVED
+
+    def test_efer_lma_recomputed(self):
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_IA32_EFER, Efer.LME)  # LMA wrongly clear
+        apply_entry_fixups(vmcs)
+        assert vmcs.read(F.GUEST_IA32_EFER) & Efer.LMA
+
+    def test_cs_accessed_bit_set(self):
+        vmcs = golden_vmcs()
+        ar = vmcs.read(F.GUEST_CS_AR_BYTES) & ~1  # clear accessed
+        vmcs.write(F.GUEST_CS_AR_BYTES, ar)
+        fixups = apply_entry_fixups(vmcs)
+        assert vmcs.read(F.GUEST_CS_AR_BYTES) & 1
+        assert any(f.field == "guest_cs_ar_bytes" for f in fixups)
+
+    def test_activity_state_truncated(self):
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_ACTIVITY_STATE, 7)
+        apply_entry_fixups(vmcs)
+        assert vmcs.read(F.GUEST_ACTIVITY_STATE) == 3
+
+    def test_fixups_record_before_after(self):
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_ACTIVITY_STATE, 5)
+        fixups = apply_entry_fixups(vmcs)
+        fix = next(f for f in fixups if f.field == "guest_activity_state")
+        assert fix.before == 5
+        assert fix.after == 1
+
+    def test_fixups_idempotent(self):
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_ACTIVITY_STATE, 6)
+        apply_entry_fixups(vmcs)
+        assert apply_entry_fixups(vmcs) == []
+
+    def test_every_quirk_field_documented(self):
+        assert UNDOCUMENTED_FIELDS == {
+            "guest_rflags", "guest_ia32_efer",
+            "guest_cs_ar_bytes", "guest_activity_state"}

@@ -1,0 +1,149 @@
+"""Unit tests for the simulated AMD-V CPU."""
+
+import pytest
+
+from repro.arch.registers import Cr0, Cr4, Efer
+from repro.cpu.svm_cpu import SvmCpu, check_vmcb
+from repro.svm import fields as SF
+from repro.svm.exit_codes import SvmExitCode
+from repro.validator.golden import golden_vmcb
+
+VMCB = 0x2000
+
+
+@pytest.fixture
+def cpu():
+    cpu = SvmCpu()
+    cpu.set_svme(True)
+    cpu.set_hsave(0x3000)
+    return cpu
+
+
+class TestVmcbChecks:
+    def test_golden_passes(self):
+        assert check_vmcb(golden_vmcb()) == []
+
+    def test_svme_required(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.EFER, vmcb.read(SF.EFER) & ~Efer.SVME)
+        assert any(v.field == "efer" for v in check_vmcb(vmcb))
+
+    def test_efer_reserved(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.EFER, vmcb.read(SF.EFER) | (1 << 2))
+        assert any("reserved" in v.reason for v in check_vmcb(vmcb))
+
+    def test_cr0_cd_nw(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR0, (vmcb.read(SF.CR0) | Cr0.NW) & ~Cr0.CD)
+        assert any(v.field == "cr0" for v in check_vmcb(vmcb))
+
+    def test_cr0_high_bits(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR0, vmcb.read(SF.CR0) | (1 << 40))
+        assert any(v.field == "cr0" for v in check_vmcb(vmcb))
+
+    def test_cr4_reserved(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR4, 1 << 31)
+        assert any(v.field == "cr4" for v in check_vmcb(vmcb))
+
+    def test_long_mode_requires_pae(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR4, 0)
+        assert any("PAE" in v.reason for v in check_vmcb(vmcb))
+
+    def test_lme_without_pg_permitted(self):
+        """The APM ambiguity behind Xen bugs #5/#6: LME=1 with PG=0 is a
+        *legal* transitional state that vmrun must accept."""
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR0, vmcb.read(SF.CR0) & ~Cr0.PG)
+        vmcb.write(SF.CR4, 0)  # PAE not needed when PG=0
+        assert check_vmcb(vmcb) == []
+
+    def test_asid_zero_reserved(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.GUEST_ASID, 0)
+        assert any(v.field == "guest_asid" for v in check_vmcb(vmcb))
+
+    def test_vmrun_intercept_required(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.INTERCEPT_MISC2, 0)
+        assert any(v.field == "intercept_misc2" for v in check_vmcb(vmcb))
+
+    def test_ncr3_alignment(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.N_CR3, 0x123)
+        assert any(v.field == "n_cr3" for v in check_vmcb(vmcb))
+
+    def test_dr7_high_bits(self):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.DR7, 1 << 40)
+        assert any(v.field == "dr7" for v in check_vmcb(vmcb))
+
+
+class TestVmrun:
+    def test_golden_enters(self, cpu):
+        cpu.install_vmcb(VMCB, golden_vmcb())
+        outcome = cpu.vmrun(VMCB)
+        assert outcome.entered
+        assert cpu.in_guest
+
+    def test_requires_svme(self):
+        cpu = SvmCpu()
+        assert cpu.vmrun(VMCB).invalid
+
+    def test_misaligned_vmcb(self, cpu):
+        assert cpu.vmrun(0x123).invalid
+
+    def test_missing_vmcb(self, cpu):
+        assert cpu.vmrun(0x5000).invalid
+
+    def test_failed_checks_write_exit_code(self, cpu):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.GUEST_ASID, 0)
+        cpu.install_vmcb(VMCB, vmcb)
+        outcome = cpu.vmrun(VMCB)
+        assert outcome.invalid
+        assert vmcb.read(SF.EXIT_CODE) == int(SvmExitCode.INVALID)
+
+    def test_lma_recomputed(self, cpu):
+        """vmrun quirk: EFER.LMA is derived from LME & PG."""
+        vmcb = golden_vmcb()
+        vmcb.write(SF.EFER, (vmcb.read(SF.EFER) | Efer.LME) & ~Efer.LMA)
+        cpu.install_vmcb(VMCB, vmcb)
+        outcome = cpu.vmrun(VMCB)
+        assert outcome.entered
+        assert vmcb.read(SF.EFER) & Efer.LMA
+        assert any("lma" in fix for fix in outcome.fixups)
+
+    def test_vgif_set_at_vmrun(self, cpu):
+        vmcb = golden_vmcb()
+        vmcb.write(SF.VINTR_CONTROL, SF.VintrControl.V_GIF_ENABLE)
+        cpu.install_vmcb(VMCB, vmcb)
+        outcome = cpu.vmrun(VMCB)
+        assert outcome.entered
+        assert vmcb.vgif_value
+
+    def test_gif_toggling(self, cpu):
+        cpu.clgi()
+        assert not cpu.gif
+        cpu.stgi()
+        assert cpu.gif
+
+    def test_hsave_alignment(self):
+        with pytest.raises(ValueError):
+            SvmCpu().set_hsave(0x123)
+
+    def test_vm_exit_writeback(self, cpu):
+        cpu.install_vmcb(VMCB, golden_vmcb())
+        cpu.vmrun(VMCB)
+        cpu.vm_exit(VMCB, SvmExitCode.CPUID, info1=7)
+        vmcb = cpu.memory[VMCB]
+        assert vmcb.read(SF.EXIT_CODE) == int(SvmExitCode.CPUID)
+        assert vmcb.read(SF.EXIT_INFO_1) == 7
+        assert not cpu.in_guest
+
+    def test_vm_exit_without_vmcb_raises(self, cpu):
+        with pytest.raises(RuntimeError):
+            cpu.vm_exit(0x7000, SvmExitCode.HLT)

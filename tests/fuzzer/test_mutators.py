@@ -1,0 +1,107 @@
+"""Tests for the AFL mutation operators (length preservation etc.)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzer import mutators as M
+from repro.fuzzer.rng import Rng
+
+data_strategy = st.binary(min_size=16, max_size=256)
+seed_strategy = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestLengthPreservation:
+    @given(data_strategy, seed_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_all_operators_preserve_length(self, data, seed):
+        rng = Rng(seed)
+        for op in (lambda d: M.bitflip(d, rng), lambda d: M.bitflip(d, rng, width=4),
+                   lambda d: M.byteflip(d, rng), lambda d: M.arith(d, rng, width=2),
+                   lambda d: M.interesting(d, rng, width=4),
+                   lambda d: M.random_byte(d, rng),
+                   lambda d: M.block_overwrite(d, rng),
+                   lambda d: M.block_copy(d, rng),
+                   lambda d: M.havoc(d, rng)):
+            assert len(op(data)) == len(data)
+
+
+class TestBitflip:
+    def test_flips_exactly_width_bits(self):
+        rng = Rng(1)
+        data = bytes(32)
+        flipped = M.bitflip(data, rng, width=1)
+        diff = sum((a ^ b).bit_count() for a, b in zip(data, flipped))
+        assert diff == 1
+
+    def test_double_flip_restores(self):
+        data = bytes(range(32))
+        out = M.bitflip(M.bitflip(data, Rng(9)), Rng(9))
+        assert out == data
+
+
+class TestByteflip:
+    def test_inverts_bytes(self):
+        rng = Rng(2)
+        data = bytes(16)
+        flipped = M.byteflip(data, rng)
+        assert sum(1 for a, b in zip(data, flipped) if a != b) == 1
+        assert 0xFF in flipped
+
+
+class TestArith:
+    def test_changes_value_in_range(self):
+        rng = Rng(3)
+        data = bytes(16)
+        out = M.arith(data, rng, width=1)
+        changed = [b for b in out if b]
+        assert changed and all(b <= M.ARITH_MAX or b >= 256 - M.ARITH_MAX
+                               for b in changed)
+
+
+class TestInteresting:
+    def test_injects_table_value(self):
+        rng = Rng(4)
+        out = M.interesting(bytes(16), rng, width=2)
+        value = next((int.from_bytes(out[i:i + 2], "little")
+                      for i in range(15) if out[i:i + 2] != b"\x00\x00"), 0)
+        assert value in {v % (1 << 16) for v in M.INTERESTING_16} or value == 0
+
+
+class TestSplice:
+    def test_head_from_first_tail_from_second(self):
+        a, b = bytes([1] * 32), bytes([2] * 32)
+        out = M.splice(a, b, Rng(5))
+        assert out[0] == 1 and out[-1] == 2
+        assert len(out) == 32
+
+    def test_mismatched_lengths_handled(self):
+        out = M.splice(bytes(32), bytes(8), Rng(6))
+        assert len(out) == 32
+
+
+class TestRegionHavoc:
+    REGIONS = ((0, 16), (16, 32), (32, 64))
+
+    @given(st.binary(min_size=64, max_size=64), seed_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_length_preserved(self, data, seed):
+        out = M.region_havoc(data, Rng(seed), self.REGIONS)
+        assert len(out) == len(data)
+
+    def test_touches_multiple_regions(self):
+        """Over many applications, every region must get mutated — the
+        property uniform havoc lacks for partitioned inputs."""
+        data = bytes(64)
+        rng = Rng(7)
+        touched = set()
+        for _ in range(50):
+            out = M.region_havoc(data, rng, self.REGIONS)
+            for idx, (start, end) in enumerate(self.REGIONS):
+                if out[start:end] != data[start:end]:
+                    touched.add(idx)
+        assert touched == {0, 1, 2}
+
+    def test_deterministic_for_same_rng(self):
+        data = bytes(range(64))
+        assert (M.region_havoc(data, Rng(11), self.REGIONS)
+                == M.region_havoc(data, Rng(11), self.REGIONS))

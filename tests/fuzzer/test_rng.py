@@ -1,0 +1,57 @@
+"""Tests for the deterministic RNG wrapper."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzer.rng import Rng
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = Rng(5), Rng(5)
+        assert [a.u64() for _ in range(8)] == [b.u64() for _ in range(8)]
+
+    def test_different_seed_different_stream(self):
+        assert [Rng(1).u64() for _ in range(4)] != [Rng(2).u64() for _ in range(4)]
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent_a, parent_b = Rng(5), Rng(5)
+        parent_b.u64()  # consume from one parent only
+        assert parent_a.fork(3).u64() == parent_b.fork(3).u64()
+
+    def test_fork_salt_matters(self):
+        parent = Rng(5)
+        assert parent.fork(1).u64() != parent.fork(2).u64()
+
+
+class TestRanges:
+    @given(st.integers(min_value=0, max_value=1 << 32))
+    @settings(max_examples=40, deadline=None)
+    def test_widths(self, seed):
+        rng = Rng(seed)
+        assert 0 <= rng.u8() < 1 << 8
+        assert 0 <= rng.u16() < 1 << 16
+        assert 0 <= rng.u32() < 1 << 32
+        assert 0 <= rng.u64() < 1 << 64
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_below(self, seed, bound):
+        assert 0 <= Rng(seed).below(bound) < bound
+
+    def test_bytes_length(self):
+        assert len(Rng(1).bytes(77)) == 77
+
+    def test_chance_extremes(self):
+        rng = Rng(1)
+        assert all(rng.chance(1.0) for _ in range(16))
+        assert not any(rng.chance(0.0) for _ in range(16))
+
+    def test_choice_and_shuffle(self):
+        rng = Rng(3)
+        items = list(range(10))
+        assert rng.choice(items) in items
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items

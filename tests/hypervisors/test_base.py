@@ -1,0 +1,136 @@
+"""Tests for the shared hypervisor infrastructure."""
+
+import pytest
+
+from repro.arch.cpuid import Vendor
+from repro.hypervisors.base import (
+    ExecResult,
+    GuestInstruction,
+    KernelLog,
+    SanitizerKind,
+    VcpuConfig,
+)
+from repro.hypervisors.memory import GuestMemory
+from repro.arch.msr import MsrEntry
+from repro.svm.vmcb import Vmcb
+from repro.vmx.vmcs import Vmcs
+
+
+class TestVcpuConfig:
+    def test_default_config(self):
+        config = VcpuConfig.default(Vendor.INTEL)
+        assert config.enabled("ept")
+        assert config.enabled("nested")
+        assert not config.enabled("sgx")
+
+    def test_unknown_feature_defaults_off(self):
+        assert not VcpuConfig.default(Vendor.INTEL).enabled("quantum")
+
+
+class TestKernelLog:
+    def test_write_and_grep(self):
+        log = KernelLog()
+        log.write("BUG: something bad")
+        log.write("all fine")
+        assert log.grep("BUG") == ["BUG: something bad"]
+
+    def test_clear(self):
+        log = KernelLog()
+        log.write("x")
+        log.clear()
+        assert log.lines == []
+
+
+class TestGuestInstruction:
+    def test_operand_access(self):
+        instr = GuestInstruction("rdmsr", {"msr": 0x10}, level=2)
+        assert instr.op("msr") == 0x10
+        assert instr.op("missing", 7) == 7
+
+    def test_str(self):
+        text = str(GuestInstruction("vmxon", {"addr": 0x1000}))
+        assert "L1:vmxon" in text and "0x1000" in text
+
+
+class TestExecResult:
+    def test_success(self):
+        result = ExecResult.success("ok", value=3, level=2)
+        assert result.ok and result.value == 3 and result.level == 2
+
+    def test_fault(self):
+        result = ExecResult.fault("#UD")
+        assert not result.ok and result.detail == "#UD"
+
+
+class TestGuestMemory:
+    def test_address_classification(self):
+        assert GuestMemory.in_guest_ram(0x1000)
+        assert not GuestMemory.in_guest_ram(0x2000_0000)
+        assert GuestMemory.in_l0_reserved(0xF000_0000)
+        assert not GuestMemory.in_l0_reserved(0x1000)
+
+    def test_vmcs_page_alignment(self):
+        memory = GuestMemory()
+        vmcs = Vmcs()
+        memory.put_vmcs(0x3123, vmcs)  # sub-page offset discarded
+        assert memory.get_vmcs(0x3000) is vmcs
+
+    def test_ensure_vmcs_idempotent(self):
+        memory = GuestMemory()
+        first = memory.ensure_vmcs(0x3000)
+        assert memory.ensure_vmcs(0x3FFF) is first
+
+    def test_vmcb_storage(self):
+        memory = GuestMemory()
+        vmcb = Vmcb()
+        memory.put_vmcb(0x5000, vmcb)
+        assert memory.get_vmcb(0x5000) is vmcb
+        assert memory.get_vmcb(0x6000) is None
+
+    def test_msr_area_roundtrip(self):
+        memory = GuestMemory()
+        entries = [MsrEntry(0x10, 1), MsrEntry(0x20, 2)]
+        memory.put_msr_area(0x15000, entries)
+        assert memory.get_msr_area(0x15000, 2) == entries
+
+    def test_msr_area_pads_with_zero_entries(self):
+        memory = GuestMemory()
+        memory.put_msr_area(0x15000, [MsrEntry(0x10, 1)])
+        area = memory.get_msr_area(0x15000, 3)
+        assert len(area) == 3
+        assert area[1] == MsrEntry(0, 0)
+
+    def test_msr_area_count_clamped(self):
+        """A fuzzed count field must never cause a giant allocation."""
+        memory = GuestMemory()
+        area = memory.get_msr_area(0x15000, 1 << 30)
+        assert len(area) == GuestMemory.MSR_AREA_MAX
+
+
+class TestSanitizerPlumbing:
+    def test_report_mirrors_to_log(self):
+        from repro.hypervisors import KvmHypervisor
+
+        hv = KvmHypervisor(VcpuConfig.default(Vendor.INTEL))
+        hv.report_sanitizer(SanitizerKind.KASAN, "somewhere", "uaf")
+        assert len(hv.sanitizer_events) == 1
+        assert hv.log.grep("KASAN")
+
+    def test_bug_assert_records_only_on_failure(self):
+        from repro.hypervisors import KvmHypervisor
+
+        hv = KvmHypervisor(VcpuConfig.default(Vendor.INTEL))
+        hv.bug_assert(True, "fine", "never seen")
+        assert not hv.sanitizer_events
+        hv.bug_assert(False, "broken", "seen")
+        assert hv.sanitizer_events[0].kind is SanitizerKind.ASSERTION
+
+    def test_reset_clears_state(self):
+        from repro.hypervisors import KvmHypervisor
+
+        hv = KvmHypervisor(VcpuConfig.default(Vendor.INTEL))
+        hv.report_sanitizer(SanitizerKind.WARN, "x", "y")
+        hv.crashed = True
+        hv.reset()
+        assert not hv.sanitizer_events and not hv.crashed
+        assert hv.log.lines == []

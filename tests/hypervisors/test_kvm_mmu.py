@@ -1,0 +1,68 @@
+"""Tests for the KVM MMU model (roots, dummy-root patch, PDPTE loads)."""
+
+from repro.hypervisors.kvm.mmu import KvmMmu, MmuRoot
+from repro.hypervisors.memory import GuestMemory
+
+
+def make_mmu():
+    return KvmMmu(GuestMemory())
+
+
+class TestRootValidation:
+    def test_visible_root_accepted(self):
+        mmu = make_mmu()
+        assert mmu.mmu_check_root(0x20000)
+        assert mmu.load_root(0x20000, dummy_root_patch=False)
+        assert mmu.root == MmuRoot(0x20000)
+
+    def test_invisible_root_rejected_prepatch(self):
+        mmu = make_mmu()
+        assert not mmu.mmu_check_root(0xF0000000)
+        assert not mmu.load_root(0xF0000000, dummy_root_patch=False)
+        assert mmu.root is None
+
+    def test_dummy_root_patch(self):
+        """The fix [10]: an invisible root loads the zero page instead."""
+        mmu = make_mmu()
+        assert mmu.load_root(0xF0000000, dummy_root_patch=True)
+        assert mmu.root.dummy
+        assert mmu.root.hpa == KvmMmu.ZERO_PAGE_HPA
+
+    def test_root_page_aligned(self):
+        mmu = make_mmu()
+        mmu.load_root(0x20123, dummy_root_patch=False)
+        assert mmu.root.hpa == 0x20000
+
+
+class TestPdpteLoads:
+    def test_legacy_pae_walk_clean(self):
+        mmu = make_mmu()
+        oob = mmu.load_pdptrs(0x30000, believed_long_mode=False,
+                              pae_enabled=True,
+                              walk_address=0xFFFF_FFFF)
+        assert oob is None
+        assert mmu.pdptrs.oob_write is None
+
+    def test_confused_walk_overflows(self):
+        """The CVE-2023-30456 condition: long-mode index bits against
+        the 4-entry legacy cache."""
+        mmu = make_mmu()
+        oob = mmu.load_pdptrs(0x30000, believed_long_mode=True,
+                              pae_enabled=False,
+                              walk_address=0x7FFF_FFFF_F000)
+        assert oob is not None and oob > 3
+        assert mmu.pdptrs.oob_write is not None
+
+    def test_confused_walk_small_address_in_bounds(self):
+        mmu = make_mmu()
+        oob = mmu.load_pdptrs(0x30000, believed_long_mode=True,
+                              pae_enabled=False, walk_address=0x4000_0000)
+        assert oob is None
+
+    def test_consistent_long_mode_uses_legacy_index(self):
+        # believed_long_mode with PAE set: no confusion, legacy index.
+        mmu = make_mmu()
+        oob = mmu.load_pdptrs(0x30000, believed_long_mode=True,
+                              pae_enabled=True,
+                              walk_address=0x7FFF_FFFF_F000)
+        assert oob is None

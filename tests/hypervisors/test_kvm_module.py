@@ -1,0 +1,64 @@
+"""Tests for the kvm module-parameter model."""
+
+from repro.arch.cpuid import Vendor
+from repro.hypervisors.base import VcpuConfig
+from repro.hypervisors.kvm.module import KvmModuleParams
+from repro.vmx.controls import Secondary
+
+
+class TestFromConfig:
+    def test_defaults(self):
+        params = KvmModuleParams.from_config(VcpuConfig.default(Vendor.INTEL))
+        assert params.nested and params.ept and params.vpid
+
+    def test_dependent_resolution_ept(self):
+        """Like the real module: ept=0 forces unrestricted_guest=0 and
+        pml=0 regardless of what was requested."""
+        config = VcpuConfig.default(Vendor.INTEL)
+        config.features["ept"] = False
+        config.features["unrestricted_guest"] = True
+        config.features["pml"] = True
+        params = KvmModuleParams.from_config(config)
+        assert not params.ept
+        assert not params.unrestricted_guest
+        assert not params.pml
+
+    def test_amd_features_mapped(self):
+        config = VcpuConfig.default(Vendor.AMD)
+        config.features["vgif"] = False
+        config.features["npt"] = False
+        params = KvmModuleParams.from_config(config)
+        assert not params.vgif and not params.npt
+
+
+class TestCmdline:
+    def test_intel_string(self):
+        params = KvmModuleParams(ept=False, vpid=False)
+        line = params.cmdline(Vendor.INTEL)
+        assert "ept=0" in line and "vpid=0" in line and "nested=1" in line
+        assert "npt" not in line  # AMD-only knob
+
+    def test_amd_string(self):
+        params = KvmModuleParams(npt=False, vgif=True)
+        line = params.cmdline(Vendor.AMD)
+        assert "npt=0" in line and "vgif=1" in line
+        assert "ept" not in line
+
+
+class TestL1Capabilities:
+    def test_full_params_full_caps(self):
+        caps = KvmModuleParams().l1_vmx_capabilities()
+        assert caps.secondary.allowed1 & Secondary.ENABLE_EPT
+        assert caps.secondary.allowed1 & Secondary.ENABLE_VPID
+
+    def test_restricted_params_strip_caps(self):
+        caps = KvmModuleParams(ept=False, vpid=False).l1_vmx_capabilities()
+        assert not caps.secondary.allowed1 & Secondary.ENABLE_EPT
+        assert not caps.secondary.allowed1 & Secondary.ENABLE_VPID
+        assert not caps.secondary.allowed1 & Secondary.UNRESTRICTED_GUEST
+
+    def test_feature_map_roundtrip(self):
+        params = KvmModuleParams(ept=False)
+        feature_map = params.as_feature_map()
+        assert feature_map["ept"] is False
+        assert "apicv" in feature_map  # enable_apicv renamed back

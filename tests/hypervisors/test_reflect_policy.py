@@ -1,0 +1,223 @@
+"""Exhaustive tests of the exit-reflection policies (nested dispatchers).
+
+The reflect decision — does an L2 exit belong to L1 or to L0? — is the
+densest branch structure in the nested code and the reason diverse
+control fields matter. Each case pins one (reason, control-bit) pair.
+"""
+
+import pytest
+
+from repro.arch.cpuid import Vendor
+from repro.hypervisors import GuestInstruction, KvmHypervisor, VcpuConfig
+from repro.svm import fields as SF
+from repro.svm.exit_codes import SvmExitCode
+from repro.svm.fields import Misc1Intercept, Misc2Intercept
+from repro.validator.golden import golden_vmcb, golden_vmcs
+from repro.vmx import fields as F
+from repro.vmx.controls import PinBased, ProcBased, Secondary
+from repro.vmx.exit_reasons import ExitReason
+
+
+@pytest.fixture
+def kvm_intel():
+    hv = KvmHypervisor(VcpuConfig.default(Vendor.INTEL))
+    return hv.nested_vmx
+
+
+@pytest.fixture
+def kvm_amd():
+    hv = KvmHypervisor(VcpuConfig.default(Vendor.AMD))
+    return hv.nested_svm
+
+
+def instr(mnemonic="probe", **operands):
+    return GuestInstruction(mnemonic, operands, level=2)
+
+
+class TestVmxReflectPolicy:
+    def _vmcs(self, **controls):
+        vmcs = golden_vmcs()
+        for name, value in controls.items():
+            vmcs.set_by_name(name, value)
+        return vmcs
+
+    def test_exception_follows_bitmap(self, kvm_intel):
+        vmcs = self._vmcs(exception_bitmap=1 << 14)
+        assert kvm_intel.l1_wants_exit(vmcs, ExitReason.EXCEPTION_NMI,
+                                       instr(vector=14))
+        assert not kvm_intel.l1_wants_exit(vmcs, ExitReason.EXCEPTION_NMI,
+                                           instr(vector=13))
+
+    def test_external_interrupt_follows_pin(self, kvm_intel):
+        on = self._vmcs()
+        on.write(F.PIN_BASED_VM_EXEC_CONTROL,
+                 on.read(F.PIN_BASED_VM_EXEC_CONTROL)
+                 | PinBased.EXT_INTR_EXITING)
+        assert kvm_intel.l1_wants_exit(on, ExitReason.EXTERNAL_INTERRUPT, instr())
+        off = self._vmcs()
+        assert not kvm_intel.l1_wants_exit(off, ExitReason.EXTERNAL_INTERRUPT,
+                                           instr())
+
+    @pytest.mark.parametrize("reason", [
+        ExitReason.TRIPLE_FAULT, ExitReason.CPUID, ExitReason.GETSEC,
+        ExitReason.INVD, ExitReason.XSETBV, ExitReason.TASK_SWITCH,
+        ExitReason.VMCALL, ExitReason.VMXON, ExitReason.VMLAUNCH,
+        ExitReason.VMREAD, ExitReason.INVEPT, ExitReason.VMFUNC,
+    ])
+    def test_unconditional_exits_always_reflect(self, kvm_intel, reason):
+        assert kvm_intel.l1_wants_exit(self._vmcs(), reason, instr())
+
+    @pytest.mark.parametrize("reason,bit", [
+        (ExitReason.HLT, ProcBased.HLT_EXITING),
+        (ExitReason.INVLPG, ProcBased.INVLPG_EXITING),
+        (ExitReason.RDPMC, ProcBased.RDPMC_EXITING),
+        (ExitReason.RDTSC, ProcBased.RDTSC_EXITING),
+        (ExitReason.MWAIT_INSTRUCTION, ProcBased.MWAIT_EXITING),
+        (ExitReason.MONITOR_INSTRUCTION, ProcBased.MONITOR_EXITING),
+        (ExitReason.DR_ACCESS, ProcBased.MOV_DR_EXITING),
+    ])
+    def test_proc_gated_exits(self, kvm_intel, reason, bit):
+        vmcs = self._vmcs()
+        proc = vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL, proc | bit)
+        assert kvm_intel.l1_wants_exit(vmcs, reason, instr())
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL, proc & ~bit)
+        assert not kvm_intel.l1_wants_exit(vmcs, reason, instr())
+
+    def test_cr0_mask_decides(self, kvm_intel):
+        vmcs = self._vmcs(cr0_guest_host_mask=0x1, cr0_read_shadow=0x1)
+        # Write agreeing with the shadow: L0 handles it.
+        assert not kvm_intel.l1_wants_exit(
+            vmcs, ExitReason.CR_ACCESS, instr(cr=0, write=1, value=0x31))
+        # Write disagreeing on a masked bit: reflect.
+        assert kvm_intel.l1_wants_exit(
+            vmcs, ExitReason.CR_ACCESS, instr(cr=0, write=1, value=0x30))
+
+    def test_cr3_target_whitelist(self, kvm_intel):
+        vmcs = self._vmcs(cr3_target_count=1, cr3_target_value0=0x30000)
+        proc = vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                   proc | ProcBased.CR3_LOAD_EXITING)
+        assert not kvm_intel.l1_wants_exit(
+            vmcs, ExitReason.CR_ACCESS, instr(cr=3, write=1, value=0x30000))
+        assert kvm_intel.l1_wants_exit(
+            vmcs, ExitReason.CR_ACCESS, instr(cr=3, write=1, value=0x40000))
+
+    def test_cr8_gating(self, kvm_intel):
+        vmcs = self._vmcs()
+        proc = vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL, proc | ProcBased.CR8_LOAD_EXITING)
+        assert kvm_intel.l1_wants_exit(
+            vmcs, ExitReason.CR_ACCESS, instr(cr=8, write=1, value=5))
+        assert not kvm_intel.l1_wants_exit(
+            vmcs, ExitReason.CR_ACCESS, instr(cr=8, write=0, value=0))
+
+    def test_io_uncond_vs_bitmap(self, kvm_intel):
+        uncond = self._vmcs()
+        assert kvm_intel.l1_wants_exit(uncond, ExitReason.IO_INSTRUCTION,
+                                       instr(port=0x70))
+        bitmap = self._vmcs(io_bitmap_a=0x10000, io_bitmap_b=0x11000)
+        proc = bitmap.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        bitmap.write(F.CPU_BASED_VM_EXEC_CONTROL, proc | ProcBased.USE_IO_BITMAPS)
+        assert kvm_intel.l1_wants_exit(bitmap, ExitReason.IO_INSTRUCTION,
+                                       instr(port=0x71))   # odd -> trapped
+        assert not kvm_intel.l1_wants_exit(bitmap, ExitReason.IO_INSTRUCTION,
+                                           instr(port=0x70))
+
+    def test_msr_without_bitmap_always_reflects(self, kvm_intel):
+        vmcs = self._vmcs()
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                   vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL)
+                   & ~ProcBased.USE_MSR_BITMAPS)
+        assert kvm_intel.l1_wants_exit(vmcs, ExitReason.MSR_READ,
+                                       instr(msr=0x10))
+
+    def test_ept_violation_ownership(self, kvm_intel):
+        with_ept = self._vmcs()
+        assert kvm_intel.l1_wants_exit(with_ept, ExitReason.EPT_VIOLATION,
+                                       instr())  # golden enables EPT
+        without = self._vmcs(secondary_vm_exec_control=0)
+        assert not kvm_intel.l1_wants_exit(without, ExitReason.EPT_VIOLATION,
+                                           instr())
+
+    def test_pml_full_is_l0s(self, kvm_intel):
+        assert not kvm_intel.l1_wants_exit(self._vmcs(), ExitReason.PML_FULL,
+                                           instr())
+
+    def test_pause_either_control(self, kvm_intel):
+        plain = self._vmcs()
+        proc = plain.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        plain.write(F.CPU_BASED_VM_EXEC_CONTROL, proc | ProcBased.PAUSE_EXITING)
+        assert kvm_intel.l1_wants_exit(plain, ExitReason.PAUSE_INSTRUCTION,
+                                       instr())
+        ple = self._vmcs()
+        ple.write(F.SECONDARY_VM_EXEC_CONTROL,
+                  ple.read(F.SECONDARY_VM_EXEC_CONTROL)
+                  | Secondary.PAUSE_LOOP_EXITING)
+        assert kvm_intel.l1_wants_exit(ple, ExitReason.PAUSE_INSTRUCTION,
+                                       instr())
+
+
+class TestSvmReflectPolicy:
+    def _vmcb(self, **fields):
+        vmcb = golden_vmcb()
+        for name, value in fields.items():
+            vmcb.write(name, value)
+        return vmcb
+
+    def test_exception_follows_bitmap(self, kvm_amd):
+        vmcb = self._vmcb(intercept_exceptions=1 << 14)
+        from repro.hypervisors.l2map import svm_exception_code
+
+        assert kvm_amd.l1_wants_exit(vmcb, svm_exception_code(14), instr())
+        assert not kvm_amd.l1_wants_exit(vmcb, svm_exception_code(13), instr())
+
+    @pytest.mark.parametrize("code,bit", [
+        (SvmExitCode.CPUID, Misc1Intercept.CPUID),
+        (SvmExitCode.HLT, Misc1Intercept.HLT),
+        (SvmExitCode.RDTSC, Misc1Intercept.RDTSC),
+        (SvmExitCode.INTR, Misc1Intercept.INTR),
+        (SvmExitCode.NMI, Misc1Intercept.NMI),
+        (SvmExitCode.SMI, Misc1Intercept.SMI),
+        (SvmExitCode.INIT, Misc1Intercept.INIT),
+        (SvmExitCode.VINTR, Misc1Intercept.VINTR),
+        (SvmExitCode.INVLPG, Misc1Intercept.INVLPG),
+        (SvmExitCode.PAUSE, Misc1Intercept.PAUSE),
+    ])
+    def test_misc1_gated(self, kvm_amd, code, bit):
+        on = self._vmcb(intercept_misc1=bit)
+        off = self._vmcb(intercept_misc1=0)
+        assert kvm_amd.l1_wants_exit(on, int(code), instr())
+        assert not kvm_amd.l1_wants_exit(off, int(code), instr())
+
+    @pytest.mark.parametrize("code,bit", [
+        (SvmExitCode.VMRUN, Misc2Intercept.VMRUN),
+        (SvmExitCode.VMLOAD, Misc2Intercept.VMLOAD),
+        (SvmExitCode.VMSAVE, Misc2Intercept.VMSAVE),
+        (SvmExitCode.STGI, Misc2Intercept.STGI),
+        (SvmExitCode.CLGI, Misc2Intercept.CLGI),
+        (SvmExitCode.VMMCALL, Misc2Intercept.VMMCALL),
+    ])
+    def test_misc2_gated(self, kvm_amd, code, bit):
+        on = self._vmcb(intercept_misc2=bit)
+        off = self._vmcb(intercept_misc2=0)
+        assert kvm_amd.l1_wants_exit(on, int(code), instr())
+        assert not kvm_amd.l1_wants_exit(off, int(code), instr())
+
+    def test_io_follows_iopm(self, kvm_amd):
+        vmcb = self._vmcb()
+        assert kvm_amd.l1_wants_exit(vmcb, int(SvmExitCode.IOIO),
+                                     instr(port=0x71))
+        assert not kvm_amd.l1_wants_exit(vmcb, int(SvmExitCode.IOIO),
+                                         instr(port=0x70))
+
+    def test_io_without_protection_is_l0s(self, kvm_amd):
+        vmcb = self._vmcb(intercept_misc1=0)
+        assert not kvm_amd.l1_wants_exit(vmcb, int(SvmExitCode.IOIO),
+                                         instr(port=0x71))
+
+    def test_npf_follows_nested_paging(self, kvm_amd):
+        with_np = self._vmcb()
+        assert kvm_amd.l1_wants_exit(with_np, int(SvmExitCode.NPF), instr())
+        without = self._vmcb(np_control=0)
+        assert not kvm_amd.l1_wants_exit(without, int(SvmExitCode.NPF), instr())

@@ -1,0 +1,120 @@
+"""Tests for the simulated VirtualBox hypervisor and CVE-2024-21106."""
+
+import pytest
+
+from repro.arch.cpuid import Vendor
+from repro.arch.msr import IA32_KERNEL_GS_BASE, IA32_LSTAR, IA32_TSC, MsrEntry
+from repro.hypervisors import GuestInstruction, VboxHypervisor, VcpuConfig
+from repro.hypervisors.base import VmCrash
+from repro.validator.golden import golden_vmcs
+from repro.vmx import fields as F
+
+VMXON = 0x1000
+VMCS12 = 0x3000
+MSR_AREA = 0x15000
+
+
+def run(hv, vcpu, mnemonic, level=1, **operands):
+    return hv.execute(vcpu, GuestInstruction(mnemonic, operands, level=level))
+
+
+def launch_l2(hv, vcpu, vmcs):
+    run(hv, vcpu, "vmxon", addr=VMXON)
+    run(hv, vcpu, "vmclear", addr=VMCS12)
+    run(hv, vcpu, "vmptrld", addr=VMCS12)
+    for spec, value in vmcs.fields():
+        if spec.group is not F.FieldGroup.READ_ONLY:
+            run(hv, vcpu, "vmwrite", field=spec.encoding, value=value)
+    return run(hv, vcpu, "vmlaunch")
+
+
+@pytest.fixture
+def vbox():
+    hv = VboxHypervisor(VcpuConfig.default(Vendor.INTEL))
+    return hv, hv.create_vcpu()
+
+
+class TestVboxLifecycle:
+    def test_intel_only(self):
+        with pytest.raises(ValueError):
+            VboxHypervisor(VcpuConfig.default(Vendor.AMD))
+
+    def test_golden_launch(self, vbox):
+        hv, vcpu = vbox
+        result = launch_l2(hv, vcpu, golden_vmcs(hv.nested_vmx.caps))
+        assert result.level == 2
+
+    def test_l2_exit_routing(self, vbox):
+        hv, vcpu = vbox
+        launch_l2(hv, vcpu, golden_vmcs(hv.nested_vmx.caps))
+        assert run(hv, vcpu, "cpuid", level=2).level == 1
+
+    def test_vbox_checks_ia32e_pae(self, vbox):
+        """Unlike KVM pre-fix, VirtualBox *does* check IA-32e/PAE."""
+        from repro.arch.registers import Cr4
+
+        hv, vcpu = vbox
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.GUEST_CR4, vmcs.read(F.GUEST_CR4) & ~Cr4.PAE)
+        result = launch_l2(hv, vcpu, vmcs)
+        assert "entry failed" in result.detail
+
+
+class TestBug2Cve202421106:
+    def _msr_load_state(self, hv, entries):
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.VM_ENTRY_MSR_LOAD_COUNT, len(entries))
+        vmcs.write(F.VM_ENTRY_MSR_LOAD_ADDR, MSR_AREA)
+        hv.memory.put_msr_area(MSR_AREA, entries)
+        return vmcs
+
+    def test_non_canonical_kernel_gs_base_crashes_host(self, vbox):
+        hv, vcpu = vbox
+        vmcs = self._msr_load_state(hv, [
+            MsrEntry(IA32_KERNEL_GS_BASE, 0x8000_0000_0000_0000)])
+        with pytest.raises(VmCrash) as excinfo:
+            launch_l2(hv, vcpu, vmcs)
+        assert "CVE-2024-21106" in str(excinfo.value)
+
+    def test_gp_logged_like_the_paper(self, vbox):
+        hv, vcpu = vbox
+        vmcs = self._msr_load_state(hv, [
+            MsrEntry(IA32_KERNEL_GS_BASE, 0x8000_0000_0000_0000)])
+        with pytest.raises(VmCrash):
+            launch_l2(hv, vcpu, vmcs)
+        # §5.5.3 quotes the exact dmesg line.
+        assert hv.log.grep("general protection fault, probably for "
+                           "non-canonical address 0x8000000000000000")
+
+    def test_lstar_also_affected(self, vbox):
+        hv, vcpu = vbox
+        vmcs = self._msr_load_state(hv, [MsrEntry(IA32_LSTAR, 1 << 63)])
+        with pytest.raises(VmCrash):
+            launch_l2(hv, vcpu, vmcs)
+
+    def test_canonical_values_load_fine(self, vbox):
+        hv, vcpu = vbox
+        vmcs = self._msr_load_state(hv, [
+            MsrEntry(IA32_KERNEL_GS_BASE, 0xFFFF_8000_0000_0000),
+            MsrEntry(IA32_TSC, 12345)])
+        result = launch_l2(hv, vcpu, vmcs)
+        assert result.level == 2
+        assert vcpu.nested.host_loaded_msrs[IA32_TSC] == 12345
+
+    def test_plain_msr_non_canonical_is_harmless(self, vbox):
+        hv, vcpu = vbox
+        vmcs = self._msr_load_state(hv, [MsrEntry(IA32_TSC, 1 << 63)])
+        assert launch_l2(hv, vcpu, vmcs).level == 2
+
+    def test_patched_vbox_fails_entry_cleanly(self):
+        hv = VboxHypervisor(VcpuConfig.default(Vendor.INTEL),
+                            patched=frozenset({"canonical_msr_check"}))
+        vcpu = hv.create_vcpu()
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.VM_ENTRY_MSR_LOAD_COUNT, 1)
+        vmcs.write(F.VM_ENTRY_MSR_LOAD_ADDR, MSR_AREA)
+        hv.memory.put_msr_area(MSR_AREA, [
+            MsrEntry(IA32_KERNEL_GS_BASE, 0x8000_0000_0000_0000)])
+        result = launch_l2(hv, vcpu, vmcs)
+        assert "entry failed" in result.detail  # reason 34, host alive
+        assert not hv.log.grep("general protection fault")

@@ -1,0 +1,107 @@
+"""Instruction-level tests for VirtualBox's IEM-style VMX handlers."""
+
+import pytest
+
+from repro.arch.cpuid import Vendor
+from repro.hypervisors import GuestInstruction, VboxHypervisor, VcpuConfig
+from repro.validator.golden import golden_vmcs
+from repro.vmx import fields as F
+from repro.vmx.exit_reasons import VmInstructionError
+
+VMXON, VMCS12 = 0x1000, 0x3000
+
+
+def run(hv, vcpu, mnemonic, level=1, **operands):
+    return hv.execute(vcpu, GuestInstruction(mnemonic, operands, level=level))
+
+
+@pytest.fixture
+def vbox():
+    hv = VboxHypervisor(VcpuConfig.default(Vendor.INTEL))
+    return hv, hv.create_vcpu()
+
+
+def boot(hv, vcpu, vmcs=None):
+    run(hv, vcpu, "vmxon", addr=VMXON)
+    run(hv, vcpu, "vmclear", addr=VMCS12)
+    run(hv, vcpu, "vmptrld", addr=VMCS12)
+    for spec, value in (vmcs or golden_vmcs(hv.nested_vmx.caps)).fields():
+        if spec.group is not F.FieldGroup.READ_ONLY:
+            run(hv, vcpu, "vmwrite", field=spec.encoding, value=value)
+    return run(hv, vcpu, "vmlaunch")
+
+
+class TestIemHandlers:
+    def test_vmxon_requires_cr4_vmxe(self, vbox):
+        hv, vcpu = vbox
+        run(hv, vcpu, "mov_cr", cr=4, write=1, value=0)
+        assert not run(hv, vcpu, "vmxon", addr=VMXON).ok
+
+    def test_double_vmxon(self, vbox):
+        hv, vcpu = vbox
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        result = run(hv, vcpu, "vmxon", addr=VMXON)
+        assert result.value == int(VmInstructionError.VMXON_IN_VMX_ROOT)
+
+    def test_vmclear_of_vmxon_region(self, vbox):
+        hv, vcpu = vbox
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        result = run(hv, vcpu, "vmclear", addr=VMXON)
+        assert result.value == int(VmInstructionError.VMCLEAR_VMXON_POINTER)
+
+    def test_vmwrite_read_only(self, vbox):
+        hv, vcpu = vbox
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        run(hv, vcpu, "vmclear", addr=VMCS12)
+        run(hv, vcpu, "vmptrld", addr=VMCS12)
+        result = run(hv, vcpu, "vmwrite",
+                     field=int(F.VM_EXIT_REASON), value=1)
+        assert result.value == int(
+            VmInstructionError.VMWRITE_READ_ONLY_COMPONENT)
+
+    def test_vmread_roundtrip(self, vbox):
+        hv, vcpu = vbox
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        run(hv, vcpu, "vmclear", addr=VMCS12)
+        run(hv, vcpu, "vmptrld", addr=VMCS12)
+        run(hv, vcpu, "vmwrite", field=int(F.GUEST_RIP), value=0x777)
+        assert run(hv, vcpu, "vmread", field=int(F.GUEST_RIP)).value == 0x777
+
+    def test_vmlaunch_twice(self, vbox):
+        hv, vcpu = vbox
+        assert boot(hv, vcpu).level == 2
+        run(hv, vcpu, "hlt", level=2)  # exit to L1
+        result = run(hv, vcpu, "vmlaunch")
+        assert result.value == int(VmInstructionError.VMLAUNCH_NONCLEAR_VMCS)
+
+    def test_vmresume_after_exit(self, vbox):
+        hv, vcpu = vbox
+        boot(hv, vcpu)
+        run(hv, vcpu, "cpuid", level=2)
+        assert run(hv, vcpu, "vmresume").level == 2
+
+    def test_invept_invvpid_accepted(self, vbox):
+        hv, vcpu = vbox
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        assert run(hv, vcpu, "invept", type=2).ok
+        assert run(hv, vcpu, "invvpid", type=1, vpid=1).ok
+
+    def test_check_order_controls_before_host(self, vbox):
+        hv, vcpu = vbox
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.PIN_BASED_VM_EXEC_CONTROL, 0)   # control violation
+        vmcs.write(F.HOST_CS_SELECTOR, 0)            # host violation
+        result = boot(hv, vcpu, vmcs)
+        assert result.value == int(
+            VmInstructionError.ENTRY_INVALID_CONTROL_FIELDS)
+
+    def test_activity_state_sanitized(self, vbox):
+        """VirtualBox, like KVM, does not let auxiliary activity states
+        through to hardware (only Xen does — bug #4)."""
+        hv, vcpu = vbox
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.GUEST_ACTIVITY_STATE, 3)
+        result = boot(hv, vcpu, vmcs)
+        # Either rejected by checks or sanitized during the merge; the
+        # host must survive in both cases.
+        assert not hv.crashed

@@ -1,0 +1,207 @@
+"""Tests for the simulated Xen hypervisor and its three seeded bugs."""
+
+import pytest
+
+from repro.arch.cpuid import Vendor
+from repro.arch.exceptions import HostCrash
+from repro.arch.msr import IA32_EFER
+from repro.arch.registers import Cr0, Cr4, Efer
+from repro.hypervisors import GuestInstruction, VcpuConfig, XenHypervisor
+from repro.hypervisors.base import SanitizerKind
+from repro.svm import fields as SF
+from repro.svm.exit_codes import SvmExitCode
+from repro.validator.golden import golden_vmcb, golden_vmcs
+from repro.vmx import fields as F
+from repro.vmx.controls import ActivityState
+
+VMXON = 0x1000
+VMCS12 = 0x3000
+VMCB12 = 0x3000
+
+
+def run(hv, vcpu, mnemonic, level=1, **operands):
+    return hv.execute(vcpu, GuestInstruction(mnemonic, operands, level=level))
+
+
+def launch_l2(hv, vcpu, vmcs):
+    run(hv, vcpu, "vmxon", addr=VMXON)
+    run(hv, vcpu, "vmclear", addr=VMCS12)
+    run(hv, vcpu, "vmptrld", addr=VMCS12)
+    for spec, value in vmcs.fields():
+        if spec.group is not F.FieldGroup.READ_ONLY:
+            run(hv, vcpu, "vmwrite", field=spec.encoding, value=value)
+    return run(hv, vcpu, "vmlaunch")
+
+
+@pytest.fixture
+def xen_intel():
+    hv = XenHypervisor(VcpuConfig.default(Vendor.INTEL))
+    return hv, hv.create_vcpu()
+
+
+@pytest.fixture
+def xen_amd():
+    hv = XenHypervisor(VcpuConfig.default(Vendor.AMD))
+    vcpu = hv.create_vcpu()
+    run(hv, vcpu, "wrmsr", msr=IA32_EFER, value=Efer.SVME)
+    return hv, vcpu
+
+
+class TestNvmxLifecycle:
+    def test_golden_launch(self, xen_intel):
+        hv, vcpu = xen_intel
+        result = launch_l2(hv, vcpu, golden_vmcs(hv.nested_vmx.caps))
+        assert result.level == 2
+
+    def test_l2_exit_routing(self, xen_intel):
+        hv, vcpu = xen_intel
+        launch_l2(hv, vcpu, golden_vmcs(hv.nested_vmx.caps))
+        result = run(hv, vcpu, "cpuid", level=2)
+        assert result.level == 1
+
+    def test_vmresume_cycle(self, xen_intel):
+        hv, vcpu = xen_intel
+        launch_l2(hv, vcpu, golden_vmcs(hv.nested_vmx.caps))
+        run(hv, vcpu, "cpuid", level=2)
+        assert run(hv, vcpu, "vmresume").level == 2
+
+    def test_sparser_checks_than_kvm(self, xen_intel):
+        """Xen misses the activity-state rule KVM enforces — the very
+        omission behind bug #4."""
+        hv, vcpu = xen_intel
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.GUEST_ACTIVITY_STATE, ActivityState.HLT)
+        assert hv.nested_vmx.check_guest_state(vmcs) == []
+
+
+class TestBug4ActivityState:
+    def test_wait_for_sipi_hangs_host(self, xen_intel):
+        hv, vcpu = xen_intel
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.GUEST_ACTIVITY_STATE, ActivityState.WAIT_FOR_SIPI)
+        with pytest.raises(HostCrash) as excinfo:
+            launch_l2(hv, vcpu, vmcs)
+        assert excinfo.value.hang
+        assert hv.crashed
+
+    def test_shutdown_resets_platform(self, xen_intel):
+        hv, vcpu = xen_intel
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.GUEST_ACTIVITY_STATE, ActivityState.SHUTDOWN)
+        with pytest.raises(HostCrash) as excinfo:
+            launch_l2(hv, vcpu, vmcs)
+        assert not excinfo.value.hang
+
+    def test_patch_sanitizes_activity_state(self):
+        hv = XenHypervisor(VcpuConfig.default(Vendor.INTEL),
+                           patched=frozenset({"activity_state_sanitize"}))
+        vcpu = hv.create_vcpu()
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.GUEST_ACTIVITY_STATE, ActivityState.WAIT_FOR_SIPI)
+        result = launch_l2(hv, vcpu, vmcs)
+        assert result.level == 2  # sanitized to ACTIVE, host survives
+        assert not hv.crashed
+
+    def test_crashed_host_refuses_execution(self, xen_intel):
+        hv, vcpu = xen_intel
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.GUEST_ACTIVITY_STATE, ActivityState.WAIT_FOR_SIPI)
+        with pytest.raises(HostCrash):
+            launch_l2(hv, vcpu, vmcs)
+        assert not run(hv, vcpu, "cpuid").ok
+
+    def test_watchdog_reset_restores_host(self, xen_intel):
+        hv, vcpu = xen_intel
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.GUEST_ACTIVITY_STATE, ActivityState.WAIT_FOR_SIPI)
+        with pytest.raises(HostCrash):
+            launch_l2(hv, vcpu, vmcs)
+        hv.reset()
+        assert not hv.crashed
+        vcpu2 = hv.create_vcpu()
+        assert run(hv, vcpu2, "cpuid").ok
+
+
+class TestBug5AvicCorruption:
+    def _run_64bit_l2_then_clear_pg(self, hv, vcpu):
+        vmcb = golden_vmcb()
+        hv.memory.put_vmcb(VMCB12, vmcb)
+        assert run(hv, vcpu, "vmrun", addr=VMCB12).level == 2
+        run(hv, vcpu, "hlt", level=2)  # back to L1
+        vmcb.write(SF.CR0, vmcb.read(SF.CR0) & ~Cr0.PG)  # LME stays set
+        return run(hv, vcpu, "vmrun", addr=VMCB12)
+
+    def test_lme_no_pg_after_64bit_l2(self, xen_amd):
+        hv, vcpu = xen_amd
+        result = self._run_64bit_l2_then_clear_pg(hv, vcpu)
+        assert result.exit_reason == int(SvmExitCode.AVIC_NOACCEL)
+        assert any(e.kind is SanitizerKind.ASSERTION
+                   for e in hv.sanitizer_events)
+        assert hv.log.grep("inconsistent")
+
+    def test_no_corruption_without_prior_64bit_l2(self, xen_amd):
+        hv, vcpu = xen_amd
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR0, vmcb.read(SF.CR0) & ~Cr0.PG)
+        hv.memory.put_vmcb(VMCB12, vmcb)
+        result = run(hv, vcpu, "vmrun", addr=VMCB12)
+        assert result.exit_reason != int(SvmExitCode.AVIC_NOACCEL)
+
+    def test_avic_sanitize_patch(self):
+        hv = XenHypervisor(VcpuConfig.default(Vendor.AMD),
+                           patched=frozenset({"avic_sanitize"}))
+        vcpu = hv.create_vcpu()
+        run(hv, vcpu, "wrmsr", msr=IA32_EFER, value=Efer.SVME)
+        result = TestBug5AvicCorruption._run_64bit_l2_then_clear_pg(
+            self, hv, vcpu)
+        assert result.level == 2
+        assert not hv.sanitizer_events
+
+
+class TestBug6VgifAssertion:
+    def test_invalid_cr4_with_clgi(self, xen_amd):
+        hv, vcpu = xen_amd
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR4, 1 << 31)  # reserved CR4 bit
+        hv.memory.put_vmcb(VMCB12, vmcb)
+        run(hv, vcpu, "clgi")  # the standard pre-vmrun step
+        result = run(hv, vcpu, "vmrun", addr=VMCB12)
+        assert "vmrun failed" in result.detail
+        assertions = [e for e in hv.sanitizer_events
+                      if e.kind is SanitizerKind.ASSERTION]
+        assert assertions and "vgif" in assertions[0].message
+
+    def test_no_assertion_with_gif_set(self, xen_amd):
+        hv, vcpu = xen_amd
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR4, 1 << 31)
+        hv.memory.put_vmcb(VMCB12, vmcb)
+        run(hv, vcpu, "stgi")
+        run(hv, vcpu, "vmrun", addr=VMCB12)
+        assert not any(e.kind is SanitizerKind.ASSERTION
+                       for e in hv.sanitizer_events)
+
+    def test_no_assertion_without_vgif_support(self):
+        config = VcpuConfig.default(Vendor.AMD)
+        config.features["vgif"] = False
+        hv = XenHypervisor(config)
+        vcpu = hv.create_vcpu()
+        run(hv, vcpu, "wrmsr", msr=IA32_EFER, value=Efer.SVME)
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR4, 1 << 31)
+        hv.memory.put_vmcb(VMCB12, vmcb)
+        run(hv, vcpu, "clgi")
+        run(hv, vcpu, "vmrun", addr=VMCB12)
+        assert not hv.sanitizer_events
+
+    def test_vgif_inject_patch(self):
+        hv = XenHypervisor(VcpuConfig.default(Vendor.AMD),
+                           patched=frozenset({"vgif_inject"}))
+        vcpu = hv.create_vcpu()
+        run(hv, vcpu, "wrmsr", msr=IA32_EFER, value=Efer.SVME)
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR4, 1 << 31)
+        hv.memory.put_vmcb(VMCB12, vmcb)
+        run(hv, vcpu, "clgi")
+        run(hv, vcpu, "vmrun", addr=VMCB12)
+        assert not hv.sanitizer_events

@@ -1,0 +1,101 @@
+"""Tests for Xen's host-side (domctl) surface — unit-tested here even
+though fuzzing campaigns never reach it (outside the threat model)."""
+
+from repro.arch.cpuid import Vendor
+from repro.arch.msr import IA32_EFER
+from repro.arch.registers import Efer
+from repro.hypervisors import GuestInstruction, VcpuConfig, XenHypervisor
+from repro.validator.golden import golden_vmcb, golden_vmcs
+from repro.vmx import fields as F
+
+VMXON, VMCS12, VMCB12 = 0x1000, 0x3000, 0x3000
+
+
+def run(hv, vcpu, mnemonic, level=1, **operands):
+    return hv.execute(vcpu, GuestInstruction(mnemonic, operands, level=level))
+
+
+def booted_intel():
+    hv = XenHypervisor(VcpuConfig.default(Vendor.INTEL))
+    vcpu = hv.create_vcpu()
+    run(hv, vcpu, "vmxon", addr=VMXON)
+    run(hv, vcpu, "vmclear", addr=VMCS12)
+    run(hv, vcpu, "vmptrld", addr=VMCS12)
+    for spec, value in golden_vmcs(hv.nested_vmx.caps).fields():
+        if spec.group is not F.FieldGroup.READ_ONLY:
+            run(hv, vcpu, "vmwrite", field=spec.encoding, value=value)
+    run(hv, vcpu, "vmlaunch")
+    return hv, vcpu
+
+
+class TestNvmxDomctl:
+    def test_state_roundtrip(self):
+        hv, vcpu = booted_intel()
+        blob = hv.nested_vmx.nvmx_domctl_get_state(vcpu.nvmx)
+        assert blob["vmxon"] and blob["guest_mode"]
+        fresh = hv.create_vcpu()
+        assert hv.nested_vmx.nvmx_domctl_set_state(fresh.nvmx, blob) == 0
+        assert fresh.nvmx.guest_mode
+        assert fresh.nvmx.vvmcs_addr == vcpu.nvmx.vvmcs_addr
+
+    def test_set_state_rejects_inconsistent_blob(self):
+        hv = XenHypervisor(VcpuConfig.default(Vendor.INTEL))
+        vcpu = hv.create_vcpu()
+        nested = hv.nested_vmx
+        assert nested.nvmx_domctl_set_state(vcpu.nvmx, {"guest_mode": True}) == -22
+        assert nested.nvmx_domctl_set_state(
+            vcpu.nvmx, {"vmxon": True, "vmxon_region": 0x123}) == -22
+        assert nested.nvmx_domctl_set_state(
+            vcpu.nvmx, {"vmxon": True, "vmxon_region": VMXON,
+                        "vvmcs_addr": 0xF0000000}) == -22
+
+    def test_vcpu_initialise_and_destroy(self):
+        hv, vcpu = booted_intel()
+        nested = hv.nested_vmx
+        assert nested.nvmx_vcpu_initialise(vcpu.nvmx) == -16  # busy
+        nested.nvmx_vcpu_destroy(vcpu.nvmx)
+        assert not vcpu.nvmx.vmxon
+        assert nested.nvmx_vcpu_initialise(vcpu.nvmx) == 0
+
+
+class TestNsvmDomctl:
+    def _booted(self):
+        hv = XenHypervisor(VcpuConfig.default(Vendor.AMD))
+        vcpu = hv.create_vcpu()
+        run(hv, vcpu, "wrmsr", msr=IA32_EFER, value=Efer.SVME)
+        hv.memory.put_vmcb(VMCB12, golden_vmcb())
+        run(hv, vcpu, "vmrun", addr=VMCB12)
+        return hv, vcpu
+
+    def test_state_roundtrip(self):
+        hv, vcpu = self._booted()
+        blob = hv.nested_svm.nsvm_domctl_get_state(vcpu.nsvm)
+        assert blob["guest_mode"]
+        fresh = hv.create_vcpu()
+        assert hv.nested_svm.nsvm_domctl_set_state(fresh.nsvm, blob) == 0
+        assert fresh.nsvm.guest_mode
+
+    def test_set_state_validates_vmcb(self):
+        hv, vcpu = self._booted()
+        blob = hv.nested_svm.nsvm_domctl_get_state(vcpu.nsvm)
+        from repro.svm import fields as SF
+        from repro.svm.vmcb import Vmcb
+
+        bad = Vmcb.deserialize(blob["vmcb12"])
+        bad.write(SF.GUEST_ASID, 0)
+        blob["vmcb12"] = bad.serialize()
+        fresh = hv.create_vcpu()
+        assert hv.nested_svm.nsvm_domctl_set_state(fresh.nsvm, blob) == -22
+
+    def test_vcpu_lifecycle(self):
+        hv, vcpu = self._booted()
+        nested = hv.nested_svm
+        assert nested.nsvm_vcpu_initialise(vcpu.nsvm) == -16
+        nested.nsvm_vcpu_destroy(vcpu.nsvm)
+        assert nested.nsvm_vcpu_initialise(vcpu.nsvm) == 0
+        assert vcpu.nsvm.gif
+
+    def test_hap_walk(self):
+        hv, _ = self._booted()
+        assert hv.nested_svm.nsvm_hap_walk_l1_p2m(0x1234) == 0x1000
+        assert hv.nested_svm.nsvm_hap_walk_l1_p2m(0xF0000000) is None

@@ -1,0 +1,137 @@
+"""Instruction-level tests for Xen's nvmx handlers (error paths etc.)."""
+
+import pytest
+
+from repro.arch.cpuid import Vendor
+from repro.hypervisors import GuestInstruction, VcpuConfig, XenHypervisor
+from repro.validator.golden import golden_vmcs
+from repro.vmx import fields as F
+from repro.vmx.exit_reasons import VmInstructionError
+
+VMXON, VMCS12 = 0x1000, 0x3000
+
+
+def run(hv, vcpu, mnemonic, level=1, **operands):
+    return hv.execute(vcpu, GuestInstruction(mnemonic, operands, level=level))
+
+
+@pytest.fixture
+def xen():
+    hv = XenHypervisor(VcpuConfig.default(Vendor.INTEL))
+    return hv, hv.create_vcpu()
+
+
+class TestNvmxInstructionErrors:
+    def test_vmxon_requires_cr4_vmxe(self, xen):
+        hv, vcpu = xen
+        vcpu.nvmx.cr4 = 0
+        assert not run(hv, vcpu, "vmxon", addr=VMXON).ok
+
+    def test_double_vmxon(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        result = run(hv, vcpu, "vmxon", addr=VMXON)
+        assert result.value == int(VmInstructionError.VMXON_IN_VMX_ROOT)
+
+    def test_vmxon_misaligned(self, xen):
+        hv, vcpu = xen
+        result = run(hv, vcpu, "vmxon", addr=0x123)
+        assert result.value == -1  # VMfailInvalid
+
+    def test_instructions_before_vmxon_fault(self, xen):
+        hv, vcpu = xen
+        for mnemonic in ("vmclear", "vmptrld", "vmptrst", "vmxoff",
+                         "invept", "invvpid"):
+            assert not run(hv, vcpu, mnemonic, addr=VMCS12).ok
+
+    def test_vmptrld_of_vmxon_region(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        result = run(hv, vcpu, "vmptrld", addr=VMXON)
+        assert result.value == int(VmInstructionError.VMPTRLD_VMXON_POINTER)
+
+    def test_vmptrld_without_vmclear(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        result = run(hv, vcpu, "vmptrld", addr=0x5000)
+        assert result.value == int(
+            VmInstructionError.VMPTRLD_INCORRECT_REVISION_ID)
+
+    def test_vmwrite_read_only_field(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        run(hv, vcpu, "vmclear", addr=VMCS12)
+        run(hv, vcpu, "vmptrld", addr=VMCS12)
+        result = run(hv, vcpu, "vmwrite", field=int(F.VM_EXIT_REASON), value=1)
+        assert result.value == int(
+            VmInstructionError.VMWRITE_READ_ONLY_COMPONENT)
+
+    def test_vmread_unsupported_component(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        run(hv, vcpu, "vmclear", addr=VMCS12)
+        run(hv, vcpu, "vmptrld", addr=VMCS12)
+        result = run(hv, vcpu, "vmread", field=0xDEAD)
+        assert result.value == int(
+            VmInstructionError.UNSUPPORTED_VMCS_COMPONENT)
+
+    def test_vmlaunch_without_current_vvmcs(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        result = run(hv, vcpu, "vmlaunch")
+        assert result.value == -1
+
+    def test_vmresume_nonlaunched(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        run(hv, vcpu, "vmclear", addr=VMCS12)
+        run(hv, vcpu, "vmptrld", addr=VMCS12)
+        result = run(hv, vcpu, "vmresume")
+        assert result.value == int(
+            VmInstructionError.VMRESUME_NONLAUNCHED_VMCS)
+
+    def test_invept_bad_type(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        result = run(hv, vcpu, "invept", type=0)
+        assert result.value == int(
+            VmInstructionError.INVALID_OPERAND_TO_INVEPT_INVVPID)
+
+    def test_vmptrst_returns_pointer(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        run(hv, vcpu, "vmclear", addr=VMCS12)
+        run(hv, vcpu, "vmptrld", addr=VMCS12)
+        assert run(hv, vcpu, "vmptrst").value == VMCS12
+
+    def test_vmclear_resets_launch_state(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        run(hv, vcpu, "vmclear", addr=VMCS12)
+        run(hv, vcpu, "vmptrld", addr=VMCS12)
+        for spec, value in golden_vmcs(hv.nested_vmx.caps).fields():
+            if spec.group is not F.FieldGroup.READ_ONLY:
+                run(hv, vcpu, "vmwrite", field=spec.encoding, value=value)
+        assert run(hv, vcpu, "vmlaunch").level == 2
+        run(hv, vcpu, "hlt", level=2)  # back to L1
+        run(hv, vcpu, "vmclear", addr=VMCS12)
+        run(hv, vcpu, "vmptrld", addr=VMCS12)
+        result = run(hv, vcpu, "vmresume")  # clear again -> non-launched
+        assert result.value == int(
+            VmInstructionError.VMRESUME_NONLAUNCHED_VMCS)
+
+    def test_entry_failure_writes_reason(self, xen):
+        hv, vcpu = xen
+        run(hv, vcpu, "vmxon", addr=VMXON)
+        run(hv, vcpu, "vmclear", addr=VMCS12)
+        run(hv, vcpu, "vmptrld", addr=VMCS12)
+        vmcs = golden_vmcs(hv.nested_vmx.caps)
+        vmcs.write(F.GUEST_RFLAGS, 0)  # fixed-bit violation
+        for spec, value in vmcs.fields():
+            if spec.group is not F.FieldGroup.READ_ONLY:
+                run(hv, vcpu, "vmwrite", field=spec.encoding, value=value)
+        result = run(hv, vcpu, "vmlaunch")
+        assert result.exit_reason is not None
+        assert result.exit_reason & (1 << 31)
+        vvmcs = hv.memory.get_vmcs(VMCS12)
+        assert vvmcs.read(F.VM_EXIT_REASON) == result.exit_reason

@@ -1,0 +1,64 @@
+"""End-to-end determinism: the reproducibility contract of the suite.
+
+Every number in EXPERIMENTS.md relies on campaigns being pure functions
+of (seed, budget, configuration); these tests pin that property across
+every hypervisor and both vendors.
+"""
+
+import pytest
+
+from repro import ComponentToggles, NecoFuzz, Vendor
+from repro.baselines import NestFuzzCampaign, SyzkallerCampaign
+
+
+def fingerprint(result):
+    return (sorted(result.covered_lines),
+            result.engine_stats.queue_adds,
+            [(r.iteration, r.anomaly.signature()) for r in result.reports])
+
+
+CONFIGS = [
+    ("kvm", Vendor.INTEL),
+    ("kvm", Vendor.AMD),
+    ("xen", Vendor.INTEL),
+    ("xen", Vendor.AMD),
+    ("virtualbox", Vendor.INTEL),
+]
+
+
+class TestCampaignDeterminism:
+    @pytest.mark.parametrize("hypervisor,vendor", CONFIGS,
+                             ids=[f"{h}-{v.value}" for h, v in CONFIGS])
+    def test_identical_reruns(self, hypervisor, vendor):
+        results = [
+            NecoFuzz(hypervisor=hypervisor, vendor=vendor, seed=13).run(60)
+            for _ in range(2)
+        ]
+        assert fingerprint(results[0]) == fingerprint(results[1])
+
+    def test_toggles_change_behaviour_but_stay_deterministic(self):
+        toggles = ComponentToggles(use_validator=False)
+        a = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=13,
+                     toggles=toggles).run(40)
+        b = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=13,
+                     toggles=toggles).run(40)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_async_extension_deterministic(self):
+        a = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=13,
+                     async_events=True).run(40)
+        b = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=13,
+                     async_events=True).run(40)
+        assert fingerprint(a) == fingerprint(b)
+
+
+class TestBaselineDeterminism:
+    def test_syzkaller(self):
+        a = SyzkallerCampaign(vendor=Vendor.INTEL, seed=4).run(30)
+        b = SyzkallerCampaign(vendor=Vendor.INTEL, seed=4).run(30)
+        assert sorted(a.covered_lines) == sorted(b.covered_lines)
+
+    def test_nestfuzz(self):
+        a = NestFuzzCampaign(vendor=Vendor.AMD, seed=4).run(30)
+        b = NestFuzzCampaign(vendor=Vendor.AMD, seed=4).run(30)
+        assert sorted(a.covered_lines) == sorted(b.covered_lines)

@@ -1,0 +1,34 @@
+"""Sanity tests for SVM exit codes and the Table-1 instruction map."""
+
+from repro.hypervisors.l2map import AMD_L2_EXITS, svm_exception_code
+from repro.svm.exit_codes import SVM_INSTRUCTION_EXITS, SvmExitCode
+
+
+class TestExitCodes:
+    def test_architectural_values(self):
+        assert SvmExitCode.CPUID == 0x72
+        assert SvmExitCode.VMRUN == 0x80
+        assert SvmExitCode.NPF == 0x400
+        assert SvmExitCode.AVIC_NOACCEL == 0x402
+        assert SvmExitCode.INVALID == 0xFFFF_FFFF_FFFF_FFFF
+
+    def test_exception_codes(self):
+        assert svm_exception_code(0) == int(SvmExitCode.EXCP_BASE)
+        assert svm_exception_code(14) == 0x4E
+        assert svm_exception_code(33) == svm_exception_code(1)  # wraps at 32
+
+    def test_exception_range_below_intr(self):
+        for vector in range(32):
+            assert (int(SvmExitCode.EXCP_BASE) <= svm_exception_code(vector)
+                    < int(SvmExitCode.INTR))
+
+    def test_instruction_exit_set(self):
+        assert SvmExitCode.VMRUN in SVM_INSTRUCTION_EXITS
+        assert SvmExitCode.STGI in SVM_INSTRUCTION_EXITS
+        assert SvmExitCode.CPUID not in SVM_INSTRUCTION_EXITS
+
+    def test_l2_map_targets_real_codes(self):
+        for mnemonic, code in AMD_L2_EXITS.items():
+            if mnemonic == "exception":
+                continue
+            assert isinstance(int(code), int)

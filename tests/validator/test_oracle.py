@@ -1,0 +1,131 @@
+"""Tests for the physical-CPU-as-oracle correction loop (paper §3.4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.registers import Cr4
+from repro.validator.golden import golden_vmcs
+from repro.validator.oracle import CANDIDATE_RULES, HardwareOracle
+from repro.validator.rounding import VmStateValidator
+from repro.vmx import fields as F
+from repro.vmx.controls import EntryControls, PinBased, ProcBased, Secondary
+from repro.vmx.vmcs import Vmcs
+
+raw_vmcs = st.binary(min_size=F.LAYOUT_BYTES, max_size=F.LAYOUT_BYTES)
+
+
+@pytest.fixture
+def oracle():
+    return HardwareOracle()
+
+
+class TestGoldenVerification:
+    def test_golden_enters_first_try(self, oracle):
+        report = oracle.verify(golden_vmcs())
+        assert report.entered
+        assert report.attempts == 1
+        assert report.activated_rules == []
+        assert report.golden_fallbacks == []
+
+
+class TestRuleActivation:
+    def test_ack_on_exit_gap_learned(self, oracle):
+        """The deliberate posted-interrupts gap activates its rule."""
+        vmcs = golden_vmcs()
+        proc = vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                   proc | ProcBased.USE_TPR_SHADOW
+                   | ProcBased.ACTIVATE_SECONDARY_CONTROLS)
+        vmcs.write(F.SECONDARY_VM_EXEC_CONTROL,
+                   vmcs.read(F.SECONDARY_VM_EXEC_CONTROL)
+                   | Secondary.VIRTUAL_INTR_DELIVERY)
+        vmcs.write(F.VIRTUAL_APIC_PAGE_ADDR, 0x13000)
+        vmcs.write(F.PIN_BASED_VM_EXEC_CONTROL,
+                   vmcs.read(F.PIN_BASED_VM_EXEC_CONTROL)
+                   | PinBased.POSTED_INTERRUPTS)
+        report = oracle.verify(vmcs)
+        assert report.entered
+        assert "posted-interrupts-require-ack-on-exit" in report.activated_rules
+        # The state was corrected in place.
+        from repro.vmx.controls import ExitControls
+        assert vmcs.read(F.VM_EXIT_CONTROLS) & ExitControls.ACK_INTR_ON_EXIT
+
+    def test_learned_rule_applied_proactively(self, oracle):
+        """After activation, future states are fixed *before* hardware."""
+        self.test_ack_on_exit_gap_learned(oracle)
+        vmcs = golden_vmcs()
+        proc = vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                   proc | ProcBased.USE_TPR_SHADOW
+                   | ProcBased.ACTIVATE_SECONDARY_CONTROLS)
+        vmcs.write(F.SECONDARY_VM_EXEC_CONTROL,
+                   vmcs.read(F.SECONDARY_VM_EXEC_CONTROL)
+                   | Secondary.VIRTUAL_INTR_DELIVERY)
+        vmcs.write(F.VIRTUAL_APIC_PAGE_ADDR, 0x13000)
+        vmcs.write(F.PIN_BASED_VM_EXEC_CONTROL,
+                   vmcs.read(F.PIN_BASED_VM_EXEC_CONTROL)
+                   | PinBased.POSTED_INTERRUPTS)
+        report = oracle.verify(vmcs)
+        assert report.entered
+        assert report.attempts == 1  # no hardware rejection this time
+
+    def test_host_tr_gap_learned(self, oracle):
+        vmcs = golden_vmcs()
+        vmcs.write(F.HOST_TR_SELECTOR, 0)
+        report = oracle.verify(vmcs)
+        assert report.entered
+        assert "host-tr-selector-not-null" in report.activated_rules
+        assert vmcs.read(F.HOST_TR_SELECTOR) != 0
+
+    def test_candidate_rules_cover_documented_gaps(self):
+        names = {rule.name for rule in CANDIDATE_RULES}
+        assert "posted-interrupts-require-ack-on-exit" in names
+        assert "host-tr-selector-not-null" in names
+
+
+class TestGoldenFallback:
+    def test_unmatched_violation_falls_back(self, oracle):
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_TR_AR_BYTES, 1 << 16)  # TR unusable
+        report = oracle.verify(vmcs)
+        assert report.entered
+        assert report.golden_fallbacks
+
+    def test_silent_fixups_learned_on_entry(self, oracle):
+        vmcs = golden_vmcs()
+        # Clear the CS accessed bit: hardware silently sets it on entry.
+        vmcs.write(F.GUEST_CS_AR_BYTES, vmcs.read(F.GUEST_CS_AR_BYTES) & ~1)
+        report = oracle.verify(vmcs)
+        assert report.entered
+        assert "guest_cs_ar_bytes" in oracle.fixup_masks
+        set_mask, _ = oracle.fixup_masks["guest_cs_ar_bytes"]
+        assert set_mask & 1
+
+    def test_predict_post_entry_uses_learned_masks(self, oracle):
+        self.test_silent_fixups_learned_on_entry(oracle)
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_CS_AR_BYTES, vmcs.read(F.GUEST_CS_AR_BYTES) & ~1)
+        predicted = oracle.predict_post_entry(vmcs)
+        assert predicted.read(F.GUEST_CS_AR_BYTES) & 1
+
+
+class TestConvergence:
+    @given(raw_vmcs)
+    @settings(max_examples=30, deadline=None)
+    def test_every_rounded_state_eventually_enters(self, raw):
+        """The paper's key loop property: validator + oracle always
+        converge to an enterable state."""
+        oracle = HardwareOracle()
+        validator = VmStateValidator()
+        vmcs = Vmcs.deserialize(raw)
+        validator.round_to_valid(vmcs)
+        assert oracle.verify(vmcs).entered
+
+    def test_counters_track_outcomes(self, oracle):
+        oracle.verify(golden_vmcs())
+        assert oracle.entries >= 1
+        vmcs = golden_vmcs()
+        vmcs.write(F.HOST_TR_SELECTOR, 0)
+        oracle.verify(vmcs)
+        assert oracle.rejections >= 1

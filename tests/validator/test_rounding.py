@@ -1,0 +1,179 @@
+"""Tests for the Bochs-derived validator's rounding (incl. properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.cpuid import Vendor, default_feature_map
+from repro.arch.registers import Cr0, Cr4, Efer
+from repro.cpu.entry_checks import check_host_state, check_vm_controls
+from repro.validator.golden import golden_vmcs
+from repro.validator.rounding import VmStateValidator
+from repro.vmx import fields as F
+from repro.vmx.controls import ActivityState, EntryControls, PinBased, ProcBased
+from repro.vmx.msr_caps import capabilities_for_features, default_capabilities
+from repro.vmx.vmcs import Vmcs
+
+raw_vmcs = st.binary(min_size=F.LAYOUT_BYTES, max_size=F.LAYOUT_BYTES)
+
+
+@pytest.fixture
+def validator():
+    return VmStateValidator()
+
+
+class TestGroupOrder:
+    def test_golden_is_near_fixed_point(self, validator):
+        """Rounding the golden state changes only gated-field padding."""
+        vmcs = golden_vmcs()
+        report = validator.round_to_valid(vmcs)
+        # Second pass is a strict fixed point.
+        assert validator.is_fixed_point(vmcs)
+        assert report.total >= 0
+
+    def test_report_groups_ordered(self, validator):
+        vmcs = Vmcs.deserialize(bytes(range(256)) * 4)
+        report = validator.round_to_valid(vmcs)
+        assert report.all == report.controls + report.host + report.guest
+
+    def test_paper_example_lme_forces_pae(self, validator):
+        """§4.3's worked example: IA-32e requested while CR4.PAE unset —
+        the validator forces the bit to 1."""
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_CR4, vmcs.read(F.GUEST_CR4) & ~Cr4.PAE)
+        validator.round_to_valid(vmcs)
+        assert vmcs.read(F.GUEST_CR4) & Cr4.PAE
+
+    def test_controls_rounded_before_guest(self, validator):
+        """The guest group reads the already-rounded entry controls."""
+        vmcs = golden_vmcs()
+        # Corrupt entry controls so that reserved bits force rounding;
+        # IA-32e remains set and the guest group must still see it.
+        vmcs.write(F.VM_ENTRY_CONTROLS, 0xFFFFFFFF)
+        vmcs.write(F.GUEST_IA32_EFER, 0)
+        validator.round_to_valid(vmcs)
+        entry = vmcs.read(F.VM_ENTRY_CONTROLS)
+        if entry & EntryControls.IA32E_MODE_GUEST:
+            assert vmcs.read(F.GUEST_IA32_EFER) & Efer.LMA
+
+
+class TestControlsRounding:
+    def test_read_only_fields_zeroed(self, validator):
+        vmcs = Vmcs.deserialize(b"\xa5" * F.LAYOUT_BYTES)
+        validator.round_to_valid(vmcs)
+        assert vmcs.read(F.VM_EXIT_REASON) == 0
+        assert vmcs.read(F.EXIT_QUALIFICATION) == 0
+
+    def test_reserved_bits_fixed(self, validator):
+        vmcs = Vmcs()
+        validator.round_to_valid(vmcs)
+        caps = default_capabilities()
+        assert caps.pin_based.permits(vmcs.read(F.PIN_BASED_VM_EXEC_CONTROL))
+        assert caps.proc_based.permits(vmcs.read(F.CPU_BASED_VM_EXEC_CONTROL))
+
+    def test_gated_fields_normalised(self, validator):
+        vmcs = Vmcs()
+        vmcs.write(F.IO_BITMAP_A, 0xDEADBEEF000)
+        vmcs.write(F.TSC_MULTIPLIER, 77)
+        validator.round_to_valid(vmcs)
+        assert vmcs.read(F.IO_BITMAP_A) == 0   # I/O bitmaps unused
+        assert vmcs.read(F.TSC_MULTIPLIER) == 0
+
+    def test_addresses_rounded_into_guest_ram(self, validator):
+        vmcs = Vmcs()
+        vmcs.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                   ProcBased.DEFAULT1 | ProcBased.USE_MSR_BITMAPS)
+        vmcs.write(F.MSR_BITMAP, 0xFFFF_FFFF_F123)
+        validator.round_to_valid(vmcs)
+        bitmap = vmcs.read(F.MSR_BITMAP)
+        assert bitmap < 0x1000_0000 and not bitmap & 0xFFF
+
+    def test_smm_controls_cleared(self, validator):
+        vmcs = golden_vmcs()
+        vmcs.write(F.VM_ENTRY_CONTROLS,
+                   vmcs.read(F.VM_ENTRY_CONTROLS) | EntryControls.ENTRY_TO_SMM)
+        validator.round_to_valid(vmcs)
+        assert not vmcs.read(F.VM_ENTRY_CONTROLS) & EntryControls.ENTRY_TO_SMM
+
+
+class TestGuestRounding:
+    def test_activity_state_bounded(self, validator):
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_ACTIVITY_STATE, 0xFF)
+        validator.round_to_valid(vmcs)
+        assert vmcs.read(F.GUEST_ACTIVITY_STATE) in ActivityState.ALL
+
+    def test_wait_for_sipi_survives_rounding(self, validator):
+        """Near-boundary states like WAIT_FOR_SIPI must *survive*
+        rounding — they are valid, just dangerous (Xen bug #4)."""
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_ACTIVITY_STATE, ActivityState.WAIT_FOR_SIPI)
+        validator.round_to_valid(vmcs)
+        assert vmcs.read(F.GUEST_ACTIVITY_STATE) == ActivityState.WAIT_FOR_SIPI
+
+    def test_tr_forced_usable(self, validator):
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_TR_AR_BYTES, 1 << 16)
+        validator.round_to_valid(vmcs)
+        assert not vmcs.read(F.GUEST_TR_AR_BYTES) & (1 << 16)
+
+    def test_rip_canonicalised(self, validator):
+        vmcs = golden_vmcs()
+        vmcs.write(F.GUEST_RIP, 0x8000_0000_0000)  # non-canonical
+        validator.round_to_valid(vmcs)
+        rip = vmcs.read(F.GUEST_RIP)
+        assert rip in (0xFFFF_8000_0000_0000, 0x8000_0000_0000 & 0xFFFFFFFF)
+
+
+class TestRoundingProperties:
+    @given(raw_vmcs)
+    @settings(max_examples=40, deadline=None)
+    def test_rounding_is_idempotent(self, raw):
+        validator = VmStateValidator()
+        vmcs = Vmcs.deserialize(raw)
+        validator.round_to_valid(vmcs)
+        assert validator.is_fixed_point(vmcs)
+
+    @given(raw_vmcs)
+    @settings(max_examples=40, deadline=None)
+    def test_rounded_controls_pass_hardware(self, raw):
+        validator = VmStateValidator()
+        vmcs = Vmcs.deserialize(raw)
+        validator.round_to_valid(vmcs)
+        caps = default_capabilities()
+        # Controls may still trip the deliberate modelling gaps; filter
+        # those out — everything else must pass hardware checks.
+        gaps = ("acknowledge",)
+        violations = [v for v in check_vm_controls(vmcs, caps)
+                      if not any(g in v.reason for g in gaps)]
+        assert violations == []
+
+    @given(raw_vmcs)
+    @settings(max_examples=40, deadline=None)
+    def test_rounded_host_state_passes_hardware_except_gap(self, raw):
+        validator = VmStateValidator()
+        vmcs = Vmcs.deserialize(raw)
+        validator.round_to_valid(vmcs)
+        violations = [v for v in check_host_state(vmcs, default_capabilities())
+                      if v.field != "host_tr_selector"]  # the documented gap
+        assert violations == []
+
+    @given(raw_vmcs)
+    @settings(max_examples=20, deadline=None)
+    def test_restricted_caps_respected(self, raw):
+        features = default_feature_map(Vendor.INTEL)
+        features["ept"] = False
+        caps = capabilities_for_features(features)
+        validator = VmStateValidator(caps)
+        vmcs = Vmcs.deserialize(raw)
+        validator.round_to_valid(vmcs)
+        assert caps.secondary.permits(vmcs.read(F.SECONDARY_VM_EXEC_CONTROL))
+
+    @given(raw_vmcs)
+    @settings(max_examples=20, deadline=None)
+    def test_predicted_violations_does_not_mutate(self, raw):
+        validator = VmStateValidator()
+        vmcs = Vmcs.deserialize(raw)
+        image = vmcs.serialize()
+        validator.predicted_violations(vmcs)
+        assert vmcs.serialize() == image

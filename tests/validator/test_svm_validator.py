@@ -1,0 +1,116 @@
+"""Tests for the AMD-V VMCB validator and its vmrun oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.registers import Cr0, Cr4, Efer
+from repro.svm import fields as SF
+from repro.svm.vmcb import Vmcb
+from repro.validator.golden import golden_vmcb
+from repro.validator.svm_validator import SvmHardwareOracle, VmcbValidator
+
+raw_vmcb = st.binary(min_size=SF.LAYOUT_BYTES, max_size=SF.LAYOUT_BYTES)
+
+
+class TestRounding:
+    def test_golden_is_fixed_point(self):
+        validator = VmcbValidator()
+        vmcb = golden_vmcb()
+        validator.round_to_valid(vmcb)
+        assert validator.is_fixed_point(vmcb)
+
+    def test_svme_forced(self):
+        validator = VmcbValidator()
+        vmcb = Vmcb()
+        validator.round_to_valid(vmcb)
+        assert vmcb.read(SF.EFER) & Efer.SVME
+
+    def test_asid_nonzero(self):
+        validator = VmcbValidator()
+        vmcb = Vmcb()
+        validator.round_to_valid(vmcb)
+        assert vmcb.read(SF.GUEST_ASID) != 0
+
+    def test_vmrun_intercept_forced(self):
+        validator = VmcbValidator()
+        vmcb = Vmcb()
+        validator.round_to_valid(vmcb)
+        assert vmcb.read(SF.INTERCEPT_MISC2) & SF.Misc2Intercept.VMRUN
+
+    def test_long_mode_pae_forced(self):
+        validator = VmcbValidator()
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR4, 0)
+        validator.round_to_valid(vmcb)
+        assert vmcb.read(SF.CR4) & Cr4.PAE
+
+    def test_transitional_lme_no_pg_preserved(self):
+        """The APM-permitted LME/!PG state must survive rounding — it is
+        the trigger state for Xen bug #5."""
+        validator = VmcbValidator()
+        vmcb = golden_vmcb()
+        vmcb.write(SF.CR0, vmcb.read(SF.CR0) & ~Cr0.PG)
+        validator.round_to_valid(vmcb)
+        assert vmcb.read(SF.EFER) & Efer.LME
+        assert not vmcb.read(SF.CR0) & Cr0.PG
+
+    def test_sev_rounded_away(self):
+        validator = VmcbValidator()
+        vmcb = golden_vmcb()
+        vmcb.write(SF.NP_CONTROL, SF.NpControl.NP_ENABLE | SF.NpControl.SEV_ENABLE)
+        validator.round_to_valid(vmcb)
+        assert not vmcb.read(SF.NP_CONTROL) & SF.NpControl.SEV_ENABLE
+
+    def test_corrections_recorded(self):
+        validator = VmcbValidator()
+        vmcb = Vmcb()
+        corrections = validator.round_to_valid(vmcb)
+        assert corrections
+        assert all(c.before != c.after for c in corrections)
+
+    @given(raw_vmcb)
+    @settings(max_examples=40, deadline=None)
+    def test_rounding_idempotent(self, raw):
+        validator = VmcbValidator()
+        vmcb = Vmcb.deserialize(raw)
+        validator.round_to_valid(vmcb)
+        assert validator.is_fixed_point(vmcb)
+
+    @given(raw_vmcb)
+    @settings(max_examples=40, deadline=None)
+    def test_rounded_state_has_no_predicted_violations(self, raw):
+        validator = VmcbValidator()
+        vmcb = Vmcb.deserialize(raw)
+        validator.round_to_valid(vmcb)
+        assert validator.predicted_violations(vmcb) == []
+
+
+class TestSvmOracle:
+    def test_golden_enters(self):
+        assert SvmHardwareOracle().verify(golden_vmcb())
+
+    @given(raw_vmcb)
+    @settings(max_examples=30, deadline=None)
+    def test_rounded_states_enter(self, raw):
+        validator = VmcbValidator()
+        oracle = SvmHardwareOracle()
+        vmcb = Vmcb.deserialize(raw)
+        validator.round_to_valid(vmcb)
+        assert oracle.verify(vmcb)
+
+    def test_learns_lma_fixup(self):
+        oracle = SvmHardwareOracle()
+        vmcb = golden_vmcb()
+        vmcb.write(SF.EFER, (vmcb.read(SF.EFER) | Efer.LME) & ~Efer.LMA)
+        assert oracle.verify(vmcb)
+        assert "efer" in oracle.fixup_masks
+        set_mask, _ = oracle.fixup_masks["efer"]
+        assert set_mask & Efer.LMA
+
+    def test_rejection_then_rounding_recovers(self):
+        oracle = SvmHardwareOracle()
+        vmcb = golden_vmcb()
+        vmcb.write(SF.GUEST_ASID, 0)
+        assert oracle.verify(vmcb)
+        assert oracle.rejections >= 1
+        assert vmcb.read(SF.GUEST_ASID) != 0

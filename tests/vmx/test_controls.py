@@ -1,0 +1,69 @@
+"""Sanity tests for the VMX control-bit definitions."""
+
+from repro.vmx.controls import (
+    ActivityState,
+    EntryControls,
+    ExitControls,
+    Interruptibility,
+    PinBased,
+    ProcBased,
+    Secondary,
+)
+from repro.vmx.exit_reasons import (
+    ENTRY_FAILURE_BIT,
+    VMX_INSTRUCTION_EXITS,
+    ExitReason,
+)
+
+
+class TestControlDefinitions:
+    def test_default1_within_known(self):
+        for cls in (PinBased, ProcBased, EntryControls, ExitControls):
+            assert cls.DEFAULT1 & cls.KNOWN == cls.DEFAULT1
+
+    def test_known_bits_disjoint_from_default1_features(self):
+        # Feature bits must not collide with reserved-1 bits.
+        assert not PinBased.EXT_INTR_EXITING & PinBased.DEFAULT1
+        assert not ProcBased.HLT_EXITING & ProcBased.DEFAULT1
+        assert not EntryControls.IA32E_MODE_GUEST & EntryControls.DEFAULT1
+        assert not ExitControls.HOST_ADDR_SPACE_SIZE & ExitControls.DEFAULT1
+
+    def test_architectural_positions(self):
+        # Spot checks against the SDM bit positions.
+        assert ProcBased.ACTIVATE_SECONDARY_CONTROLS == 1 << 31
+        assert ProcBased.USE_MSR_BITMAPS == 1 << 28
+        assert Secondary.ENABLE_EPT == 1 << 1
+        assert Secondary.UNRESTRICTED_GUEST == 1 << 7
+        assert EntryControls.IA32E_MODE_GUEST == 1 << 9
+        assert ExitControls.ACK_INTR_ON_EXIT == 1 << 15
+        assert PinBased.POSTED_INTERRUPTS == 1 << 7
+
+    def test_activity_states(self):
+        assert ActivityState.ALL == (0, 1, 2, 3)
+        assert ActivityState.WAIT_FOR_SIPI == 3
+        assert ActivityState.SHUTDOWN == 2
+
+    def test_interruptibility_reserved(self):
+        known = (Interruptibility.STI_BLOCKING | Interruptibility.MOV_SS_BLOCKING
+                 | Interruptibility.SMI_BLOCKING | Interruptibility.NMI_BLOCKING
+                 | Interruptibility.ENCLAVE_INTERRUPTION)
+        assert not known & Interruptibility.RESERVED
+        assert (known | Interruptibility.RESERVED) == (1 << 32) - 1
+
+
+class TestExitReasons:
+    def test_entry_failure_bit(self):
+        assert ENTRY_FAILURE_BIT == 1 << 31
+
+    def test_vmx_instruction_set(self):
+        assert ExitReason.VMLAUNCH in VMX_INSTRUCTION_EXITS
+        assert ExitReason.VMXON in VMX_INSTRUCTION_EXITS
+        assert ExitReason.CPUID not in VMX_INSTRUCTION_EXITS
+
+    def test_architectural_values(self):
+        assert ExitReason.EXCEPTION_NMI == 0
+        assert ExitReason.TRIPLE_FAULT == 2
+        assert ExitReason.CPUID == 10
+        assert ExitReason.EPT_VIOLATION == 48
+        assert ExitReason.INVALID_GUEST_STATE == 33
+        assert ExitReason.MSR_LOAD_FAIL == 34

@@ -1,0 +1,73 @@
+"""Unit tests for the VMCS field table (the paper's 165-field layout)."""
+
+from repro.vmx import fields as F
+
+
+class TestLayoutInvariants:
+    def test_paper_field_count(self):
+        # Figure 5: "an 8,000-bit VM state across 165 fields".
+        assert len(F.ALL_FIELDS) == 165
+
+    def test_paper_layout_bits(self):
+        assert F.LAYOUT_BITS == 8000
+        assert F.LAYOUT_BYTES == 1000
+
+    def test_encodings_unique(self):
+        encodings = [s.encoding for s in F.ALL_FIELDS]
+        assert len(encodings) == len(set(encodings))
+
+    def test_names_unique(self):
+        names = [s.name for s in F.ALL_FIELDS]
+        assert len(names) == len(set(names))
+
+    def test_lookup_tables_consistent(self):
+        for spec in F.ALL_FIELDS:
+            assert F.SPEC_BY_ENCODING[spec.encoding] is spec
+            assert F.SPEC_BY_NAME[spec.name] is spec
+
+    def test_widths_are_byte_multiples(self):
+        for spec in F.ALL_FIELDS:
+            assert spec.bits in (16, 32, 64)
+
+
+class TestEncodingScheme:
+    def test_group_encoded_in_bits_10_11(self):
+        for spec in F.ALL_FIELDS:
+            assert (spec.encoding >> 10) & 3 == spec.group.value
+
+    def test_width_encoded_in_bits_13_14(self):
+        for spec in F.ALL_FIELDS:
+            assert (spec.encoding >> 13) & 3 == spec.width.value
+
+    def test_known_architectural_encodings(self):
+        # Cross-check a few against the Intel SDM Appendix B values.
+        assert F.VIRTUAL_PROCESSOR_ID == 0x0000
+        assert F.GUEST_ES_SELECTOR == 0x0800
+        assert F.HOST_ES_SELECTOR == 0x0C00
+        assert F.IO_BITMAP_A == 0x2000
+        assert F.VM_EXIT_REASON == 0x4402
+        assert F.GUEST_CR0 == 0x6800
+        assert F.HOST_RIP == 0x6C16
+        assert F.PIN_BASED_VM_EXEC_CONTROL == 0x4000
+        assert F.GUEST_RIP == 0x681E
+
+
+class TestGroupMembership:
+    def test_writable_excludes_read_only(self):
+        for spec in F.WRITABLE_FIELDS:
+            assert spec.group is not F.FieldGroup.READ_ONLY
+
+    def test_read_only_fields_exist(self):
+        ro = [s for s in F.ALL_FIELDS if s.group is F.FieldGroup.READ_ONLY]
+        assert len(ro) == len(F.ALL_FIELDS) - len(F.WRITABLE_FIELDS)
+        assert any(s.name == "vm_exit_reason" for s in ro)
+
+    def test_segment_tables_cover_all_segments(self):
+        for table in (F.SEGMENT_SELECTOR_FIELDS, F.SEGMENT_BASE_FIELDS,
+                      F.SEGMENT_LIMIT_FIELDS, F.SEGMENT_AR_FIELDS):
+            assert set(table) == {"es", "cs", "ss", "ds", "fs", "gs",
+                                  "ldtr", "tr"}
+
+    def test_host_selector_table(self):
+        assert set(F.HOST_SELECTOR_FIELDS) == {"es", "cs", "ss", "ds",
+                                               "fs", "gs", "tr"}
