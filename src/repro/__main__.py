@@ -47,6 +47,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="enable the asynchronous-event extension")
     parser.add_argument("--sample-every", type=int, default=50,
                         help="coverage-timeline sampling interval")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard the campaign across N synced workers "
+                             "(1 = serial; see DESIGN.md)")
+    parser.add_argument("--sync-every", type=int, default=100,
+                        help="iterations each worker runs between corpus "
+                             "sync points (workers > 1 only)")
+    parser.add_argument("--parallel-mode", choices=("inline", "process"),
+                        default="process",
+                        help="inline = deterministic round-robin in one "
+                             "process; process = one forked OS process "
+                             "per worker")
+    parser.add_argument("--reuse-hypervisor", action="store_true",
+                        help="reuse built hypervisors across same-config "
+                             "cases (faster, changes trajectories)")
+    parser.add_argument("--corpus-dir", type=Path, default=None,
+                        help="resume from a saved corpus directory "
+                             "(serial campaigns only)")
     return parser
 
 
@@ -56,22 +73,51 @@ def main(argv: list[str] | None = None) -> int:
     if args.hypervisor == "virtualbox" and args.vendor != "intel":
         print("error: the VirtualBox model is Intel-only", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.workers > 1 and (args.reports_dir or args.corpus_dir):
+        print("error: --reports-dir/--corpus-dir are serial-only "
+              "(use --workers 1)", file=sys.stderr)
+        return 2
 
-    campaign = NecoFuzz(
-        hypervisor=args.hypervisor,
-        vendor=Vendor(args.vendor),
-        seed=args.seed,
-        toggles=ComponentToggles(
-            use_harness=not args.no_harness_mutation,
-            use_validator=not args.no_validator,
-            use_configurator=not args.no_configurator),
-        coverage_guided=not args.blackbox,
-        patched=frozenset(f for f in args.patched.split(",") if f),
-        async_events=args.async_events,
-        reports_dir=args.reports_dir)
+    toggles = ComponentToggles(
+        use_harness=not args.no_harness_mutation,
+        use_validator=not args.no_validator,
+        use_configurator=not args.no_configurator)
+    patched = frozenset(f for f in args.patched.split(",") if f)
 
     print(f"fuzzing {args.hypervisor}/{args.vendor} "
-          f"(seed {args.seed}, {args.iterations} cases)...")
+          f"(seed {args.seed}, {args.iterations} cases"
+          + (f", {args.workers} workers" if args.workers > 1 else "")
+          + ")...")
+    if args.workers > 1:
+        from repro.parallel import ParallelCampaign
+
+        campaign = ParallelCampaign(
+            hypervisor=args.hypervisor,
+            vendor=Vendor(args.vendor),
+            seed=args.seed,
+            workers=args.workers,
+            sync_every=args.sync_every,
+            mode=args.parallel_mode,
+            toggles=toggles,
+            coverage_guided=not args.blackbox,
+            patched=patched,
+            async_events=args.async_events,
+            reuse_hypervisor=args.reuse_hypervisor)
+    else:
+        campaign = NecoFuzz(
+            hypervisor=args.hypervisor,
+            vendor=Vendor(args.vendor),
+            seed=args.seed,
+            toggles=toggles,
+            coverage_guided=not args.blackbox,
+            patched=patched,
+            async_events=args.async_events,
+            reports_dir=args.reports_dir,
+            corpus_dir=args.corpus_dir,
+            reuse_hypervisor=args.reuse_hypervisor)
     result = campaign.run(args.iterations, sample_every=args.sample_every)
 
     for point in result.timeline.points:

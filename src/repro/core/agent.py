@@ -41,6 +41,12 @@ class AgentConfig:
     #: §6.3 extension: asynchronous-event injection (off by default).
     async_events: bool = False
     reports_dir: Path | None = None
+    #: Reuse the built L0 hypervisor across cases with the same vCPU
+    #: configuration (reset, not rebuilt, between cases; discarded when
+    #: the watchdog handles a host crash). Off by default: warm-state
+    #: reuse changes per-case coverage feedback, so it trades the
+    #: bit-for-bit default trajectory for throughput.
+    reuse_hypervisor: bool = False
 
 
 @dataclass
@@ -76,39 +82,56 @@ class Agent:
         self.reports = ReportStore(config.reports_dir)
         self.cumulative_lines: set = set()
         self.cases_run = 0
+        #: Hot-path scratch state: one bitmap reused (reset, not
+        #: reallocated) across cases, plus per-configuration caches for
+        #: the adapter command line and, when enabled, the built
+        #: hypervisor itself.
+        self._case_bitmap = CoverageBitmap()
+        self._command_lines: dict = {}
+        self._hv_cache: dict = {}
 
     #: Bound on cached per-configuration generators (LRU eviction). The
     #: configurator can produce thousands of distinct feature maps; each
     #: generator owns a validator + oracle, so the cache must be capped.
     GENERATOR_CACHE_LIMIT = 64
 
-    def _generator_for(self, vcpu_config):
-        """The state generator for one vCPU configuration (cached, LRU)."""
-        key = tuple(sorted(vcpu_config.features.items()))
-        generator = self._generators.get(key)
-        if generator is not None:
-            # Refresh recency (dict preserves insertion order).
-            self._generators.pop(key)
-            self._generators[key] = generator
+    @staticmethod
+    def _config_key(vcpu_config) -> tuple:
+        """Cache key for one vCPU configuration's feature map."""
+        return tuple(sorted(vcpu_config.features.items()))
+
+    def _generator_for(self, vcpu_config, key: tuple | None = None):
+        """The state generator for one vCPU configuration (cached, LRU).
+
+        Dicts preserve insertion order, so popping and re-inserting the
+        entry keeps the least recently used configuration first.
+        """
+        if key is None:
+            key = self._config_key(vcpu_config)
+        generator = self._generators.pop(key, None)
         if generator is None:
+            generator = self._build_generator(vcpu_config)
             while len(self._generators) >= self.GENERATOR_CACHE_LIMIT:
                 self._generators.pop(next(iter(self._generators)))
-            if self.config.vendor is Vendor.INTEL:
-                if self.config.hypervisor == "kvm":
-                    from repro.hypervisors.kvm.module import KvmModuleParams
-
-                    caps = KvmModuleParams.from_config(vcpu_config).l1_vmx_capabilities()
-                else:
-                    from repro.vmx.msr_caps import capabilities_for_features
-
-                    caps = capabilities_for_features(vcpu_config.features)
-            else:
-                caps = default_capabilities()
-            generator = state_generator_for(
-                self.config.vendor, caps,
-                use_validator=self.config.toggles.use_validator)
-            self._generators[key] = generator
+        self._generators[key] = generator
         return generator
+
+    def _build_generator(self, vcpu_config):
+        """Construct the state generator for one vCPU configuration."""
+        if self.config.vendor is Vendor.INTEL:
+            if self.config.hypervisor == "kvm":
+                from repro.hypervisors.kvm.module import KvmModuleParams
+
+                caps = KvmModuleParams.from_config(vcpu_config).l1_vmx_capabilities()
+            else:
+                from repro.vmx.msr_caps import capabilities_for_features
+
+                caps = capabilities_for_features(vcpu_config.features)
+        else:
+            caps = default_capabilities()
+        return state_generator_for(
+            self.config.vendor, caps,
+            use_validator=self.config.toggles.use_validator)
 
     @property
     def coverage_fraction(self) -> float:
@@ -122,11 +145,22 @@ class Agent:
     # ------------------------------------------------------------------
 
     def run_case(self, fuzz_input: FuzzInput) -> CaseOutcome:
-        """Run one test case end to end."""
+        """Run one test case end to end.
+
+        The returned feedback's bitmap is scratch state reused across
+        cases: consume it before the next ``run_case`` call (the fuzz
+        engine folds it into the virgin map immediately).
+        """
         self.cases_run += 1
         vcpu_config = self.configurator.generate(fuzz_input)
-        command_line = self.adapter.command_line(vcpu_config)
-        generator = self._generator_for(vcpu_config)
+        key = self._config_key(vcpu_config)
+        command_line = self._command_lines.get(key)
+        if command_line is None:
+            command_line = self.adapter.command_line(vcpu_config)
+            if len(self._command_lines) >= self.GENERATOR_CACHE_LIMIT:
+                self._command_lines.clear()
+            self._command_lines[key] = command_line
+        generator = self._generator_for(vcpu_config, key)
         vm_state = generator.generate(fuzz_input)
 
         executor = UefiExecutor(
@@ -143,12 +177,25 @@ class Agent:
         hv = None
         with self.tracer:
             try:
-                hv = self.adapter.build(vcpu_config)
+                if self.config.reuse_hypervisor:
+                    hv = self._hv_cache.get(command_line)
+                    if hv is None:
+                        hv = self.adapter.build(vcpu_config)
+                        if len(self._hv_cache) >= self.GENERATOR_CACHE_LIMIT:
+                            self._hv_cache.clear()
+                        self._hv_cache[command_line] = hv
+                    else:
+                        hv.reset()
+                else:
+                    hv = self.adapter.build(vcpu_config)
                 executor_result = executor.run(hv)
             except HostCrash as crash:
                 assert hv is not None
                 crash_anomalies.append(
                     self.watchdog.handle_host_crash(hv, str(crash)))
+                # A host crash means the machine rebooted: cached warm
+                # hypervisors did not survive it.
+                self._hv_cache.clear()
             except VmCrash as crash:
                 assert hv is not None
                 crash_anomalies.append(
@@ -156,7 +203,8 @@ class Agent:
         lines, edges = self.tracer.drain()
         self.cumulative_lines |= lines
 
-        bitmap = CoverageBitmap()
+        bitmap = self._case_bitmap
+        bitmap.reset()
         bitmap.record_trace(edges)
 
         anomalies = list(crash_anomalies)

@@ -42,9 +42,14 @@ def golden_seed(vendor: Vendor, rng: Rng | None = None) -> bytes:
         image = golden_vmcs(default_capabilities()).serialize()
     else:
         image = golden_vmcb().serialize()
-        image = image + bytes(VM_STATE_REGION[1] - len(image))
+    # Pad or truncate to exactly the region size for both vendors: a
+    # short image must not shrink the input below INPUT_SIZE through the
+    # slice assignment, and a long one must not spill into the
+    # mutation-directive region.
     start, end = VM_STATE_REGION
-    data[start:end] = image[:end - start]
+    size = end - start
+    image = image[:size].ljust(size, b"\0")
+    data[start:end] = image
     return bytes(data)
 
 
@@ -95,6 +100,13 @@ class NecoFuzz:
     async_events: bool = False
     iterations_per_hour: float = 10.0
     reports_dir: Path | None = None
+    #: Optional saved corpus (``FuzzEngine.save_corpus`` layout) loaded
+    #: on top of the built-in seeds, so a campaign can resume from a
+    #: previous run's queue — or import a sync-partner's findings.
+    corpus_dir: Path | None = None
+    #: Forwarded to :class:`AgentConfig`: reuse built hypervisors across
+    #: same-configuration cases (throughput over bit-for-bit defaults).
+    reuse_hypervisor: bool = False
 
     def __post_init__(self) -> None:
         self.agent = Agent(AgentConfig(
@@ -104,7 +116,8 @@ class NecoFuzz:
             patched=self.patched,
             runtime_iterations=self.runtime_iterations,
             async_events=self.async_events,
-            reports_dir=self.reports_dir))
+            reports_dir=self.reports_dir,
+            reuse_hypervisor=self.reuse_hypervisor))
         rng = Rng(self.seed)
         self.engine = FuzzEngine(
             execute=self.agent.execute_for_engine,
@@ -117,6 +130,8 @@ class NecoFuzz:
                                              rng.fork(salt + 1)))
         for _ in range(2):
             self.engine.add_seed(rng.bytes(INPUT_SIZE))
+        if self.corpus_dir is not None and Path(self.corpus_dir).is_dir():
+            self.engine.load_corpus(Path(self.corpus_dir))
 
     def run(self, iterations: int, *, sample_every: int = 10) -> CampaignResult:
         """Run the campaign for *iterations* test cases."""

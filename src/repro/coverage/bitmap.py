@@ -9,6 +9,8 @@ behaviour.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 MAP_SIZE = 1 << 16
 
 #: AFL's count-class buckets: a hit count maps to one bit of the byte.
@@ -31,9 +33,6 @@ def edge_index(prev_id: int, cur_id: int) -> int:
     return ((prev_id >> 1) ^ cur_id) & (MAP_SIZE - 1)
 
 
-from functools import lru_cache
-
-
 @lru_cache(maxsize=65536)
 def stable_line_id(filename: str, lineno: int) -> int:
     """Deterministic 16-bit id for a source location.
@@ -46,6 +45,13 @@ def stable_line_id(filename: str, lineno: int) -> int:
         h ^= byte
         h = (h * 0x01000193) & 0xFFFFFFFF
     return h & (MAP_SIZE - 1)
+
+
+#: Trace edges map to bitmap cells through two line-id hashes plus the
+#: edge fold. The set of distinct source-line edges is small (bounded by
+#: the instrumented target code), so one flat dict lookup per edge beats
+#: re-deriving the hash chain every case.
+_EDGE_INDEX_CACHE: dict[tuple, int] = {}
 
 
 class CoverageBitmap:
@@ -64,17 +70,30 @@ class CoverageBitmap:
 
     def record_trace(self, edges) -> None:
         """Record a set of ((file, line), (file, line)) trace edges."""
-        for (pf, pl), (cf, cl) in edges:
-            self.record_edge(stable_line_id(pf, pl), stable_line_id(cf, cl))
+        cache = _EDGE_INDEX_CACHE
+        counts = self.counts
+        touched = self.touched
+        for edge in edges:
+            idx = cache.get(edge)
+            if idx is None:
+                (pf, pl), (cf, cl) = edge
+                idx = edge_index(stable_line_id(pf, pl),
+                                 stable_line_id(cf, cl))
+                cache[edge] = idx
+            if counts[idx] < 255:
+                counts[idx] += 1
+            touched.add(idx)
 
     def classified(self) -> bytes:
         """The bucketed bitmap, as AFL would compare it."""
         return bytes(classify_count(c) for c in self.counts)
 
     def reset(self) -> None:
-        """Clear all recorded state."""
-        self.counts = bytearray(MAP_SIZE)
-        self.touched = set()
+        """Clear recorded state (touched cells only — O(edges), not O(map))."""
+        counts = self.counts
+        for idx in self.touched:
+            counts[idx] = 0
+        self.touched.clear()
 
     def count_nonzero(self) -> int:
         """Number of map cells with at least one hit."""
@@ -107,6 +126,12 @@ class VirginMap:
                 ret = 2 if old == 0 else max(ret, 1)
                 bits[idx] = old | cls
         return ret
+
+    def merge_from(self, other: "VirginMap") -> None:
+        """OR another virgin map into this one (parallel-campaign merge)."""
+        merged = (int.from_bytes(self.bits, "little")
+                  | int.from_bytes(other.bits, "little"))
+        self.bits = bytearray(merged.to_bytes(MAP_SIZE, "little"))
 
     def density(self) -> float:
         """Fraction of map bytes touched (AFL's map density)."""

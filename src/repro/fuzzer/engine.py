@@ -23,11 +23,11 @@ from repro.fuzzer.input import (
     FuzzInput,
 )
 from repro.fuzzer.mutators import havoc, region_havoc, splice
+from repro.fuzzer.queue import SeedQueue
+from repro.fuzzer.rng import Rng
 
 #: The partitions region-aware havoc keeps in motion.
 _REGIONS = (VM_STATE_REGION, MUTATION_REGION, HARNESS_REGION, CONFIG_REGION)
-from repro.fuzzer.queue import SeedQueue
-from repro.fuzzer.rng import Rng
 
 
 @dataclass
@@ -48,6 +48,9 @@ class EngineStats:
     crashes: int = 0
     anomalies: int = 0
     last_find: int = 0
+    #: Sync-partner cases executed via :meth:`FuzzEngine.import_case`
+    #: (not counted in ``iterations`` — they are not mutation budget).
+    imported: int = 0
 
 
 ExecuteFn = Callable[[FuzzInput], RunFeedback]
@@ -109,22 +112,50 @@ class FuzzEngine:
             self.step()
         return self.stats
 
+    def import_case(self, data: bytes) -> int:
+        """Execute a sync partner's queue entry and keep it if novel.
+
+        This is AFL's ``sync_fuzzers`` behaviour: the case runs against
+        the local target and joins the queue only when it lights up new
+        virgin-map bits here. Imported executions do not count against
+        the mutation-iteration budget; they are tracked separately in
+        ``stats.imported``. Returns the tri-state new-bits value.
+        """
+        candidate = FuzzInput(FuzzInput.normalize(data))
+        feedback = self.execute(candidate)
+        self.stats.imported += 1
+        if feedback.crashed or feedback.anomaly:
+            self.stats.crashes += feedback.crashed
+            self.stats.anomalies += feedback.anomaly is not None
+            self.crash_inputs.append((candidate, feedback.anomaly or "crash"))
+        new_bits = self.virgin.has_new_bits(feedback.bitmap)
+        if new_bits and self.coverage_guided:
+            self.queue.add_finding(candidate.data, self.stats.iterations,
+                                   new_bits, imported=True)
+        return new_bits
+
     # --- corpus persistence (AFL queue-directory style) -----------------
 
-    def save_corpus(self, directory) -> int:
+    def save_corpus(self, directory, *, exclude_imported: bool = False) -> int:
         """Write every queue entry to *directory* as ``id:NNNNNN`` files.
 
         Returns the number of entries written. The format matches AFL's
         queue directory closely enough to eyeball with the same habits.
+        With ``exclude_imported=True`` only locally discovered entries
+        are exported — what a sync partner wants to read, since entries
+        it handed us would only ping-pong back. The queue is append-only,
+        so indices are stable across repeated incremental saves.
         """
         from pathlib import Path
 
         path = Path(directory)
         path.mkdir(parents=True, exist_ok=True)
-        for index, entry in enumerate(self.queue.entries):
+        entries = [e for e in self.queue.entries
+                   if not (exclude_imported and e.imported)]
+        for index, entry in enumerate(entries):
             suffix = f",found:{entry.found_at}" if entry.found_at else ",seed"
             (path / f"id:{index:06d}{suffix}").write_bytes(entry.data)
-        return len(self.queue.entries)
+        return len(entries)
 
     def load_corpus(self, directory) -> int:
         """Seed the queue from a directory written by :meth:`save_corpus`.

@@ -16,6 +16,7 @@ class QueueEntry:
     new_bits: int            # 2 = new edge, 1 = new bucket, 0 = initial seed
     exercised: int = 0       # times picked for mutation
     favored: bool = False
+    imported: bool = False   # pulled in from a sync partner, not found locally
 
 
 @dataclass
@@ -34,10 +35,11 @@ class SeedQueue:
         self.entries.append(entry)
         return entry
 
-    def add_finding(self, data: bytes, iteration: int, new_bits: int) -> QueueEntry:
+    def add_finding(self, data: bytes, iteration: int, new_bits: int,
+                    imported: bool = False) -> QueueEntry:
         """Add an input that produced new coverage."""
         entry = QueueEntry(data, found_at=iteration, new_bits=new_bits,
-                           favored=new_bits == 2)
+                           favored=new_bits == 2, imported=imported)
         self.entries.append(entry)
         return entry
 

@@ -1,0 +1,22 @@
+"""Sharded parallel fuzzing campaigns (AFL++ primary/secondary style).
+
+One logical campaign is split across N workers, each a full
+agent + engine pair with a deterministically derived seed; workers
+exchange locally discovered queue entries through a sync directory and
+the orchestrator merges coverage, virgin maps, timelines, and stats into
+one :class:`ParallelCampaignResult`. See DESIGN.md, "Parallel campaigns
+& performance".
+"""
+
+from repro.parallel.campaign import ParallelCampaign, ParallelCampaignResult
+from repro.parallel.sync import SyncDirectory
+from repro.parallel.worker import CampaignWorker, WorkerSpec, worker_seed
+
+__all__ = [
+    "ParallelCampaign",
+    "ParallelCampaignResult",
+    "SyncDirectory",
+    "CampaignWorker",
+    "WorkerSpec",
+    "worker_seed",
+]

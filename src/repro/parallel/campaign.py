@@ -1,0 +1,273 @@
+"""The parallel campaign orchestrator.
+
+``ParallelCampaign`` shards one iteration budget across N workers and
+merges their results. Two execution modes share all of the sharding,
+sync, and merge machinery:
+
+* ``mode="inline"`` runs the workers round-robin in this process —
+  fully deterministic (chunk order and sync order are fixed), the mode
+  the determinism tests and single-core CI use;
+* ``mode="process"`` forks one OS process per worker for real
+  parallelism; workers sync through the filesystem at their own pace,
+  so merged trajectories are only reproducible in the aggregate
+  (superset semantics), exactly like AFL++ primary/secondary instances.
+
+The determinism contract: with ``workers=1`` the (single) worker uses
+the campaign seed verbatim, never imports anything, and reproduces the
+serial ``NecoFuzz.run`` result bit for bit. With N workers the merged
+covered-line set is a superset-style union — not bit-for-bit comparable
+to any serial run, but measured over the same instrumented universe.
+"""
+
+from __future__ import annotations
+
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.timeline import CoverageTimeline
+from repro.arch.cpuid import Vendor
+from repro.core.executor import ComponentToggles
+from repro.core.necofuzz import CampaignResult
+from repro.coverage.bitmap import VirginMap
+from repro.fuzzer.engine import EngineStats
+from repro.parallel.sync import SyncDirectory
+from repro.parallel.worker import (
+    CampaignWorker,
+    WorkerReport,
+    WorkerSpec,
+    worker_seed,
+)
+
+
+@dataclass
+class ParallelCampaignResult(CampaignResult):
+    """A merged campaign result plus the per-worker breakdown."""
+
+    workers: int
+    per_worker: list[CampaignResult]
+    #: OR-merge of every worker's virgin map: the campaign-global
+    #: "behaviour already seen" map.
+    virgin: VirginMap
+
+    def summary(self) -> str:
+        return (super().summary()
+                + f", {self.workers} worker(s), "
+                  f"{self.engine_stats.imported} synced import(s)")
+
+
+def _merge_stats(stats: list[EngineStats]) -> EngineStats:
+    return EngineStats(
+        iterations=sum(s.iterations for s in stats),
+        queue_adds=sum(s.queue_adds for s in stats),
+        crashes=sum(s.crashes for s in stats),
+        anomalies=sum(s.anomalies for s in stats),
+        last_find=max((s.last_find for s in stats), default=0),
+        imported=sum(s.imported for s in stats))
+
+
+def _merge_virgin(reports: list[WorkerReport]) -> VirginMap:
+    merged = VirginMap()
+    scratch = VirginMap()
+    for report in reports:
+        scratch.bits = bytearray(report.virgin_bits)
+        merged.merge_from(scratch)
+    return merged
+
+
+def _merge_timeline(reports: list[WorkerReport], instrumented_total: int,
+                    label: str, iterations_per_hour: float) -> CoverageTimeline:
+    """Union coverage over a lockstep global-iteration axis.
+
+    At local sample iteration ``i`` the campaign as a whole has executed
+    ``sum(min(i, share_w))`` cases (workers advance round-robin), and
+    covers the union of every worker's lines up to ``i`` — monotone and
+    deterministic given the workers' sample deltas.
+    """
+    merged = CoverageTimeline(label, iterations_per_hour)
+    if not instrumented_total:
+        return merged
+    grid = sorted({i for report in reports for i, _ in report.samples})
+    union: set = set()
+    positions = {report.index: 0 for report in reports}
+    for sample_iter in grid:
+        for report in reports:
+            pos = positions[report.index]
+            samples = report.samples
+            while pos < len(samples) and samples[pos][0] <= sample_iter:
+                union |= samples[pos][1]
+                pos += 1
+            positions[report.index] = pos
+        global_iter = sum(min(sample_iter, report.share) for report in reports)
+        merged.record(global_iter, len(union) / instrumented_total)
+    return merged
+
+
+def _process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
+                         sample_every: int, sync_every: int, root: str,
+                         total_workers: int, out_path: str) -> None:
+    """Child-process entry point: run one share, pickle the report."""
+    worker = CampaignWorker(
+        spec, campaign_kwargs, sample_every=sample_every,
+        sync=SyncDirectory(Path(root), spec.index, total_workers))
+    report = worker.run_share(sync_every)
+    with open(out_path, "wb") as f:
+        pickle.dump(report, f)
+
+
+@dataclass
+class ParallelCampaign:
+    """One logical campaign sharded across N workers."""
+
+    hypervisor: str = "kvm"
+    vendor: Vendor = Vendor.INTEL
+    seed: int = 1
+    workers: int = 1
+    #: Iterations each worker runs between corpus-sync points.
+    sync_every: int = 100
+    mode: str = "inline"  # "inline" (deterministic) or "process" (forked)
+    #: Sync-directory root; a temporary directory when None.
+    sync_dir: Path | None = None
+    toggles: ComponentToggles = field(default_factory=ComponentToggles)
+    coverage_guided: bool = True
+    patched: frozenset = frozenset()
+    runtime_iterations: int = 24
+    async_events: bool = False
+    iterations_per_hour: float = 10.0
+    reuse_hypervisor: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.mode not in ("inline", "process"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        if self.sync_every < 1:
+            raise ValueError("sync_every must be >= 1")
+
+    # ------------------------------------------------------------------
+
+    def _campaign_kwargs(self) -> dict:
+        """NecoFuzz construction arguments shared by every worker."""
+        return dict(
+            hypervisor=self.hypervisor,
+            vendor=self.vendor,
+            toggles=self.toggles,
+            coverage_guided=self.coverage_guided,
+            patched=self.patched,
+            runtime_iterations=self.runtime_iterations,
+            async_events=self.async_events,
+            iterations_per_hour=self.iterations_per_hour,
+            reuse_hypervisor=self.reuse_hypervisor)
+
+    def _specs(self, iterations: int) -> list[WorkerSpec]:
+        base, remainder = divmod(iterations, self.workers)
+        return [
+            WorkerSpec(index=i,
+                       seed=worker_seed(self.seed, i),
+                       iterations=base + (1 if i < remainder else 0))
+            for i in range(self.workers)
+        ]
+
+    def run(self, iterations: int, *,
+            sample_every: int = 10) -> ParallelCampaignResult:
+        """Run the sharded campaign for *iterations* total test cases."""
+        if self.sync_dir is not None:
+            root = Path(self.sync_dir)
+            root.mkdir(parents=True, exist_ok=True)
+            return self._run_in(root, iterations, sample_every)
+        with tempfile.TemporaryDirectory(prefix="necofuzz-sync-") as tmp:
+            return self._run_in(Path(tmp), iterations, sample_every)
+
+    def _run_in(self, root: Path, iterations: int,
+                sample_every: int) -> ParallelCampaignResult:
+        specs = self._specs(iterations)
+        if self.mode == "process" and self.workers > 1:
+            reports = self._run_processes(root, specs, sample_every)
+        else:
+            reports = self._run_inline(root, specs, sample_every)
+        return self._merge(reports)
+
+    # --- inline mode --------------------------------------------------------
+
+    def _run_inline(self, root: Path, specs: list[WorkerSpec],
+                    sample_every: int) -> list[WorkerReport]:
+        syncing = self.workers > 1
+        workers = [
+            CampaignWorker(
+                spec, self._campaign_kwargs(), sample_every=sample_every,
+                sync=SyncDirectory(root, spec.index, self.workers)
+                if syncing else None)
+            for spec in specs
+        ]
+        while any(not worker.finished for worker in workers):
+            for worker in workers:
+                if not worker.finished:
+                    worker.run_chunk(self.sync_every)
+                    worker.export()
+            if syncing:
+                # Bidirectional round: everyone has published, so every
+                # worker sees every partner's finds from this round.
+                for worker in workers:
+                    worker.import_new()
+        return [worker.report() for worker in workers]
+
+    # --- process mode -------------------------------------------------------
+
+    def _run_processes(self, root: Path, specs: list[WorkerSpec],
+                       sample_every: int) -> list[WorkerReport]:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork
+            ctx = multiprocessing.get_context()
+        out_paths = [root / f"report-{spec.index:03d}.pkl" for spec in specs]
+        procs = [
+            ctx.Process(
+                target=_process_worker_main,
+                args=(spec, self._campaign_kwargs(), sample_every,
+                      self.sync_every, str(root), self.workers,
+                      str(out_path)),
+                daemon=False)
+            for spec, out_path in zip(specs, out_paths)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join()
+        reports = []
+        for spec, proc, out_path in zip(specs, procs, out_paths):
+            if proc.exitcode != 0 or not out_path.exists():
+                raise RuntimeError(
+                    f"worker {spec.index} failed (exit {proc.exitcode})")
+            with open(out_path, "rb") as f:
+                reports.append(pickle.load(f))
+        return reports
+
+    # --- merge --------------------------------------------------------------
+
+    def _merge(self, reports: list[WorkerReport]) -> ParallelCampaignResult:
+        reports = sorted(reports, key=lambda r: r.index)
+        instrumented = reports[0].result.instrumented_lines
+        for report in reports[1:]:
+            assert report.result.instrumented_lines == instrumented, \
+                "workers disagree on the instrumented universe"
+        covered: set = set()
+        merged_reports = []
+        for report in reports:
+            covered |= report.result.covered_lines
+            merged_reports.extend(report.result.reports)
+        label = f"NecoFuzz/{self.hypervisor}/{self.vendor.value}"
+        timeline = _merge_timeline(reports, len(instrumented), label,
+                                   self.iterations_per_hour)
+        return ParallelCampaignResult(
+            timeline=timeline,
+            covered_lines=covered,
+            instrumented_lines=set(instrumented),
+            reports=merged_reports,
+            engine_stats=_merge_stats([r.result.engine_stats for r in reports]),
+            watchdog_restarts=sum(r.result.watchdog_restarts for r in reports),
+            workers=self.workers,
+            per_worker=[r.result for r in reports],
+            virgin=_merge_virgin(reports))

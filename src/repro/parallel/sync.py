@@ -1,0 +1,59 @@
+"""Corpus sync between campaign workers (AFL's ``sync_fuzzers`` shape).
+
+Each worker owns ``<root>/worker-NNN/queue/``, an AFL-style queue
+directory written with :meth:`FuzzEngine.save_corpus`. Partners read
+each other's directories incrementally: the queue is append-only and
+indices are stable, so a per-partner high-water mark is enough to
+import each entry exactly once. Only locally discovered entries are
+exported (``exclude_imported=True``) — re-exporting imports would
+ping-pong cases between workers forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.fuzzer.engine import FuzzEngine
+
+
+def worker_queue_dir(root: Path, index: int) -> Path:
+    """The queue directory one worker exports to."""
+    return Path(root) / f"worker-{index:03d}" / "queue"
+
+
+@dataclass
+class SyncDirectory:
+    """One worker's view of the shared sync directory."""
+
+    root: Path
+    worker: int
+    total_workers: int
+    #: Per-partner count of queue files already imported.
+    seen: dict[int, int] = field(default_factory=dict)
+
+    def export(self, engine: FuzzEngine) -> int:
+        """Publish the worker's locally found queue entries."""
+        return engine.save_corpus(worker_queue_dir(self.root, self.worker),
+                                  exclude_imported=True)
+
+    def import_new(self, engine: FuzzEngine) -> int:
+        """Run every not-yet-seen partner entry through *engine*.
+
+        Returns the number of cases imported (executed), whether or not
+        they proved novel enough to join the local queue.
+        """
+        imported = 0
+        for partner in range(self.total_workers):
+            if partner == self.worker:
+                continue
+            queue_dir = worker_queue_dir(self.root, partner)
+            if not queue_dir.is_dir():
+                continue
+            files = sorted(p for p in queue_dir.iterdir() if p.is_file())
+            start = self.seen.get(partner, 0)
+            for path in files[start:]:
+                engine.import_case(path.read_bytes())
+                imported += 1
+            self.seen[partner] = len(files)
+        return imported

@@ -1,0 +1,146 @@
+"""One shard of a parallel campaign: a full agent + engine pair.
+
+Worker 0 always receives the campaign seed verbatim, which is what makes
+a one-worker parallel campaign reproduce the serial ``NecoFuzz.run``
+bit for bit; workers 1..N-1 get seeds derived through the same
+multiplier :meth:`repro.fuzzer.rng.Rng.fork` uses, with a salt space
+disjoint from the campaign's own seed-corpus salts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.timeline import CoverageTimeline
+from repro.core.necofuzz import CampaignResult, NecoFuzz
+from repro.parallel.sync import SyncDirectory
+
+#: Salt base for derived worker seeds (disjoint from the small corpus
+#: salts NecoFuzz.__post_init__ forks off the campaign RNG).
+_WORKER_SALT = 0x9E3779B9
+
+
+def worker_seed(campaign_seed: int, index: int) -> int:
+    """Deterministic per-worker engine seed.
+
+    Index 0 is the campaign seed itself (serial == 1-worker contract);
+    other indices reuse the ``Rng.fork`` mixing so derived seeds are
+    decorrelated from the campaign seed and from each other.
+    """
+    if index == 0:
+        return campaign_seed
+    return (campaign_seed * 1_000_003 + _WORKER_SALT + index) & 0xFFFFFFFFFFFFFFFF
+
+
+@dataclass
+class WorkerSpec:
+    """Static description of one worker's shard."""
+
+    index: int
+    seed: int
+    iterations: int  # this worker's share of the campaign budget
+
+
+@dataclass
+class WorkerReport:
+    """Everything the orchestrator needs back from one worker."""
+
+    index: int
+    share: int
+    result: CampaignResult
+    #: Per-sample newly covered lines: (local iteration, line delta).
+    samples: list[tuple[int, frozenset]]
+    #: Snapshot of the worker's virgin map for the merged map.
+    virgin_bits: bytes
+
+
+@dataclass
+class CampaignWorker:
+    """Drives one shard in chunks, sampling like the serial loop does."""
+
+    spec: WorkerSpec
+    campaign_kwargs: dict
+    sample_every: int = 10
+    sync: SyncDirectory | None = None
+    done: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.campaign = NecoFuzz(seed=self.spec.seed, **self.campaign_kwargs)
+        label = (f"NecoFuzz/{self.campaign.hypervisor}/"
+                 f"{self.campaign.vendor.value}")
+        if self.spec.index:
+            label += f"[w{self.spec.index}]"
+        self.timeline = CoverageTimeline(label, self.campaign.iterations_per_hour)
+        self.samples: list[tuple[int, frozenset]] = []
+        self._seen_lines: set = set()
+
+    @property
+    def finished(self) -> bool:
+        return self.done >= self.spec.iterations
+
+    def run_chunk(self, budget: int) -> int:
+        """Run up to *budget* engine steps of the remaining share.
+
+        Sampling follows the exact serial rule (`i % sample_every == 0
+        or i == share`) over the worker's local iteration counter, so a
+        one-worker campaign produces the serial timeline.
+        """
+        steps = min(budget, self.spec.iterations - self.done)
+        agent = self.campaign.agent
+        engine = self.campaign.engine
+        for _ in range(steps):
+            self.done += 1
+            engine.step()
+            i = self.done
+            if i % self.sample_every == 0 or i == self.spec.iterations:
+                self.timeline.record(i, agent.coverage_fraction)
+                covered = agent.covered_lines()
+                delta = frozenset(covered - self._seen_lines)
+                self._seen_lines |= delta
+                self.samples.append((i, delta))
+        return steps
+
+    # --- corpus sync -------------------------------------------------------
+
+    def export(self) -> int:
+        """Publish locally found queue entries to the sync directory."""
+        if self.sync is None:
+            return 0
+        return self.sync.export(self.campaign.engine)
+
+    def import_new(self) -> int:
+        """Execute partners' new entries; keep the locally novel ones."""
+        if self.sync is None:
+            return 0
+        return self.sync.import_new(self.campaign.engine)
+
+    def run_share(self, sync_every: int) -> "WorkerReport":
+        """Self-paced loop for process mode: chunk, publish, import."""
+        while not self.finished:
+            self.run_chunk(sync_every)
+            self.export()
+            self.import_new()
+        if self.spec.iterations == 0:
+            self.export()
+        return self.report()
+
+    # --- results -----------------------------------------------------------
+
+    def result(self) -> CampaignResult:
+        """This worker's own view, shaped exactly like a serial result."""
+        agent = self.campaign.agent
+        return CampaignResult(
+            timeline=self.timeline,
+            covered_lines=agent.covered_lines(),
+            instrumented_lines=set(agent.tracer.instrumented),
+            reports=list(agent.reports.reports),
+            engine_stats=self.campaign.engine.stats,
+            watchdog_restarts=agent.watchdog.restarts)
+
+    def report(self) -> WorkerReport:
+        return WorkerReport(
+            index=self.spec.index,
+            share=self.spec.iterations,
+            result=self.result(),
+            samples=list(self.samples),
+            virgin_bits=bytes(self.campaign.engine.virgin.bits))

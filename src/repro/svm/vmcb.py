@@ -4,10 +4,17 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.arch.bits import bytes_hamming, truncate
+from repro.arch.bits import bytes_hamming
 from repro.arch.registers import Cr0, Efer
 from repro.svm import fields as F
-from repro.svm.fields import ALL_FIELDS, LAYOUT_BYTES, SPEC_BY_NAME, VmcbField
+from repro.svm.fields import ALL_FIELDS, LAYOUT_BYTES, VmcbField
+
+#: Hot-path lookup tables (same rationale as repro.vmx.vmcs): width
+#: masks and byte sizes precomputed so per-write truncation is a single
+#: dict lookup plus an ``&`` instead of two helper frames.
+_FIELD_MASK: dict[str, int] = {s.name: (1 << s.bits) - 1 for s in ALL_FIELDS}
+_FIELD_NBYTES: tuple[tuple[str, int], ...] = tuple(
+    (s.name, (s.bits + 7) // 8) for s in ALL_FIELDS)
 
 
 class Vmcb:
@@ -23,16 +30,17 @@ class Vmcb:
 
     def read(self, name: str) -> int:
         """Read a field by name."""
-        if name not in self._values:
-            raise KeyError(f"unknown VMCB field {name!r}")
-        return self._values[name]
+        try:
+            return self._values[name]
+        except KeyError:
+            raise KeyError(f"unknown VMCB field {name!r}") from None
 
     def write(self, name: str, value: int) -> None:
         """Write a field by name, truncating to the field width."""
-        spec = SPEC_BY_NAME.get(name)
-        if spec is None:
+        fmask = _FIELD_MASK.get(name)
+        if fmask is None:
             raise KeyError(f"unknown VMCB field {name!r}")
-        self._values[name] = truncate(value, spec.bits)
+        self._values[name] = value & fmask
 
     def __getitem__(self, name: str) -> int:
         return self.read(name)
@@ -95,10 +103,10 @@ class Vmcb:
 
     def serialize(self) -> bytes:
         """Pack every field into the canonical little-endian layout."""
+        values = self._values
         out = bytearray()
-        for spec in ALL_FIELDS:
-            nbytes = (spec.bits + 7) // 8
-            out += self._values[spec.name].to_bytes(nbytes, "little")
+        for name, nbytes in _FIELD_NBYTES:
+            out += values[name].to_bytes(nbytes, "little")
         return bytes(out)
 
     @classmethod
@@ -110,10 +118,9 @@ class Vmcb:
             )
         vmcb = cls()
         offset = 0
-        for spec in ALL_FIELDS:
-            nbytes = (spec.bits + 7) // 8
+        for name, nbytes in _FIELD_NBYTES:
             value = int.from_bytes(raw[offset:offset + nbytes], "little")
-            vmcb._values[spec.name] = truncate(value, spec.bits)
+            vmcb._values[name] = value & _FIELD_MASK[name]
             offset += nbytes
         return vmcb
 

@@ -36,7 +36,14 @@ class FieldWidth(Enum):
     @property
     def bits(self) -> int:
         """Effective storage width in bits (natural == 64)."""
-        return {self.W16: 16, self.W64: 64, self.W32: 32, self.NATURAL: 64}[self]
+        # Plain-int keyed table: this property sits on the per-vmwrite
+        # hot path, where hashing enum members (a Python-level __hash__)
+        # dominated the tracer-visible cost.
+        return _WIDTH_BITS[self._value_]
+
+
+#: Storage width by FieldWidth value (W16, W64, W32, NATURAL).
+_WIDTH_BITS = {0: 16, 1: 64, 2: 32, 3: 64}
 
 
 @dataclass(frozen=True)
@@ -51,7 +58,7 @@ class FieldSpec:
     @property
     def bits(self) -> int:
         """Effective storage width in bits."""
-        return self.width.bits
+        return _WIDTH_BITS[self.width._value_]
 
 
 def _enc(width: FieldWidth, group: FieldGroup, index: int, *, high: bool = False) -> int:

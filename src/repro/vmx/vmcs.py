@@ -11,9 +11,17 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.arch.bits import bytes_hamming, truncate
+from repro.arch.bits import bytes_hamming
 from repro.vmx import fields as F
-from repro.vmx.fields import ALL_FIELDS, SPEC_BY_ENCODING, FieldGroup, FieldSpec
+from repro.vmx.fields import ALL_FIELDS, FieldGroup, FieldSpec
+
+#: Hot-path lookup tables: ``Vmcs.read``/``write`` execute hundreds of
+#: times per test case (often under the coverage tracer, where every
+#: helper frame also costs a trace callback), so width masks and byte
+#: sizes are precomputed instead of going through FieldSpec properties.
+_FIELD_MASK: dict[int, int] = {s.encoding: (1 << s.bits) - 1 for s in ALL_FIELDS}
+_FIELD_NBYTES: tuple[tuple[int, int], ...] = tuple(
+    (s.encoding, s.bits // 8) for s in ALL_FIELDS)
 
 
 class VmcsState:
@@ -43,16 +51,17 @@ class Vmcs:
 
     def read(self, encoding: int) -> int:
         """Read a field by encoding (vmread semantics)."""
-        if encoding not in self._values:
-            raise KeyError(f"unsupported VMCS component {encoding:#x}")
-        return self._values[encoding]
+        try:
+            return self._values[encoding]
+        except KeyError:
+            raise KeyError(f"unsupported VMCS component {encoding:#x}") from None
 
     def write(self, encoding: int, value: int) -> None:
         """Write a field by encoding, truncating to the field width."""
-        spec = SPEC_BY_ENCODING.get(encoding)
-        if spec is None:
+        fmask = _FIELD_MASK.get(encoding)
+        if fmask is None:
             raise KeyError(f"unsupported VMCS component {encoding:#x}")
-        self._values[encoding] = truncate(value, spec.bits)
+        self._values[encoding] = value & fmask
 
     def __getitem__(self, encoding: int) -> int:
         return self.read(encoding)
@@ -112,9 +121,10 @@ class Vmcs:
 
     def serialize(self) -> bytes:
         """Pack every field into the canonical little-endian layout."""
+        values = self._values
         out = bytearray()
-        for spec in ALL_FIELDS:
-            out += self._values[spec.encoding].to_bytes(spec.bits // 8, "little")
+        for encoding, nbytes in _FIELD_NBYTES:
+            out += values[encoding].to_bytes(nbytes, "little")
         return bytes(out)
 
     @classmethod
@@ -131,9 +141,8 @@ class Vmcs:
             )
         vmcs = cls(revision_id)
         offset = 0
-        for spec in ALL_FIELDS:
-            nbytes = spec.bits // 8
-            vmcs._values[spec.encoding] = int.from_bytes(
+        for encoding, nbytes in _FIELD_NBYTES:
+            vmcs._values[encoding] = int.from_bytes(
                 raw[offset:offset + nbytes], "little"
             )
             offset += nbytes

@@ -85,12 +85,12 @@ class TestSelftests:
         import repro.hypervisors.kvm.nested_vmx as nv
 
         filename = nv.__file__
-        covered_linenos = {l for f, l in result.covered_lines if f == filename}
+        covered_linenos = {num for f, num in result.covered_lines if f == filename}
         src = open(filename).read().splitlines()
         get_state_line = next(i for i, line in enumerate(src, 1)
                               if "def vmx_get_nested_state" in line)
-        assert any(get_state_line <= l <= get_state_line + 12
-                   for l in covered_linenos)
+        assert any(get_state_line <= num <= get_state_line + 12
+                   for num in covered_linenos)
 
     def test_names_listed(self):
         names = SelftestsSuite(Vendor.INTEL).test_names()

@@ -52,6 +52,41 @@ class TestAgentLoop:
         first = agent._generator_for(config)
         assert agent._generator_for(config) is first
 
+    def _distinct_configs(self, agent, n):
+        configs, seen = [], set()
+        for fi in inputs(200, seed=17):
+            config = agent.configurator.generate(fi)
+            key = agent._config_key(config)
+            if key not in seen:
+                seen.add(key)
+                configs.append((key, config))
+            if len(configs) == n:
+                return configs
+        raise AssertionError("could not generate enough distinct configs")
+
+    def test_generator_cache_evicts_least_recently_used(self):
+        agent = make_agent()
+        agent.GENERATOR_CACHE_LIMIT = 3
+        configs = self._distinct_configs(agent, 4)
+        for key, config in configs[:3]:
+            agent._generator_for(config, key)
+        # Insertion order is recency order: evicting must drop configs[0].
+        agent._generator_for(configs[3][1], configs[3][0])
+        assert configs[0][0] not in agent._generators
+        assert all(k in agent._generators for k, _ in configs[1:4])
+
+    def test_generator_cache_hit_refreshes_recency(self):
+        agent = make_agent()
+        agent.GENERATOR_CACHE_LIMIT = 3
+        configs = self._distinct_configs(agent, 4)
+        for key, config in configs[:3]:
+            agent._generator_for(config, key)
+        # Touch the oldest entry; the *second*-oldest becomes the victim.
+        agent._generator_for(configs[0][1], configs[0][0])
+        agent._generator_for(configs[3][1], configs[3][0])
+        assert configs[0][0] in agent._generators
+        assert configs[1][0] not in agent._generators
+
     def test_amd_agent(self):
         agent = make_agent(vendor=Vendor.AMD)
         for fi in inputs(4):
@@ -115,8 +150,6 @@ class TestReportStore:
         # Craft a case known to trigger bug #3: golden state has EPT on
         # and an invisible EPTP comes from injection eventually; instead
         # drive the hypervisor directly for determinism.
-        from repro.core.necofuzz import golden_seed
-
         rng = Rng(2)
         found = False
         for _ in range(120):

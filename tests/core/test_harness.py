@@ -6,7 +6,6 @@ from repro.core.state_generator import VmcbStateGenerator, VmStateGenerator
 from repro.fuzzer.input import FuzzInput
 from repro.fuzzer.rng import Rng
 from repro.hypervisors import KvmHypervisor, VcpuConfig
-from repro.vmx.msr_caps import default_capabilities
 
 
 def build(vendor, seed=1, mutate=True):

@@ -82,3 +82,34 @@ class TestCampaign:
         result = campaign.run(40, sample_every=5)
         coverages = [p.coverage for p in result.timeline.points]
         assert coverages == sorted(coverages)
+
+
+class TestCorpusResume:
+    def test_resumed_campaign_deterministic(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        first = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=6)
+        first.run(30)
+        first.engine.save_corpus(corpus)
+
+        def resume():
+            campaign = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL,
+                                seed=9, corpus_dir=corpus)
+            return campaign, campaign.run(20)
+
+        camp_a, a = resume()
+        camp_b, b = resume()
+        assert a.covered_lines == b.covered_lines
+        assert a.engine_stats == b.engine_stats
+        assert a.timeline.series() == b.timeline.series()
+        # The saved corpus actually seeded the resumed queue.
+        assert len(camp_a.engine.queue) > len(first.engine.queue) - 30
+
+    def test_resume_starts_from_saved_queue(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        first = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=6)
+        first.run(30)
+        saved = first.engine.save_corpus(corpus)
+        resumed = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=6,
+                           corpus_dir=corpus)
+        # 5 built-in seeds + every saved entry.
+        assert len(resumed.engine.queue) == 5 + saved

@@ -4,7 +4,6 @@ from repro.arch.registers import Cr4, Efer, Rflags
 from repro.cpu.quirks import UNDOCUMENTED_FIELDS, apply_entry_fixups
 from repro.validator.golden import golden_vmcs
 from repro.vmx import fields as F
-from repro.vmx.controls import EntryControls
 
 
 class TestSilentFixups:

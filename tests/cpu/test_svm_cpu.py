@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch.registers import Cr0, Cr4, Efer
+from repro.arch.registers import Cr0, Efer
 from repro.cpu.svm_cpu import SvmCpu, check_vmcb
 from repro.svm import fields as SF
 from repro.svm.exit_codes import SvmExitCode

@@ -1,6 +1,5 @@
 """Tests for the shared hypervisor infrastructure."""
 
-import pytest
 
 from repro.arch.cpuid import Vendor
 from repro.hypervisors.base import (

@@ -4,13 +4,13 @@ import pytest
 
 from repro.arch.cpuid import Vendor
 from repro.arch.msr import IA32_EFER, IA32_KERNEL_GS_BASE, MsrEntry
-from repro.arch.registers import Cr0, Cr4, Efer
+from repro.arch.registers import Cr4, Efer
 from repro.hypervisors import GuestInstruction, KvmHypervisor, VcpuConfig
 from repro.hypervisors.base import SanitizerKind
 from repro.svm import fields as SF
 from repro.validator.golden import golden_vmcb, golden_vmcs
 from repro.vmx import fields as F
-from repro.vmx.controls import ActivityState, EntryControls
+from repro.vmx.controls import ActivityState
 from repro.vmx.exit_reasons import ExitReason
 
 VMXON = 0x1000

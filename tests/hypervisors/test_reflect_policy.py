@@ -9,7 +9,6 @@ import pytest
 
 from repro.arch.cpuid import Vendor
 from repro.hypervisors import GuestInstruction, KvmHypervisor, VcpuConfig
-from repro.svm import fields as SF
 from repro.svm.exit_codes import SvmExitCode
 from repro.svm.fields import Misc1Intercept, Misc2Intercept
 from repro.validator.golden import golden_vmcb, golden_vmcs

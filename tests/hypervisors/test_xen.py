@@ -5,7 +5,7 @@ import pytest
 from repro.arch.cpuid import Vendor
 from repro.arch.exceptions import HostCrash
 from repro.arch.msr import IA32_EFER
-from repro.arch.registers import Cr0, Cr4, Efer
+from repro.arch.registers import Cr0, Efer
 from repro.hypervisors import GuestInstruction, VcpuConfig, XenHypervisor
 from repro.hypervisors.base import SanitizerKind
 from repro.svm import fields as SF

@@ -5,7 +5,6 @@ hand-crafting the trigger states as the unit tests do). Each campaign is
 seeded and budgeted so that discovery is deterministic.
 """
 
-import pytest
 
 from repro import NecoFuzz, Vendor
 from repro.core.detectors import DetectionMethod

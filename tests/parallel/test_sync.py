@@ -1,0 +1,81 @@
+"""Corpus-sync protocol tests (export / incremental import)."""
+
+from repro.coverage.bitmap import CoverageBitmap
+from repro.fuzzer.engine import FuzzEngine, RunFeedback
+from repro.fuzzer.input import INPUT_SIZE
+from repro.fuzzer.rng import Rng
+from repro.parallel.sync import SyncDirectory, worker_queue_dir
+
+
+def novel_execute():
+    counter = {"n": 0}
+
+    def execute(fi):
+        counter["n"] += 1
+        bitmap = CoverageBitmap()
+        bitmap.record_edge(counter["n"] * 64, counter["n"] * 64 + 1)
+        return RunFeedback(bitmap=bitmap)
+
+    return execute
+
+
+def make_engine(seed=1):
+    engine = FuzzEngine(execute=novel_execute(), rng=Rng(seed))
+    engine.add_seed(bytes(INPUT_SIZE))
+    return engine
+
+
+class TestSyncDirectory:
+    def test_export_writes_worker_queue_dir(self, tmp_path):
+        engine = make_engine()
+        engine.run(4)
+        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        exported = sync.export(engine)
+        queue_dir = worker_queue_dir(tmp_path, 0)
+        assert exported == len(list(queue_dir.iterdir())) == len(engine.queue)
+
+    def test_import_new_executes_partner_entries(self, tmp_path):
+        producer = make_engine(seed=1)
+        producer.run(3)
+        SyncDirectory(tmp_path, worker=1, total_workers=2).export(producer)
+
+        consumer = make_engine(seed=2)
+        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        imported = sync.import_new(consumer)
+        assert imported == len(producer.queue)
+        assert consumer.stats.imported == imported
+
+    def test_import_is_incremental(self, tmp_path):
+        producer = make_engine(seed=1)
+        producer.run(2)
+        producer_sync = SyncDirectory(tmp_path, worker=1, total_workers=2)
+        producer_sync.export(producer)
+
+        consumer = make_engine(seed=2)
+        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        first = sync.import_new(consumer)
+        assert sync.import_new(consumer) == 0  # nothing new yet
+        producer.run(2)
+        producer_sync.export(producer)
+        second = sync.import_new(consumer)
+        assert first > 0 and second == 2  # only the fresh entries
+
+    def test_imported_entries_not_reexported(self, tmp_path):
+        producer = make_engine(seed=1)
+        producer.run(3)
+        SyncDirectory(tmp_path, worker=1, total_workers=2).export(producer)
+
+        consumer = make_engine(seed=2)
+        consumer.run(1)
+        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        sync.import_new(consumer)
+        local = sum(1 for e in consumer.queue.entries if not e.imported)
+        assert sync.export(consumer) == local
+        assert local < len(consumer.queue)  # some imports did join the queue
+
+    def test_own_directory_never_imported(self, tmp_path):
+        engine = make_engine()
+        engine.run(2)
+        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        sync.export(engine)
+        assert sync.import_new(engine) == 0

@@ -1,0 +1,23 @@
+"""Worker-seed derivation: the determinism contract's foundation."""
+
+from repro.parallel import worker_seed
+
+
+class TestWorkerSeed:
+    def test_worker_zero_is_campaign_seed(self):
+        for seed in (0, 1, 7, 2**63):
+            assert worker_seed(seed, 0) == seed
+
+    def test_derived_seeds_distinct(self):
+        seeds = [worker_seed(42, i) for i in range(16)]
+        assert len(set(seeds)) == 16
+
+    def test_derived_seeds_deterministic(self):
+        assert worker_seed(42, 3) == worker_seed(42, 3)
+
+    def test_derived_seeds_fit_64_bits(self):
+        for i in range(8):
+            assert 0 <= worker_seed(2**64 - 1, i) < 2**64
+
+    def test_different_campaign_seeds_decorrelate(self):
+        assert worker_seed(1, 1) != worker_seed(2, 1)

@@ -4,12 +4,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arch.registers import Cr4
 from repro.validator.golden import golden_vmcs
 from repro.validator.oracle import CANDIDATE_RULES, HardwareOracle
 from repro.validator.rounding import VmStateValidator
 from repro.vmx import fields as F
-from repro.vmx.controls import EntryControls, PinBased, ProcBased, Secondary
+from repro.vmx.controls import PinBased, ProcBased, Secondary
 from repro.vmx.vmcs import Vmcs
 
 raw_vmcs = st.binary(min_size=F.LAYOUT_BYTES, max_size=F.LAYOUT_BYTES)

@@ -5,12 +5,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.arch.cpuid import Vendor, default_feature_map
-from repro.arch.registers import Cr0, Cr4, Efer
+from repro.arch.registers import Cr4, Efer
 from repro.cpu.entry_checks import check_host_state, check_vm_controls
 from repro.validator.golden import golden_vmcs
 from repro.validator.rounding import VmStateValidator
 from repro.vmx import fields as F
-from repro.vmx.controls import ActivityState, EntryControls, PinBased, ProcBased
+from repro.vmx.controls import ActivityState, EntryControls, ProcBased
 from repro.vmx.msr_caps import capabilities_for_features, default_capabilities
 from repro.vmx.vmcs import Vmcs
 
