@@ -25,7 +25,10 @@ from repro.hypervisors import HYPERVISORS
 from repro.parallel import ParallelCampaign
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
-BUDGET = 400
+DEFAULT_BUDGET = 400
+#: ``NECOFUZZ_BENCH_BUDGET`` shrinks the budget for CI smoke runs; the
+#: speedup floors are only asserted at the full default budget.
+BUDGET = int(os.environ.get("NECOFUZZ_BENCH_BUDGET", DEFAULT_BUDGET))
 SEED = 7
 #: Acceptance floor from the issue; measured ~3x on the dev container.
 MIN_SERIAL_SPEEDUP = 1.5
@@ -75,29 +78,34 @@ def test_serial_fast_path_speedup(capsys):
     report.add(f"speedup     {speedup:7.2f}x  (floor {MIN_SERIAL_SPEEDUP}x)")
     report.emit(capsys)
 
-    assert speedup >= MIN_SERIAL_SPEEDUP
+    if BUDGET >= DEFAULT_BUDGET:
+        assert speedup >= MIN_SERIAL_SPEEDUP
 
 
 @pytest.mark.benchmark(group="perf-throughput")
 def test_parallel_wall_clock(capsys):
     cpus = os.cpu_count() or 1
-    if cpus < 2:
-        _update_json("parallel", {"skipped": f"only {cpus} CPU(s)"})
-        pytest.skip("parallel speedup needs >= 2 CPUs")
+    # With a single CPU the process-pool numbers are meaningless, but the
+    # sharded-campaign machinery still deserves a recorded data point:
+    # fall back to inline (in-process) workers instead of skipping, and
+    # report the mode so the JSON says what the numbers mean.
+    mode = "process" if cpus >= 2 else "inline"
 
     start = time.perf_counter()
     serial = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL,
                       seed=SEED).run(BUDGET, sample_every=100)
     serial_s = time.perf_counter() - start
 
-    workers = min(4, cpus)
+    workers = min(4, cpus) if mode == "process" else 2
     start = time.perf_counter()
     merged = ParallelCampaign(hypervisor="kvm", vendor=Vendor.INTEL,
                               seed=SEED, workers=workers, sync_every=50,
-                              mode="process").run(BUDGET, sample_every=100)
+                              mode=mode).run(BUDGET, sample_every=100)
     parallel_s = time.perf_counter() - start
 
     _update_json("parallel", {
+        "mode": mode,
+        "cpus": cpus,
         "workers": workers,
         "serial_seconds": round(serial_s, 2),
         "parallel_seconds": round(parallel_s, 2),
@@ -106,7 +114,8 @@ def test_parallel_wall_clock(capsys):
         "merged_covered": len(merged.covered_lines),
     })
 
-    report = BenchReport(f"Parallel wall clock ({workers} workers)")
+    report = BenchReport(
+        f"Parallel wall clock ({workers} {mode} workers, {cpus} CPUs)")
     report.add(f"serial      {serial_s:6.2f}s  "
                f"({len(serial.covered_lines)} lines)")
     report.add(f"parallel    {parallel_s:6.2f}s  "
@@ -115,3 +124,5 @@ def test_parallel_wall_clock(capsys):
     report.emit(capsys)
 
     assert merged.engine_stats.iterations == BUDGET
+    if mode == "process" and BUDGET >= DEFAULT_BUDGET:
+        assert serial_s / parallel_s > 1.0

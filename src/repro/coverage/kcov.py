@@ -64,6 +64,30 @@ _INSTRUMENTED: dict[str, tuple[str, ...]] = {}
 _ACTIVE_TRACER: "KcovTracer | None" = None
 
 
+def event_sink() -> "list[Line] | None":
+    """The active fast-path tracer's event list, or ``None``.
+
+    Consumers that memoize instrumented code (repro.perf.memoized_check)
+    use this to record the event slice a computation emitted and to
+    replay it on cache hits, keeping line and edge coverage identical
+    between cached and recomputed paths.
+    """
+    tracer = _ACTIVE_TRACER
+    if tracer is not None and tracer.fast_path:
+        return tracer._events
+    return None
+
+
+def legacy_trace_active() -> bool:
+    """True while a legacy (``sys.settrace``) tracer is collecting.
+
+    settrace events cannot be replayed from a recorded slice, so
+    memoization of instrumented code must be bypassed in this mode.
+    """
+    tracer = _ACTIVE_TRACER
+    return tracer is not None and not tracer.fast_path
+
+
 # --- AST analysis and marker insertion ----------------------------------------
 
 

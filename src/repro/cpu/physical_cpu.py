@@ -18,9 +18,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro import perf
 from repro.arch.bits import is_aligned
 from repro.arch.msr import MsrEntry
-from repro.cpu.entry_checks import CheckStage, Violation, check_all
+from repro.cpu.entry_checks import (
+    CheckStage,
+    IncrementalChecker,
+    Violation,
+    check_all,
+)
 from repro.cpu.quirks import SilentFixup, apply_entry_fixups
 from repro.vmx import fields as F
 from repro.vmx.exit_reasons import ENTRY_FAILURE_BIT, ExitReason, VmInstructionError
@@ -91,8 +97,14 @@ class VmxCpu:
     never vmcleared simply has no revision identifier yet.
     """
 
-    def __init__(self, caps: VmxCapabilities | None = None) -> None:
+    def __init__(self, caps: VmxCapabilities | None = None,
+                 checker: IncrementalChecker | None = None) -> None:
         self.caps = caps or default_capabilities()
+        # Entry checks are the dominant per-entry cost; the incremental
+        # checker reuses per-unit results memoized on the VMCS itself,
+        # so it may be shared between CPUs with identical capabilities
+        # (the hardware oracle does this across attempts).
+        self.checker = checker or IncrementalChecker(self.caps)
         self.vmx_on = False
         self.vmxon_region: int | None = None
         self.current_vmcs_ptr: int | None = None
@@ -223,7 +235,10 @@ class VmxCpu:
 
         if msr_entries is None:
             msr_entries = []
-        violations = check_all(vmcs, self.caps, msr_entries)
+        if perf.incremental_enabled():
+            violations = self.checker.check_all(vmcs, msr_entries)
+        else:
+            violations = check_all(vmcs, self.caps, msr_entries)
         if violations:
             stage = violations[0].stage
             if stage is CheckStage.CONTROLS:

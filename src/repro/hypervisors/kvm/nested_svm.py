@@ -15,8 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.arch.registers import Cr0, Cr4, Efer
-from repro.cpu.svm_cpu import SvmCpu
+from repro.cpu.svm_cpu import SvmCpu, check_vmcb
 from repro.hypervisors.base import ExecResult, GuestInstruction, SanitizerKind
 from repro.hypervisors.kvm.mmu import KvmMmu
 from repro.hypervisors.kvm.module import KvmModuleParams
@@ -29,6 +30,27 @@ from repro.validator.golden import golden_vmcb
 
 VMCB02_HPA = 0x110000
 HSAVE_HPA = 0x111000
+
+#: SAVE-area field names, precomputed for the incremental merge.
+_SAVE_NAMES: frozenset[str] = frozenset(
+    spec.name for spec in SF.ALL_FIELDS if spec.area is SF.VmcbArea.SAVE)
+
+#: VMCB12 fields the control-merge section of prepare_vmcb02 reads.
+#: (DBGCTL/BR_FROM/BR_TO are SAVE-area: the save loop already refreshes
+#: them with the same values the conditional LBR writes would use.)
+_MERGE_CONTROL_INPUTS: frozenset[str] = frozenset({
+    SF.INTERCEPT_MISC1, SF.INTERCEPT_MISC2, SF.INTERCEPT_EXCEPTIONS,
+    SF.TSC_OFFSET, SF.EVENT_INJECTION, SF.VINTR_CONTROL,
+    SF.AVIC_APIC_BAR, SF.AVIC_BACKING_PAGE,
+    SF.PAUSE_FILTER_COUNT, SF.PAUSE_FILTER_THRESHOLD, SF.LBR_VIRT_ENABLE,
+})
+
+#: CONTROL-area fields the merge writes only conditionally; on an
+#: incremental control refresh they are reset to the prototype values so
+#: a branch not taken leaves exactly what a full merge would.
+_CONDITIONAL_CONTROL_FIELDS: tuple[str, ...] = (
+    SF.AVIC_APIC_BAR, SF.AVIC_BACKING_PAGE,
+)
 
 
 @dataclass
@@ -43,6 +65,8 @@ class SvmNestedState:
     prev_l2_long_mode: bool = False
     current_vmcb12_pa: int = 0
     vmcb02: Vmcb = field(default_factory=Vmcb)
+    #: (vmcb12, generation, merged vmcb02) from the last prepare_vmcb02.
+    merge_cache: tuple | None = None
     efer: int = Efer.SVME | Efer.LME | Efer.LMA
 
 
@@ -151,9 +175,16 @@ class NestedSvm:
         # Note: GIF does not gate vmrun — the canonical sequence is
         # clgi; vmrun; stgi, with GIF only masking interrupt delivery.
         state.current_vmcb12_pa = vmcb12_pa
-        problems = self.check_controls(vmcb12)
+        # Both checks are pure in the VMCB12 fields (module params and the
+        # memory-window predicates are constant per instance), so their
+        # results are memoized on the VMCB and revalidated via the journal.
+        problems = perf.memoized_check(
+            vmcb12, ("kvm_svm", id(self), "controls"),
+            lambda: self.check_controls(vmcb12))
         if not problems:
-            problems = self.check_save_area(vmcb12)
+            problems = perf.memoized_check(
+                vmcb12, ("kvm_svm", id(self), "save"),
+                lambda: self.check_save_area(vmcb12))
         if problems:
             return self._fail_vmrun(state, vmcb12, problems[0])
 
@@ -234,13 +265,45 @@ class NestedSvm:
     # ------------------------------------------------------------------
 
     def prepare_vmcb02(self, state: SvmNestedState, vmcb12: Vmcb) -> ExecResult | None:
-        """Build VMCB02; returns an ExecResult on the bug-#3 failure path."""
-        vmcb02 = self._vmcb02_proto.copy()
+        """Build VMCB02; returns an ExecResult on the bug-#3 failure path.
 
-        # Save area from VMCB12.
+        In incremental mode the master merge result is cached per vCPU
+        and only dirty VMCB12 fields are re-applied (perf.merge_state
+        replays the skipped sections' kcov event slices, so coverage is
+        mode-independent); the installed VMCB02 is a copy of the master,
+        so hardware write-backs (quirk fixups, exit codes) never
+        contaminate the cache. The paging section always re-runs for its
+        MMU side effects and early exits.
+        """
+        vmcb02 = perf.merge_state(
+            state, vmcb12,
+            build=lambda: self._vmcb02_base(vmcb12),
+            controls=lambda merged: self._vmcb02_controls(vmcb12, merged),
+            state_fields=_SAVE_NAMES,
+            control_inputs=_MERGE_CONTROL_INPUTS)
+        return self._finish_vmcb02(state, vmcb12, vmcb02)
+
+    def _vmcb02_base(self, vmcb12: Vmcb) -> Vmcb:
+        """Prototype copy with vmcb12's save area applied."""
+        vmcb02 = self._vmcb02_proto.copy()
         for spec, value in vmcb12.fields():
             if spec.area is SF.VmcbArea.SAVE:
                 vmcb02.write(spec.name, value)
+        return vmcb02
+
+    def _vmcb02_controls(self, vmcb12: Vmcb, vmcb02: Vmcb) -> None:
+        """Merge the control area: L1's requests plus L0's intercepts.
+
+        A pure function of the _MERGE_CONTROL_INPUTS fields of vmcb12
+        (the save-area fields it copies under LBR gating are re-applied
+        by the save loop anyway) plus constant module parameters — the
+        contract that lets perf.merge_state skip it while those fields
+        are clean.
+        """
+        # Branch-not-taken writes must land on prototype values, as
+        # they would after a full merge from a fresh prototype copy.
+        for name in _CONDITIONAL_CONTROL_FIELDS:
+            vmcb02.write(name, self._vmcb02_proto.read(name))
 
         # Controls merged with L0's own intercepts.
         vmcb02.write(SF.INTERCEPT_MISC1,
@@ -294,6 +357,9 @@ class NestedSvm:
             lbr02 |= 2  # virtual VMLOAD/VMSAVE
         vmcb02.write(SF.LBR_VIRT_ENABLE, lbr02)
 
+    def _finish_vmcb02(self, state: SvmNestedState, vmcb12: Vmcb,
+                       vmcb02: Vmcb) -> ExecResult | None:
+        """Paging root + install: the always-run tail of the merge."""
         # Paging root for L2.
         if vmcb12.nested_paging and self.params.npt:
             ncr3 = vmcb12.read(SF.N_CR3)
@@ -315,7 +381,13 @@ class NestedSvm:
             vmcb02.write(SF.NP_CONTROL, SF.NpControl.NP_ENABLE)
             vmcb02.write(SF.N_CR3, 0x20000)  # L0 shadow root
 
-        state.vmcb02 = vmcb02
+        # vmrun writes back into the installed VMCB (quirk fixups, exit
+        # codes), so on the incremental path publish_merged installs a
+        # copy and keeps the master pristine, with the vmrun check memo
+        # pre-warmed so the copy enters on a pure journal revalidation.
+        state.vmcb02 = perf.publish_merged(
+            vmcb02, lambda: perf.memoized_check(vmcb02, "svm_vmcb_check",
+                                                lambda: check_vmcb(vmcb02)))
         return None
 
     # ------------------------------------------------------------------

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.arch.registers import Cr0, Cr4, Efer, Rflags
 from repro.cpu.physical_cpu import VmxCpu
 from repro.hypervisors.base import ExecResult, GuestInstruction, SanitizerKind
@@ -55,6 +56,19 @@ VMCS01_HPA = 0x100000
 VMCS02_HPA = 0x101000
 L0_VMXON_HPA = 0x102000
 
+#: Guest-state field specs, precomputed for the VMCS12->VMCS02 merge.
+_GUEST_SPECS: tuple = tuple(
+    spec for spec in F.ALL_FIELDS if spec.group is F.FieldGroup.GUEST)
+_GUEST_ENCODINGS: frozenset[int] = frozenset(s.encoding for s in _GUEST_SPECS)
+
+#: VMCS12 fields feeding the control section of prepare_vmcs02; when
+#: none of these changed since the cached merge, that section is skipped.
+_MERGE_CONTROL_INPUTS: frozenset[int] = frozenset({
+    F.PIN_BASED_VM_EXEC_CONTROL, F.CPU_BASED_VM_EXEC_CONTROL,
+    F.SECONDARY_VM_EXEC_CONTROL, F.VM_ENTRY_CONTROLS, F.EXCEPTION_BITMAP,
+    F.VM_ENTRY_INTR_INFO_FIELD, F.VM_ENTRY_EXCEPTION_ERROR_CODE,
+})
+
 
 @dataclass
 class VmxNestedState:
@@ -67,6 +81,8 @@ class VmxNestedState:
     l2_ever_ran: bool = False
     prev_l2_long_mode: bool = False
     vmcs02: Vmcs = field(default_factory=Vmcs)
+    #: Incremental-merge cache: (vmcs12, vmcs12 generation, merged vmcs02).
+    merge_cache: tuple | None = None
     #: L1 architectural state KVM tracks for the vCPU.
     cr0: int = Cr0.PE | Cr0.PG | Cr0.NE | Cr0.ET
     cr4: int = Cr4.PAE | Cr4.VMXE
@@ -309,14 +325,23 @@ class NestedVmx:
             return self._vmfail_valid(
                 state, VmInstructionError.VMRESUME_NONLAUNCHED_VMCS)
 
-        # Software re-implementation of the hardware checks (§2.2).
-        if self.check_vm_controls(vmcs12):
+        # Software re-implementation of the hardware checks (§2.2). The
+        # three pure-VMCS12 checks are memoized on the structure (keyed
+        # by this instance — a VMCS12 belongs to exactly one hypervisor,
+        # whose caps/patches are constant for its lifetime) and re-run
+        # only when fields they read changed; check_msr_entries reads
+        # guest memory, so it is never memoized.
+        if perf.memoized_check(vmcs12, ("kvm_vmx", id(self), "controls"),
+                               lambda: self.check_vm_controls(vmcs12)):
             return self._vmfail_valid(
                 state, VmInstructionError.ENTRY_INVALID_CONTROL_FIELDS)
-        if self.check_host_state(vmcs12):
+        if perf.memoized_check(vmcs12, ("kvm_vmx", id(self), "host"),
+                               lambda: self.check_host_state(vmcs12)):
             return self._vmfail_valid(
                 state, VmInstructionError.ENTRY_INVALID_HOST_STATE)
-        guest_problems = self.check_guest_state(vmcs12)
+        guest_problems = perf.memoized_check(
+            vmcs12, ("kvm_vmx", id(self), "guest"),
+            lambda: self.check_guest_state(vmcs12))
         if guest_problems:
             return self._fail_entry(state, vmcs12,
                                     ExitReason.INVALID_GUEST_STATE,
@@ -609,48 +634,41 @@ class NestedVmx:
         """Build VMCS02 from VMCS12 (guest half) and VMCS01 (host half).
 
         Returns an ExecResult on failure (bug #3's early exit), else None.
-        """
-        vmcs02 = self._vmcs02_proto.copy()
 
-        # Guest state comes from VMCS12.
-        guest_fields = [spec for spec in F.ALL_FIELDS
-                        if spec.group is F.FieldGroup.GUEST]
-        for spec in guest_fields:
-            vmcs02.write(spec.encoding, vmcs12.read(spec.encoding))
+        In incremental mode the last merged vmcs02 is cached per vCPU
+        keyed by (vmcs12 identity, generation): only dirty guest fields
+        are re-copied, and the control section re-runs only when one of
+        its input fields changed (perf.merge_state replays the skipped
+        sections' kcov event slices, so coverage is mode-independent).
+        Sections with side effects outside the vmcs02 (paging/MMU setup
+        and the sanitizer probes in it) always run, so bug behaviour and
+        early-exit paths are identical to a full merge. The cached
+        structure also carries the warm entry-check memo into the copy
+        installed for the hardware entry.
+        """
+        vmcs02 = perf.merge_state(
+            state, vmcs12,
+            build=lambda: self._vmcs02_base(vmcs12),
+            controls=lambda merged: self._vmcs02_controls(vmcs12, merged),
+            state_fields=_GUEST_ENCODINGS,
+            control_inputs=_MERGE_CONTROL_INPUTS)
+
         # KVM sanitizes the activity state on the way through (checked
-        # above, enforced here for defence in depth).
+        # above, enforced here for defence in depth). The clamps are
+        # change-detecting writes, so re-applying them on a cached merge
+        # is free and keeps them correct without dependency tracking.
         activity = vmcs12.read(F.GUEST_ACTIVITY_STATE)
         if activity not in (ActivityState.ACTIVE, ActivityState.HLT):
             vmcs02.write(F.GUEST_ACTIVITY_STATE, ActivityState.ACTIVE)
         # The vmcs02 link pointer never inherits vmcs12's.
         vmcs02.write(F.VMCS_LINK_POINTER, VMPTR_INVALID)
 
-        # Controls are merged: L1's requests plus L0's own requirements.
-        pin = vmcs12.read(F.PIN_BASED_VM_EXEC_CONTROL)
-        proc = vmcs12.read(F.CPU_BASED_VM_EXEC_CONTROL)
-        proc2 = vmcs12.read(F.SECONDARY_VM_EXEC_CONTROL)
-        entry = vmcs12.read(F.VM_ENTRY_CONTROLS)
-        vmcs02.write(F.PIN_BASED_VM_EXEC_CONTROL,
-                     self.phys.caps.pin_based.round(pin | PinBased.NMI_EXITING))
-        vmcs02.write(F.CPU_BASED_VM_EXEC_CONTROL,
-                     self.phys.caps.proc_based.round(
-                         proc | ProcBased.USE_MSR_BITMAPS
-                         | ProcBased.ACTIVATE_SECONDARY_CONTROLS))
-        vmcs02.write(F.VM_ENTRY_CONTROLS, self.phys.caps.entry.round(entry))
-        vmcs02.write(F.VM_EXIT_CONTROLS, self.phys.caps.exit.round(
-            ExitControls.HOST_ADDR_SPACE_SIZE | ExitControls.LOAD_EFER
-            | ExitControls.SAVE_EFER | ExitControls.ACK_INTR_ON_EXIT))
-        vmcs02.write(F.EXCEPTION_BITMAP,
-                     vmcs12.read(F.EXCEPTION_BITMAP) | (1 << 14))  # L0 traps #PF
-        vmcs02.write(F.VM_ENTRY_INTR_INFO_FIELD,
-                     vmcs12.read(F.VM_ENTRY_INTR_INFO_FIELD))
-        vmcs02.write(F.VM_ENTRY_EXCEPTION_ERROR_CODE,
-                     vmcs12.read(F.VM_ENTRY_EXCEPTION_ERROR_CODE))
-
         # Paging: nested EPT when L1 asked for it; a direct shadow-EPT
         # map when it did not; legacy shadow paging (the PDPTE-cache
         # walker, CVE-2023-30456's home) only when the module itself
         # runs with ept=0.
+        proc = vmcs12.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        proc2 = vmcs12.read(F.SECONDARY_VM_EXEC_CONTROL)
         secondary_on = bool(proc & ProcBased.ACTIVATE_SECONDARY_CONTROLS)
         nested_ept = bool(secondary_on and proc2 & Secondary.ENABLE_EPT)
         if self.params.ept:
@@ -672,8 +690,49 @@ class NestedVmx:
         if not vmcs02.read(F.VIRTUAL_PROCESSOR_ID):
             vmcs02.write(F.VIRTUAL_PROCESSOR_ID, 2)  # vpid02
 
-        state.vmcs02 = vmcs02
+        # Publish a fast copy on the incremental path (never the cached
+        # master: a later *failed* prepare re-copies dirty fields into
+        # the master before bailing out, and must not scribble over the
+        # last successfully published vmcs02). The entry-check memo is
+        # pre-warmed first so the copy inherits it and re-validates
+        # from the journal.
+        state.vmcs02 = perf.publish_merged(
+            vmcs02, lambda: self.phys.checker.check_all(vmcs02))
         return None
+
+    def _vmcs02_base(self, vmcs12: Vmcs) -> Vmcs:
+        """Prototype copy with vmcs12's guest-state fields applied."""
+        vmcs02 = self._vmcs02_proto.copy()
+        for spec in _GUEST_SPECS:
+            vmcs02.write(spec.encoding, vmcs12.read(spec.encoding))
+        return vmcs02
+
+    def _vmcs02_controls(self, vmcs12: Vmcs, vmcs02: Vmcs) -> None:
+        """Merge control fields: L1's requests plus L0's own requirements.
+
+        A pure function of the _MERGE_CONTROL_INPUTS fields of vmcs12
+        (plus the constant capability MSRs) — the contract that lets
+        perf.merge_state skip it while those fields are clean.
+        """
+        pin = vmcs12.read(F.PIN_BASED_VM_EXEC_CONTROL)
+        proc = vmcs12.read(F.CPU_BASED_VM_EXEC_CONTROL)
+        entry = vmcs12.read(F.VM_ENTRY_CONTROLS)
+        vmcs02.write(F.PIN_BASED_VM_EXEC_CONTROL,
+                     self.phys.caps.pin_based.round(pin | PinBased.NMI_EXITING))
+        vmcs02.write(F.CPU_BASED_VM_EXEC_CONTROL,
+                     self.phys.caps.proc_based.round(
+                         proc | ProcBased.USE_MSR_BITMAPS
+                         | ProcBased.ACTIVATE_SECONDARY_CONTROLS))
+        vmcs02.write(F.VM_ENTRY_CONTROLS, self.phys.caps.entry.round(entry))
+        vmcs02.write(F.VM_EXIT_CONTROLS, self.phys.caps.exit.round(
+            ExitControls.HOST_ADDR_SPACE_SIZE | ExitControls.LOAD_EFER
+            | ExitControls.SAVE_EFER | ExitControls.ACK_INTR_ON_EXIT))
+        vmcs02.write(F.EXCEPTION_BITMAP,
+                     vmcs12.read(F.EXCEPTION_BITMAP) | (1 << 14))  # L0 traps #PF
+        vmcs02.write(F.VM_ENTRY_INTR_INFO_FIELD,
+                     vmcs12.read(F.VM_ENTRY_INTR_INFO_FIELD))
+        vmcs02.write(F.VM_ENTRY_EXCEPTION_ERROR_CODE,
+                     vmcs12.read(F.VM_ENTRY_EXCEPTION_ERROR_CODE))
 
     def _load_nested_ept_root(self, state: VmxNestedState, vmcs12: Vmcs,
                               vmcs02: Vmcs) -> ExecResult | None:

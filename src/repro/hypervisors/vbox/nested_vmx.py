@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.arch.msr import CANONICAL_MSRS, is_canonical
 from repro.arch.registers import Cr0, Cr4, Efer, Rflags
 from repro.cpu.physical_cpu import VmxCpu
@@ -34,6 +35,17 @@ SHADOW_VMCS_HPA = 0x140000
 VBOX_VMXON_HPA = 0x141000
 VMPTR_INVALID = (1 << 64) - 1
 
+#: Guest-group field specs, precomputed for the merge.
+_GUEST_SPECS: tuple = tuple(
+    spec for spec in F.ALL_FIELDS if spec.group is F.FieldGroup.GUEST)
+_GUEST_ENCODINGS: frozenset[int] = frozenset(s.encoding for s in _GUEST_SPECS)
+
+#: VMCS12 fields read by the control section of merge_vmcs.
+_MERGE_CONTROL_INPUTS: frozenset[int] = frozenset({
+    F.PIN_BASED_VM_EXEC_CONTROL, F.CPU_BASED_VM_EXEC_CONTROL,
+    F.SECONDARY_VM_EXEC_CONTROL, F.VM_ENTRY_CONTROLS, F.EXCEPTION_BITMAP,
+})
+
 
 @dataclass
 class VboxNestedState:
@@ -44,6 +56,8 @@ class VboxNestedState:
     current_vmptr: int = VMPTR_INVALID
     guest_mode: bool = False
     vmcs02: Vmcs = field(default_factory=Vmcs)
+    #: (vmcs12, generation, merged vmcs02) from the last merge_vmcs.
+    merge_cache: tuple | None = None
     cr4: int = Cr4.PAE | Cr4.VMXE
     #: MSRs loaded into the *host* CPU during the world switch.
     host_loaded_msrs: dict[int, int] = field(default_factory=dict)
@@ -222,11 +236,19 @@ class VboxNestedVmx:
         if not launch and not vmcs12.launched:
             return self._vmfail(state, VmInstructionError.VMRESUME_NONLAUNCHED_VMCS)
 
-        if self.check_exec_controls(vmcs12):
+        # All three checks are pure in the VMCS12 fields and capability
+        # MSRs, so the results are memoized on the VMCS12 and revalidated
+        # via its dirty journal. (The MSR-load loop below reads guest
+        # memory, so it is never memoized.)
+        if perf.memoized_check(vmcs12, ("vbox_vmx", id(self), "controls"),
+                               lambda: self.check_exec_controls(vmcs12)):
             return self._vmfail(state, VmInstructionError.ENTRY_INVALID_CONTROL_FIELDS)
-        if self.check_host_state(vmcs12):
+        if perf.memoized_check(vmcs12, ("vbox_vmx", id(self), "host"),
+                               lambda: self.check_host_state(vmcs12)):
             return self._vmfail(state, VmInstructionError.ENTRY_INVALID_HOST_STATE)
-        guest_problems = self.check_guest_state(vmcs12)
+        guest_problems = perf.memoized_check(
+            vmcs12, ("vbox_vmx", id(self), "guest"),
+            lambda: self.check_guest_state(vmcs12))
         if guest_problems:
             reason = int(ExitReason.INVALID_GUEST_STATE) | ENTRY_FAILURE_BIT
             vmcs12.write(F.VM_EXIT_REASON, reason)
@@ -262,7 +284,7 @@ class VboxNestedVmx:
                         f"non-canonical value {entry.value:#x} "
                         "(CVE-2024-21106)")
 
-        vmcs02 = self.merge_vmcs(vmcs12)
+        vmcs02 = self.merge_vmcs(vmcs12, state)
         self.phys.vmclear(SHADOW_VMCS_HPA)
         image = vmcs02.copy()
         image.clear()
@@ -352,13 +374,46 @@ class VboxNestedVmx:
             problems.append("guest RFLAGS bit 1")
         return problems
 
-    def merge_vmcs(self, vmcs12: Vmcs) -> Vmcs:
-        """Build the hardware VMCS for the nested guest."""
-        vmcs02 = self._vmcs02_proto.copy()
-        for spec in F.ALL_FIELDS:
-            if spec.group is F.FieldGroup.GUEST:
-                vmcs02.write(spec.encoding, vmcs12.read(spec.encoding))
+    def merge_vmcs(self, vmcs12: Vmcs,
+                   state: VboxNestedState | None = None) -> Vmcs:
+        """Build the hardware VMCS for the nested guest.
+
+        When *state* is given and incremental mode is on, the last merge
+        is cached per vCPU and only dirty VMCS12 fields are re-applied
+        (perf.merge_state replays the skipped sections' kcov event
+        slices, so coverage is mode-independent); the caller copies the
+        result before installing it, so hardware write-backs never touch
+        the cached master.
+        """
+        vmcs02 = perf.merge_state(
+            state, vmcs12,
+            build=lambda: self._vmcs02_base(vmcs12),
+            controls=lambda merged: self._vmcs02_controls(vmcs12, merged),
+            state_fields=_GUEST_ENCODINGS,
+            control_inputs=_MERGE_CONTROL_INPUTS)
+
         vmcs02.write(F.VMCS_LINK_POINTER, VMPTR_INVALID)
+        # VirtualBox, like KVM, sanitizes the activity state. Always
+        # re-applied: the write is change-detecting and depends only on
+        # the (possibly just re-copied) VMCS12 field.
+        activity = vmcs12.read(F.GUEST_ACTIVITY_STATE)
+        if activity > 1:
+            vmcs02.write(F.GUEST_ACTIVITY_STATE, 0)
+        # Pre-warm the entry-check memo so the installed image copy
+        # revalidates from the journal instead of re-running checks.
+        perf.prewarm(lambda: self.phys.checker.check_all(vmcs02))
+        return vmcs02
+
+    def _vmcs02_base(self, vmcs12: Vmcs) -> Vmcs:
+        """Prototype copy with vmcs12's guest-state fields applied."""
+        vmcs02 = self._vmcs02_proto.copy()
+        for spec in _GUEST_SPECS:
+            vmcs02.write(spec.encoding, vmcs12.read(spec.encoding))
+        return vmcs02
+
+    def _vmcs02_controls(self, vmcs12: Vmcs, vmcs02: Vmcs) -> None:
+        """Control merge — a pure function of the _MERGE_CONTROL_INPUTS
+        fields of vmcs12 plus the constant capability MSRs."""
         vmcs02.write(F.PIN_BASED_VM_EXEC_CONTROL, self.phys.caps.pin_based.round(
             vmcs12.read(F.PIN_BASED_VM_EXEC_CONTROL)))
         vmcs02.write(F.CPU_BASED_VM_EXEC_CONTROL, self.phys.caps.proc_based.round(
@@ -372,11 +427,6 @@ class VboxNestedVmx:
             ExitControls.HOST_ADDR_SPACE_SIZE | ExitControls.LOAD_EFER
             | ExitControls.SAVE_EFER))
         vmcs02.write(F.EXCEPTION_BITMAP, vmcs12.read(F.EXCEPTION_BITMAP))
-        # VirtualBox, like KVM, sanitizes the activity state.
-        activity = vmcs12.read(F.GUEST_ACTIVITY_STATE)
-        if activity > 1:
-            vmcs02.write(F.GUEST_ACTIVITY_STATE, 0)
-        return vmcs02
 
     # ------------------------------------------------------------------
     # Nested VM exit

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.arch.registers import Cr0, Cr4, Efer
 from repro.cpu.svm_cpu import SvmCpu
 from repro.hypervisors.base import ExecResult, GuestInstruction
@@ -143,7 +144,12 @@ class XenNestedSvm:
             return ExecResult.fault("#GP: no VMCB at address")
         state.current_vmcb12_pa = vmcb12_pa
 
-        problems = self.nsvm_vmcb_check(vmcb12)
+        # Pure in the VMCB12 fields: memoized on the VMCB and revalidated
+        # via the dirty journal. (The merge below is NOT cached — it
+        # depends on prev_l2_long_mode and the vgif/bug-#5 state.)
+        problems = perf.memoized_check(
+            vmcb12, ("xen_svm", id(self), "check"),
+            lambda: self.nsvm_vmcb_check(vmcb12))
         if problems:
             return self.nsvm_vcpu_vmexit_inject(state, vmcb12, problems[0])
 

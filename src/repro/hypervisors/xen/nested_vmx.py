@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.arch.exceptions import HostCrash
 from repro.arch.registers import Cr0, Cr4, Efer, Rflags
 from repro.cpu.physical_cpu import VmxCpu
@@ -40,6 +41,17 @@ VVMCS_INVALID = (1 << 64) - 1
 XEN_VMCS02_HPA = 0x120000
 XEN_VMXON_HPA = 0x121000
 
+#: Guest-group field specs, precomputed for the shadow load.
+_GUEST_SPECS: tuple = tuple(
+    spec for spec in F.ALL_FIELDS if spec.group is F.FieldGroup.GUEST)
+_GUEST_ENCODINGS: frozenset[int] = frozenset(s.encoding for s in _GUEST_SPECS)
+
+#: VMCS12 fields read by the control section of load_shadow_guest_state.
+_SHADOW_CONTROL_INPUTS: frozenset[int] = frozenset({
+    F.PIN_BASED_VM_EXEC_CONTROL, F.CPU_BASED_VM_EXEC_CONTROL,
+    F.SECONDARY_VM_EXEC_CONTROL, F.VM_ENTRY_CONTROLS, F.EXCEPTION_BITMAP,
+})
+
 
 @dataclass
 class NvmxState:
@@ -51,6 +63,8 @@ class NvmxState:
     guest_mode: bool = False
     l2_ever_ran: bool = False
     vmcs02: "object" = None
+    #: (vvmcs, generation, shadow vmcs02) from the last shadow load.
+    merge_cache: tuple | None = None
     cr4: int = Cr4.PAE | Cr4.VMXE
 
 
@@ -232,13 +246,23 @@ class XenNestedVmx:
         if not launch and not vvmcs.launched:
             return self._vmfail(state, VmInstructionError.VMRESUME_NONLAUNCHED_VMCS)
 
-        problems = self.check_controls(vvmcs)
+        # All three checks are pure in the virtual-VMCS fields (caps and
+        # the memory-window predicate are constant per instance), so the
+        # results are memoized on the vVMCS and revalidated via its
+        # dirty journal between entries.
+        problems = perf.memoized_check(
+            vvmcs, ("xen_vmx", id(self), "controls"),
+            lambda: self.check_controls(vvmcs))
         if problems:
             return self._vmfail(state, VmInstructionError.ENTRY_INVALID_CONTROL_FIELDS)
-        problems = self.check_host_state(vvmcs)
+        problems = perf.memoized_check(
+            vvmcs, ("xen_vmx", id(self), "host"),
+            lambda: self.check_host_state(vvmcs))
         if problems:
             return self._vmfail(state, VmInstructionError.ENTRY_INVALID_HOST_STATE)
-        problems = self.check_guest_state(vvmcs)
+        problems = perf.memoized_check(
+            vvmcs, ("xen_vmx", id(self), "guest"),
+            lambda: self.check_guest_state(vvmcs))
         if problems:
             reason = int(ExitReason.INVALID_GUEST_STATE) | ENTRY_FAILURE_BIT
             vvmcs.write(F.VM_EXIT_REASON, reason)
@@ -359,13 +383,51 @@ class XenNestedVmx:
     # ------------------------------------------------------------------
 
     def load_shadow_guest_state(self, state: NvmxState, vvmcs):
-        """Build the shadow VMCS02 from the virtual VMCS (vmcs12)."""
-        vmcs02 = self._vmcs02_proto.copy()
-        for spec in F.ALL_FIELDS:
-            if spec.group is F.FieldGroup.GUEST:
-                vmcs02.write(spec.encoding, vvmcs.read(spec.encoding))
+        """Build the shadow VMCS02 from the virtual VMCS (vmcs12).
+
+        In incremental mode the last shadow load is cached per vCPU and
+        only dirty vVMCS fields are re-applied (perf.merge_state replays
+        the skipped sections' kcov event slices, so coverage is
+        mode-independent); the caller copies the result before
+        installing it, so hardware write-backs never touch the cached
+        master.
+        """
+        vmcs02 = perf.merge_state(
+            state, vvmcs,
+            build=lambda: self._shadow_base(vvmcs),
+            controls=lambda merged: self._shadow_controls(vvmcs, merged),
+            state_fields=_GUEST_ENCODINGS,
+            control_inputs=_SHADOW_CONTROL_INPUTS)
+
         vmcs02.write(F.VMCS_LINK_POINTER, VVMCS_INVALID)
-        # Controls: Xen ORs in its own requirements.
+        if not vmcs02.read(F.VIRTUAL_PROCESSOR_ID):
+            vmcs02.write(F.VIRTUAL_PROCESSOR_ID, 3)
+        # The blind activity-state copy (bug #4) — or the fixed version.
+        # Always re-applied: the write is change-detecting, and the value
+        # depends only on the (possibly just re-copied) vVMCS field.
+        activity = vvmcs.read(F.GUEST_ACTIVITY_STATE)
+        if "activity_state_sanitize" in self.patched:
+            if activity not in (ActivityState.ACTIVE, ActivityState.HLT):
+                activity = ActivityState.ACTIVE
+        vmcs02.write(F.GUEST_ACTIVITY_STATE, activity)
+        # Pre-warm the entry-check memo so the installed image copy
+        # revalidates from the journal instead of re-running checks.
+        perf.prewarm(lambda: self.phys.checker.check_all(vmcs02))
+        return vmcs02
+
+    def _shadow_base(self, vvmcs) -> Vmcs:
+        """Prototype copy with the vVMCS guest-state fields applied."""
+        vmcs02 = self._vmcs02_proto.copy()
+        for spec in _GUEST_SPECS:
+            vmcs02.write(spec.encoding, vvmcs.read(spec.encoding))
+        return vmcs02
+
+    def _shadow_controls(self, vvmcs, vmcs02: Vmcs) -> None:
+        """Controls: Xen ORs in its own requirements.
+
+        A pure function of the _SHADOW_CONTROL_INPUTS fields of the
+        vVMCS plus the constant capability MSRs.
+        """
         vmcs02.write(F.PIN_BASED_VM_EXEC_CONTROL, self.phys.caps.pin_based.round(
             vvmcs.read(F.PIN_BASED_VM_EXEC_CONTROL) | PinBased.EXT_INTR_EXITING))
         vmcs02.write(F.CPU_BASED_VM_EXEC_CONTROL, self.phys.caps.proc_based.round(
@@ -380,15 +442,6 @@ class XenNestedVmx:
             ExitControls.HOST_ADDR_SPACE_SIZE | ExitControls.LOAD_EFER
             | ExitControls.SAVE_EFER))
         vmcs02.write(F.EXCEPTION_BITMAP, vvmcs.read(F.EXCEPTION_BITMAP))
-        if not vmcs02.read(F.VIRTUAL_PROCESSOR_ID):
-            vmcs02.write(F.VIRTUAL_PROCESSOR_ID, 3)
-        # The blind activity-state copy (bug #4) — or the fixed version.
-        activity = vvmcs.read(F.GUEST_ACTIVITY_STATE)
-        if "activity_state_sanitize" in self.patched:
-            if activity not in (ActivityState.ACTIVE, ActivityState.HLT):
-                activity = ActivityState.ACTIVE
-        vmcs02.write(F.GUEST_ACTIVITY_STATE, activity)
-        return vmcs02
 
     # ------------------------------------------------------------------
     # Host-side toolstack surface (domctl / save-restore / setup)

@@ -1,0 +1,284 @@
+"""Global switches and helpers for the incremental hot path.
+
+This PR's dirty-field tracking makes three hot-path stages incremental:
+VM-entry consistency checking, the hypervisor-level VMCS12/VMCB12
+checks, and the VMCS02/VMCB02 merge. Full recompute stays available —
+the two modes are pinned equivalent (identical violation lists,
+corrections, exit reasons, VMCS02 contents, and coverage) by
+tests/unit/test_incremental_equivalence.py — and the benchmark suite
+flips between them with :func:`incremental_mode` to measure the win.
+
+A module-level knob is used instead of threading a flag through
+NecoFuzz -> Agent -> adapter -> hypervisor constructors: the mode is a
+process-wide property of the run (like the tracer mode), not a
+per-object decision.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+_incremental = True
+
+
+def incremental_enabled() -> bool:
+    """True when the incremental (dirty-tracking) hot path is active."""
+    return _incremental
+
+
+def set_incremental(enabled: bool) -> None:
+    """Switch between the incremental and full-recompute hot paths."""
+    global _incremental
+    _incremental = bool(enabled)
+
+
+@contextmanager
+def incremental_mode(enabled: bool) -> Iterator[None]:
+    """Temporarily force the incremental hot path on or off."""
+    global _incremental
+    saved = _incremental
+    _incremental = bool(enabled)
+    try:
+        yield
+    finally:
+        _incremental = saved
+
+
+def memoized_check(struct, key, compute: Callable[[], list]):
+    """Memoize a pure consistency check on its structure object.
+
+    *struct* is a ``Vmcs`` or ``Vmcb``; *compute* must be a pure
+    function of the structure's fields (plus state that is constant for
+    the lifetime of *key*, e.g. the capability MSRs of the hypervisor
+    instance baked into the key). The read set is recorded dynamically
+    via the structure's ``_read_trace`` hook — sound because every
+    branch taken by *compute* depends only on fields it read — and the
+    result is revalidated against the change journal on later calls.
+
+    Coverage equivalence: when the fast-path kcov tracer is active, the
+    (file, line) events emitted during *compute* are recorded with the
+    entry and replayed into the tracer on every cache hit, so per-case
+    line AND edge coverage is identical to recomputing. Under the
+    legacy ``sys.settrace`` tracer events cannot be replayed, so
+    memoization is bypassed entirely; an entry recorded without any
+    tracer carries no event slice and is recomputed if a fast-path
+    tracer is active when it is next consulted.
+
+    Entries record the *values* read, not just the field set, and a
+    journalled write back to the recorded value does not invalidate: a
+    deterministic *compute* re-reading identical values would take
+    identical branches and return an equal result (and emit an
+    identical event slice), so the revalidation compares values on the
+    journal/read-set intersection before giving up on the entry.
+
+    The cached result list is returned as-is on a hit; callers must not
+    mutate it.
+    """
+    if not _incremental:
+        return compute()
+    from repro.coverage import kcov
+
+    if kcov.legacy_trace_active():
+        return compute()
+    sink = kcov.event_sink()
+    entry = struct.memo_get(key)
+    if entry is not None:
+        gen, reads, value, trace = entry
+        changed = struct.changes_since(gen)
+        if changed is not None and (sink is None or trace is not None) and all(
+                struct.read(k) == reads[k] for k in changed & reads.keys()):
+            if sink is not None and trace:
+                sink.extend(trace)
+            if gen != struct.generation:
+                struct.memo_put(key, (struct.generation, reads, value, trace))
+            if struct._read_trace is not None:
+                struct._read_trace.update(reads)
+            return value
+    mark = len(sink) if sink is not None else 0
+    outer = struct._read_trace
+    reads = set()
+    struct._read_trace = reads
+    before = struct.generation
+    try:
+        value = compute()
+    finally:
+        struct._read_trace = outer
+    if outer is not None:
+        outer.update(reads)
+    if struct.generation == before:
+        trace = tuple(sink[mark:]) if sink is not None else None
+        struct.memo_put(key, (struct.generation,
+                              {k: struct.read(k) for k in reads}, value,
+                              trace))
+    return value
+
+
+def memoized_fixpoint(struct, key, run: Callable[[], object]):
+    """Memoize a deterministic correction pass at its fixed point.
+
+    Unlike :func:`memoized_check`, *run* may mutate *struct* (it is a
+    rounding pass, not a predicate). An entry is recorded only when the
+    pass wrote nothing — the structure was already at the pass's fixed
+    point, making that invocation pure. Soundness then follows from the
+    read trace: every field a pass corrects is read first (the rounders
+    compute corrections from current values), so while no traced field
+    changes a re-run would read identical values, take identical
+    branches, again write nothing, and return an equal (empty) result.
+
+    As in :func:`memoized_check`, entries record read *values*: a field
+    journalled back to its recorded value (a mutation the pass itself
+    corrected away, or exit information a failed entry wrote and the
+    pass re-zeroed) leaves the fixed point intact, so the entry
+    survives write/revert churn between invocations.
+
+    The rounding passes live outside the instrumented hypervisor
+    modules, so no kcov event slice needs to be recorded; the legacy
+    settrace bypass is kept anyway so a wrapped pass can never perturb
+    a legacy coverage run.
+    """
+    if not _incremental:
+        return run()
+    from repro.coverage import kcov
+
+    if kcov.legacy_trace_active():
+        return run()
+    entry = struct.memo_get(key)
+    if entry is not None:
+        gen, reads, value = entry
+        changed = struct.changes_since(gen)
+        if changed is not None and all(
+                struct.read(k) == reads[k] for k in changed & reads.keys()):
+            if gen != struct.generation:
+                struct.memo_put(key, (struct.generation, reads, value))
+            if struct._read_trace is not None:
+                struct._read_trace.update(reads)
+            return value
+    outer = struct._read_trace
+    reads = set()
+    struct._read_trace = reads
+    before = struct.generation
+    try:
+        value = run()
+    finally:
+        struct._read_trace = outer
+    if outer is not None:
+        outer.update(reads)
+    if struct.generation == before:
+        struct.memo_put(key, (struct.generation,
+                              {k: struct.read(k) for k in reads}, value))
+    return value
+
+
+def merge_state(state, src, *, build: Callable[[], object],
+                controls: Callable[[object], None],
+                state_fields: frozenset, control_inputs: frozenset):
+    """Incrementally rebuild a merged VMCS02/VMCB02 from a tracked source.
+
+    *build* constructs the merged structure from scratch (prototype copy
+    plus the guest/save fields taken verbatim from *src*); *controls*
+    applies the control-field section onto an existing merged structure.
+    Both live in instrumented hypervisor modules, so their kcov event
+    slices are captured when they run and replayed verbatim when they
+    are skipped — per-case line AND edge coverage is identical to a
+    full merge. The skips are sound because *build*'s guest half is
+    reproduced exactly by replaying the dirty *state_fields* from the
+    change journal, and *controls* is a pure function of the fields in
+    *control_inputs* (declared by the caller), so an unchanged input
+    set means identical writes and an identical event slice.
+
+    The cache — ``state.merge_cache = (src, generation, merged,
+    build_trace, controls_trace)`` — is recorded before the caller's
+    always-live sections (clamps, paging/MMU setup) run, so fallible
+    tails replay identically from the cached prefix. *state* may be
+    ``None`` (or the mode off / legacy tracer active): the merge then
+    runs in full every time.
+    """
+    from repro.coverage import kcov
+
+    if state is None or not _incremental or kcov.legacy_trace_active():
+        merged = build()
+        controls(merged)
+        if state is not None:
+            # Never leave a cache recorded under different trace rules.
+            state.merge_cache = None
+        return merged
+    sink = kcov.event_sink()
+    cache = state.merge_cache
+    changed = None
+    if cache is not None and cache[0] is src:
+        changed = src.changes_since(cache[1])
+        if sink is not None and (cache[3] is None or cache[4] is None):
+            # Recorded without a tracer: rebuild live to capture slices.
+            changed = None
+    if changed is None:
+        mark = len(sink) if sink is not None else 0
+        merged = build()
+        build_trace = tuple(sink[mark:]) if sink is not None else None
+        mark = len(sink) if sink is not None else 0
+        controls(merged)
+        ctrl_trace = tuple(sink[mark:]) if sink is not None else None
+        state.merge_cache = (src, src.generation, merged, build_trace,
+                             ctrl_trace)
+        return merged
+    merged = cache[2]
+    for key in changed & state_fields:
+        merged.write(key, src.read(key))
+    if sink is not None:
+        sink.extend(cache[3])
+    ctrl_trace = cache[4]
+    if changed & control_inputs:
+        mark = len(sink) if sink is not None else 0
+        controls(merged)
+        ctrl_trace = tuple(sink[mark:]) if sink is not None else None
+    state.merge_cache = (src, src.generation, merged, cache[3], ctrl_trace)
+    return merged
+
+
+def prewarm(fn: Callable[[], object]) -> None:
+    """Run a memo pre-warm on the incremental fast path only.
+
+    Wraps the hypervisors' post-merge ``check_all`` pre-warm so the call
+    site is a single statement that executes in both modes — the gate
+    lives here, outside the instrumented modules, keeping per-case
+    coverage mode-independent.
+    """
+    if not _incremental:
+        return
+    from repro.coverage import kcov
+
+    if not kcov.legacy_trace_active():
+        fn()
+
+
+def publish_merged(merged, prewarm_fn: Callable[[], object] | None = None):
+    """The object to install for execution: *merged* itself on the full
+    path, a fast copy on the incremental path so quirk write-backs from
+    the run (and dirty-field replays by a later, *failed* merge) never
+    alias the cached master. *prewarm_fn* (typically a
+    :func:`memoized_check` over the vendor's structure check) runs first
+    so the copy inherits a warm memo.
+
+    The copy is cached on the master behind both generation counters: if
+    neither the master nor the previously published copy has seen a
+    value-changing write since the last publish, their contents are
+    still identical and the same copy is returned (generations are
+    monotonic, so an equal counter means an untouched structure). A
+    hardware write-back into the published copy bumps its counter and
+    forces a fresh copy on the next publish.
+    """
+    if not _incremental:
+        return merged
+    from repro.coverage import kcov
+
+    if kcov.legacy_trace_active():
+        return merged
+    pub = getattr(merged, "_pub", None)
+    if (pub is not None and merged.generation == pub[0]
+            and pub[1].generation == pub[0]):
+        return pub[1]
+    if prewarm_fn is not None:
+        prewarm_fn()
+    dup = merged.copy()
+    merged._pub = (merged.generation, dup)
+    return dup

@@ -16,6 +16,12 @@ _FIELD_MASK: dict[str, int] = {s.name: (1 << s.bits) - 1 for s in ALL_FIELDS}
 _FIELD_NBYTES: tuple[tuple[str, int], ...] = tuple(
     (s.name, (s.bits + 7) // 8) for s in ALL_FIELDS)
 
+#: Change-journal bounds (see repro.vmx.vmcs for the rationale).
+_LOG_MAX = 4096
+_LOG_KEEP = 1024
+
+_EMPTY_SET: frozenset = frozenset()
+
 
 class Vmcb:
     """One VM control block.
@@ -23,13 +29,27 @@ class Vmcb:
     Unlike the VMCS, the VMCB is addressed by plain field names — AMD-V
     has no vmread/vmwrite indirection; software reads and writes the
     structure directly in memory.
+
+    Dirty tracking mirrors :class:`repro.vmx.vmcs.Vmcs`: value-changing
+    writes bump a generation counter and journal the field name, memo
+    entries ride along on ``copy()``, and ``serialize()`` is cached
+    behind the generation counter.
     """
 
     def __init__(self) -> None:
         self._values: dict[str, int] = {spec.name: 0 for spec in ALL_FIELDS}
+        self._gen = 0
+        self._log: list[str] = []
+        self._log_base = 0
+        self._memo: dict = {}
+        self._ser: bytes | None = None
+        self._ser_gen = -1
+        self._read_trace: set[str] | None = None
 
     def read(self, name: str) -> int:
         """Read a field by name."""
+        if self._read_trace is not None:
+            self._read_trace.add(name)
         try:
             return self._values[name]
         except KeyError:
@@ -40,7 +60,44 @@ class Vmcb:
         fmask = _FIELD_MASK.get(name)
         if fmask is None:
             raise KeyError(f"unknown VMCB field {name!r}")
-        self._values[name] = value & fmask
+        value &= fmask
+        values = self._values
+        if values[name] != value:
+            values[name] = value
+            self._gen += 1
+            log = self._log
+            log.append(name)
+            if len(log) >= _LOG_MAX:
+                del log[:len(log) - _LOG_KEEP]
+                self._log_base = self._gen - _LOG_KEEP
+
+    # --- dirty tracking ----------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of value-changing writes."""
+        return self._gen
+
+    def changes_since(self, gen: int) -> frozenset[str] | set[str] | None:
+        """Field names written (with a new value) since generation *gen*.
+
+        ``None`` means the journal was truncated past *gen*: treat as
+        "everything may have changed".
+        """
+        if gen == self._gen:
+            return _EMPTY_SET
+        if gen < self._log_base:
+            return None
+        return set(self._log[gen - self._log_base:])
+
+    def memo_get(self, key):
+        """Fetch a memoized derived result (opaque entry) by *key*."""
+        return self._memo.get(key)
+
+    def memo_put(self, key, entry) -> None:
+        """Store a memoized result (entries are shared by copies —
+        replace, never mutate)."""
+        self._memo[key] = entry
 
     def __getitem__(self, name: str) -> int:
         return self.read(name)
@@ -55,43 +112,70 @@ class Vmcb:
 
     # --- convenience predicates used by emulation code ---------------------
 
+    # All predicates go through ``read`` so dynamic read-set recording
+    # sees the underlying field dependency.
+
     @property
     def nested_paging(self) -> bool:
         """True when the NP_ENABLE control bit is set."""
-        return bool(self._values[F.NP_CONTROL] & F.NpControl.NP_ENABLE)
+        return bool(self.read(F.NP_CONTROL) & F.NpControl.NP_ENABLE)
 
     @property
     def long_mode_active(self) -> bool:
         """True when EFER.LMA is set in the save area."""
-        return bool(self._values[F.EFER] & Efer.LMA)
+        return bool(self.read(F.EFER) & Efer.LMA)
 
     @property
     def paging_enabled(self) -> bool:
         """True when CR0.PG is set in the save area."""
-        return bool(self._values[F.CR0] & Cr0.PG)
+        return bool(self.read(F.CR0) & Cr0.PG)
 
     @property
     def vgif_enabled(self) -> bool:
         """True when the VGIF feature-enable bit is set."""
-        return bool(self._values[F.VINTR_CONTROL] & F.VintrControl.V_GIF_ENABLE)
+        return bool(self.read(F.VINTR_CONTROL) & F.VintrControl.V_GIF_ENABLE)
 
     @property
     def vgif_value(self) -> bool:
         """The virtual GIF value (meaningful only with VGIF)."""
-        return bool(self._values[F.VINTR_CONTROL] & F.VintrControl.V_GIF)
+        return bool(self.read(F.VINTR_CONTROL) & F.VintrControl.V_GIF)
 
     @property
     def avic_enabled(self) -> bool:
         """True when the AVIC-enable bit is set."""
-        return bool(self._values[F.VINTR_CONTROL] & F.VintrControl.AVIC_ENABLE)
+        return bool(self.read(F.VINTR_CONTROL) & F.VintrControl.AVIC_ENABLE)
 
     # --- whole-structure operations ----------------------------------------
 
     def copy(self) -> "Vmcb":
-        """Deep copy."""
-        dup = Vmcb()
+        """Deep copy (fast path: no ``__init__`` field-table rebuild).
+
+        The generation counter, change journal, memo entries, and the
+        serialization cache are carried over, so a snapshot starts warm
+        and diverges from its parent through its own journal.
+        """
+        dup = Vmcb.__new__(Vmcb)
         dup._values = dict(self._values)
+        dup._gen = self._gen
+        dup._log = list(self._log)
+        dup._log_base = self._log_base
+        dup._memo = dict(self._memo)
+        dup._ser = self._ser
+        dup._ser_gen = self._ser_gen
+        dup._read_trace = None
         return dup
+
+    def snapshot(self) -> "Vmcb":
+        """Alias for :meth:`copy` in snapshot/restore pairs."""
+        return self.copy()
+
+    def restore(self, snap: "Vmcb") -> None:
+        """Restore field values from *snap*, journalling the deltas."""
+        values = snap._values
+        for name, value in self._values.items():
+            other = values[name]
+            if other != value:
+                self.write(name, other)
 
     def diff(self, other: "Vmcb") -> list[tuple[VmcbField, int, int]]:
         """Fields whose values differ, as (spec, self_value, other_value)."""
@@ -102,12 +186,21 @@ class Vmcb:
         ]
 
     def serialize(self) -> bytes:
-        """Pack every field into the canonical little-endian layout."""
+        """Pack every field into the canonical little-endian layout.
+
+        Cached behind the generation counter (same contract as
+        ``Vmcs.serialize``).
+        """
+        if self._ser_gen == self._gen and self._ser is not None:
+            return self._ser
         values = self._values
         out = bytearray()
         for name, nbytes in _FIELD_NBYTES:
             out += values[name].to_bytes(nbytes, "little")
-        return bytes(out)
+        packed = bytes(out)
+        self._ser = packed
+        self._ser_gen = self._gen
+        return packed
 
     @classmethod
     def deserialize(cls, raw: bytes) -> "Vmcb":

@@ -37,9 +37,23 @@ HOST_RIP = 0x50000
 HOST_RSP = 0x58000
 
 
+#: Per-capability golden templates; builders are pure, so each template
+#: is constructed once and handed out as fast copies.
+_VMCS_TEMPLATES: dict[VmxCapabilities, Vmcs] = {}
+_VMCB_TEMPLATES: dict[bool, Vmcb] = {}
+
+
 def golden_vmcs(caps: VmxCapabilities | None = None) -> Vmcs:
     """Build a fully valid, launchable VMCS for a 64-bit guest."""
     caps = caps or default_capabilities()
+    template = _VMCS_TEMPLATES.get(caps)
+    if template is None:
+        template = _build_golden_vmcs(caps)
+        _VMCS_TEMPLATES[caps] = template
+    return template.copy()
+
+
+def _build_golden_vmcs(caps: VmxCapabilities) -> Vmcs:
     vmcs = Vmcs(caps.vmcs_revision_id)
 
     # Control fields: minimum required settings, rounded by capabilities.
@@ -124,6 +138,14 @@ def golden_vmcs(caps: VmxCapabilities | None = None) -> Vmcs:
 
 def golden_vmcb(*, nested_paging: bool = True) -> Vmcb:
     """Build a fully valid, runnable VMCB for a 64-bit guest."""
+    template = _VMCB_TEMPLATES.get(nested_paging)
+    if template is None:
+        template = _build_golden_vmcb(nested_paging)
+        _VMCB_TEMPLATES[nested_paging] = template
+    return template.copy()
+
+
+def _build_golden_vmcb(nested_paging: bool) -> Vmcb:
     vmcb = Vmcb()
     vmcb.write(SF.INTERCEPT_MISC1, Misc1Intercept.INTR | Misc1Intercept.NMI
                | Misc1Intercept.CPUID | Misc1Intercept.HLT

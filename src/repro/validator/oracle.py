@@ -28,7 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.cpu.entry_checks import CheckStage, Violation
+from repro import perf
+from repro.cpu.entry_checks import CheckStage, IncrementalChecker, Violation
 from repro.cpu.physical_cpu import VmxCpu
 from repro.validator.golden import golden_vmcs
 from repro.vmx import fields as F
@@ -139,6 +140,11 @@ class HardwareOracle:
         self.rejections = 0
         self.entries = 0
         self._golden = golden_vmcs(self.caps)
+        # One incremental checker for every hardware trial: per-unit
+        # check results are memoized on the VMCS objects themselves, so
+        # the per-attempt image copies inherit a warm cache and only the
+        # units reading corrected fields re-run between attempts.
+        self._checker = IncrementalChecker(self.caps)
 
     # --- learning application ------------------------------------------------
 
@@ -163,9 +169,13 @@ class HardwareOracle:
 
     def _attempt_entry(self, state: Vmcs):
         """One hardware trial: fresh CPU, standard launch sequence."""
-        cpu = VmxCpu(self.caps)
+        cpu = VmxCpu(self.caps, checker=self._checker)
         cpu.vmxon(VMXON_PA)
         cpu.vmclear(VMCS_PA)
+        if perf.incremental_enabled():
+            # Pre-warm the persistent state so the image copy below
+            # carries a fully validated memo into vmlaunch.
+            self._checker.check_all(state)
         image = state.copy()
         image.clear()
         cpu.install_vmcs(VMCS_PA, image)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import perf
 from repro.validator.base import Correction
 from repro.validator.guest_state import vmenter_load_check_guest_state
 from repro.validator.host_state import vmenter_load_check_host_state
@@ -53,11 +54,23 @@ class VmStateValidator:
         self.caps = caps or default_capabilities()
 
     def round_to_valid(self, vmcs: Vmcs) -> RoundingReport:
-        """Round *vmcs* in the architectural group order."""
+        """Round *vmcs* in the architectural group order.
+
+        Each group pass is memoized at its fixed point: once a pass ran
+        without correcting anything, it is skipped until one of the
+        fields it read changes (every corrected field is read first by
+        ``Rounder.force``, so the read trace covers the write targets).
+        """
         report = RoundingReport()
-        report.controls = vmenter_load_check_vm_controls(vmcs, self.caps)
-        report.host = vmenter_load_check_host_state(vmcs, self.caps)
-        report.guest = vmenter_load_check_guest_state(vmcs, self.caps)
+        report.controls = perf.memoized_fixpoint(
+            vmcs, ("round_controls", self.caps),
+            lambda: vmenter_load_check_vm_controls(vmcs, self.caps))
+        report.host = perf.memoized_fixpoint(
+            vmcs, ("round_host", self.caps),
+            lambda: vmenter_load_check_host_state(vmcs, self.caps))
+        report.guest = perf.memoized_fixpoint(
+            vmcs, ("round_guest", self.caps),
+            lambda: vmenter_load_check_guest_state(vmcs, self.caps))
         return report
 
     def is_fixed_point(self, vmcs: Vmcs) -> bool:

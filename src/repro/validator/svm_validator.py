@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import perf
 from repro.arch.registers import Cr0, Cr4, Efer
 from repro.cpu.svm_cpu import SvmCpu, check_vmcb
 from repro.svm import fields as SF
@@ -35,7 +36,16 @@ class VmcbValidator:
     """Round VMCBs toward vmrun-accepted states."""
 
     def round_to_valid(self, vmcb: Vmcb) -> list[VmcbCorrection]:
-        """Mutate *vmcb* so that APM consistency checks pass."""
+        """Mutate *vmcb* so that APM consistency checks pass.
+
+        Memoized at the fixed point: once a pass corrected nothing, it
+        is skipped until a field it read changes (``force`` reads every
+        field before writing it, so the read trace covers the targets).
+        """
+        return perf.memoized_fixpoint(
+            vmcb, "svm_round", lambda: self._round(vmcb))
+
+    def _round(self, vmcb: Vmcb) -> list[VmcbCorrection]:
         corrections: list[VmcbCorrection] = []
 
         def force(name: str, value: int, rule: str) -> None:
@@ -120,6 +130,11 @@ class SvmHardwareOracle:
             cpu = SvmCpu()
             cpu.set_svme(True)
             cpu.set_hsave(0x3000)
+            if perf.incremental_enabled():
+                # Pre-warm the persistent VMCB so each attempt's image
+                # copy carries a validated memo into vmrun.
+                perf.memoized_check(vmcb, "svm_vmcb_check",
+                                    lambda: check_vmcb(vmcb))
             image = vmcb.copy()
             cpu.install_vmcb(self.VMCB_PA, image)
             outcome = cpu.vmrun(self.VMCB_PA)

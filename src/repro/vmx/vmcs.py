@@ -31,12 +31,30 @@ class VmcsState:
     LAUNCHED = "launched"
 
 
+#: Change-journal bounds: when a structure's journal exceeds ``_LOG_MAX``
+#: entries it is truncated to the most recent ``_LOG_KEEP``; consumers
+#: holding generations older than the truncation point fall back to a
+#: full recompute (``changes_since`` returns ``None``).
+_LOG_MAX = 4096
+_LOG_KEEP = 1024
+
+_EMPTY_SET: frozenset = frozenset()
+
+
 class Vmcs:
     """One VM control structure.
 
     Values are stored truncated to their field width. Unknown encodings
     raise ``KeyError`` — the same condition that makes a real vmread /
     vmwrite fail with VMfailValid(12).
+
+    Every value-changing write bumps a generation counter and appends
+    the encoding to a change journal, so consumers (the incremental
+    entry checker, the VMCS02 merge cache, the serialization cache) can
+    ask "what changed since generation g" instead of re-reading all
+    ~700 fields. Memoized derived results live in ``_memo`` as
+    immutable entries keyed by the consumer; ``copy()`` shares them, so
+    a snapshot inherits its parent's warm caches.
     """
 
     def __init__(self, revision_id: int = 0x12) -> None:
@@ -46,11 +64,20 @@ class Vmcs:
         # Architectural default: the VMCS link pointer must be all-ones
         # unless VMCS shadowing is in use.
         self._values[F.VMCS_LINK_POINTER] = (1 << 64) - 1
+        self._gen = 0
+        self._log: list[int] = []
+        self._log_base = 0
+        self._memo: dict = {}
+        self._ser: bytes | None = None
+        self._ser_gen = -1
+        self._read_trace: set[int] | None = None
 
     # --- field access -----------------------------------------------------
 
     def read(self, encoding: int) -> int:
         """Read a field by encoding (vmread semantics)."""
+        if self._read_trace is not None:
+            self._read_trace.add(encoding)
         try:
             return self._values[encoding]
         except KeyError:
@@ -61,7 +88,49 @@ class Vmcs:
         fmask = _FIELD_MASK.get(encoding)
         if fmask is None:
             raise KeyError(f"unsupported VMCS component {encoding:#x}")
-        self._values[encoding] = value & fmask
+        value &= fmask
+        values = self._values
+        if values[encoding] != value:
+            values[encoding] = value
+            self._gen += 1
+            log = self._log
+            log.append(encoding)
+            if len(log) >= _LOG_MAX:
+                del log[:len(log) - _LOG_KEEP]
+                self._log_base = self._gen - _LOG_KEEP
+
+    # --- dirty tracking ----------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of value-changing writes."""
+        return self._gen
+
+    def changes_since(self, gen: int) -> frozenset[int] | set[int] | None:
+        """Encodings written (with a new value) since generation *gen*.
+
+        Returns ``None`` when the journal no longer reaches back to
+        *gen* (it was truncated), which callers must treat as
+        "everything may have changed".
+        """
+        if gen == self._gen:
+            return _EMPTY_SET
+        if gen < self._log_base:
+            return None
+        return set(self._log[gen - self._log_base:])
+
+    def memo_get(self, key):
+        """Fetch a memoized derived result (opaque entry) by *key*."""
+        return self._memo.get(key)
+
+    def memo_put(self, key, entry) -> None:
+        """Store a memoized derived result.
+
+        Entries must be treated as immutable: ``copy()`` shares them
+        between snapshots, so consumers replace entries rather than
+        mutating them in place.
+        """
+        self._memo[key] = entry
 
     def __getitem__(self, encoding: int) -> int:
         return self.read(encoding)
@@ -100,11 +169,43 @@ class Vmcs:
     # --- whole-structure operations ----------------------------------------
 
     def copy(self) -> "Vmcs":
-        """Deep copy, preserving launch state."""
-        dup = Vmcs(self.revision_id)
-        dup._values = dict(self._values)
+        """Deep copy, preserving launch state.
+
+        Fast path: bypasses ``__init__`` (no field-table rebuild) and
+        carries over the generation counter, change journal, memo
+        entries, and the serialization cache, so a snapshot starts warm
+        and diverges from its parent through its own journal.
+        """
+        dup = Vmcs.__new__(Vmcs)
+        dup.revision_id = self.revision_id
         dup.launch_state = self.launch_state
+        dup._values = dict(self._values)
+        dup._gen = self._gen
+        dup._log = list(self._log)
+        dup._log_base = self._log_base
+        dup._memo = dict(self._memo)
+        dup._ser = self._ser
+        dup._ser_gen = self._ser_gen
+        dup._read_trace = None
         return dup
+
+    def snapshot(self) -> "Vmcs":
+        """Alias for :meth:`copy` in snapshot/restore pairs."""
+        return self.copy()
+
+    def restore(self, snap: "Vmcs") -> None:
+        """Restore field values from *snap*, journalling the deltas.
+
+        Restoring goes through :meth:`write` so that generation-holding
+        consumers see the restored fields as changes instead of silently
+        observing rolled-back values.
+        """
+        self.launch_state = snap.launch_state
+        values = snap._values
+        for encoding, value in self._values.items():
+            other = values[encoding]
+            if other != value:
+                self.write(encoding, other)
 
     def load_dict(self, values: dict[int, int]) -> None:
         """Bulk-write fields from an encoding->value mapping."""
@@ -120,12 +221,22 @@ class Vmcs:
         ]
 
     def serialize(self) -> bytes:
-        """Pack every field into the canonical little-endian layout."""
+        """Pack every field into the canonical little-endian layout.
+
+        The packed image is cached behind the generation counter, so
+        repeated Hamming-distance comparisons (or hashes) of an
+        unchanged structure reuse the same immutable bytes.
+        """
+        if self._ser_gen == self._gen and self._ser is not None:
+            return self._ser
         values = self._values
         out = bytearray()
         for encoding, nbytes in _FIELD_NBYTES:
             out += values[encoding].to_bytes(nbytes, "little")
-        return bytes(out)
+        packed = bytes(out)
+        self._ser = packed
+        self._ser_gen = self._gen
+        return packed
 
     @classmethod
     def deserialize(cls, raw: bytes, revision_id: int = 0x12) -> "Vmcs":
