@@ -9,6 +9,8 @@ absolute line counts (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 from repro import ComponentToggles, NecoFuzz, Vendor
@@ -20,6 +22,49 @@ from repro.core.necofuzz import CampaignResult
 #: full budget corresponds to the paper's 48-hour axis.
 NECOFUZZ_BUDGET = 900
 SYZKALLER_BUDGET = 350
+
+#: CI override: shrinks iteration budgets AND doubles as a hard
+#: per-phase wall-clock deadline (in seconds) for the perf benches.
+BENCH_BUDGET_ENV = "NECOFUZZ_BENCH_BUDGET"
+
+
+def bench_budget(default: int) -> int:
+    """The iteration budget for one bench, honouring the env override."""
+    return int(os.environ.get(BENCH_BUDGET_ENV, default))
+
+
+class PhaseDeadline:
+    """Hard wall-clock ceiling on one benchmark phase.
+
+    When ``NECOFUZZ_BENCH_BUDGET`` is set its value doubles as a
+    per-phase deadline in seconds: a phase that reaches it stops where
+    it is and the bench reports the truncated numbers (with its
+    pass/fail floors gated off) instead of blowing the CI time box. No
+    env var — full local runs — means no deadline.
+
+    One instance covers one phase; construct a fresh one per phase so
+    the clock starts when the phase does.
+    """
+
+    def __init__(self) -> None:
+        raw = os.environ.get(BENCH_BUDGET_ENV)
+        self.seconds = float(raw) if raw else None
+        self.started = time.perf_counter()
+        self.hit = False
+
+    def expired(self) -> bool:
+        """Check the clock; latches ``hit`` once crossed."""
+        if self.seconds is not None and not self.hit:
+            self.hit = time.perf_counter() - self.started > self.seconds
+        return self.hit
+
+    def run(self, steps: int, step) -> int:
+        """Call ``step()`` up to *steps* times; returns how many ran."""
+        done = 0
+        while done < steps and not self.expired():
+            step()
+            done += 1
+        return done
 #: Klees et al. recommend reporting across repeated runs; the paper uses
 #: five (which also lets the Mann-Whitney U-test reach p ~ 0.012).
 RUNS = 5

@@ -63,7 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "cases (faster, changes trajectories)")
     parser.add_argument("--corpus-dir", type=Path, default=None,
                         help="resume from a saved corpus directory "
-                             "(serial campaigns only)")
+                             "(serial campaigns only); crash reproducers "
+                             "land in <corpus-dir>/crashes/")
+    resilience = parser.add_argument_group(
+        "resilience (DESIGN.md §9)")
+    resilience.add_argument("--case-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="per-case wall-clock deadline; in process "
+                                 "mode a worker whose heartbeat goes stale "
+                                 "past it is killed and restarted")
+    resilience.add_argument("--max-restarts", type=int, default=3,
+                            help="consecutive failures per shard before "
+                                 "the circuit breaker opens (default 3)")
+    resilience.add_argument("--checkpoint-interval", type=int, default=0,
+                            metavar="ROUNDS",
+                            help="sync rounds between campaign checkpoints "
+                                 "(0 = off; needs --sync-dir)")
+    resilience.add_argument("--resume", action="store_true",
+                            help="continue an interrupted campaign from "
+                                 "its checkpoints (needs --sync-dir)")
+    resilience.add_argument("--sync-dir", type=Path, default=None,
+                            metavar="DIR",
+                            help="persistent sync/checkpoint root for "
+                                 "parallel campaigns (default: a "
+                                 "temporary directory)")
     return parser
 
 
@@ -79,6 +102,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers > 1 and (args.reports_dir or args.corpus_dir):
         print("error: --reports-dir/--corpus-dir are serial-only "
               "(use --workers 1)", file=sys.stderr)
+        return 2
+    if (args.resume or args.checkpoint_interval) and args.sync_dir is None:
+        print("error: --resume/--checkpoint-interval need a persistent "
+              "--sync-dir", file=sys.stderr)
+        return 2
+    if (args.resume or args.checkpoint_interval) and args.workers == 1:
+        print("error: checkpoint/resume applies to parallel campaigns "
+              "(use --workers >= 2, or --corpus-dir for serial resume)",
+              file=sys.stderr)
         return 2
 
     toggles = ComponentToggles(
@@ -101,11 +133,16 @@ def main(argv: list[str] | None = None) -> int:
             workers=args.workers,
             sync_every=args.sync_every,
             mode=args.parallel_mode,
+            sync_dir=args.sync_dir,
             toggles=toggles,
             coverage_guided=not args.blackbox,
             patched=patched,
             async_events=args.async_events,
-            reuse_hypervisor=args.reuse_hypervisor)
+            reuse_hypervisor=args.reuse_hypervisor,
+            case_timeout=args.case_timeout,
+            max_restarts=args.max_restarts,
+            checkpoint_interval=args.checkpoint_interval,
+            resume=args.resume)
     else:
         campaign = NecoFuzz(
             hypervisor=args.hypervisor,

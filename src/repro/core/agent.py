@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults
 from repro.arch.cpuid import Vendor
 from repro.arch.exceptions import HostCrash
 from repro.core.adapters import adapter_for
@@ -152,6 +153,7 @@ class Agent:
         engine folds it into the virgin map immediately).
         """
         self.cases_run += 1
+        faults.hook("agent.run_case")
         vcpu_config = self.configurator.generate(fuzz_input)
         key = self._config_key(vcpu_config)
         command_line = self._command_lines.get(key)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.arch.cpuid import Vendor
 from repro.core.harness import HarnessStats, VmExecutionHarness
 from repro.core.state_generator import GeneratedState
@@ -68,6 +69,7 @@ class UefiExecutor:
         HostCrash / VmCrash exceptions propagate to the agent, which
         plays the role of the hardware watchdog.
         """
+        faults.hook(f"{hv.name}.run")
         vcpu = hv.create_vcpu()
         if self.pregenerated is not None:
             vm_state, meta = self.pregenerated

@@ -21,6 +21,7 @@ from repro.arch.cpuid import Vendor
 from repro.core.agent import Agent, AgentConfig
 from repro.core.executor import ComponentToggles
 from repro.core.reports import CrashReport
+from repro.fuzzer.crashes import CrashStore
 from repro.fuzzer.engine import EngineStats, FuzzEngine
 from repro.fuzzer.input import INPUT_SIZE, VM_STATE_REGION
 from repro.fuzzer.rng import Rng
@@ -107,6 +108,11 @@ class NecoFuzz:
     #: Forwarded to :class:`AgentConfig`: reuse built hypervisors across
     #: same-configuration cases (throughput over bit-for-bit defaults).
     reuse_hypervisor: bool = False
+    #: Where deduplicated, minimized crash reproducers land. Defaults to
+    #: ``corpus_dir/crashes`` when a corpus directory is set; None (with
+    #: no corpus_dir) disables persistence — case isolation still counts
+    #: and reports the exceptions.
+    crash_dir: Path | None = None
 
     def __post_init__(self) -> None:
         self.agent = Agent(AgentConfig(
@@ -132,6 +138,13 @@ class NecoFuzz:
             self.engine.add_seed(rng.bytes(INPUT_SIZE))
         if self.corpus_dir is not None and Path(self.corpus_dir).is_dir():
             self.engine.load_corpus(Path(self.corpus_dir))
+        crash_dir = self.crash_dir
+        if crash_dir is None and self.corpus_dir is not None:
+            crash_dir = Path(self.corpus_dir) / "crashes"
+        if crash_dir is not None:
+            self.engine.crashes = CrashStore(
+                Path(crash_dir), self.hypervisor, self.vendor.value,
+                self.seed)
 
     def run(self, iterations: int, *, sample_every: int = 10) -> CampaignResult:
         """Run the campaign for *iterations* test cases."""

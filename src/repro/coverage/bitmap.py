@@ -127,6 +127,18 @@ class VirginMap:
                 bits[idx] = old | cls
         return ret
 
+    def snapshot(self) -> bytes:
+        """Immutable copy of the accumulated bits (checkpoint payload)."""
+        return bytes(self.bits)
+
+    def restore(self, bits: bytes) -> None:
+        """Overwrite the map from a :meth:`snapshot` payload."""
+        if len(bits) != MAP_SIZE:
+            raise ValueError(
+                f"virgin-map snapshot is {len(bits)} bytes, "
+                f"expected {MAP_SIZE}")
+        self.bits = bytearray(bits)
+
     def merge_from(self, other: "VirginMap") -> None:
         """OR another virgin map into this one (parallel-campaign merge)."""
         merged = (int.from_bytes(self.bits, "little")

@@ -360,6 +360,33 @@ class KcovTracer:
         self._prev: Line | None = None
         self._active = False
 
+    # --- pickling (campaign checkpoints) -----------------------------------
+
+    def __getstate__(self) -> dict:
+        """Pickle by module *name*: module objects cannot be pickled.
+
+        Campaign checkpoints snapshot whole workers (agent included);
+        the tracer re-imports and, on the fast path, re-instruments its
+        targets on restore — both idempotent per process.
+        """
+        state = self.__dict__.copy()
+        state["modules"] = tuple(m.__name__ for m in self.modules)
+        state["_events"] = list(self._events)
+        state["_active"] = False
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        import importlib
+
+        names = state.pop("modules")
+        self.__dict__.update(state)
+        self.modules = tuple(importlib.import_module(n) for n in names)
+        if self.fast_path:
+            unswapped: tuple[str, ...] = ()
+            for module in self.modules:
+                unswapped += instrument_module(module)
+            self.unswapped = unswapped
+
     # --- legacy settrace plumbing ------------------------------------------
 
     def _local_trace(self, frame: FrameType, event: str, arg):

@@ -1,0 +1,216 @@
+"""Case-crash isolation artifacts: signatures, dedup, reproducers.
+
+An exception escaping a hypervisor model or the oracle during one test
+case must not kill the campaign (the fuzz-harness VM design: an L1/L2
+failure never takes the agent down). The engine catches it at the case
+boundary and hands it here; the store deduplicates by a stable
+signature, minimizes the triggering input, and persists a replayable
+reproducer under ``<corpus_dir>/crashes/``.
+
+Reproducer files are JSON (schema 1) containing the campaign seed, the
+iteration, and the exact input bytes — everything needed to replay:
+``FuzzEngine.import_case`` accepts a reproducer file verbatim.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.fuzzer.input import (
+    CONFIG_REGION,
+    HARNESS_REGION,
+    MUTATION_REGION,
+    VM_STATE_REGION,
+)
+
+#: Reproducer file format version.
+SCHEMA = 1
+
+#: Region-zeroing order for minimization: most behaviour-rich first.
+_MINIMIZE_REGIONS = (HARNESS_REGION, MUTATION_REGION, CONFIG_REGION,
+                     VM_STATE_REGION)
+
+
+def _top_frame(exc: BaseException) -> str:
+    """The innermost meaningful traceback frame, as ``file.py:function``.
+
+    Frames inside the fault-injection shim are skipped: an injected
+    exception should triage to the hook *site* (executor, oracle, ...),
+    not to ``faults.py:hook`` — otherwise every injected fault would
+    dedupe into one bucket.
+    """
+    tb = traceback.extract_tb(exc.__traceback__)
+    for frame in reversed(tb):
+        if Path(frame.filename).name != "faults.py":
+            return f"{Path(frame.filename).name}:{frame.name}"
+    if tb:
+        frame = tb[-1]
+        return f"{Path(frame.filename).name}:{frame.name}"
+    return "<no traceback>"
+
+
+@dataclass(frozen=True)
+class CrashSignature:
+    """Deduplication key for one case-level crash."""
+
+    exc_type: str
+    top_frame: str
+    hypervisor: str
+    vendor: str
+
+    @classmethod
+    def of(cls, exc: BaseException, hypervisor: str,
+           vendor: str) -> "CrashSignature":
+        return cls(type(exc).__name__, _top_frame(exc), hypervisor, vendor)
+
+    def slug(self) -> str:
+        """Short stable id used in reproducer filenames."""
+        text = "|".join((self.exc_type, self.top_frame,
+                         self.hypervisor, self.vendor))
+        return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+    def __str__(self) -> str:
+        return (f"{self.exc_type}@{self.top_frame} "
+                f"[{self.hypervisor}/{self.vendor}]")
+
+
+@dataclass
+class CrashRecord:
+    """One deduplicated crash bucket."""
+
+    signature: CrashSignature
+    message: str
+    first_iteration: int
+    input_bytes: bytes
+    minimized: bool = False
+    count: int = 1
+    path: Path | None = None
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write *data* so readers never observe a partial file.
+
+    The classic tmp-then-rename dance: a crash mid-write leaves only a
+    ``*.tmp`` orphan, never a truncated target.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+@dataclass
+class CrashStore:
+    """Signature-deduplicated crash corpus for one campaign."""
+
+    directory: Path | None = None
+    hypervisor: str = "?"
+    vendor: str = "?"
+    campaign_seed: int = 0
+    #: Re-execute a candidate input during minimization; minimization is
+    #: skipped when the store has no executor (or ``minimize=False``).
+    minimize: bool = True
+    records: dict[CrashSignature, CrashRecord] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def total(self) -> int:
+        """All case crashes seen, including duplicates."""
+        return sum(r.count for r in self.records.values())
+
+    def record(self, exc: BaseException, data: bytes, iteration: int,
+               reexecute: Callable[[bytes], object] | None = None,
+               ) -> tuple[CrashRecord, bool]:
+        """Triage one escaped exception; returns (record, is_new)."""
+        signature = CrashSignature.of(exc, self.hypervisor, self.vendor)
+        existing = self.records.get(signature)
+        if existing is not None:
+            existing.count += 1
+            return existing, False
+        minimized = False
+        if self.minimize and reexecute is not None:
+            data, minimized = self._minimize(signature, data, reexecute)
+        record = CrashRecord(
+            signature=signature, message=str(exc),
+            first_iteration=iteration, input_bytes=data,
+            minimized=minimized)
+        self.records[signature] = record
+        if self.directory is not None:
+            record.path = self._persist(record)
+        return record, True
+
+    # --- minimization --------------------------------------------------
+
+    def _reproduces(self, signature: CrashSignature, data: bytes,
+                    reexecute: Callable[[bytes], object]) -> bool:
+        try:
+            reexecute(data)
+        except Exception as exc:
+            return CrashSignature.of(
+                exc, self.hypervisor, self.vendor) == signature
+        return False
+
+    def _minimize(self, signature: CrashSignature, data: bytes,
+                  reexecute: Callable[[bytes], object],
+                  ) -> tuple[bytes, bool]:
+        """Zero whole input regions while the crash still reproduces.
+
+        Coarse but cheap (at most one re-execution per region, only on
+        the first occurrence of a signature); a zeroed region tells the
+        person triaging "this part of the input is irrelevant".
+        """
+        shrunk = False
+        current = bytearray(data)
+        for start, end in _MINIMIZE_REGIONS:
+            trial = bytearray(current)
+            trial[start:end] = bytes(end - start)
+            if trial == current:
+                continue
+            if self._reproduces(signature, bytes(trial), reexecute):
+                current = trial
+                shrunk = True
+        return bytes(current), shrunk
+
+    # --- persistence ---------------------------------------------------
+
+    def _persist(self, record: CrashRecord) -> Path:
+        directory = Path(self.directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"crash-{record.signature.slug()}.json"
+        payload = {
+            "schema": SCHEMA,
+            "signature": {
+                "exc_type": record.signature.exc_type,
+                "top_frame": record.signature.top_frame,
+                "hypervisor": record.signature.hypervisor,
+                "vendor": record.signature.vendor,
+            },
+            "message": record.message,
+            "iteration": record.first_iteration,
+            "campaign_seed": self.campaign_seed,
+            "minimized": record.minimized,
+            "input": record.input_bytes.hex(),
+        }
+        atomic_write_bytes(
+            path, json.dumps(payload, indent=2, sort_keys=True).encode())
+        return path
+
+
+def load_reproducer(path: Path) -> tuple[bytes, dict]:
+    """Read one reproducer file back as (input bytes, metadata)."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != SCHEMA:
+        raise ValueError(f"unsupported reproducer schema in {path}")
+    data = bytes.fromhex(payload["input"])
+    return data, payload

@@ -10,10 +10,13 @@ is ignored.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.coverage.bitmap import CoverageBitmap, VirginMap
+from repro.faults import InjectedFault
+from repro.fuzzer.crashes import CrashStore, atomic_write_bytes
 from repro.fuzzer.input import (
     CONFIG_REGION,
     HARNESS_REGION,
@@ -51,6 +54,12 @@ class EngineStats:
     #: Sync-partner cases executed via :meth:`FuzzEngine.import_case`
     #: (not counted in ``iterations`` — they are not mutation budget).
     imported: int = 0
+    #: Exceptions that escaped the target/oracle and were isolated at
+    #: the case boundary instead of killing the campaign.
+    case_exceptions: int = 0
+    #: Corrupt corpus entries (truncated / invalid JSON) skipped by
+    #: :meth:`FuzzEngine.import_case` instead of raising.
+    import_skipped: int = 0
 
 
 ExecuteFn = Callable[[FuzzInput], RunFeedback]
@@ -67,6 +76,16 @@ class FuzzEngine:
     virgin: VirginMap = field(default_factory=VirginMap)
     stats: EngineStats = field(default_factory=EngineStats)
     crash_inputs: list[tuple[FuzzInput, str]] = field(default_factory=list)
+    #: Case-boundary crash isolation: an exception escaping ``execute``
+    #: is triaged here instead of killing the campaign. ``None`` still
+    #: isolates (counted in ``stats.case_exceptions``) but keeps no
+    #: deduplicated records and persists no reproducers.
+    crashes: CrashStore | None = None
+
+    def __post_init__(self) -> None:
+        # Scratch feedback for isolated cases: an escaped exception left
+        # no usable bitmap, so the engine reports an empty one.
+        self._fault_bitmap = CoverageBitmap()
 
     def add_seed(self, data: bytes) -> None:
         """Register one initial seed."""
@@ -84,11 +103,41 @@ class FuzzEngine:
         data = havoc(data, self.rng)
         return FuzzInput(region_havoc(data, self.rng, _REGIONS))
 
+    def _execute_isolated(self, candidate: FuzzInput) -> RunFeedback:
+        """Run one case with crash isolation at the case boundary.
+
+        An exception escaping the hypervisor model or the oracle is
+        triaged (signature-deduplicated, persisted as a reproducer when
+        a crash directory is configured) and converted into a crashed
+        :class:`RunFeedback`, so the campaign keeps running. Simulated
+        worker deaths (:class:`repro.faults.WorkerKilled`) derive from
+        ``BaseException`` and pass straight through.
+        """
+        try:
+            return self.execute(candidate)
+        except Exception as exc:
+            self.stats.case_exceptions += 1
+            anomaly = f"case-exception: {type(exc).__name__}: {exc}"
+            if self.crashes is not None:
+                # Injected faults are input-independent one-shots:
+                # re-executing for minimization would consume *other*
+                # pending specs and prove nothing about the input.
+                reexecute = None if isinstance(exc, InjectedFault) else (
+                    lambda raw: self.execute(
+                        FuzzInput(FuzzInput.normalize(raw))))
+                record, _ = self.crashes.record(
+                    exc, candidate.data, self.stats.iterations,
+                    reexecute=reexecute)
+                anomaly = f"case-exception: {record.signature}"
+            self._fault_bitmap.reset()
+            return RunFeedback(bitmap=self._fault_bitmap, crashed=True,
+                               anomaly=anomaly)
+
     def step(self) -> RunFeedback:
         """One fuzzing iteration: mutate, execute, triage."""
         self.stats.iterations += 1
         candidate = self._next_input()
-        feedback = self.execute(candidate)
+        feedback = self._execute_isolated(candidate)
         if feedback.crashed or feedback.anomaly:
             self.stats.crashes += feedback.crashed
             self.stats.anomalies += feedback.anomaly is not None
@@ -112,17 +161,45 @@ class FuzzEngine:
             self.step()
         return self.stats
 
-    def import_case(self, data: bytes) -> int:
+    def _decode_entry(self, payload: bytes) -> bytes | None:
+        """Decode one on-disk corpus entry; ``None`` when corrupt.
+
+        Two shapes are accepted: a raw queue entry (exactly
+        ``INPUT_SIZE`` bytes, what :meth:`save_corpus` writes) and a
+        JSON crash reproducer (``repro.fuzzer.crashes`` schema). A
+        truncated raw entry, malformed JSON, or a reproducer missing or
+        mis-encoding its input field all decode to ``None`` — the
+        artifacts a partner crashing mid-write can leave behind.
+        """
+        if payload.lstrip()[:1] == b"{":
+            try:
+                meta = json.loads(payload)
+                data = bytes.fromhex(meta["input"])
+            except (ValueError, KeyError, TypeError):
+                return None
+            return data if data else None
+        if len(payload) != INPUT_SIZE:
+            return None
+        return payload
+
+    def import_case(self, data: bytes) -> int | None:
         """Execute a sync partner's queue entry and keep it if novel.
 
         This is AFL's ``sync_fuzzers`` behaviour: the case runs against
         the local target and joins the queue only when it lights up new
         virgin-map bits here. Imported executions do not count against
         the mutation-iteration budget; they are tracked separately in
-        ``stats.imported``. Returns the tri-state new-bits value.
+        ``stats.imported``. Returns the tri-state new-bits value, or
+        ``None`` for a corrupt entry, which is skipped and counted in
+        ``stats.import_skipped`` rather than raised on — a partner
+        crashing mid-write must not take this worker down with it.
         """
-        candidate = FuzzInput(FuzzInput.normalize(data))
-        feedback = self.execute(candidate)
+        decoded = self._decode_entry(data)
+        if decoded is None:
+            self.stats.import_skipped += 1
+            return None
+        candidate = FuzzInput(FuzzInput.normalize(decoded))
+        feedback = self._execute_isolated(candidate)
         self.stats.imported += 1
         if feedback.crashed or feedback.anomaly:
             self.stats.crashes += feedback.crashed
@@ -145,6 +222,10 @@ class FuzzEngine:
         are exported — what a sync partner wants to read, since entries
         it handed us would only ping-pong back. The queue is append-only,
         so indices are stable across repeated incremental saves.
+
+        Every entry is written atomically (``*.tmp`` + ``os.replace``):
+        a worker dying mid-export leaves at worst a ``*.tmp`` orphan,
+        never a truncated entry a partner could half-import.
         """
         from pathlib import Path
 
@@ -154,7 +235,7 @@ class FuzzEngine:
                    if not (exclude_imported and e.imported)]
         for index, entry in enumerate(entries):
             suffix = f",found:{entry.found_at}" if entry.found_at else ",seed"
-            (path / f"id:{index:06d}{suffix}").write_bytes(entry.data)
+            atomic_write_bytes(path / f"id:{index:06d}{suffix}", entry.data)
         return len(entries)
 
     def load_corpus(self, directory) -> int:
@@ -167,7 +248,7 @@ class FuzzEngine:
 
         count = 0
         for file in sorted(Path(directory).iterdir()):
-            if file.is_file():
+            if file.is_file() and not file.name.endswith(".tmp"):
                 self.add_seed(file.read_bytes())
                 count += 1
         return count

@@ -56,3 +56,15 @@ class Rng:
     def fork(self, salt: int) -> "Rng":
         """Derive an independent child stream (for per-run determinism)."""
         return Rng((self.seed * 1_000_003 + salt) & 0xFFFFFFFFFFFFFFFF)
+
+    # --- checkpointing -----------------------------------------------------
+
+    def getstate(self):
+        """The full stream position (checkpoint payload)."""
+        return self._random.getstate()
+
+    def setstate(self, state) -> None:
+        """Restore a :meth:`getstate` position, resuming the exact
+        stream — a resumed campaign must consume the same randomness an
+        uninterrupted one would."""
+        self._random.setstate(state)

@@ -9,14 +9,26 @@ one :class:`ParallelCampaignResult`. See DESIGN.md, "Parallel campaigns
 """
 
 from repro.parallel.campaign import ParallelCampaign, ParallelCampaignResult
+from repro.parallel.supervisor import (
+    CampaignAborted,
+    FailureKind,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorEvent,
+)
 from repro.parallel.sync import SyncDirectory
 from repro.parallel.worker import CampaignWorker, WorkerSpec, worker_seed
 
 __all__ = [
+    "CampaignAborted",
+    "CampaignWorker",
+    "FailureKind",
     "ParallelCampaign",
     "ParallelCampaignResult",
+    "Supervisor",
+    "SupervisorConfig",
+    "SupervisorEvent",
     "SyncDirectory",
-    "CampaignWorker",
     "WorkerSpec",
     "worker_seed",
 ]

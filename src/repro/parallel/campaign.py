@@ -17,21 +17,37 @@ the campaign seed verbatim, never imports anything, and reproduces the
 serial ``NecoFuzz.run`` result bit for bit. With N workers the merged
 covered-line set is a superset-style union — not bit-for-bit comparable
 to any serial run, but measured over the same instrumented universe.
+
+Resilience (off by default, see DESIGN.md §9): inline mode restores a
+killed worker from an in-memory snapshot and replays its chunk, process
+mode delegates to :class:`repro.parallel.supervisor.Supervisor`, and
+``checkpoint_interval``/``resume`` give interrupted inline campaigns a
+bit-for-bit continuation from the last round boundary.
 """
 
 from __future__ import annotations
 
+import logging
 import pickle
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults
 from repro.analysis.timeline import CoverageTimeline
 from repro.arch.cpuid import Vendor
 from repro.core.executor import ComponentToggles
 from repro.core.necofuzz import CampaignResult
 from repro.coverage.bitmap import VirginMap
+from repro.fuzzer.crashes import atomic_write_bytes
 from repro.fuzzer.engine import EngineStats
+from repro.parallel.supervisor import (
+    CampaignAborted,
+    FailureKind,
+    Supervisor,
+    SupervisorConfig,
+    SupervisorEvent,
+)
 from repro.parallel.sync import SyncDirectory
 from repro.parallel.worker import (
     CampaignWorker,
@@ -39,6 +55,8 @@ from repro.parallel.worker import (
     WorkerSpec,
     worker_seed,
 )
+
+log = logging.getLogger("repro.parallel")
 
 
 @dataclass
@@ -50,11 +68,23 @@ class ParallelCampaignResult(CampaignResult):
     #: OR-merge of every worker's virgin map: the campaign-global
     #: "behaviour already seen" map.
     virgin: VirginMap
+    #: Per-worker final-corpus digests, in shard order — the corpus
+    #: half of :func:`repro.resilience.campaign_fingerprint`.
+    corpus_digests: list[str] = field(default_factory=list)
+    #: Every failure the runtime observed and what it did about it.
+    events: list[SupervisorEvent] = field(default_factory=list)
+    #: Cases that overran the per-case deadline, summed across workers.
+    deadline_overruns: int = 0
 
     def summary(self) -> str:
-        return (super().summary()
+        text = (super().summary()
                 + f", {self.workers} worker(s), "
                   f"{self.engine_stats.imported} synced import(s)")
+        if self.events:
+            restarted = sum(1 for e in self.events if e.action == "restart")
+            text += (f", {len(self.events)} fault event(s) "
+                     f"({restarted} restart(s))")
+        return text
 
 
 def _merge_stats(stats: list[EngineStats]) -> EngineStats:
@@ -64,7 +94,9 @@ def _merge_stats(stats: list[EngineStats]) -> EngineStats:
         crashes=sum(s.crashes for s in stats),
         anomalies=sum(s.anomalies for s in stats),
         last_find=max((s.last_find for s in stats), default=0),
-        imported=sum(s.imported for s in stats))
+        imported=sum(s.imported for s in stats),
+        case_exceptions=sum(s.case_exceptions for s in stats),
+        import_skipped=sum(s.import_skipped for s in stats))
 
 
 def _merge_virgin(reports: list[WorkerReport]) -> VirginMap:
@@ -104,18 +136,6 @@ def _merge_timeline(reports: list[WorkerReport], instrumented_total: int,
     return merged
 
 
-def _process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
-                         sample_every: int, sync_every: int, root: str,
-                         total_workers: int, out_path: str) -> None:
-    """Child-process entry point: run one share, pickle the report."""
-    worker = CampaignWorker(
-        spec, campaign_kwargs, sample_every=sample_every,
-        sync=SyncDirectory(Path(root), spec.index, total_workers))
-    report = worker.run_share(sync_every)
-    with open(out_path, "wb") as f:
-        pickle.dump(report, f)
-
-
 @dataclass
 class ParallelCampaign:
     """One logical campaign sharded across N workers."""
@@ -136,6 +156,24 @@ class ParallelCampaign:
     async_events: bool = False
     iterations_per_hour: float = 10.0
     reuse_hypervisor: bool = False
+    # --- resilience ---------------------------------------------------
+    #: Per-case wall-clock deadline. Enforced by the supervisor in
+    #: process mode (a stale heartbeat gets the worker killed and
+    #: restarted); bookkeeping-only in inline mode.
+    case_timeout: float | None = None
+    #: Consecutive failures per shard before the circuit breaker opens.
+    max_restarts: int = 3
+    #: Sync rounds between campaign checkpoints in inline mode
+    #: (0 disables). Process-mode workers checkpoint every round
+    #: regardless — their snapshots live under the sync root.
+    checkpoint_interval: int = 0
+    #: Continue an interrupted campaign from its checkpoints. Requires
+    #: a persistent ``sync_dir``. Inline resume is bit-for-bit; process
+    #: resume keeps superset semantics.
+    resume: bool = False
+    #: Deterministic fault plan for chaos testing; also picked up from
+    #: :func:`repro.faults.install` when None.
+    fault_plan: faults.FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -144,6 +182,13 @@ class ParallelCampaign:
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.sync_every < 1:
             raise ValueError("sync_every must be >= 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be >= 0")
+        if self.resume and self.sync_dir is None:
+            raise ValueError("resume requires a persistent sync_dir")
+        self.events: list[SupervisorEvent] = []
 
     # ------------------------------------------------------------------
 
@@ -182,6 +227,15 @@ class ParallelCampaign:
     def _run_in(self, root: Path, iterations: int,
                 sample_every: int) -> ParallelCampaignResult:
         specs = self._specs(iterations)
+        if self.fault_plan is not None and faults.active() is None:
+            # A plan passed as a field behaves exactly like one already
+            # installed around run() — both modes consult the global.
+            with faults.injected(self.fault_plan):
+                return self._dispatch(root, specs, sample_every)
+        return self._dispatch(root, specs, sample_every)
+
+    def _dispatch(self, root: Path, specs: list[WorkerSpec],
+                  sample_every: int) -> ParallelCampaignResult:
         if self.mode == "process" and self.workers > 1:
             reports = self._run_processes(root, specs, sample_every)
         else:
@@ -190,60 +244,134 @@ class ParallelCampaign:
 
     # --- inline mode --------------------------------------------------------
 
+    def _campaign_checkpoint_path(self, root: Path) -> Path:
+        return root / "campaign.ckpt"
+
+    def _manifest(self, specs: list[WorkerSpec], sample_every: int) -> tuple:
+        return (self.seed, self.workers, self.hypervisor, self.vendor.value,
+                tuple(spec.iterations for spec in specs), sample_every,
+                self.sync_every)
+
+    def _save_campaign_checkpoint(self, path: Path, manifest: tuple,
+                                  workers: list[CampaignWorker],
+                                  rounds: int) -> None:
+        payload = {"manifest": manifest, "rounds": rounds, "workers": workers}
+        atomic_write_bytes(path, pickle.dumps(payload))
+
+    def _load_campaign_checkpoint(self, path: Path, manifest: tuple):
+        """(workers, rounds) from a matching checkpoint, else (None, 0)."""
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None, 0
+        if (not isinstance(payload, dict)
+                or payload.get("manifest") != manifest):
+            log.warning("ignoring checkpoint %s: campaign shape changed",
+                        path)
+            return None, 0
+        return payload["workers"], payload["rounds"]
+
+    def _run_chunk_isolated(self, worker: CampaignWorker,
+                            restarts: dict[int, int]) -> None:
+        """One chunk, surviving injected worker deaths.
+
+        A killed worker is rolled back to the pre-chunk snapshot and the
+        chunk replayed — deterministic because exports only happen after
+        a chunk completes, and the one-shot fault stays consumed. The
+        snapshot is taken only when a fault plan is live, keeping the
+        plain path allocation-free.
+        """
+        while True:
+            snapshot = (pickle.dumps(worker)
+                        if faults.active() is not None else None)
+            try:
+                worker.run_chunk(self.sync_every)
+                return
+            except faults.WorkerKilled as death:
+                index = worker.spec.index
+                restarts[index] = restarts.get(index, 0) + 1
+                if snapshot is None or restarts[index] > self.max_restarts:
+                    self.events.append(SupervisorEvent(
+                        index, FailureKind.WORKER_CRASH, str(death),
+                        "abort"))
+                    raise CampaignAborted(
+                        f"worker {index} died {restarts[index]} time(s), "
+                        f"exceeding max_restarts={self.max_restarts}"
+                    ) from death
+                log.warning("worker %d died inline (%s); restart %d/%d "
+                            "from pre-chunk snapshot", index, death,
+                            restarts[index], self.max_restarts)
+                self.events.append(SupervisorEvent(
+                    index, FailureKind.WORKER_CRASH, str(death), "restart"))
+                # Replace, don't merge: attributes still at their class
+                # defaults when the snapshot was taken (e.g. ``done``)
+                # are absent from the pickled __dict__ and must revert.
+                restored = pickle.loads(snapshot)
+                worker.__dict__.clear()
+                worker.__dict__.update(restored.__dict__)
+
     def _run_inline(self, root: Path, specs: list[WorkerSpec],
                     sample_every: int) -> list[WorkerReport]:
         syncing = self.workers > 1
-        workers = [
-            CampaignWorker(
-                spec, self._campaign_kwargs(), sample_every=sample_every,
-                sync=SyncDirectory(root, spec.index, self.workers)
-                if syncing else None)
-            for spec in specs
-        ]
+        checkpointing = self.checkpoint_interval > 0 or self.resume
+        ckpt = self._campaign_checkpoint_path(root) if checkpointing else None
+        manifest = self._manifest(specs, sample_every)
+        workers, rounds = None, 0
+        if self.resume and ckpt is not None and ckpt.exists():
+            workers, rounds = self._load_campaign_checkpoint(ckpt, manifest)
+            if workers is not None:
+                log.info("resuming inline campaign from round %d", rounds)
+        if workers is None:
+            workers = [
+                CampaignWorker(
+                    spec, self._campaign_kwargs(), sample_every=sample_every,
+                    sync=SyncDirectory(root, spec.index, self.workers)
+                    if syncing else None,
+                    case_timeout=self.case_timeout)
+                for spec in specs
+            ]
+        restarts: dict[int, int] = {}
         while any(not worker.finished for worker in workers):
             for worker in workers:
                 if not worker.finished:
-                    worker.run_chunk(self.sync_every)
+                    self._run_chunk_isolated(worker, restarts)
                     worker.export()
             if syncing:
                 # Bidirectional round: everyone has published, so every
                 # worker sees every partner's finds from this round.
                 for worker in workers:
                     worker.import_new()
+            rounds += 1
+            if (ckpt is not None and self.checkpoint_interval
+                    and rounds % self.checkpoint_interval == 0):
+                self._save_campaign_checkpoint(ckpt, manifest, workers,
+                                               rounds)
         return [worker.report() for worker in workers]
 
     # --- process mode -------------------------------------------------------
 
     def _run_processes(self, root: Path, specs: list[WorkerSpec],
                        sample_every: int) -> list[WorkerReport]:
-        import multiprocessing
+        from repro.parallel import supervisor as sup
 
+        if not self.resume:
+            # A fresh campaign in a persistent sync root must not pick
+            # up a previous run's shard snapshots.
+            for spec in specs:
+                sup.checkpoint_path(root, spec.index).unlink(missing_ok=True)
+                sup.report_path(root, spec.index).unlink(missing_ok=True)
+        config = SupervisorConfig(max_restarts=self.max_restarts)
+        if self.case_timeout is not None:
+            config.case_timeout = self.case_timeout
+        supervisor = Supervisor(
+            root=root, specs=specs, campaign_kwargs=self._campaign_kwargs(),
+            sample_every=sample_every, sync_every=self.sync_every,
+            config=config, fault_plan=self.fault_plan or faults.active())
         try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # platform without fork
-            ctx = multiprocessing.get_context()
-        out_paths = [root / f"report-{spec.index:03d}.pkl" for spec in specs]
-        procs = [
-            ctx.Process(
-                target=_process_worker_main,
-                args=(spec, self._campaign_kwargs(), sample_every,
-                      self.sync_every, str(root), self.workers,
-                      str(out_path)),
-                daemon=False)
-            for spec, out_path in zip(specs, out_paths)
-        ]
-        for proc in procs:
-            proc.start()
-        for proc in procs:
-            proc.join()
-        reports = []
-        for spec, proc, out_path in zip(specs, procs, out_paths):
-            if proc.exitcode != 0 or not out_path.exists():
-                raise RuntimeError(
-                    f"worker {spec.index} failed (exit {proc.exitcode})")
-            with open(out_path, "rb") as f:
-                reports.append(pickle.load(f))
-        return reports
+            return supervisor.run()
+        finally:
+            self.events.extend(supervisor.events)
 
     # --- merge --------------------------------------------------------------
 
@@ -270,4 +398,7 @@ class ParallelCampaign:
             watchdog_restarts=sum(r.result.watchdog_restarts for r in reports),
             workers=self.workers,
             per_worker=[r.result for r in reports],
-            virgin=_merge_virgin(reports))
+            virgin=_merge_virgin(reports),
+            corpus_digests=[r.corpus_digest for r in reports],
+            events=list(self.events),
+            deadline_overruns=sum(r.deadline_overruns for r in reports))

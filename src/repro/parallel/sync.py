@@ -3,10 +3,19 @@
 Each worker owns ``<root>/worker-NNN/queue/``, an AFL-style queue
 directory written with :meth:`FuzzEngine.save_corpus`. Partners read
 each other's directories incrementally: the queue is append-only and
-indices are stable, so a per-partner high-water mark is enough to
-import each entry exactly once. Only locally discovered entries are
-exported (``exclude_imported=True``) — re-exporting imports would
-ping-pong cases between workers forever.
+indices are stable, so remembering which filenames were already imported
+is enough to run each entry exactly once.  Only locally discovered
+entries are exported (``exclude_imported=True``) — re-exporting imports
+would ping-pong cases between workers forever.
+
+Robustness contract: every export is atomic (``*.tmp`` + ``os.replace``
+inside ``save_corpus``), and the import side tolerates whatever a
+partner crashing mid-write can leave behind — ``*.tmp`` orphans are
+never listed, and entries that fail to decode are skipped and counted
+(``stats.import_skipped``) rather than raised on. A skipped entry is
+*not* marked as seen: the owner rewrites its whole queue on every
+export, so a truncated entry heals on the next sync round and is
+imported then.
 """
 
 from __future__ import annotations
@@ -14,12 +23,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults
 from repro.fuzzer.engine import FuzzEngine
 
 
 def worker_queue_dir(root: Path, index: int) -> Path:
     """The queue directory one worker exports to."""
     return Path(root) / f"worker-{index:03d}" / "queue"
+
+
+def _corrupt(queue_dir: Path, spec) -> None:
+    """Apply one injected sync-corruption shape (chaos testing).
+
+    Writes bypass the atomic path on purpose: the fault simulates the
+    partial state a crash mid-write would leave *without* atomicity.
+    """
+    entries = sorted(p for p in queue_dir.iterdir()
+                     if p.is_file() and p.name.startswith("id:"))
+    if spec.corrupt == "truncate" and entries:
+        victim = entries[-1]
+        victim.write_bytes(victim.read_bytes()[:17])
+    elif spec.corrupt == "garbage" and entries:
+        entries[-1].write_bytes(b'{"input": not-json')
+    elif spec.corrupt == "tmp_orphan":
+        (queue_dir / "id:999999,found:0.tmp").write_bytes(b"partial")
 
 
 @dataclass
@@ -29,19 +56,32 @@ class SyncDirectory:
     root: Path
     worker: int
     total_workers: int
-    #: Per-partner count of queue files already imported.
-    seen: dict[int, int] = field(default_factory=dict)
+    #: Per-partner filenames already imported (valid entries only, so a
+    #: corrupt entry is retried once its owner rewrites it).
+    seen: dict[int, set[str]] = field(default_factory=dict)
+    #: Export rounds completed (drives ``corrupt_sync`` fault timing).
+    exports: int = 0
 
     def export(self, engine: FuzzEngine) -> int:
         """Publish the worker's locally found queue entries."""
-        return engine.save_corpus(worker_queue_dir(self.root, self.worker),
-                                  exclude_imported=True)
+        written = engine.save_corpus(worker_queue_dir(self.root, self.worker),
+                                     exclude_imported=True)
+        self.exports += 1
+        plan = faults.active()
+        if plan is not None:
+            spec = plan.take_sync_fault(self.worker, self.exports)
+            if spec is not None:
+                plan.record("corrupt_sync", self.worker, spec.corrupt)
+                _corrupt(worker_queue_dir(self.root, self.worker), spec)
+        return written
 
     def import_new(self, engine: FuzzEngine) -> int:
         """Run every not-yet-seen partner entry through *engine*.
 
         Returns the number of cases imported (executed), whether or not
-        they proved novel enough to join the local queue.
+        they proved novel enough to join the local queue. Entries that
+        fail to decode are skipped (counted by the engine) and retried
+        on a later round, after the owner's next export heals them.
         """
         imported = 0
         for partner in range(self.total_workers):
@@ -50,10 +90,20 @@ class SyncDirectory:
             queue_dir = worker_queue_dir(self.root, partner)
             if not queue_dir.is_dir():
                 continue
-            files = sorted(p for p in queue_dir.iterdir() if p.is_file())
-            start = self.seen.get(partner, 0)
-            for path in files[start:]:
-                engine.import_case(path.read_bytes())
+            seen = self.seen.setdefault(partner, set())
+            files = sorted(p for p in queue_dir.iterdir()
+                           if p.is_file() and p.name.startswith("id:")
+                           and not p.name.endswith(".tmp"))
+            for path in files:
+                if path.name in seen:
+                    continue
+                try:
+                    payload = path.read_bytes()
+                except OSError:
+                    engine.stats.import_skipped += 1
+                    continue
+                if engine.import_case(payload) is None:
+                    continue  # corrupt entry: counted, retried later
+                seen.add(path.name)
                 imported += 1
-            self.seen[partner] = len(files)
         return imported

@@ -5,14 +5,31 @@ a one-worker parallel campaign reproduce the serial ``NecoFuzz.run``
 bit for bit; workers 1..N-1 get seeds derived through the same
 multiplier :meth:`repro.fuzzer.rng.Rng.fork` uses, with a salt space
 disjoint from the campaign's own seed-corpus salts.
+
+Resilience plumbing (all optional, off in the plain fast path):
+
+* ``heartbeat_path`` — the worker stamps its case counter there before
+  every case, so the supervisor can tell a hung case from a live one;
+* ``checkpoint_path`` — after every sync round the worker pickles its
+  complete state (engine, agent, RNG, queue, timeline) atomically, so a
+  restarted replacement resumes from the last round instead of redoing
+  the whole share;
+* an installed :mod:`repro.faults` plan is consulted before each case
+  for injected kills and delays.
 """
 
 from __future__ import annotations
 
+import hashlib
+import pickle
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro import faults
 from repro.analysis.timeline import CoverageTimeline
 from repro.core.necofuzz import CampaignResult, NecoFuzz
+from repro.fuzzer.crashes import atomic_write_bytes
 from repro.parallel.sync import SyncDirectory
 
 #: Salt base for derived worker seeds (disjoint from the small corpus
@@ -52,6 +69,13 @@ class WorkerReport:
     samples: list[tuple[int, frozenset]]
     #: Snapshot of the worker's virgin map for the merged map.
     virgin_bits: bytes
+    #: Order-sensitive digest of the final seed queue (entry data +
+    #: provenance flags) — the corpus half of the campaign fingerprint.
+    corpus_digest: str = ""
+    #: Cases whose wall-clock time exceeded the per-case deadline
+    #: (observed post hoc in inline mode, enforced by the supervisor in
+    #: process mode).
+    deadline_overruns: int = 0
 
 
 @dataclass
@@ -62,7 +86,15 @@ class CampaignWorker:
     campaign_kwargs: dict
     sample_every: int = 10
     sync: SyncDirectory | None = None
+    #: Supervisor liveness file; stamped before every case.
+    heartbeat_path: Path | None = None
+    #: Atomic whole-worker snapshot written after every sync round.
+    checkpoint_path: Path | None = None
+    #: Per-case wall-clock deadline (bookkeeping only in-process; the
+    #: supervisor is what actually preempts a hung process worker).
+    case_timeout: float | None = None
     done: int = field(default=0, init=False)
+    deadline_overruns: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.campaign = NecoFuzz(seed=self.spec.seed, **self.campaign_kwargs)
@@ -78,6 +110,13 @@ class CampaignWorker:
     def finished(self) -> bool:
         return self.done >= self.spec.iterations
 
+    def _heartbeat(self) -> None:
+        if self.heartbeat_path is not None:
+            try:
+                self.heartbeat_path.write_text(f"{self.done}\n")
+            except OSError:
+                pass  # liveness reporting must never kill the worker
+
     def run_chunk(self, budget: int) -> int:
         """Run up to *budget* engine steps of the remaining share.
 
@@ -88,16 +127,40 @@ class CampaignWorker:
         steps = min(budget, self.spec.iterations - self.done)
         agent = self.campaign.agent
         engine = self.campaign.engine
-        for _ in range(steps):
-            self.done += 1
-            engine.step()
-            i = self.done
-            if i % self.sample_every == 0 or i == self.spec.iterations:
-                self.timeline.record(i, agent.coverage_fraction)
-                covered = agent.covered_lines()
-                delta = frozenset(covered - self._seen_lines)
-                self._seen_lines |= delta
-                self.samples.append((i, delta))
+        plan = faults.active()
+        # Tag hook firings with this worker for the chunk only: inline
+        # mode interleaves workers in one process, so the tag must not
+        # leak to the next worker (or outlive the campaign).
+        previous_worker = faults.current_worker()
+        faults.set_current_worker(self.spec.index)
+        timeout = self.case_timeout
+        try:
+            for _ in range(steps):
+                self.done += 1
+                self._heartbeat()
+                if plan is not None:
+                    spec = plan.take_case_fault(self.spec.index, self.done)
+                    if spec is not None:
+                        plan.record(spec.kind, self.spec.index,
+                                    f"case {self.done}")
+                        if spec.kind == "kill_worker":
+                            raise faults.WorkerKilled(
+                                f"worker {self.spec.index} killed at "
+                                f"case {self.done}")
+                        time.sleep(spec.seconds)
+                started = time.monotonic() if timeout else 0.0
+                engine.step()
+                if timeout and time.monotonic() - started > timeout:
+                    self.deadline_overruns += 1
+                i = self.done
+                if i % self.sample_every == 0 or i == self.spec.iterations:
+                    self.timeline.record(i, agent.coverage_fraction)
+                    covered = agent.covered_lines()
+                    delta = frozenset(covered - self._seen_lines)
+                    self._seen_lines |= delta
+                    self.samples.append((i, delta))
+        finally:
+            faults.set_current_worker(previous_worker)
         return steps
 
     # --- corpus sync -------------------------------------------------------
@@ -120,11 +183,38 @@ class CampaignWorker:
             self.run_chunk(sync_every)
             self.export()
             self.import_new()
+            self.save_checkpoint()
         if self.spec.iterations == 0:
             self.export()
         return self.report()
 
+    # --- checkpointing ------------------------------------------------------
+
+    def save_checkpoint(self) -> None:
+        """Atomically snapshot this worker's complete state, if enabled."""
+        if self.checkpoint_path is not None:
+            atomic_write_bytes(self.checkpoint_path, pickle.dumps(self))
+
+    @classmethod
+    def load_checkpoint(cls, path: Path) -> "CampaignWorker | None":
+        """Restore a worker from its snapshot; ``None`` if unreadable."""
+        try:
+            worker = pickle.loads(Path(path).read_bytes())
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+        return worker if isinstance(worker, cls) else None
+
     # --- results -----------------------------------------------------------
+
+    def corpus_digest(self) -> str:
+        """Order-sensitive digest of the current seed queue."""
+        digest = hashlib.sha256()
+        for entry in self.campaign.engine.queue.entries:
+            digest.update(entry.data)
+            digest.update(bytes((entry.new_bits, entry.imported)))
+            digest.update(entry.found_at.to_bytes(8, "little"))
+        return digest.hexdigest()
 
     def result(self) -> CampaignResult:
         """This worker's own view, shaped exactly like a serial result."""
@@ -143,4 +233,6 @@ class CampaignWorker:
             share=self.spec.iterations,
             result=self.result(),
             samples=list(self.samples),
-            virgin_bits=bytes(self.campaign.engine.virgin.bits))
+            virgin_bits=bytes(self.campaign.engine.virgin.bits),
+            corpus_digest=self.corpus_digest(),
+            deadline_overruns=self.deadline_overruns)

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro import perf
+from repro import faults, perf
 from repro.cpu.entry_checks import CheckStage, IncrementalChecker, Violation
 from repro.cpu.physical_cpu import VmxCpu
 from repro.validator.golden import golden_vmcs
@@ -48,6 +48,20 @@ class CorrectionRule:
     name: str
     matches: Callable[[Violation], bool]
     apply: Callable[[Vmcs, VmxCapabilities], None]
+
+    def __reduce__(self):
+        # The matcher/applier are closures, which pickle refuses; every
+        # rule lives in the fixed CANDIDATE_RULES library, so a rule
+        # pickles as its name and unpickles by lookup (worker
+        # checkpoints carry oracles with activated rules).
+        return (_rule_by_name, (self.name,))
+
+
+def _rule_by_name(name: str) -> CorrectionRule:
+    for rule in CANDIDATE_RULES:
+        if rule.name == name:
+            return rule
+    raise LookupError(f"unknown correction rule {name!r}")
 
 
 def _ack_on_exit_rule() -> CorrectionRule:
@@ -189,6 +203,7 @@ class HardwareOracle:
         Mutates *vmcs* with any corrections needed to make it enter, so
         the caller ends up holding a hardware-approved state.
         """
+        faults.hook("oracle.verify")
         report = OracleReport(entered=False, attempts=0)
         self.apply_learned(vmcs)
         seen: set[tuple[str, str]] = set()

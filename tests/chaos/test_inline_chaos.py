@@ -1,0 +1,100 @@
+"""Chaos suite, inline mode: injected faults against the deterministic
+round-robin runtime.
+
+The acceptance contract these tests pin (ISSUE.md / DESIGN.md §9): a
+fault-injected campaign completes, restarts the affected worker at most
+``max_restarts`` times, loses no corpus entries, and — for worker
+deaths in inline mode — reproduces the clean run's fingerprint bit for
+bit, because the replayed chunk re-executes the identical case
+sequence.
+"""
+
+import pytest
+
+from repro import Vendor, faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.resilience import (
+    CampaignAborted,
+    FailureKind,
+    ParallelCampaign,
+    campaign_fingerprint,
+)
+
+SEED = 11
+BUDGET = 40
+SYNC_EVERY = 10
+
+
+def _campaign(**overrides):
+    kwargs = dict(hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED,
+                  workers=2, sync_every=SYNC_EVERY, mode="inline")
+    kwargs.update(overrides)
+    return ParallelCampaign(**kwargs)
+
+
+class TestInlineKillRestart:
+    def test_injected_kill_matches_clean_run_bit_for_bit(self):
+        clean = _campaign().run(BUDGET)
+        plan = FaultPlan([FaultSpec("kill_worker", worker=1, at_case=7)])
+        with faults.injected(plan):
+            faulted = _campaign().run(BUDGET)
+        assert plan.exhausted
+        assert faulted.engine_stats.iterations == BUDGET
+        assert campaign_fingerprint(faulted) == campaign_fingerprint(clean)
+
+    def test_restart_event_recorded_once_per_death(self):
+        plan = FaultPlan([FaultSpec("kill_worker", worker=0, at_case=3)])
+        campaign = _campaign()
+        with faults.injected(plan):
+            result = campaign.run(BUDGET)
+        restarts = [e for e in result.events if e.action == "restart"]
+        assert len(restarts) == 1
+        assert restarts[0].worker == 0
+        assert restarts[0].kind is FailureKind.WORKER_CRASH
+
+    def test_fault_plan_field_works_without_global_install(self):
+        # The constructor argument is equivalent to wrapping run() in
+        # faults.injected() — the inline runtime must honour it too.
+        plan = FaultPlan([FaultSpec("kill_worker", worker=1, at_case=7)])
+        result = _campaign(fault_plan=plan).run(BUDGET)
+        assert plan.exhausted
+        assert result.engine_stats.iterations == BUDGET
+        assert any(e.action == "restart" for e in result.events)
+
+    def test_circuit_breaker_aborts_past_max_restarts(self):
+        # Two one-shot kills in the same chunk: the first is restarted
+        # (1 <= max_restarts), the replay consumes the second, and with
+        # max_restarts=1 the second death must abort the campaign.
+        plan = FaultPlan([FaultSpec("kill_worker", worker=0, at_case=3),
+                          FaultSpec("kill_worker", worker=0, at_case=4)])
+        campaign = _campaign(max_restarts=1)
+        with faults.injected(plan):
+            with pytest.raises(CampaignAborted):
+                campaign.run(BUDGET)
+        assert any(e.action == "abort" for e in campaign.events)
+
+
+class TestInlineSyncCorruption:
+    @pytest.mark.parametrize("mode", ["truncate", "garbage"])
+    def test_corrupt_sync_entry_heals_without_losing_cases(self, mode):
+        plan = FaultPlan([FaultSpec("corrupt_sync", worker=0, at_export=1,
+                                    corrupt=mode)])
+        with faults.injected(plan):
+            result = _campaign().run(BUDGET)
+        assert plan.exhausted
+        assert result.engine_stats.iterations == BUDGET
+        # Unseen entries are retried on every sync round, so over this
+        # campaign's two rounds a skip count of exactly one proves the
+        # entry corrupted at round 1 was healed by the owner's round-2
+        # re-export and imported then; a lasting corruption would have
+        # been skipped (and counted) again.
+        assert result.engine_stats.import_skipped == 1
+
+    def test_tmp_orphan_is_invisible_to_partners(self):
+        clean = _campaign().run(BUDGET)
+        plan = FaultPlan([FaultSpec("corrupt_sync", worker=0, at_export=1,
+                                    corrupt="tmp_orphan")])
+        with faults.injected(plan):
+            result = _campaign().run(BUDGET)
+        assert result.engine_stats.import_skipped == 0
+        assert campaign_fingerprint(result) == campaign_fingerprint(clean)

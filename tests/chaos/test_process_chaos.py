@@ -1,0 +1,74 @@
+"""Chaos suite, process mode: the supervisor against real worker
+processes.
+
+``kill_worker`` makes the forked worker ``os._exit`` with the reserved
+chaos exit code mid-share; ``delay_case`` freezes it past the per-case
+deadline so the heartbeat goes stale. Both must end the same way: the
+supervisor restarts the shard from its last checkpoint (at most
+``max_restarts`` times), the campaign completes its full budget, and no
+shard's corpus is lost.
+"""
+
+import pytest
+
+from repro import Vendor
+from repro.faults import FaultPlan, FaultSpec
+from repro.resilience import FailureKind, ParallelCampaign
+
+SEED = 11
+BUDGET = 40
+SYNC_EVERY = 10
+
+
+def _campaign(sync_dir, **overrides):
+    kwargs = dict(hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED,
+                  workers=2, sync_every=SYNC_EVERY, mode="process",
+                  sync_dir=sync_dir)
+    kwargs.update(overrides)
+    return ParallelCampaign(**kwargs)
+
+
+class TestProcessKillRestart:
+    def test_killed_worker_restarts_from_checkpoint(self, tmp_path):
+        plan = FaultPlan([FaultSpec("kill_worker", worker=1, at_case=15)])
+        campaign = _campaign(tmp_path, fault_plan=plan)
+        result = campaign.run(BUDGET)
+
+        crashes = [e for e in result.events
+                   if e.kind is FailureKind.WORKER_CRASH]
+        assert len(crashes) == 1
+        assert crashes[0].worker == 1
+        assert crashes[0].action == "restart"
+        # The replacement resumed from the round-boundary checkpoint
+        # and finished the whole share: nothing lost, nothing redone.
+        assert result.engine_stats.iterations == BUDGET
+        assert len(result.corpus_digests) == result.workers
+        assert all(result.corpus_digests)
+        assert all(len(r.covered_lines) > 0 for r in result.per_worker)
+
+    def test_restarts_stay_within_max_restarts(self, tmp_path):
+        plan = FaultPlan([FaultSpec("kill_worker", worker=0, at_case=5),
+                          FaultSpec("kill_worker", worker=0, at_case=15)])
+        campaign = _campaign(tmp_path, fault_plan=plan, max_restarts=3)
+        result = campaign.run(BUDGET)
+        restarts = [e for e in result.events if e.action == "restart"]
+        assert 1 <= len(restarts) <= 3
+        assert result.engine_stats.iterations == BUDGET
+
+
+class TestProcessHang:
+    @pytest.mark.slow
+    def test_stale_heartbeat_gets_worker_killed_and_restarted(self, tmp_path):
+        # The injected delay (far past the deadline) parks the worker
+        # inside one case; the supervisor must notice the stale
+        # heartbeat, kill the process, and restart the shard.
+        plan = FaultPlan([FaultSpec("delay_case", worker=1, at_case=15,
+                                    seconds=60.0)])
+        campaign = _campaign(tmp_path, fault_plan=plan, case_timeout=1.5)
+        result = campaign.run(BUDGET)
+
+        hangs = [e for e in result.events if e.kind is FailureKind.HANG]
+        assert len(hangs) == 1
+        assert hangs[0].worker == 1
+        assert hangs[0].action == "restart"
+        assert result.engine_stats.iterations == BUDGET

@@ -1,0 +1,67 @@
+"""Chaos suite: injected hook faults must leave usable crash artifacts.
+
+``raise_in_hook`` plants an exception inside a real pipeline stage
+(agent, executor, oracle). Case isolation must contain it, triage must
+attribute it to the hook site (not the injector), and a reproducer
+must land in ``corpus_dir/crashes/`` — the artifact the CI chaos job
+uploads.
+"""
+
+from repro import NecoFuzz, Vendor, faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.resilience import load_reproducer
+
+BUDGET = 30
+
+
+class TestHookFaultReproducers:
+    def test_hook_fault_is_contained_and_persisted(self, tmp_path):
+        plan = FaultPlan([FaultSpec("raise_in_hook", hook="oracle.verify")])
+        campaign = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=5,
+                            corpus_dir=tmp_path)
+        with faults.injected(plan):
+            result = campaign.run(BUDGET)
+        # The fault fired, was isolated at the case boundary, and the
+        # campaign ran its full budget regardless.
+        assert plan.fired
+        assert result.engine_stats.iterations == BUDGET
+        assert result.engine_stats.case_exceptions == 1
+
+        reproducers = sorted((tmp_path / "crashes").glob("crash-*.json"))
+        assert len(reproducers) == 1
+        data, meta = load_reproducer(reproducers[0])
+        assert meta["signature"]["exc_type"] == "InjectedFault"
+        # Triage skips the injector's own frames: the signature points
+        # at the hook site inside the oracle, not at faults.py.
+        assert meta["signature"]["top_frame"].startswith("oracle.py:")
+        assert meta["campaign_seed"] == 5
+
+    def test_distinct_hooks_produce_distinct_reproducers(self, tmp_path):
+        plan = FaultPlan([
+            FaultSpec("raise_in_hook", hook="agent.run_case"),
+            FaultSpec("raise_in_hook", hook="kvm.run"),
+            FaultSpec("raise_in_hook", hook="oracle.verify"),
+        ])
+        campaign = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=5,
+                            corpus_dir=tmp_path)
+        with faults.injected(plan):
+            result = campaign.run(BUDGET)
+        assert plan.exhausted
+        assert result.engine_stats.case_exceptions == 3
+        files = sorted((tmp_path / "crashes").glob("crash-*.json"))
+        assert len(files) == 3
+        frames = {load_reproducer(f)[1]["signature"]["top_frame"]
+                  for f in files}
+        assert len(frames) == 3
+
+    def test_reproducer_feeds_back_into_an_engine(self, tmp_path):
+        plan = FaultPlan([FaultSpec("raise_in_hook", hook="oracle.verify")])
+        campaign = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=5,
+                            corpus_dir=tmp_path)
+        with faults.injected(plan):
+            campaign.run(BUDGET)
+        payload = next((tmp_path / "crashes").glob("crash-*.json")).read_bytes()
+
+        replay = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=6)
+        assert replay.engine.import_case(payload) is not None
+        assert replay.engine.stats.imported == 1

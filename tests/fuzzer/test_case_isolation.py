@@ -1,0 +1,137 @@
+"""Engine robustness: case-boundary isolation and corrupt-entry imports."""
+
+import json
+
+import pytest
+
+from repro.coverage.bitmap import CoverageBitmap
+from repro.faults import WorkerKilled
+from repro.fuzzer.crashes import CrashStore
+from repro.fuzzer.engine import FuzzEngine, RunFeedback
+from repro.fuzzer.input import INPUT_SIZE
+from repro.fuzzer.rng import Rng
+
+
+def _ok_feedback(_candidate=None):
+    bitmap = CoverageBitmap()
+    bitmap.record_edge(1, 2)
+    return RunFeedback(bitmap=bitmap)
+
+
+def _engine(execute):
+    engine = FuzzEngine(execute=execute, rng=Rng(3))
+    engine.add_seed(b"\x01" * INPUT_SIZE)
+    return engine
+
+
+class TestCaseIsolation:
+    def test_escaping_exception_does_not_kill_the_loop(self):
+        calls = {"n": 0}
+
+        def execute(candidate):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise ValueError("model blew up")
+            return _ok_feedback()
+
+        engine = _engine(execute)
+        engine.run(5)
+        assert engine.stats.iterations == 5
+        assert engine.stats.case_exceptions == 1
+        assert engine.stats.crashes >= 1
+
+    def test_isolated_case_reported_as_crash_anomaly(self):
+        def execute(candidate):
+            raise KeyError("boom")
+
+        engine = _engine(execute)
+        feedback = engine.step()
+        assert feedback.crashed
+        assert "case-exception" in feedback.anomaly
+        assert "KeyError" in feedback.anomaly
+
+    def test_crash_store_receives_isolated_exceptions(self, tmp_path):
+        def execute(candidate):
+            raise KeyError("boom")
+
+        engine = _engine(execute)
+        engine.crashes = CrashStore(tmp_path, "kvm", "intel")
+        engine.run(3)
+        assert engine.stats.case_exceptions == 3
+        assert len(engine.crashes) == 1  # one signature, deduplicated
+        assert engine.crashes.total == 3
+        assert len(list(tmp_path.glob("crash-*.json"))) == 1
+
+    def test_worker_killed_passes_through_isolation(self):
+        def execute(candidate):
+            raise WorkerKilled("injected death")
+
+        engine = _engine(execute)
+        with pytest.raises(WorkerKilled):
+            engine.step()
+
+
+class TestImportCorruptionShapes:
+    """One test per shape a partner crashing mid-write can leave."""
+
+    def test_valid_raw_entry_imports(self):
+        engine = _engine(_ok_feedback)
+        assert engine.import_case(b"\x02" * INPUT_SIZE) is not None
+        assert engine.stats.imported == 1
+        assert engine.stats.import_skipped == 0
+
+    def test_truncated_raw_entry_skipped(self):
+        engine = _engine(_ok_feedback)
+        assert engine.import_case(b"\x02" * 17) is None
+        assert engine.stats.imported == 0
+        assert engine.stats.import_skipped == 1
+
+    def test_empty_entry_skipped(self):
+        engine = _engine(_ok_feedback)
+        assert engine.import_case(b"") is None
+        assert engine.stats.import_skipped == 1
+
+    def test_invalid_json_entry_skipped(self):
+        engine = _engine(_ok_feedback)
+        assert engine.import_case(b'{"input": not-json') is None
+        assert engine.stats.import_skipped == 1
+
+    def test_json_missing_input_field_skipped(self):
+        engine = _engine(_ok_feedback)
+        assert engine.import_case(json.dumps({"schema": 1}).encode()) is None
+        assert engine.stats.import_skipped == 1
+
+    def test_json_bad_hex_skipped(self):
+        engine = _engine(_ok_feedback)
+        payload = json.dumps({"input": "zz-not-hex"}).encode()
+        assert engine.import_case(payload) is None
+        assert engine.stats.import_skipped == 1
+
+    def test_valid_json_reproducer_imports(self):
+        engine = _engine(_ok_feedback)
+        payload = json.dumps({"input": ("03" * INPUT_SIZE)}).encode()
+        assert engine.import_case(payload) is not None
+        assert engine.stats.imported == 1
+
+    def test_skips_do_not_count_as_imports(self):
+        engine = _engine(_ok_feedback)
+        engine.import_case(b"short")
+        engine.import_case(b"\x04" * INPUT_SIZE)
+        assert engine.stats.imported == 1
+        assert engine.stats.import_skipped == 1
+
+
+class TestCorpusPersistence:
+    def test_save_corpus_is_atomic_no_tmp_left(self, tmp_path):
+        engine = _engine(_ok_feedback)
+        engine.save_corpus(tmp_path)
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names and not [n for n in names if n.endswith(".tmp")]
+
+    def test_load_corpus_ignores_tmp_orphans(self, tmp_path):
+        engine = _engine(_ok_feedback)
+        engine.save_corpus(tmp_path)
+        (tmp_path / "id:999999,found:0.tmp").write_bytes(b"partial")
+        fresh = FuzzEngine(execute=_ok_feedback, rng=Rng(4))
+        loaded = fresh.load_corpus(tmp_path)
+        assert loaded == 1

@@ -1,0 +1,147 @@
+"""Crash isolation and triage: signatures, dedupe, minimization, files."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzzer.crashes import (
+    CrashSignature,
+    CrashStore,
+    atomic_write_bytes,
+    load_reproducer,
+)
+from repro.fuzzer.engine import FuzzEngine, RunFeedback
+from repro.fuzzer.input import HARNESS_REGION, INPUT_SIZE
+from repro.fuzzer.rng import Rng
+
+
+def _boom(message="kaboom"):
+    """An exception with a real traceback."""
+    try:
+        raise RuntimeError(message)
+    except RuntimeError as exc:
+        return exc
+
+
+class TestCrashSignature:
+    def test_signature_captures_type_and_frame(self):
+        sig = CrashSignature.of(_boom(), "kvm", "intel")
+        assert sig.exc_type == "RuntimeError"
+        assert sig.top_frame.startswith("test_crashes.py:")
+        assert sig.hypervisor == "kvm"
+
+    def test_same_site_same_signature_different_message(self):
+        assert (CrashSignature.of(_boom("a"), "kvm", "intel")
+                == CrashSignature.of(_boom("b"), "kvm", "intel"))
+
+    def test_slug_is_stable_and_short(self):
+        sig = CrashSignature.of(_boom(), "kvm", "intel")
+        assert sig.slug() == sig.slug()
+        assert len(sig.slug()) == 12
+
+    def test_vendor_distinguishes_signatures(self):
+        exc = _boom()
+        assert (CrashSignature.of(exc, "kvm", "intel")
+                != CrashSignature.of(exc, "kvm", "amd"))
+
+
+class TestCrashStore:
+    def test_dedupes_by_signature(self, tmp_path):
+        store = CrashStore(tmp_path, "kvm", "intel", campaign_seed=1)
+        _, first_new = store.record(_boom("a"), b"\x01" * INPUT_SIZE, 1)
+        record, second_new = store.record(_boom("b"), b"\x02" * INPUT_SIZE, 2)
+        assert first_new and not second_new
+        assert len(store) == 1
+        assert store.total == 2
+        assert record.count == 2
+
+    def test_persists_one_reproducer_per_signature(self, tmp_path):
+        store = CrashStore(tmp_path, "kvm", "intel", campaign_seed=7)
+        store.record(_boom(), b"\x03" * INPUT_SIZE, 5)
+        store.record(_boom(), b"\x04" * INPUT_SIZE, 6)
+        files = list(tmp_path.glob("crash-*.json"))
+        assert len(files) == 1
+        data, meta = load_reproducer(files[0])
+        assert data == b"\x03" * INPUT_SIZE  # first occurrence wins
+        assert meta["campaign_seed"] == 7
+        assert meta["iteration"] == 5
+        assert meta["signature"]["exc_type"] == "RuntimeError"
+
+    def test_minimization_zeroes_irrelevant_regions(self, tmp_path):
+        # Crash depends only on the first harness byte; every other
+        # region should be zeroed by the region-minimizer.
+        start = HARNESS_REGION[0]
+
+        def reexecute(raw):
+            if raw[start] == 0xAB:
+                raise ValueError("trigger")
+            return None
+
+        data = bytearray(b"\xff" * INPUT_SIZE)
+        data[start] = 0xAB
+        try:
+            reexecute(bytes(data))
+        except ValueError as exc:
+            trigger = exc
+        store = CrashStore(tmp_path, "kvm", "intel")
+        record, _ = store.record(trigger, bytes(data), 1, reexecute=reexecute)
+        assert record.minimized
+        assert record.input_bytes[start] == 0xAB
+        # The VM-state region (disjoint from the trigger byte) is zeroed.
+        assert record.input_bytes[:start] == bytes(start)
+
+    def test_minimization_keeps_input_when_not_reproducing(self, tmp_path):
+        store = CrashStore(tmp_path, "kvm", "intel")
+        data = b"\x05" * INPUT_SIZE
+        record, _ = store.record(_boom(), data, 1,
+                                 reexecute=lambda raw: None)
+        assert not record.minimized
+        assert record.input_bytes == data
+
+    def test_reproducer_file_imports_into_engine(self, tmp_path):
+        store = CrashStore(tmp_path, "kvm", "intel")
+        store.record(_boom(), b"\x06" * INPUT_SIZE, 3)
+        payload = next(tmp_path.glob("crash-*.json")).read_bytes()
+
+        def execute(candidate):
+            bitmap = __import__(
+                "repro.coverage.bitmap", fromlist=["CoverageBitmap"]
+            ).CoverageBitmap()
+            bitmap.record_edge(1, 2)
+            return RunFeedback(bitmap=bitmap)
+
+        engine = FuzzEngine(execute=execute, rng=Rng(1))
+        assert engine.import_case(payload) is not None
+        assert engine.stats.import_skipped == 0
+
+    def test_load_reproducer_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "crash-bad.json"
+        path.write_text(json.dumps({"schema": 99, "input": "00"}))
+        with pytest.raises(ValueError):
+            load_reproducer(path)
+
+
+class TestAtomicWrite:
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "entry"
+        atomic_write_bytes(target, b"one")
+        atomic_write_bytes(target, b"two")
+        assert target.read_bytes() == b"two"
+
+    def test_leaves_no_tmp_on_success(self, tmp_path):
+        atomic_write_bytes(tmp_path / "entry", b"data")
+        assert [p.name for p in tmp_path.iterdir()] == ["entry"]
+
+    def test_interrupted_write_leaves_target_intact(self, tmp_path,
+                                                    monkeypatch):
+        target = tmp_path / "entry"
+        atomic_write_bytes(target, b"original")
+
+        def exploding_replace(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            atomic_write_bytes(target, b"partial")
+        assert target.read_bytes() == b"original"

@@ -1,6 +1,8 @@
-"""Corpus-sync protocol tests (export / incremental import)."""
+"""Corpus-sync protocol tests (export / incremental import / corruption)."""
 
+from repro import faults
 from repro.coverage.bitmap import CoverageBitmap
+from repro.faults import FaultPlan, FaultSpec
 from repro.fuzzer.engine import FuzzEngine, RunFeedback
 from repro.fuzzer.input import INPUT_SIZE
 from repro.fuzzer.rng import Rng
@@ -79,3 +81,49 @@ class TestSyncDirectory:
         sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
         sync.export(engine)
         assert sync.import_new(engine) == 0
+
+
+class TestSyncCorruption:
+    """Injected mid-write corruption: skip, count, heal on re-export."""
+
+    def _corrupted_export(self, tmp_path, mode):
+        producer = make_engine(seed=1)
+        producer.run(3)
+        sync = SyncDirectory(tmp_path, worker=1, total_workers=2)
+        plan = FaultPlan([FaultSpec("corrupt_sync", worker=1, at_export=1,
+                                    corrupt=mode)])
+        with faults.injected(plan):
+            sync.export(producer)
+        assert plan.exhausted
+        return producer, sync
+
+    def test_truncated_entry_skipped_then_healed(self, tmp_path):
+        producer, producer_sync = self._corrupted_export(tmp_path, "truncate")
+        consumer = make_engine(seed=2)
+        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        first = sync.import_new(consumer)
+        assert first == len(producer.queue) - 1
+        assert consumer.stats.import_skipped == 1
+        # The owner's next export rewrites the whole queue; the entry
+        # was never marked seen, so it imports now.
+        producer_sync.export(producer)
+        assert sync.import_new(consumer) == 1
+        assert consumer.stats.imported == len(producer.queue)
+
+    def test_garbage_entry_skipped_then_healed(self, tmp_path):
+        producer, producer_sync = self._corrupted_export(tmp_path, "garbage")
+        consumer = make_engine(seed=2)
+        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        assert sync.import_new(consumer) == len(producer.queue) - 1
+        assert consumer.stats.import_skipped == 1
+        producer_sync.export(producer)
+        assert sync.import_new(consumer) == 1
+
+    def test_tmp_orphan_never_listed(self, tmp_path):
+        producer, _ = self._corrupted_export(tmp_path, "tmp_orphan")
+        consumer = make_engine(seed=2)
+        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        assert sync.import_new(consumer) == len(producer.queue)
+        assert consumer.stats.import_skipped == 0
+        orphans = list(worker_queue_dir(tmp_path, 1).glob("*.tmp"))
+        assert orphans  # the fault really did leave one behind
