@@ -6,7 +6,12 @@ writes the numbers to ``BENCH_throughput.json`` at the repo root:
 * the AST-marker coverage fast path vs. the legacy ``sys.settrace``
   tracer on an identical serial campaign (acceptance floor: >= 1.5x);
 * process-mode ``ParallelCampaign`` wall-clock vs. serial for the same
-  budget — only meaningful with >1 CPU, so skipped on single-core CI.
+  budget, with the per-phase sync-overhead breakdown (export / manifest
+  scan / subsumption filter / import execution seconds) recorded so a
+  regression in the corpus protocol shows up as a number, not a vibe —
+  inline fallback (mode recorded) on single-core CI;
+* the ``VirginMap.merge_from`` no-change fast path vs. a forced full
+  merge on identical payloads.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import pytest
 
 from common import BenchReport, PhaseDeadline, bench_budget
 from repro import NecoFuzz, Vendor
+from repro.coverage.bitmap import CoverageBitmap, VirginMap
 from repro.coverage.kcov import KcovTracer
 from repro.hypervisors import HYPERVISORS
 from repro.parallel import ParallelCampaign
@@ -75,7 +81,7 @@ def test_serial_fast_path_speedup(capsys):
         "speedup": round(speedup, 2),
         "fast_coverage": round(fast_cov, 4),
         "legacy_coverage": round(legacy_cov, 4),
-        "deadline_truncated": truncated,
+        "deadline_truncated": {"fast": fast_cut, "legacy": legacy_cut},
     })
 
     report = BenchReport("Serial throughput: coverage fast path")
@@ -111,15 +117,20 @@ def test_parallel_wall_clock(capsys):
 
     # The parallel phase runs the budget the serial phase actually
     # completed, so a deadline-truncated comparison stays one-to-one.
-    # The pool itself cannot be stopped mid-flight; bounding its budget
-    # by a phase that ran under the same clock is the enforcement.
+    # The pool itself cannot be stopped mid-flight; its own deadline is
+    # observed post hoc and reported per sub-phase.
     workers = min(4, cpus) if mode == "process" else 2
+    parallel_deadline = PhaseDeadline()
     start = time.perf_counter()
     merged = ParallelCampaign(hypervisor="kvm", vendor=Vendor.INTEL,
                               seed=SEED, workers=workers, sync_every=50,
                               mode=mode).run(ran, sample_every=100)
     parallel_s = time.perf_counter() - start
+    parallel_deadline.expired()
 
+    overhead = merged.sync_overhead
+    sync_seconds = (overhead.export_seconds + overhead.scan_seconds
+                    + overhead.filter_seconds + overhead.execute_seconds)
     serial_covered = serial_campaign.agent.covered_lines()
     _update_json("parallel", {
         "mode": mode,
@@ -131,7 +142,18 @@ def test_parallel_wall_clock(capsys):
         "wall_clock_speedup": round(serial_s / parallel_s, 2),
         "serial_covered": len(serial_covered),
         "merged_covered": len(merged.covered_lines),
-        "deadline_truncated": serial_deadline.hit,
+        "shared_virgin_map": merged.shared_virgin_map,
+        "imports_skipped_subsumed":
+            merged.engine_stats.imports_skipped_subsumed,
+        "sync_overhead_seconds": {
+            "export": round(overhead.export_seconds, 4),
+            "scan": round(overhead.scan_seconds, 4),
+            "filter": round(overhead.filter_seconds, 4),
+            "execute": round(overhead.execute_seconds, 4),
+            "total": round(sync_seconds, 4),
+        },
+        "deadline_truncated": {"serial": serial_deadline.hit,
+                               "parallel": parallel_deadline.hit},
     })
 
     report = BenchReport(
@@ -142,9 +164,61 @@ def test_parallel_wall_clock(capsys):
                f"({len(merged.covered_lines)} lines)")
     report.add(f"speedup     {serial_s / parallel_s:6.2f}x"
                + ("  [deadline truncated]" if serial_deadline.hit else ""))
+    report.add(f"sync        {sync_seconds:6.2f}s  "
+               f"(export {overhead.export_seconds:.2f} / "
+               f"scan {overhead.scan_seconds:.2f} / "
+               f"filter {overhead.filter_seconds:.2f} / "
+               f"execute {overhead.execute_seconds:.2f}), "
+               f"{merged.engine_stats.imports_skipped_subsumed} subsumed")
     report.emit(capsys)
 
     assert merged.engine_stats.iterations == ran
     if (mode == "process" and BUDGET >= DEFAULT_BUDGET
             and not serial_deadline.hit):
         assert serial_s / parallel_s > 1.0
+
+
+@pytest.mark.benchmark(group="perf-throughput")
+def test_virgin_merge_fast_path(capsys):
+    """`merge_from` with nothing to contribute must be near-free."""
+    rounds = max(50, BUDGET)
+    populated = VirginMap()
+    run = CoverageBitmap()
+    for i in range(3000):
+        run.record_edge(i * 5, i * 5 + 1)
+    populated.has_new_bits(run)
+    empty = VirginMap()
+
+    start = time.perf_counter()
+    for _ in range(rounds):
+        assert not populated.merge_from(empty)
+    skip_s = time.perf_counter() - start
+
+    # Forced full merges: payload differs every round, no early-out.
+    # (Built outside the timed region so only merge_from is measured.)
+    contributors = []
+    for i in range(rounds):
+        fresh = VirginMap()
+        probe = CoverageBitmap()
+        probe.record_edge(i, i + 1)
+        fresh.has_new_bits(probe)
+        contributors.append(fresh)
+    start = time.perf_counter()
+    for fresh in contributors:
+        populated.merge_from(fresh)
+    full_s = time.perf_counter() - start
+
+    _update_json("bitmap", {
+        "merge_rounds": rounds,
+        "merge_skip_seconds": round(skip_s, 4),
+        "merge_full_seconds": round(full_s, 4),
+        "skip_speedup": round(full_s / max(skip_s, 1e-9), 1),
+    })
+
+    report = BenchReport("VirginMap.merge_from fast path")
+    report.add(f"no-change skip  {1e6 * skip_s / rounds:8.1f} us/merge")
+    report.add(f"full merge      {1e6 * full_s / rounds:8.1f} us/merge")
+    report.add(f"speedup         {full_s / max(skip_s, 1e-9):8.1f}x")
+    report.emit(capsys)
+
+    assert full_s > skip_s

@@ -58,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="inline = deterministic round-robin in one "
                              "process; process = one forked OS process "
                              "per worker")
+    parser.add_argument("--sync-format", choices=("v1", "v2"), default="v2",
+                        help="corpus wire format between workers: v2 = "
+                             "binary append-only queue (default), v1 = "
+                             "legacy per-entry files for pre-existing "
+                             "sync directories")
     parser.add_argument("--reuse-hypervisor", action="store_true",
                         help="reuse built hypervisors across same-config "
                              "cases (faster, changes trajectories)")
@@ -134,6 +139,7 @@ def main(argv: list[str] | None = None) -> int:
             sync_every=args.sync_every,
             mode=args.parallel_mode,
             sync_dir=args.sync_dir,
+            sync_format=args.sync_format,
             toggles=toggles,
             coverage_guided=not args.blackbox,
             patched=patched,

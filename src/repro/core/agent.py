@@ -143,6 +143,15 @@ class Agent:
         """Snapshot of the cumulative covered-line set."""
         return set(self.cumulative_lines) & self.tracer.instrumented
 
+    def absorb_lines(self, lines) -> None:
+        """Merge line coverage recorded by a sync partner.
+
+        Used when the protocol-v2 import filter skips executing a
+        subsumed entry: the entry's shipped line set stands in for the
+        lines a local execution would have produced.
+        """
+        self.cumulative_lines |= lines
+
     # ------------------------------------------------------------------
 
     def run_case(self, fuzz_input: FuzzInput) -> CaseOutcome:
@@ -224,7 +233,8 @@ class Agent:
         feedback = RunFeedback(
             bitmap=bitmap,
             crashed=bool(crash_anomalies),
-            anomaly=str(anomalies[0]) if anomalies else None)
+            anomaly=str(anomalies[0]) if anomalies else None,
+            lines=frozenset(lines))
         return CaseOutcome(feedback, anomalies, executor_result, command_line)
 
     def execute_for_engine(self, fuzz_input: FuzzInput) -> RunFeedback:

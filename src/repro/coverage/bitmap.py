@@ -5,11 +5,18 @@ by AFL++ to guide mutation" (paper §4.1). We reproduce the classic AFL
 scheme: 64 KiB of per-edge hit counters, bucketed into power-of-two
 classes, with a persistent *virgin map* deciding whether a run found new
 behaviour.
+
+The hot loops are vectorized the way AFL itself treats the map as words,
+not bytes: classification is a single ``bytes.translate`` over a
+precomputed 256-entry table, population counts use ``bytes.count(0)``,
+and the dense-run path of :meth:`VirginMap.has_new_bits` compares whole
+maps as big integers before falling back to the per-cell loop.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import Iterable
 
 MAP_SIZE = 1 << 16
 
@@ -26,6 +33,15 @@ def classify_count(count: int) -> int:
         if count <= threshold:
             return bucket
     return 128
+
+
+#: ``classify_count`` for every possible byte, so a whole map classifies
+#: in one C-level ``bytes.translate`` instead of 64 Ki Python calls.
+_CLASS_TABLE = bytes(classify_count(count) for count in range(256))
+
+#: Runs touching at least this many cells take the big-int comparison
+#: path in :meth:`VirginMap.has_new_bits` before the per-cell loop.
+_DENSE_TOUCHED = 2048
 
 
 def edge_index(prev_id: int, cur_id: int) -> int:
@@ -47,11 +63,18 @@ def stable_line_id(filename: str, lineno: int) -> int:
     return h & (MAP_SIZE - 1)
 
 
-#: Trace edges map to bitmap cells through two line-id hashes plus the
-#: edge fold. The set of distinct source-line edges is small (bounded by
-#: the instrumented target code), so one flat dict lookup per edge beats
-#: re-deriving the hash chain every case.
-_EDGE_INDEX_CACHE: dict[tuple, int] = {}
+@lru_cache(maxsize=MAP_SIZE)
+def edge_cell(edge: tuple) -> int:
+    """Bitmap cell for one ((file, line), (file, line)) trace edge.
+
+    The distinct source-line edges are bounded by the instrumented
+    target code, so one memoized lookup per edge beats re-deriving the
+    two line hashes plus the fold every case. Bounded at the map size:
+    more distinct edges than cells cannot improve precision anyway.
+    """
+    (prev_file, prev_line), (cur_file, cur_line) = edge
+    return edge_index(stable_line_id(prev_file, prev_line),
+                      stable_line_id(cur_file, cur_line))
 
 
 class CoverageBitmap:
@@ -70,23 +93,31 @@ class CoverageBitmap:
 
     def record_trace(self, edges) -> None:
         """Record a set of ((file, line), (file, line)) trace edges."""
-        cache = _EDGE_INDEX_CACHE
+        cell = edge_cell
         counts = self.counts
         touched = self.touched
         for edge in edges:
-            idx = cache.get(edge)
-            if idx is None:
-                (pf, pl), (cf, cl) = edge
-                idx = edge_index(stable_line_id(pf, pl),
-                                 stable_line_id(cf, cl))
-                cache[edge] = idx
+            idx = cell(edge)
             if counts[idx] < 255:
                 counts[idx] += 1
             touched.add(idx)
 
     def classified(self) -> bytes:
         """The bucketed bitmap, as AFL would compare it."""
-        return bytes(classify_count(c) for c in self.counts)
+        return bytes(self.counts).translate(_CLASS_TABLE)
+
+    def sparse_classified(self) -> tuple[tuple[int, int], ...]:
+        """The touched cells as sorted ``(cell, class-bit)`` pairs.
+
+        This is the wire representation corpus protocol v2 ships with
+        every exported entry: a few dozen pairs instead of a 64 KiB map,
+        enough for a partner to test subsumption against its own virgin
+        map without executing the entry.
+        """
+        counts = self.counts
+        table = _CLASS_TABLE
+        return tuple(sorted((idx, table[counts[idx]])
+                            for idx in self.touched if counts[idx]))
 
     def reset(self) -> None:
         """Clear recorded state (touched cells only — O(edges), not O(map))."""
@@ -97,7 +128,7 @@ class CoverageBitmap:
 
     def count_nonzero(self) -> int:
         """Number of map cells with at least one hit."""
-        return sum(1 for c in self.counts if c)
+        return MAP_SIZE - self.counts.count(0)
 
 
 class VirginMap:
@@ -105,27 +136,53 @@ class VirginMap:
 
     def __init__(self) -> None:
         self.bits = bytearray(MAP_SIZE)  # accumulated classified bits
+        #: Bumped on every mutation; lets publishers (shared-memory map,
+        #: ``merge_from`` fast path) skip work when nothing changed.
+        self.generation = 0
 
     def has_new_bits(self, run: CoverageBitmap) -> int:
         """Merge *run* into the map.
 
         Returns 2 for brand-new edges, 1 for new count buckets on known
         edges, 0 for nothing new — the same tri-state AFL uses to decide
-        whether an input is interesting.
+        whether an input is interesting. Dense runs first compare whole
+        maps as big integers: one C-level AND/NOT proves "nothing new"
+        without visiting thousands of cells individually.
         """
-        ret = 0
         counts = run.counts
         bits = self.bits
+        if len(run.touched) >= _DENSE_TOUCHED:
+            mine = int.from_bytes(bits, "little")
+            theirs = int.from_bytes(run.classified(), "little")
+            if theirs & ~mine == 0:
+                return 0
+        ret = 0
+        table = _CLASS_TABLE
         for idx in run.touched:
             count = counts[idx]
             if not count:
                 continue
-            cls = classify_count(count)
+            cls = table[count]
             old = bits[idx]
             if cls & ~old:
                 ret = 2 if old == 0 else max(ret, 1)
                 bits[idx] = old | cls
+        if ret:
+            self.generation += 1
         return ret
+
+    def subsumes(self, coverage: Iterable[tuple[int, int]]) -> bool:
+        """Would this sparse ``(cell, class-bit)`` coverage find nothing new?
+
+        The import-filter predicate of corpus protocol v2: a partner
+        entry whose recorded coverage is already fully present here
+        cannot contribute virgin bits and need not be executed.
+        """
+        bits = self.bits
+        for idx, cls in coverage:
+            if cls & ~bits[idx]:
+                return False
+        return True
 
     def snapshot(self) -> bytes:
         """Immutable copy of the accumulated bits (checkpoint payload)."""
@@ -138,13 +195,34 @@ class VirginMap:
                 f"virgin-map snapshot is {len(bits)} bytes, "
                 f"expected {MAP_SIZE}")
         self.bits = bytearray(bits)
+        self.generation += 1
 
-    def merge_from(self, other: "VirginMap") -> None:
-        """OR another virgin map into this one (parallel-campaign merge)."""
-        merged = (int.from_bytes(self.bits, "little")
-                  | int.from_bytes(other.bits, "little"))
+    def merge_from(self, other: "VirginMap") -> bool:
+        """OR another virgin map into this one (parallel-campaign merge).
+
+        Returns whether anything changed. An all-zero *other* — a worker
+        that found nothing since the last merge — is detected with one
+        ``count(0)`` scan and skipped before the two 64 KiB big-int
+        conversions are paid.
+        """
+        if other.bits.count(0) == MAP_SIZE:
+            return False
+        return self.merge_bits(bytes(other.bits))
+
+    def merge_bits(self, bits: bytes) -> bool:
+        """OR a raw :meth:`snapshot` payload in; returns whether changed."""
+        if len(bits) != MAP_SIZE:
+            raise ValueError(
+                f"virgin-map payload is {len(bits)} bytes, "
+                f"expected {MAP_SIZE}")
+        mine = int.from_bytes(self.bits, "little")
+        merged = mine | int.from_bytes(bits, "little")
+        if merged == mine:
+            return False
         self.bits = bytearray(merged.to_bytes(MAP_SIZE, "little"))
+        self.generation += 1
+        return True
 
     def density(self) -> float:
         """Fraction of map bytes touched (AFL's map density)."""
-        return sum(1 for b in self.bits if b) / MAP_SIZE
+        return (MAP_SIZE - self.bits.count(0)) / MAP_SIZE

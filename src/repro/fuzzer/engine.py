@@ -40,6 +40,11 @@ class RunFeedback:
     bitmap: CoverageBitmap
     crashed: bool = False
     anomaly: str | None = None
+    #: Source lines this case covered (fast-path tracer). Stored with
+    #: queue entries so protocol-v2 sync partners that skip a subsumed
+    #: import can still absorb its line coverage. None when the
+    #: executor does not track lines.
+    lines: frozenset | None = None
 
 
 @dataclass
@@ -60,6 +65,11 @@ class EngineStats:
     #: Corrupt corpus entries (truncated / invalid JSON) skipped by
     #: :meth:`FuzzEngine.import_case` instead of raising.
     import_skipped: int = 0
+    #: Protocol-v2 imports consumed *without* execution because their
+    #: recorded coverage was already subsumed by the local virgin map.
+    #: Counted inside ``imported`` as well; kept out of the campaign
+    #: fingerprint so v1 and v2 runs stay comparable.
+    imports_skipped_subsumed: int = 0
 
 
 ExecuteFn = Callable[[FuzzInput], RunFeedback]
@@ -145,8 +155,11 @@ class FuzzEngine:
         if self.coverage_guided:
             new_bits = self.virgin.has_new_bits(feedback.bitmap)
             if new_bits:
-                self.queue.add_finding(candidate.data, self.stats.iterations,
-                                       new_bits)
+                self.queue.add_finding(
+                    candidate.data, self.stats.iterations, new_bits,
+                    coverage=feedback.bitmap.sparse_classified(),
+                    lines=feedback.lines, crashed=feedback.crashed,
+                    anomaly=feedback.anomaly is not None)
                 self.stats.queue_adds += 1
                 self.stats.last_find = self.stats.iterations
         else:
@@ -198,7 +211,11 @@ class FuzzEngine:
         if decoded is None:
             self.stats.import_skipped += 1
             return None
-        candidate = FuzzInput(FuzzInput.normalize(decoded))
+        return self._run_import(decoded)
+
+    def _run_import(self, data: bytes) -> int:
+        """Execute one decoded partner input; queue it when novel here."""
+        candidate = FuzzInput(FuzzInput.normalize(data))
         feedback = self._execute_isolated(candidate)
         self.stats.imported += 1
         if feedback.crashed or feedback.anomaly:
@@ -208,8 +225,29 @@ class FuzzEngine:
         new_bits = self.virgin.has_new_bits(feedback.bitmap)
         if new_bits and self.coverage_guided:
             self.queue.add_finding(candidate.data, self.stats.iterations,
-                                   new_bits, imported=True)
+                                   new_bits, imported=True,
+                                   coverage=feedback.bitmap.sparse_classified(),
+                                   lines=feedback.lines,
+                                   crashed=feedback.crashed,
+                                   anomaly=feedback.anomaly is not None)
         return new_bits
+
+    def import_packed(self, record) -> int:
+        """Execute one already-decoded protocol-v2 partner record."""
+        return self._run_import(record.data)
+
+    def import_subsumed(self, record, absorb_lines=None) -> None:
+        """Consume a protocol-v2 record without executing it.
+
+        The sync layer calls this when *record*'s shipped coverage is
+        fully subsumed by the local virgin map: executing it could not
+        light up new bits, so only the bookkeeping — and, through
+        *absorb_lines*, the shipped line coverage — is applied.
+        """
+        self.stats.imported += 1
+        self.stats.imports_skipped_subsumed += 1
+        if absorb_lines is not None and record.lines:
+            absorb_lines(record.lines)
 
     # --- corpus persistence (AFL queue-directory style) -----------------
 

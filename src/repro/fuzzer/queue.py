@@ -17,6 +17,16 @@ class QueueEntry:
     exercised: int = 0       # times picked for mutation
     favored: bool = False
     imported: bool = False   # pulled in from a sync partner, not found locally
+    #: Sparse classified coverage ((cell, class-bit) pairs, sorted) the
+    #: entry produced when found — what corpus protocol v2 exports so
+    #: partners can test subsumption without executing. None for seeds
+    #: and legacy-loaded entries (which are then never filter-skipped).
+    coverage: tuple = None
+    #: Source lines the entry covered when found; shipped alongside
+    #: ``coverage`` so a skipping importer can still absorb line stats.
+    lines: frozenset = None
+    crashed: bool = False    # produced a crash when found (never skipped)
+    anomaly: bool = False    # produced an anomaly when found (never skipped)
 
 
 @dataclass
@@ -36,10 +46,14 @@ class SeedQueue:
         return entry
 
     def add_finding(self, data: bytes, iteration: int, new_bits: int,
-                    imported: bool = False) -> QueueEntry:
+                    imported: bool = False, coverage: tuple = None,
+                    lines: frozenset = None, crashed: bool = False,
+                    anomaly: bool = False) -> QueueEntry:
         """Add an input that produced new coverage."""
         entry = QueueEntry(data, found_at=iteration, new_bits=new_bits,
-                           favored=new_bits == 2, imported=imported)
+                           favored=new_bits == 2, imported=imported,
+                           coverage=coverage, lines=lines, crashed=crashed,
+                           anomaly=anomaly)
         self.entries.append(entry)
         return entry
 

@@ -16,7 +16,7 @@ from repro.parallel.supervisor import (
     SupervisorConfig,
     SupervisorEvent,
 )
-from repro.parallel.sync import SyncDirectory
+from repro.parallel.sync import SYNC_FORMATS, SyncDirectory, SyncStats
 from repro.parallel.worker import CampaignWorker, WorkerSpec, worker_seed
 
 __all__ = [
@@ -25,10 +25,12 @@ __all__ = [
     "FailureKind",
     "ParallelCampaign",
     "ParallelCampaignResult",
+    "SYNC_FORMATS",
     "Supervisor",
     "SupervisorConfig",
     "SupervisorEvent",
     "SyncDirectory",
+    "SyncStats",
     "WorkerSpec",
     "worker_seed",
 ]

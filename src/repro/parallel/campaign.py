@@ -48,7 +48,7 @@ from repro.parallel.supervisor import (
     SupervisorConfig,
     SupervisorEvent,
 )
-from repro.parallel.sync import SyncDirectory
+from repro.parallel.sync import SYNC_FORMATS, SyncDirectory, SyncStats
 from repro.parallel.worker import (
     CampaignWorker,
     WorkerReport,
@@ -75,11 +75,20 @@ class ParallelCampaignResult(CampaignResult):
     events: list[SupervisorEvent] = field(default_factory=list)
     #: Cases that overran the per-case deadline, summed across workers.
     deadline_overruns: int = 0
+    #: Per-phase sync wall-clock, summed across workers (where the
+    #: parallel overhead actually goes; exported to the bench JSON).
+    sync_overhead: SyncStats = field(default_factory=SyncStats)
+    #: Whether process-mode workers merged through a shared-memory
+    #: virgin map instead of pickled report snapshots.
+    shared_virgin_map: bool = False
 
     def summary(self) -> str:
         text = (super().summary()
                 + f", {self.workers} worker(s), "
                   f"{self.engine_stats.imported} synced import(s)")
+        skipped = self.engine_stats.imports_skipped_subsumed
+        if skipped:
+            text += f" ({skipped} subsumed, not re-executed)"
         if self.events:
             restarted = sum(1 for e in self.events if e.action == "restart")
             text += (f", {len(self.events)} fault event(s) "
@@ -96,15 +105,32 @@ def _merge_stats(stats: list[EngineStats]) -> EngineStats:
         last_find=max((s.last_find for s in stats), default=0),
         imported=sum(s.imported for s in stats),
         case_exceptions=sum(s.case_exceptions for s in stats),
-        import_skipped=sum(s.import_skipped for s in stats))
+        import_skipped=sum(s.import_skipped for s in stats),
+        imports_skipped_subsumed=sum(s.imports_skipped_subsumed
+                                     for s in stats))
 
 
-def _merge_virgin(reports: list[WorkerReport]) -> VirginMap:
+def _merge_virgin(reports: list[WorkerReport],
+                  shared_bits: bytes | None = None) -> VirginMap:
+    """OR worker snapshots (and the shared-map state, if any) together.
+
+    Workers that published into a shared-memory map ship empty
+    ``virgin_bits``; their contribution arrives through *shared_bits*.
+    """
     merged = VirginMap()
-    scratch = VirginMap()
+    if shared_bits:
+        merged.merge_bits(shared_bits)
     for report in reports:
-        scratch.bits = bytearray(report.virgin_bits)
-        merged.merge_from(scratch)
+        if report.virgin_bits:
+            merged.merge_bits(bytes(report.virgin_bits))
+    return merged
+
+
+def _merge_sync_overhead(reports: list[WorkerReport]) -> SyncStats:
+    merged = SyncStats()
+    for report in reports:
+        if report.sync_stats is not None:
+            merged = merged.merged_with(report.sync_stats)
     return merged
 
 
@@ -149,6 +175,13 @@ class ParallelCampaign:
     mode: str = "inline"  # "inline" (deterministic) or "process" (forked)
     #: Sync-directory root; a temporary directory when None.
     sync_dir: Path | None = None
+    #: Corpus wire format: "v2" (binary append-only, default) or "v1"
+    #: (legacy per-entry files) for pre-existing sync roots.
+    sync_format: str = "v2"
+    #: Let v2 imports skip executing entries whose shipped coverage is
+    #: already subsumed locally. Off isolates the wire format from the
+    #: filter (equivalence pins, debugging).
+    subsumption_filter: bool = True
     toggles: ComponentToggles = field(default_factory=ComponentToggles)
     coverage_guided: bool = True
     patched: frozenset = frozenset()
@@ -180,6 +213,8 @@ class ParallelCampaign:
             raise ValueError("workers must be >= 1")
         if self.mode not in ("inline", "process"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.sync_format not in SYNC_FORMATS:
+            raise ValueError(f"unknown sync_format {self.sync_format!r}")
         if self.sync_every < 1:
             raise ValueError("sync_every must be >= 1")
         if self.max_restarts < 0:
@@ -236,11 +271,13 @@ class ParallelCampaign:
 
     def _dispatch(self, root: Path, specs: list[WorkerSpec],
                   sample_every: int) -> ParallelCampaignResult:
+        shared_bits = None
         if self.mode == "process" and self.workers > 1:
-            reports = self._run_processes(root, specs, sample_every)
+            reports, shared_bits = self._run_processes(root, specs,
+                                                       sample_every)
         else:
             reports = self._run_inline(root, specs, sample_every)
-        return self._merge(reports)
+        return self._merge(reports, shared_bits)
 
     # --- inline mode --------------------------------------------------------
 
@@ -326,7 +363,10 @@ class ParallelCampaign:
             workers = [
                 CampaignWorker(
                     spec, self._campaign_kwargs(), sample_every=sample_every,
-                    sync=SyncDirectory(root, spec.index, self.workers)
+                    sync=SyncDirectory(
+                        root, spec.index, self.workers,
+                        sync_format=self.sync_format,
+                        subsumption_filter=self.subsumption_filter)
                     if syncing else None,
                     case_timeout=self.case_timeout)
                 for spec in specs
@@ -352,7 +392,8 @@ class ParallelCampaign:
     # --- process mode -------------------------------------------------------
 
     def _run_processes(self, root: Path, specs: list[WorkerSpec],
-                       sample_every: int) -> list[WorkerReport]:
+                       sample_every: int
+                       ) -> tuple[list[WorkerReport], bytes | None]:
         from repro.parallel import supervisor as sup
 
         if not self.resume:
@@ -367,15 +408,18 @@ class ParallelCampaign:
         supervisor = Supervisor(
             root=root, specs=specs, campaign_kwargs=self._campaign_kwargs(),
             sample_every=sample_every, sync_every=self.sync_every,
-            config=config, fault_plan=self.fault_plan or faults.active())
+            config=config, fault_plan=self.fault_plan or faults.active(),
+            sync_format=self.sync_format,
+            subsumption_filter=self.subsumption_filter)
         try:
-            return supervisor.run()
+            return supervisor.run(), supervisor.merged_virgin_bits
         finally:
             self.events.extend(supervisor.events)
 
     # --- merge --------------------------------------------------------------
 
-    def _merge(self, reports: list[WorkerReport]) -> ParallelCampaignResult:
+    def _merge(self, reports: list[WorkerReport],
+               shared_bits: bytes | None = None) -> ParallelCampaignResult:
         reports = sorted(reports, key=lambda r: r.index)
         instrumented = reports[0].result.instrumented_lines
         for report in reports[1:]:
@@ -398,7 +442,9 @@ class ParallelCampaign:
             watchdog_restarts=sum(r.result.watchdog_restarts for r in reports),
             workers=self.workers,
             per_worker=[r.result for r in reports],
-            virgin=_merge_virgin(reports),
+            virgin=_merge_virgin(reports, shared_bits),
             corpus_digests=[r.corpus_digest for r in reports],
             events=list(self.events),
-            deadline_overruns=sum(r.deadline_overruns for r in reports))
+            deadline_overruns=sum(r.deadline_overruns for r in reports),
+            sync_overhead=_merge_sync_overhead(reports),
+            shared_virgin_map=shared_bits is not None)

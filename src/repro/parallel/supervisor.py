@@ -127,7 +127,11 @@ def report_path(root: Path, index: int) -> Path:
 def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
                         sample_every: int, sync_every: int, root: str,
                         total_workers: int, case_timeout: float | None,
-                        fault_plan: faults.FaultPlan | None) -> None:
+                        fault_plan: faults.FaultPlan | None,
+                        sync_format: str = "v2",
+                        subsumption_filter: bool = True,
+                        shm_name: str | None = None,
+                        shm_lock=None) -> None:
     """Child-process entry point: run one share, write the report.
 
     Resumes from the shard checkpoint when one exists (this is how a
@@ -135,6 +139,10 @@ def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
     fault plan scoped to this worker, and converts an injected
     :class:`~repro.faults.WorkerKilled` into an abrupt ``os._exit`` —
     no cleanup, no report, exactly like a real worker death.
+
+    When the supervisor created a shared virgin-map segment, its name
+    and lock arrive here and the worker publishes into it at sync
+    rounds instead of shipping a 64 KiB snapshot in its report.
     """
     rootp = Path(root)
     shard_dir = worker_dir(rootp, spec.index)
@@ -148,10 +156,16 @@ def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
 
         worker = CampaignWorker(
             spec, campaign_kwargs, sample_every=sample_every,
-            sync=SyncDirectory(rootp, spec.index, total_workers),
+            sync=SyncDirectory(rootp, spec.index, total_workers,
+                               sync_format=sync_format,
+                               subsumption_filter=subsumption_filter),
             heartbeat_path=heartbeat_path(rootp, spec.index),
             checkpoint_path=checkpoint_path(rootp, spec.index),
             case_timeout=case_timeout)
+    if shm_name is not None and shm_lock is not None:
+        from repro.parallel.shared_map import publisher
+
+        worker.virgin_publisher = publisher(shm_name, shm_lock)
     try:
         report = worker.run_share(sync_every)
     except faults.WorkerKilled:
@@ -172,13 +186,32 @@ class Supervisor:
     sync_every: int
     config: SupervisorConfig = field(default_factory=SupervisorConfig)
     fault_plan: faults.FaultPlan | None = None
+    sync_format: str = "v2"
+    subsumption_filter: bool = True
     events: list[SupervisorEvent] = field(default_factory=list)
     restarts: dict[int, int] = field(default_factory=dict)
+    #: Final shared virgin-map snapshot; ``None`` when the segment was
+    #: unavailable and reports carried full snapshots instead.
+    merged_virgin_bits: bytes | None = field(default=None, init=False)
+    #: Live SharedVirginMap while :meth:`run` is executing.
+    _shared: object = field(default=None, init=False, repr=False)
 
     def run(self) -> list[WorkerReport]:
         """Supervise every shard to a report; raises CampaignAborted
         only when even the inline last resort fails."""
+        from repro.parallel.shared_map import SharedVirginMap
+
         ctx = mp_context()
+        self._shared = SharedVirginMap.create(ctx)
+        try:
+            return self._run(ctx)
+        finally:
+            if self._shared is not None:
+                self.merged_virgin_bits = self._shared.snapshot()
+                self._shared.destroy()
+                self._shared = None
+
+    def _run(self, ctx) -> list[WorkerReport]:
         reports: dict[int, WorkerReport] = {}
         running: dict[int, tuple] = {}  # index -> (process, started_at)
         pending = list(self.specs)
@@ -195,13 +228,17 @@ class Supervisor:
                     heartbeat_path(self.root, spec.index).unlink()
                 except OSError:
                     pass
+                shared = self._shared
                 try:
                     proc = ctx.Process(
                         target=process_worker_main,
                         args=(spec, self.campaign_kwargs, self.sample_every,
                               self.sync_every, str(self.root),
                               len(self.specs), self.config.case_timeout,
-                              self.fault_plan),
+                              self.fault_plan, self.sync_format,
+                              self.subsumption_filter,
+                              shared.name if shared else None,
+                              shared.lock if shared else None),
                         daemon=False)
                     proc.start()
                 except (OSError, RuntimeError, pickle.PicklingError) as exc:
@@ -323,10 +360,14 @@ class Supervisor:
         if worker is None:
             worker = CampaignWorker(
                 spec, self.campaign_kwargs, sample_every=self.sample_every,
-                sync=SyncDirectory(self.root, spec.index, len(self.specs)),
+                sync=SyncDirectory(self.root, spec.index, len(self.specs),
+                                   sync_format=self.sync_format,
+                                   subsumption_filter=self.subsumption_filter),
                 heartbeat_path=heartbeat_path(self.root, spec.index),
                 checkpoint_path=checkpoint_path(self.root, spec.index),
                 case_timeout=self.config.case_timeout)
+        if self._shared is not None:
+            worker.virgin_publisher = self._shared.publish
         previous_worker = faults.current_worker()
         if self.fault_plan is not None:
             faults.install(self.fault_plan)

@@ -1,30 +1,41 @@
 """Corpus sync between campaign workers (AFL's ``sync_fuzzers`` shape).
 
-Each worker owns ``<root>/worker-NNN/queue/``, an AFL-style queue
-directory written with :meth:`FuzzEngine.save_corpus`. Partners read
-each other's directories incrementally: the queue is append-only and
-indices are stable, so remembering which filenames were already imported
-is enough to run each entry exactly once.  Only locally discovered
-entries are exported (``exclude_imported=True``) — re-exporting imports
-would ping-pong cases between workers forever.
+Each worker owns ``<root>/worker-NNN/queue/``. Two wire formats share
+this module:
 
-Robustness contract: every export is atomic (``*.tmp`` + ``os.replace``
-inside ``save_corpus``), and the import side tolerates whatever a
-partner crashing mid-write can leave behind — ``*.tmp`` orphans are
-never listed, and entries that fail to decode are skipped and counted
-(``stats.import_skipped``) rather than raised on. A skipped entry is
-*not* marked as seen: the owner rewrites its whole queue on every
-export, so a truncated entry heals on the next sync round and is
-imported then.
+* ``sync_format="v2"`` (default) — the binary protocol from
+  :mod:`repro.parallel.wire`: exports *append* only newly found entries
+  to ``queue.bin`` + ``queue.idx``, importers seek straight to the
+  first unconsumed manifest record, and each record ships its sparse
+  classified coverage so the **subsumption filter** can consume entries
+  that cannot light up new local virgin bits without executing them
+  (their shipped line coverage is absorbed instead). Crashing or
+  anomalous entries are always executed, keeping crash accounting
+  identical to v1.
+* ``sync_format="v1"`` — the legacy per-entry-file layout written by
+  :meth:`FuzzEngine.save_corpus`; kept for old sync roots and because
+  crash reproducers share its JSON decoder.
+
+Robustness contract (both formats): the import side tolerates whatever
+a partner crashing mid-write can leave behind. V1 heals because the
+owner rewrites every entry file each round; v2 heals because the owner
+checks its append tail (size + tail CRC, O(1)) on every export and
+rewrites both files from the live queue when the tail is broken. A
+corrupt record is skipped and counted (``stats.import_skipped``) once,
+kept on a retry list, and imported after it heals.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro import faults
 from repro.fuzzer.engine import FuzzEngine
+from repro.parallel import wire
+
+SYNC_FORMATS = ("v1", "v2")
 
 
 def worker_queue_dir(root: Path, index: int) -> Path:
@@ -37,7 +48,23 @@ def _corrupt(queue_dir: Path, spec) -> None:
 
     Writes bypass the atomic path on purpose: the fault simulates the
     partial state a crash mid-write would leave *without* atomicity.
+    Shapes adapt to whichever format's artifacts are present.
     """
+    bin_path = queue_dir / wire.QUEUE_BIN
+    if bin_path.exists():  # protocol v2
+        if spec.corrupt == "truncate":
+            raw = bin_path.read_bytes()
+            bin_path.write_bytes(raw[:-17] if len(raw) > 17 else b"")
+        elif spec.corrupt == "garbage":
+            manifest = wire.read_manifest(queue_dir)
+            if manifest:
+                offset, length, _ = manifest[-1]
+                raw = bytearray(bin_path.read_bytes())
+                raw[offset:offset + length] = b"\xa5" * length
+                bin_path.write_bytes(bytes(raw))
+        elif spec.corrupt == "tmp_orphan":
+            (queue_dir / (wire.QUEUE_BIN + ".tmp")).write_bytes(b"partial")
+        return
     entries = sorted(p for p in queue_dir.iterdir()
                      if p.is_file() and p.name.startswith("id:"))
     if spec.corrupt == "truncate" and entries:
@@ -50,38 +77,119 @@ def _corrupt(queue_dir: Path, spec) -> None:
 
 
 @dataclass
+class SyncStats:
+    """Where sync wall-clock goes, per phase (merged into bench output)."""
+
+    export_seconds: float = 0.0   # packing + appending own entries
+    scan_seconds: float = 0.0     # reading partner manifests
+    filter_seconds: float = 0.0   # subsumption checks against VirginMap
+    execute_seconds: float = 0.0  # running entries that passed the filter
+    entries_exported: int = 0
+    entries_scanned: int = 0
+
+    def merged_with(self, other: "SyncStats") -> "SyncStats":
+        return SyncStats(
+            export_seconds=self.export_seconds + other.export_seconds,
+            scan_seconds=self.scan_seconds + other.scan_seconds,
+            filter_seconds=self.filter_seconds + other.filter_seconds,
+            execute_seconds=self.execute_seconds + other.execute_seconds,
+            entries_exported=self.entries_exported + other.entries_exported,
+            entries_scanned=self.entries_scanned + other.entries_scanned)
+
+
+@dataclass
 class SyncDirectory:
     """One worker's view of the shared sync directory."""
 
     root: Path
     worker: int
     total_workers: int
-    #: Per-partner filenames already imported (valid entries only, so a
-    #: corrupt entry is retried once its owner rewrites it).
+    sync_format: str = "v2"
+    #: Skip executing imports whose shipped coverage is already subsumed
+    #: by the local virgin map (v2 only). The off switch exists for
+    #: format-equivalence pins and debugging.
+    subsumption_filter: bool = True
+    #: v1: per-partner filenames already imported (valid entries only,
+    #: so a corrupt entry is retried once its owner rewrites it).
     seen: dict[int, set[str]] = field(default_factory=dict)
+    #: v2: per-partner count of manifest records consumed (imported,
+    #: filtered, or parked on the retry list below).
+    consumed: dict[int, int] = field(default_factory=dict)
+    #: v2: per-partner manifest indices that failed to read/parse and
+    #: are retried each round until the owner's tail check heals them.
+    retry: dict[int, set[int]] = field(default_factory=dict)
+    #: v2: records/bytes this worker has appended to its own queue.bin,
+    #: for the O(1) tail-intact check on the next export.
+    exported_records: int = 0
+    exported_bytes: int = 0
     #: Export rounds completed (drives ``corrupt_sync`` fault timing).
     exports: int = 0
+    stats: SyncStats = field(default_factory=SyncStats)
 
-    def export(self, engine: FuzzEngine) -> int:
-        """Publish the worker's locally found queue entries."""
-        written = engine.save_corpus(worker_queue_dir(self.root, self.worker),
-                                     exclude_imported=True)
+    def __post_init__(self) -> None:
+        if self.sync_format not in SYNC_FORMATS:
+            raise ValueError(f"unknown sync_format {self.sync_format!r}")
+
+    # --- export ---------------------------------------------------------
+
+    def export(self, engine: FuzzEngine, *,
+               codec: wire.LineCodec | None = None) -> int:
+        """Publish the worker's locally found queue entries.
+
+        Returns the total number of entries now published (v1 rewrites
+        them all; v2 appends only the ones found since the last round).
+        """
+        queue_dir = worker_queue_dir(self.root, self.worker)
+        started = time.perf_counter()
+        if self.sync_format == "v1":
+            written = engine.save_corpus(queue_dir, exclude_imported=True)
+        else:
+            written = self._export_v2(engine, queue_dir, codec)
+        self.stats.export_seconds += time.perf_counter() - started
         self.exports += 1
         plan = faults.active()
         if plan is not None:
             spec = plan.take_sync_fault(self.worker, self.exports)
             if spec is not None:
                 plan.record("corrupt_sync", self.worker, spec.corrupt)
-                _corrupt(worker_queue_dir(self.root, self.worker), spec)
+                _corrupt(queue_dir, spec)
         return written
 
-    def import_new(self, engine: FuzzEngine) -> int:
-        """Run every not-yet-seen partner entry through *engine*.
+    def _export_v2(self, engine: FuzzEngine, queue_dir: Path,
+                   codec: wire.LineCodec | None) -> int:
+        queue_dir.mkdir(parents=True, exist_ok=True)
+        entries = [e for e in engine.queue.entries if not e.imported]
+        if not wire.tail_intact(queue_dir, self.exported_records,
+                                self.exported_bytes):
+            # A crash mid-append (or injected corruption) broke the
+            # tail: rebuild both files from the live queue, atomically.
+            blobs = [wire.pack_record(i, entry, codec)
+                     for i, entry in enumerate(entries)]
+            self.exported_bytes = wire.rewrite_records(queue_dir, blobs)
+            self.exported_records = len(blobs)
+            self.stats.entries_exported += len(blobs)
+            return len(entries)
+        fresh = entries[self.exported_records:]
+        if fresh:
+            blobs = [wire.pack_record(self.exported_records + k, entry, codec)
+                     for k, entry in enumerate(fresh)]
+            self.exported_bytes += wire.append_records(queue_dir, blobs)
+            self.exported_records += len(blobs)
+            self.stats.entries_exported += len(blobs)
+        return len(entries)
 
-        Returns the number of cases imported (executed), whether or not
-        they proved novel enough to join the local queue. Entries that
-        fail to decode are skipped (counted by the engine) and retried
-        on a later round, after the owner's next export heals them.
+    # --- import ---------------------------------------------------------
+
+    def import_new(self, engine: FuzzEngine, *,
+                   codec: wire.LineCodec | None = None,
+                   absorb_lines=None) -> int:
+        """Consume every not-yet-seen partner entry through *engine*.
+
+        Returns the number of entries consumed — executed, or (v2)
+        absorbed through the subsumption filter without execution;
+        either way they count in ``stats.imported``. Entries that fail
+        to decode are skipped (counted once in ``stats.import_skipped``)
+        and retried on later rounds, after the owner heals them.
         """
         imported = 0
         for partner in range(self.total_workers):
@@ -90,20 +198,96 @@ class SyncDirectory:
             queue_dir = worker_queue_dir(self.root, partner)
             if not queue_dir.is_dir():
                 continue
-            seen = self.seen.setdefault(partner, set())
-            files = sorted(p for p in queue_dir.iterdir()
-                           if p.is_file() and p.name.startswith("id:")
-                           and not p.name.endswith(".tmp"))
-            for path in files:
-                if path.name in seen:
-                    continue
-                try:
-                    payload = path.read_bytes()
-                except OSError:
-                    engine.stats.import_skipped += 1
-                    continue
-                if engine.import_case(payload) is None:
-                    continue  # corrupt entry: counted, retried later
-                seen.add(path.name)
-                imported += 1
+            if self.sync_format == "v1":
+                imported += self._import_v1(engine, partner, queue_dir)
+            else:
+                imported += self._import_v2(engine, partner, queue_dir,
+                                            codec, absorb_lines)
         return imported
+
+    def _import_v1(self, engine: FuzzEngine, partner: int,
+                   queue_dir: Path) -> int:
+        imported = 0
+        seen = self.seen.setdefault(partner, set())
+        files = sorted(p for p in queue_dir.iterdir()
+                       if p.is_file() and p.name.startswith("id:")
+                       and not p.name.endswith(".tmp"))
+        for path in files:
+            if path.name in seen:
+                continue
+            try:
+                payload = path.read_bytes()
+            except OSError:
+                engine.stats.import_skipped += 1
+                continue
+            started = time.perf_counter()
+            new_bits = engine.import_case(payload)
+            self.stats.execute_seconds += time.perf_counter() - started
+            if new_bits is None:
+                continue  # corrupt entry: counted, retried later
+            seen.add(path.name)
+            imported += 1
+        return imported
+
+    def _import_v2(self, engine: FuzzEngine, partner: int, queue_dir: Path,
+                   codec: wire.LineCodec | None, absorb_lines) -> int:
+        started = time.perf_counter()
+        manifest = wire.read_manifest(queue_dir)
+        self.stats.scan_seconds += time.perf_counter() - started
+        consumed = self.consumed.get(partner, 0)
+        retry = self.retry.setdefault(partner, set())
+        todo = sorted(index for index in retry if index < len(manifest))
+        todo += range(consumed, len(manifest))
+        if not todo:
+            return 0
+        imported = 0
+        try:
+            handle = open(queue_dir / wire.QUEUE_BIN, "rb")
+        except OSError:
+            # Manifest without a readable data file: leave the cursor
+            # where it is and try again next round.
+            return 0
+        with handle:
+            for index in todo:
+                offset, length, crc = manifest[index]
+                blob = wire.read_record_blob(handle, offset, length, crc)
+                record = wire.parse_record(blob, codec) if blob else None
+                self.stats.entries_scanned += 1
+                if record is None:
+                    if index not in retry:
+                        # Counted once; the retry set keeps the cursor
+                        # moving while this record waits for its heal.
+                        engine.stats.import_skipped += 1
+                        retry.add(index)
+                    continue
+                retry.discard(index)
+                if self._filtered(engine, record):
+                    engine.import_subsumed(record, absorb_lines)
+                else:
+                    run_started = time.perf_counter()
+                    engine.import_packed(record)
+                    self.stats.execute_seconds += (time.perf_counter()
+                                                   - run_started)
+                imported += 1
+        self.consumed[partner] = len(manifest)
+        return imported
+
+    def _filtered(self, engine: FuzzEngine, record: wire.WireRecord) -> bool:
+        """The subsumption-filter contract, in one place.
+
+        Skip execution only when it provably changes nothing: the record
+        must ship both coverage and absorbable lines, must not have
+        crashed or anomaled when found (those always re-execute so crash
+        accounting matches v1), and every shipped ``(cell, class-bit)``
+        pair must already be present in the local virgin map.
+        """
+        if not self.subsumption_filter:
+            return False
+        if record.coverage is None or record.lines is None:
+            return False
+        if record.crashed or record.anomaly:
+            return False
+        started = time.perf_counter()
+        subsumed = engine.virgin.subsumes(record.coverage)
+        self.stats.filter_seconds += time.perf_counter() - started
+        return subsumed

@@ -21,16 +21,21 @@ Resilience plumbing (all optional, off in the plain fast path):
 from __future__ import annotations
 
 import hashlib
+import logging
 import pickle
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro import faults
 from repro.analysis.timeline import CoverageTimeline
 from repro.core.necofuzz import CampaignResult, NecoFuzz
 from repro.fuzzer.crashes import atomic_write_bytes
-from repro.parallel.sync import SyncDirectory
+from repro.parallel.sync import SyncDirectory, SyncStats
+from repro.parallel.wire import LineCodec
+
+log = logging.getLogger("repro.parallel")
 
 #: Salt base for derived worker seeds (disjoint from the small corpus
 #: salts NecoFuzz.__post_init__ forks off the campaign RNG).
@@ -67,7 +72,8 @@ class WorkerReport:
     result: CampaignResult
     #: Per-sample newly covered lines: (local iteration, line delta).
     samples: list[tuple[int, frozenset]]
-    #: Snapshot of the worker's virgin map for the merged map.
+    #: Snapshot of the worker's virgin map for the merged map — empty
+    #: when the worker published into a shared-memory map instead.
     virgin_bits: bytes
     #: Order-sensitive digest of the final seed queue (entry data +
     #: provenance flags) — the corpus half of the campaign fingerprint.
@@ -76,6 +82,8 @@ class WorkerReport:
     #: (observed post hoc in inline mode, enforced by the supervisor in
     #: process mode).
     deadline_overruns: int = 0
+    #: Per-phase sync wall-clock breakdown (None when not syncing).
+    sync_stats: SyncStats | None = None
 
 
 @dataclass
@@ -93,8 +101,13 @@ class CampaignWorker:
     #: Per-case wall-clock deadline (bookkeeping only in-process; the
     #: supervisor is what actually preempts a hung process worker).
     case_timeout: float | None = None
+    #: Shared-memory virgin-map publisher (process mode). Process-local:
+    #: dropped from checkpoints and re-injected by whichever process
+    #: restores the worker.
+    virgin_publisher: Callable[[bytes], None] | None = None
     done: int = field(default=0, init=False)
     deadline_overruns: int = field(default=0, init=False)
+    _published_generation: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.campaign = NecoFuzz(seed=self.spec.seed, **self.campaign_kwargs)
@@ -105,6 +118,9 @@ class CampaignWorker:
         self.timeline = CoverageTimeline(label, self.campaign.iterations_per_hour)
         self.samples: list[tuple[int, frozenset]] = []
         self._seen_lines: set = set()
+        #: Shared line-index table for protocol-v2 records; identical
+        #: across workers because they instrument the same modules.
+        self.line_codec = LineCodec(self.campaign.agent.tracer.instrumented)
 
     @property
     def finished(self) -> bool:
@@ -169,13 +185,39 @@ class CampaignWorker:
         """Publish locally found queue entries to the sync directory."""
         if self.sync is None:
             return 0
-        return self.sync.export(self.campaign.engine)
+        return self.sync.export(self.campaign.engine, codec=self.line_codec)
 
     def import_new(self) -> int:
-        """Execute partners' new entries; keep the locally novel ones."""
+        """Consume partners' new entries; keep the locally novel ones."""
         if self.sync is None:
             return 0
-        return self.sync.import_new(self.campaign.engine)
+        return self.sync.import_new(self.campaign.engine,
+                                    codec=self.line_codec,
+                                    absorb_lines=self.campaign.agent.absorb_lines)
+
+    def publish_virgin(self) -> None:
+        """OR local virgin bits into the shared map, if one is attached.
+
+        Free when nothing changed since the last publish (the map's
+        generation counter). A failing publisher — the segment vanished
+        under us — is dropped for good: reports then carry the full
+        snapshot again, so no bits are ever lost.
+        """
+        publisher = self.virgin_publisher
+        if publisher is None:
+            return
+        virgin = self.campaign.engine.virgin
+        if virgin.generation == self._published_generation:
+            return
+        try:
+            publisher(bytes(virgin.bits))
+        except Exception as exc:
+            log.warning("worker %d: shared virgin-map publish failed (%s); "
+                        "falling back to report snapshots",
+                        self.spec.index, exc)
+            self.virgin_publisher = None
+            return
+        self._published_generation = virgin.generation
 
     def run_share(self, sync_every: int) -> "WorkerReport":
         """Self-paced loop for process mode: chunk, publish, import."""
@@ -183,12 +225,23 @@ class CampaignWorker:
             self.run_chunk(sync_every)
             self.export()
             self.import_new()
+            self.publish_virgin()
             self.save_checkpoint()
         if self.spec.iterations == 0:
             self.export()
         return self.report()
 
     # --- checkpointing ------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The shared-memory publisher is a process-local handle; the
+        # restoring process re-injects its own. Dropping the published
+        # generation with it forces a full republish after restore — a
+        # restarted supervisor may own a brand-new (empty) segment.
+        state = self.__dict__.copy()
+        state.pop("virgin_publisher", None)
+        state.pop("_published_generation", None)
+        return state
 
     def save_checkpoint(self) -> None:
         """Atomically snapshot this worker's complete state, if enabled."""
@@ -228,11 +281,17 @@ class CampaignWorker:
             watchdog_restarts=agent.watchdog.restarts)
 
     def report(self) -> WorkerReport:
+        # With a live shared map the final publish lands there and the
+        # report ships an empty snapshot instead of 64 KiB of pickle.
+        self.publish_virgin()
+        virgin_bits = (b"" if self.virgin_publisher is not None
+                       else bytes(self.campaign.engine.virgin.bits))
         return WorkerReport(
             index=self.spec.index,
             share=self.spec.iterations,
             result=self.result(),
             samples=list(self.samples),
-            virgin_bits=bytes(self.campaign.engine.virgin.bits),
+            virgin_bits=virgin_bits,
             corpus_digest=self.corpus_digest(),
-            deadline_overruns=self.deadline_overruns)
+            deadline_overruns=self.deadline_overruns,
+            sync_stats=self.sync.stats if self.sync is not None else None)

@@ -60,7 +60,14 @@ __all__ = [
 
 
 def campaign_fingerprint(result: ParallelCampaignResult) -> str:
-    """Deterministic digest of a campaign's complete observable outcome."""
+    """Deterministic digest of a campaign's complete observable outcome.
+
+    ``stats.imports_skipped_subsumed`` is deliberately excluded: it
+    counts imports the protocol-v2 filter consumed *without* execution,
+    an implementation detail of how the same observable outcome was
+    reached — including it would make v1 and v2 sync-format runs
+    incomparable by construction.
+    """
     digest = hashlib.sha256()
     for location in sorted(result.covered_lines):
         digest.update(repr(location).encode())

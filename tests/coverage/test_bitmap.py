@@ -4,6 +4,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.coverage.bitmap import (
+    _CLASS_TABLE,
+    _DENSE_TOUCHED,
     MAP_SIZE,
     CoverageBitmap,
     VirginMap,
@@ -110,3 +112,131 @@ class TestVirginMap:
             run.record_edge(i, i + 1)
         virgin.has_new_bits(run)
         assert virgin.density() > 0
+
+
+class TestVectorizedPaths:
+    """The C-level fast paths must agree with the scalar definitions."""
+
+    @given(st.lists(st.tuples(st.integers(0, MAP_SIZE - 1),
+                              st.integers(1, 255)),
+                    min_size=0, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_classified_matches_per_byte_classify(self, cells):
+        bitmap = CoverageBitmap()
+        for idx, count in cells:
+            bitmap.counts[idx] = count
+            bitmap.touched.add(idx)
+        classified = bitmap.classified()
+        assert classified == bytes(classify_count(c) for c in bitmap.counts)
+        assert _CLASS_TABLE == bytes(classify_count(c) for c in range(256))
+
+    def test_sparse_classified_is_sorted_and_classified(self):
+        bitmap = CoverageBitmap()
+        bitmap.record_edge(900, 901)
+        for _ in range(3):
+            bitmap.record_edge(1, 2)
+        sparse = bitmap.sparse_classified()
+        assert sparse == tuple(sorted(sparse))
+        assert dict(sparse)[edge_index(1, 2)] == classify_count(3)
+        assert dict(sparse)[edge_index(900, 901)] == classify_count(1)
+
+    def test_count_nonzero_matches_touched_cells(self):
+        bitmap = CoverageBitmap()
+        for i in range(200):
+            bitmap.record_edge(i * 3, i * 3 + 1)
+        manual = sum(1 for c in bitmap.counts if c)
+        assert bitmap.count_nonzero() == manual
+
+    def test_dense_fast_path_agrees_with_loop(self):
+        # Wide enough to take the big-int pre-check on every call.
+        run = CoverageBitmap()
+        for i in range(_DENSE_TOUCHED + 50):
+            run.record_edge(i * 7, i * 7 + 1)
+        assert len(run.touched) >= _DENSE_TOUCHED
+        virgin = VirginMap()
+        assert virgin.has_new_bits(run) == 2
+        assert bytes(virgin.bits) == run.classified()
+        # Identical rerun: the pre-check alone proves "nothing new".
+        assert virgin.has_new_bits(run) == 0
+        # One extra cell must defeat the early exit, not be swallowed.
+        run.record_edge(0xBEEF, 0xBEEF)
+        assert virgin.has_new_bits(run) in (1, 2)
+        assert virgin.has_new_bits(run) == 0
+
+
+class TestSubsumption:
+    def test_known_coverage_is_subsumed(self):
+        virgin = VirginMap()
+        run = CoverageBitmap()
+        run.record_edge(1, 2)
+        virgin.has_new_bits(run)
+        assert virgin.subsumes(run.sparse_classified())
+
+    def test_new_cell_is_not_subsumed(self):
+        virgin = VirginMap()
+        run = CoverageBitmap()
+        run.record_edge(1, 2)
+        assert not virgin.subsumes(run.sparse_classified())
+
+    def test_new_bucket_on_known_cell_is_not_subsumed(self):
+        virgin = VirginMap()
+        once = CoverageBitmap()
+        once.record_edge(1, 2)
+        virgin.has_new_bits(once)
+        hotter = CoverageBitmap()
+        for _ in range(10):
+            hotter.record_edge(1, 2)
+        assert not virgin.subsumes(hotter.sparse_classified())
+
+    def test_empty_coverage_is_subsumed(self):
+        assert VirginMap().subsumes(())
+
+
+class TestVirginMerge:
+    def _populated(self, *edges):
+        virgin = VirginMap()
+        run = CoverageBitmap()
+        for prev, cur in edges:
+            run.record_edge(prev, cur)
+        virgin.has_new_bits(run)
+        return virgin
+
+    def test_merge_from_brings_bits_over(self):
+        a = self._populated((1, 2))
+        b = self._populated((3, 4))
+        assert a.merge_from(b)
+        assert a.subsumes(((edge_index(3, 4), 1),))
+
+    def test_merge_from_skips_empty_other(self):
+        a = self._populated((1, 2))
+        generation = a.generation
+        assert not a.merge_from(VirginMap())
+        assert a.generation == generation
+
+    def test_merge_from_reports_no_change_for_subset(self):
+        a = self._populated((1, 2), (3, 4))
+        subset = self._populated((1, 2))
+        assert not a.merge_from(subset)
+
+    def test_merge_bits_rejects_wrong_size(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            VirginMap().merge_bits(b"\x00" * 10)
+
+    def test_generation_tracks_every_mutation(self):
+        virgin = VirginMap()
+        assert virgin.generation == 0
+        run = CoverageBitmap()
+        run.record_edge(1, 2)
+        virgin.has_new_bits(run)
+        after_new = virgin.generation
+        assert after_new > 0
+        rerun = CoverageBitmap()
+        rerun.record_edge(1, 2)
+        virgin.has_new_bits(rerun)  # nothing new: generation untouched
+        assert virgin.generation == after_new
+        virgin.merge_from(self._populated((5, 6)))
+        assert virgin.generation > after_new
+        virgin.restore(virgin.snapshot())
+        assert virgin.generation > after_new + 1

@@ -1,0 +1,106 @@
+"""Campaign-fingerprint pins: corpus protocol v2 must match v1 exactly.
+
+The strongest contract this PR makes: switching the sync wire format —
+including letting the subsumption filter skip executions — changes
+*nothing* a campaign can observe. Covered lines, virgin map, corpus
+digests, and every fingerprinted stat are bit-for-bit identical for
+both vendors; only ``imports_skipped_subsumed`` (deliberately outside
+the fingerprint) reveals which path ran.
+"""
+
+import pytest
+
+from repro import Vendor, faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.resilience import (
+    CampaignAborted,
+    ParallelCampaign,
+    campaign_fingerprint,
+)
+
+SEED = 11
+BUDGET = 40
+SYNC_EVERY = 10
+
+VENDORS = [("kvm", Vendor.INTEL), ("xen", Vendor.AMD)]
+
+
+def run(sync_format, hypervisor, vendor, **overrides):
+    kwargs = dict(hypervisor=hypervisor, vendor=vendor, seed=SEED,
+                  workers=2, sync_every=SYNC_EVERY, mode="inline",
+                  sync_format=sync_format)
+    kwargs.update(overrides)
+    return ParallelCampaign(**kwargs).run(BUDGET)
+
+
+class TestFormatEquivalence:
+    @pytest.mark.parametrize("hypervisor,vendor", VENDORS,
+                             ids=["vmx", "svm"])
+    def test_v2_matches_v1_bit_for_bit(self, hypervisor, vendor):
+        v1 = run("v1", hypervisor, vendor)
+        v2 = run("v2", hypervisor, vendor)
+        assert campaign_fingerprint(v2) == campaign_fingerprint(v1)
+        # The filter really did elide executions — same outcome, less work.
+        assert v2.engine_stats.imports_skipped_subsumed > 0
+        assert v1.engine_stats.imports_skipped_subsumed == 0
+
+    @pytest.mark.parametrize("hypervisor,vendor", VENDORS,
+                             ids=["vmx", "svm"])
+    def test_v2_is_self_deterministic(self, hypervisor, vendor):
+        first = run("v2", hypervisor, vendor)
+        second = run("v2", hypervisor, vendor)
+        assert campaign_fingerprint(first) == campaign_fingerprint(second)
+        assert (first.engine_stats.imports_skipped_subsumed
+                == second.engine_stats.imports_skipped_subsumed)
+
+    def test_merged_result_reports_subsumed_imports(self):
+        result = run("v2", "kvm", Vendor.INTEL)
+        assert result.engine_stats.imports_skipped_subsumed > 0
+        assert str(result.engine_stats.imports_skipped_subsumed) \
+            in result.summary()
+
+    def test_sync_overhead_breakdown_is_populated(self):
+        result = run("v2", "kvm", Vendor.INTEL)
+        overhead = result.sync_overhead
+        assert overhead.export_seconds > 0
+        assert overhead.scan_seconds > 0
+        assert overhead.entries_exported > 0
+        assert overhead.entries_scanned > 0
+        # Filter time only accrues when candidates carried coverage.
+        assert overhead.filter_seconds >= 0
+
+    def test_filter_off_still_matches_v1(self):
+        # Isolates the wire format from the filter: with the filter
+        # disabled, v2 is purely a serialization change.
+        v1 = run("v1", "kvm", Vendor.INTEL)
+        v2 = run("v2", "kvm", Vendor.INTEL, subsumption_filter=False)
+        assert campaign_fingerprint(v2) == campaign_fingerprint(v1)
+        assert v2.engine_stats.imports_skipped_subsumed == 0
+
+
+class TestResumeAcrossFormats:
+    """Kill-and-resume stays fingerprint-deterministic on both formats."""
+
+    @pytest.mark.parametrize("sync_format", ["v1", "v2"])
+    def test_checkpointed_resume_is_fingerprint_equal(self, tmp_path,
+                                                      sync_format):
+        def campaign(sync_dir, **overrides):
+            kwargs = dict(hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED,
+                          workers=2, sync_every=SYNC_EVERY, mode="inline",
+                          sync_format=sync_format, sync_dir=sync_dir,
+                          checkpoint_interval=1)
+            kwargs.update(overrides)
+            return ParallelCampaign(**kwargs)
+
+        clean = campaign(tmp_path / "clean").run(BUDGET)
+
+        crashed_dir = tmp_path / "crashed"
+        plan = FaultPlan([FaultSpec("kill_worker", worker=0, at_case=15)])
+        with faults.injected(plan):
+            with pytest.raises(CampaignAborted):
+                campaign(crashed_dir, max_restarts=0).run(BUDGET)
+        assert (crashed_dir / "campaign.ckpt").exists()
+
+        resumed = campaign(crashed_dir, resume=True).run(BUDGET)
+        assert resumed.engine_stats.iterations == BUDGET
+        assert campaign_fingerprint(resumed) == campaign_fingerprint(clean)

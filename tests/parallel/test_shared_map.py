@@ -1,0 +1,114 @@
+"""Shared-memory virgin-map tests: segment lifecycle and worker fallback."""
+
+import multiprocessing
+
+import pytest
+
+from repro.coverage.bitmap import MAP_SIZE
+from repro.parallel.shared_map import SharedVirginMap, attach, publisher
+from repro.parallel.worker import CampaignWorker, WorkerSpec
+
+
+@pytest.fixture
+def shared():
+    ctx = multiprocessing.get_context()
+    segment = SharedVirginMap.create(ctx)
+    if segment is None:
+        pytest.skip("shared memory unavailable in this environment")
+    yield segment
+    segment.destroy()
+
+
+class TestSegmentLifecycle:
+    def test_created_zeroed_and_sized(self, shared):
+        snapshot = shared.snapshot()
+        assert len(snapshot) == MAP_SIZE
+        assert snapshot == bytes(MAP_SIZE)
+
+    def test_publish_ors_bits_in(self, shared):
+        first = bytes([0x0F]) + bytes(MAP_SIZE - 1)
+        second = bytes([0xF0, 0x01]) + bytes(MAP_SIZE - 2)
+        shared.publish(first)
+        shared.publish(second)
+        merged = shared.snapshot()
+        assert merged[0] == 0xFF
+        assert merged[1] == 0x01
+        assert merged[2:] == bytes(MAP_SIZE - 2)
+
+    def test_destroy_is_idempotent(self, shared):
+        shared.destroy()
+        shared.destroy()  # second call must not raise
+
+    def test_attach_sees_published_bits(self, shared):
+        shared.publish(bytes([0xAA]) + bytes(MAP_SIZE - 1))
+        handle = attach(shared.name)
+        try:
+            assert handle.buf[0] == 0xAA
+        finally:
+            handle.close()
+
+
+class TestPublisherClosure:
+    def test_publish_through_closure(self, shared):
+        publish = publisher(shared.name, shared.lock)
+        publish(bytes([0x01]) + bytes(MAP_SIZE - 1))
+        publish(bytes([0x02]) + bytes(MAP_SIZE - 1))
+        assert shared.snapshot()[0] == 0x03
+
+    def test_unknown_segment_raises(self):
+        ctx = multiprocessing.get_context()
+        publish = publisher("psm_repro_does_not_exist", ctx.Lock())
+        with pytest.raises(Exception):
+            publish(bytes(MAP_SIZE))
+
+
+def make_worker(**kwargs):
+    spec = WorkerSpec(index=0, seed=7, iterations=4)
+    from repro import Vendor
+
+    return CampaignWorker(spec, dict(hypervisor="kvm", vendor=Vendor.INTEL),
+                          **kwargs)
+
+
+class TestWorkerPublishing:
+    def test_publish_skipped_when_generation_unchanged(self):
+        calls = []
+        worker = make_worker()
+        worker.virgin_publisher = calls.append
+        worker.run_chunk(4)
+        worker.publish_virgin()
+        assert len(calls) == 1
+        worker.publish_virgin()  # no engine progress since: no-op
+        assert len(calls) == 1
+
+    def test_failing_publisher_falls_back_to_snapshots(self):
+        def explode(bits):
+            raise OSError("segment vanished")
+
+        worker = make_worker()
+        worker.virgin_publisher = explode
+        worker.run_chunk(4)
+        report = worker.report()
+        assert worker.virgin_publisher is None
+        # The report carries the full snapshot again: no bits lost.
+        assert report.virgin_bits == bytes(worker.campaign.engine.virgin.bits)
+
+    def test_live_publisher_empties_report_snapshot(self, shared):
+        worker = make_worker()
+        worker.virgin_publisher = shared.publish
+        worker.run_chunk(4)
+        report = worker.report()
+        assert report.virgin_bits == b""
+        assert shared.snapshot() == bytes(worker.campaign.engine.virgin.bits)
+
+    def test_checkpoint_drops_publisher_state(self):
+        import pickle
+
+        worker = make_worker()
+        worker.virgin_publisher = lambda bits: None
+        worker.run_chunk(4)
+        worker.publish_virgin()
+        assert worker._published_generation > 0
+        restored = pickle.loads(pickle.dumps(worker))
+        assert restored.virgin_publisher is None
+        assert restored._published_generation == 0

@@ -1,4 +1,12 @@
-"""Corpus-sync protocol tests (export / incremental import / corruption)."""
+"""Corpus-sync protocol tests (export / incremental import / corruption).
+
+Behavioural tests run against both wire formats — the binary v2
+protocol must behave exactly like the legacy v1 per-file layout for
+everything a campaign can observe. Format-specific classes cover the
+on-disk layout and the v2-only subsumption filter.
+"""
+
+import pytest
 
 from repro import faults
 from repro.coverage.bitmap import CoverageBitmap
@@ -7,6 +15,7 @@ from repro.fuzzer.engine import FuzzEngine, RunFeedback
 from repro.fuzzer.input import INPUT_SIZE
 from repro.fuzzer.rng import Rng
 from repro.parallel.sync import SyncDirectory, worker_queue_dir
+from repro.parallel.wire import QUEUE_BIN, QUEUE_IDX, LineCodec
 
 
 def novel_execute():
@@ -21,40 +30,48 @@ def novel_execute():
     return execute
 
 
-def make_engine(seed=1):
-    engine = FuzzEngine(execute=novel_execute(), rng=Rng(seed))
+def make_engine(seed=1, execute=None):
+    engine = FuzzEngine(execute=execute or novel_execute(), rng=Rng(seed))
     engine.add_seed(bytes(INPUT_SIZE))
     return engine
 
 
+@pytest.fixture(params=["v1", "v2"])
+def sync_format(request):
+    return request.param
+
+
+def make_sync(root, worker, sync_format, total_workers=2):
+    return SyncDirectory(root, worker=worker, total_workers=total_workers,
+                         sync_format=sync_format)
+
+
 class TestSyncDirectory:
-    def test_export_writes_worker_queue_dir(self, tmp_path):
+    def test_export_covers_the_whole_local_queue(self, tmp_path, sync_format):
         engine = make_engine()
         engine.run(4)
-        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
-        exported = sync.export(engine)
-        queue_dir = worker_queue_dir(tmp_path, 0)
-        assert exported == len(list(queue_dir.iterdir())) == len(engine.queue)
+        sync = make_sync(tmp_path, 0, sync_format)
+        assert sync.export(engine) == len(engine.queue)
 
-    def test_import_new_executes_partner_entries(self, tmp_path):
+    def test_import_new_executes_partner_entries(self, tmp_path, sync_format):
         producer = make_engine(seed=1)
         producer.run(3)
-        SyncDirectory(tmp_path, worker=1, total_workers=2).export(producer)
+        make_sync(tmp_path, 1, sync_format).export(producer)
 
         consumer = make_engine(seed=2)
-        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        sync = make_sync(tmp_path, 0, sync_format)
         imported = sync.import_new(consumer)
         assert imported == len(producer.queue)
         assert consumer.stats.imported == imported
 
-    def test_import_is_incremental(self, tmp_path):
+    def test_import_is_incremental(self, tmp_path, sync_format):
         producer = make_engine(seed=1)
         producer.run(2)
-        producer_sync = SyncDirectory(tmp_path, worker=1, total_workers=2)
+        producer_sync = make_sync(tmp_path, 1, sync_format)
         producer_sync.export(producer)
 
         consumer = make_engine(seed=2)
-        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        sync = make_sync(tmp_path, 0, sync_format)
         first = sync.import_new(consumer)
         assert sync.import_new(consumer) == 0  # nothing new yet
         producer.run(2)
@@ -62,34 +79,158 @@ class TestSyncDirectory:
         second = sync.import_new(consumer)
         assert first > 0 and second == 2  # only the fresh entries
 
-    def test_imported_entries_not_reexported(self, tmp_path):
+    def test_imported_entries_not_reexported(self, tmp_path, sync_format):
         producer = make_engine(seed=1)
         producer.run(3)
-        SyncDirectory(tmp_path, worker=1, total_workers=2).export(producer)
+        make_sync(tmp_path, 1, sync_format).export(producer)
 
         consumer = make_engine(seed=2)
         consumer.run(1)
-        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        sync = make_sync(tmp_path, 0, sync_format)
         sync.import_new(consumer)
         local = sum(1 for e in consumer.queue.entries if not e.imported)
         assert sync.export(consumer) == local
         assert local < len(consumer.queue)  # some imports did join the queue
 
-    def test_own_directory_never_imported(self, tmp_path):
+    def test_own_directory_never_imported(self, tmp_path, sync_format):
         engine = make_engine()
         engine.run(2)
-        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        sync = make_sync(tmp_path, 0, sync_format)
         sync.export(engine)
         assert sync.import_new(engine) == 0
+
+
+class TestV2Layout:
+    """Protocol v2 on-disk shape: two files, append-only growth."""
+
+    def test_exactly_two_files(self, tmp_path):
+        engine = make_engine()
+        engine.run(4)
+        make_sync(tmp_path, 0, "v2").export(engine)
+        names = {p.name for p in worker_queue_dir(tmp_path, 0).iterdir()}
+        assert names == {QUEUE_BIN, QUEUE_IDX}
+
+    def test_reexport_appends_instead_of_rewriting(self, tmp_path):
+        engine = make_engine()
+        engine.run(3)
+        sync = make_sync(tmp_path, 0, "v2")
+        sync.export(engine)
+        queue_dir = worker_queue_dir(tmp_path, 0)
+        first_size = (queue_dir / QUEUE_BIN).stat().st_size
+        first_head = (queue_dir / QUEUE_BIN).read_bytes()
+
+        engine.run(3)
+        sync.export(engine)
+        grown = (queue_dir / QUEUE_BIN).read_bytes()
+        assert len(grown) > first_size
+        # Append-only: the old region is byte-identical, not rewritten.
+        assert grown[:first_size] == first_head
+
+    def test_noop_export_writes_nothing(self, tmp_path):
+        engine = make_engine()
+        engine.run(3)
+        sync = make_sync(tmp_path, 0, "v2")
+        sync.export(engine)
+        queue_dir = worker_queue_dir(tmp_path, 0)
+        before = ((queue_dir / QUEUE_BIN).stat().st_mtime_ns,
+                  (queue_dir / QUEUE_IDX).stat().st_size)
+        sync.export(engine)  # no new entries since the last round
+        after = ((queue_dir / QUEUE_BIN).stat().st_mtime_ns,
+                 (queue_dir / QUEUE_IDX).stat().st_size)
+        assert after == before
+
+
+class TestSubsumptionFilter:
+    """V2-only: imports whose coverage is already known are not executed."""
+
+    LINE = ("nested.py", 7)
+
+    def _constant_edge_execute(self, executions):
+        def execute(fi):
+            executions.append(fi)
+            bitmap = CoverageBitmap()
+            bitmap.record_edge(64, 65)  # every case hits the same cell
+            return RunFeedback(bitmap=bitmap, lines=frozenset({self.LINE}))
+
+        return execute
+
+    def test_subsumed_imports_skip_execution(self, tmp_path):
+        codec = LineCodec([self.LINE])
+        producer = make_engine(seed=1,
+                               execute=self._constant_edge_execute([]))
+        producer.run(5)
+        make_sync(tmp_path, 1, "v2").export(producer, codec=codec)
+
+        executions = []
+        consumer = make_engine(seed=2,
+                               execute=self._constant_edge_execute(executions))
+        consumer.run(1)  # the local run already lit the shared cell
+        baseline = len(executions)
+        absorbed = []
+        sync = make_sync(tmp_path, 0, "v2")
+        imported = sync.import_new(consumer, codec=codec,
+                                   absorb_lines=absorbed.extend)
+        queued = [e for e in producer.queue.entries if e.coverage is not None]
+        assert imported == len(producer.queue)
+        assert consumer.stats.imported == imported
+        # Every coverage-carrying entry was subsumed: zero executions.
+        assert consumer.stats.imports_skipped_subsumed == len(queued)
+        assert len(executions) == baseline + (imported - len(queued))
+        assert self.LINE in absorbed
+
+    def test_novel_coverage_still_executes(self, tmp_path):
+        codec = LineCodec([self.LINE])
+        producer = make_engine(seed=1)  # novel edge per case
+        producer.run(3)
+        make_sync(tmp_path, 1, "v2").export(producer)
+
+        consumer = make_engine(seed=2)
+        sync = make_sync(tmp_path, 0, "v2")
+        imported = sync.import_new(consumer, codec=codec)
+        assert imported == len(producer.queue)
+        assert consumer.stats.imports_skipped_subsumed == 0
+
+    def test_filter_can_be_disabled(self, tmp_path):
+        codec = LineCodec([self.LINE])
+        producer = make_engine(seed=1,
+                               execute=self._constant_edge_execute([]))
+        producer.run(5)
+        make_sync(tmp_path, 1, "v2").export(producer, codec=codec)
+
+        executions = []
+        consumer = make_engine(seed=2,
+                               execute=self._constant_edge_execute(executions))
+        consumer.run(1)
+        baseline = len(executions)
+        sync = make_sync(tmp_path, 0, "v2")
+        sync.subsumption_filter = False
+        imported = sync.import_new(consumer, codec=codec)
+        assert imported == len(producer.queue)
+        assert consumer.stats.imports_skipped_subsumed == 0
+        assert len(executions) == baseline + imported
+
+    def test_overhead_phases_are_accounted(self, tmp_path):
+        producer = make_engine(seed=1)
+        producer.run(3)
+        producer_sync = make_sync(tmp_path, 1, "v2")
+        producer_sync.export(producer)
+        consumer = make_engine(seed=2)
+        sync = make_sync(tmp_path, 0, "v2")
+        sync.import_new(consumer)
+        assert producer_sync.stats.export_seconds > 0
+        assert producer_sync.stats.entries_exported == len(producer.queue)
+        assert sync.stats.scan_seconds > 0
+        assert sync.stats.execute_seconds > 0
+        assert sync.stats.entries_scanned == len(producer.queue)
 
 
 class TestSyncCorruption:
     """Injected mid-write corruption: skip, count, heal on re-export."""
 
-    def _corrupted_export(self, tmp_path, mode):
+    def _corrupted_export(self, tmp_path, mode, sync_format):
         producer = make_engine(seed=1)
         producer.run(3)
-        sync = SyncDirectory(tmp_path, worker=1, total_workers=2)
+        sync = make_sync(tmp_path, 1, sync_format)
         plan = FaultPlan([FaultSpec("corrupt_sync", worker=1, at_export=1,
                                     corrupt=mode)])
         with faults.injected(plan):
@@ -97,32 +238,42 @@ class TestSyncCorruption:
         assert plan.exhausted
         return producer, sync
 
-    def test_truncated_entry_skipped_then_healed(self, tmp_path):
-        producer, producer_sync = self._corrupted_export(tmp_path, "truncate")
+    @pytest.mark.parametrize("mode", ["truncate", "garbage"])
+    def test_corrupt_entry_skipped_then_healed(self, tmp_path, sync_format,
+                                               mode):
+        producer, producer_sync = self._corrupted_export(tmp_path, mode,
+                                                         sync_format)
         consumer = make_engine(seed=2)
-        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        sync = make_sync(tmp_path, 0, sync_format)
         first = sync.import_new(consumer)
         assert first == len(producer.queue) - 1
         assert consumer.stats.import_skipped == 1
-        # The owner's next export rewrites the whole queue; the entry
-        # was never marked seen, so it imports now.
+        # The owner's next export heals the damage (v1 rewrites every
+        # file; v2 notices the broken tail and rebuilds both files);
+        # the entry was never marked consumed, so it imports now.
         producer_sync.export(producer)
         assert sync.import_new(consumer) == 1
         assert consumer.stats.imported == len(producer.queue)
 
-    def test_garbage_entry_skipped_then_healed(self, tmp_path):
-        producer, producer_sync = self._corrupted_export(tmp_path, "garbage")
+    def test_corrupt_entry_counted_only_once(self, tmp_path, sync_format):
+        producer, producer_sync = self._corrupted_export(
+            tmp_path, "truncate", sync_format)
         consumer = make_engine(seed=2)
-        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
-        assert sync.import_new(consumer) == len(producer.queue) - 1
-        assert consumer.stats.import_skipped == 1
-        producer_sync.export(producer)
-        assert sync.import_new(consumer) == 1
+        sync = make_sync(tmp_path, 0, sync_format)
+        sync.import_new(consumer)
+        skipped = consumer.stats.import_skipped
+        assert skipped == 1
+        if sync_format == "v2":
+            # V1 recounts on every retry round (the pre-heal rounds are
+            # bounded by sync cadence); v2 pins the stricter contract.
+            sync.import_new(consumer)
+            assert consumer.stats.import_skipped == skipped
 
-    def test_tmp_orphan_never_listed(self, tmp_path):
-        producer, _ = self._corrupted_export(tmp_path, "tmp_orphan")
+    def test_tmp_orphan_never_listed(self, tmp_path, sync_format):
+        producer, _ = self._corrupted_export(tmp_path, "tmp_orphan",
+                                             sync_format)
         consumer = make_engine(seed=2)
-        sync = SyncDirectory(tmp_path, worker=0, total_workers=2)
+        sync = make_sync(tmp_path, 0, sync_format)
         assert sync.import_new(consumer) == len(producer.queue)
         assert consumer.stats.import_skipped == 0
         orphans = list(worker_queue_dir(tmp_path, 1).glob("*.tmp"))
