@@ -5,6 +5,7 @@
           --reports-dir ./findings
     $ python -m repro --hypervisor kvm --vendor intel --patched \\
           cr4_pae_consistency,dummy_root --iterations 500
+    $ python -m repro telemetry-report ./campaign-root
 """
 
 from __future__ import annotations
@@ -92,11 +93,49 @@ def build_parser() -> argparse.ArgumentParser:
                             help="persistent sync/checkpoint root for "
                                  "parallel campaigns (default: a "
                                  "temporary directory)")
+    observability = parser.add_argument_group("observability (DESIGN.md §11)")
+    observability.add_argument(
+        "--telemetry", choices=("off", "metrics", "full"), default="metrics",
+        help="off = near-zero overhead; metrics = in-process "
+             "counters/histograms (default); full = metrics plus a "
+             "JSONL event stream per worker. Purely observational: "
+             "results are identical across modes")
     return parser
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    """Parser for the ``telemetry-report`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro telemetry-report",
+        description="Render a merged telemetry summary for a campaign "
+                    "root (the --sync-dir of a finished run)")
+    parser.add_argument("root", type=Path,
+                        help="campaign root holding metrics.json (or "
+                             "worker-*/metrics.json shard snapshots)")
+    parser.add_argument("--top", type=int, default=12,
+                        help="how many spans/counters to show (default 12)")
+    return parser
+
+
+def telemetry_report_main(argv: list[str]) -> int:
+    """Entry point for ``python -m repro telemetry-report <root>``."""
+    from repro.telemetry.report import render_report
+
+    args = build_report_parser().parse_args(argv)
+    try:
+        print(render_report(args.root, top=args.top))
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "telemetry-report":
+        return telemetry_report_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.hypervisor == "virtualbox" and args.vendor != "intel":
         print("error: the VirtualBox model is Intel-only", file=sys.stderr)
@@ -148,8 +187,12 @@ def main(argv: list[str] | None = None) -> int:
             case_timeout=args.case_timeout,
             max_restarts=args.max_restarts,
             checkpoint_interval=args.checkpoint_interval,
-            resume=args.resume)
+            resume=args.resume,
+            telemetry_mode=args.telemetry)
     else:
+        from repro import telemetry
+
+        telemetry.set_mode(args.telemetry)
         campaign = NecoFuzz(
             hypervisor=args.hypervisor,
             vendor=Vendor(args.vendor),
@@ -174,6 +217,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  reproduce: {report.command_line}")
     if args.reports_dir and result.reports:
         print(f"\nreports written to {args.reports_dir}/")
+    if args.workers > 1 and args.sync_dir is not None and args.telemetry != "off":
+        print(f"telemetry: python -m repro telemetry-report {args.sync_dir}")
     return 0
 
 

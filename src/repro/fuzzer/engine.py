@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import telemetry
 from repro.coverage.bitmap import CoverageBitmap, VirginMap
 from repro.faults import InjectedFault
 from repro.fuzzer.crashes import CrashStore, atomic_write_bytes
@@ -124,21 +125,24 @@ class FuzzEngine:
         ``BaseException`` and pass straight through.
         """
         try:
-            return self.execute(candidate)
+            with telemetry.span("case.execute"):
+                return self.execute(candidate)
         except Exception as exc:
             self.stats.case_exceptions += 1
-            anomaly = f"case-exception: {type(exc).__name__}: {exc}"
-            if self.crashes is not None:
-                # Injected faults are input-independent one-shots:
-                # re-executing for minimization would consume *other*
-                # pending specs and prove nothing about the input.
-                reexecute = None if isinstance(exc, InjectedFault) else (
-                    lambda raw: self.execute(
-                        FuzzInput(FuzzInput.normalize(raw))))
-                record, _ = self.crashes.record(
-                    exc, candidate.data, self.stats.iterations,
-                    reexecute=reexecute)
-                anomaly = f"case-exception: {record.signature}"
+            telemetry.counter("engine.case_exceptions")
+            with telemetry.span("case.triage"):
+                anomaly = f"case-exception: {type(exc).__name__}: {exc}"
+                if self.crashes is not None:
+                    # Injected faults are input-independent one-shots:
+                    # re-executing for minimization would consume *other*
+                    # pending specs and prove nothing about the input.
+                    reexecute = None if isinstance(exc, InjectedFault) else (
+                        lambda raw: self.execute(
+                            FuzzInput(FuzzInput.normalize(raw))))
+                    record, _ = self.crashes.record(
+                        exc, candidate.data, self.stats.iterations,
+                        reexecute=reexecute)
+                    anomaly = f"case-exception: {record.signature}"
             self._fault_bitmap.reset()
             return RunFeedback(bitmap=self._fault_bitmap, crashed=True,
                                anomaly=anomaly)
@@ -148,10 +152,14 @@ class FuzzEngine:
         self.stats.iterations += 1
         candidate = self._next_input()
         feedback = self._execute_isolated(candidate)
+        telemetry.counter("engine.cases")
         if feedback.crashed or feedback.anomaly:
             self.stats.crashes += feedback.crashed
             self.stats.anomalies += feedback.anomaly is not None
             self.crash_inputs.append((candidate, feedback.anomaly or "crash"))
+            telemetry.counter("engine.crashes", int(feedback.crashed))
+            telemetry.counter("engine.anomalies",
+                              int(feedback.anomaly is not None))
         if self.coverage_guided:
             new_bits = self.virgin.has_new_bits(feedback.bitmap)
             if new_bits:
@@ -162,10 +170,13 @@ class FuzzEngine:
                     anomaly=feedback.anomaly is not None)
                 self.stats.queue_adds += 1
                 self.stats.last_find = self.stats.iterations
+                telemetry.counter("engine.queue_adds")
         else:
             # Black-box mode still merges the map so external observers
             # can measure coverage, but scheduling ignores it.
             self.virgin.has_new_bits(feedback.bitmap)
+        telemetry.gauge("engine.queue_depth", len(self.queue))
+        telemetry.gauge("engine.corpus_bytes", len(self.queue) * INPUT_SIZE)
         return feedback
 
     def run(self, iterations: int) -> EngineStats:
@@ -218,6 +229,7 @@ class FuzzEngine:
         candidate = FuzzInput(FuzzInput.normalize(data))
         feedback = self._execute_isolated(candidate)
         self.stats.imported += 1
+        telemetry.counter("engine.imports")
         if feedback.crashed or feedback.anomaly:
             self.stats.crashes += feedback.crashed
             self.stats.anomalies += feedback.anomaly is not None
@@ -246,6 +258,8 @@ class FuzzEngine:
         """
         self.stats.imported += 1
         self.stats.imports_skipped_subsumed += 1
+        telemetry.counter("engine.imports")
+        telemetry.counter("engine.imports_subsumed")
         if absorb_lines is not None and record.lines:
             absorb_lines(record.lines)
 

@@ -33,7 +33,7 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro import faults
+from repro import faults, telemetry
 from repro.analysis.timeline import CoverageTimeline
 from repro.arch.cpuid import Vendor
 from repro.core.executor import ComponentToggles
@@ -81,6 +81,10 @@ class ParallelCampaignResult(CampaignResult):
     #: Whether process-mode workers merged through a shared-memory
     #: virgin map instead of pickled report snapshots.
     shared_virgin_map: bool = False
+    #: Merged telemetry snapshot (campaign scope + every worker), the
+    #: same payload ``<root>/metrics.json`` persists. ``None`` when the
+    #: campaign ran with ``telemetry_mode="off"``.
+    telemetry: dict | None = None
 
     def summary(self) -> str:
         text = (super().summary()
@@ -207,12 +211,19 @@ class ParallelCampaign:
     #: Deterministic fault plan for chaos testing; also picked up from
     #: :func:`repro.faults.install` when None.
     fault_plan: faults.FaultPlan | None = None
+    #: Observability level: ``off`` | ``metrics`` | ``full`` (DESIGN.md
+    #: §11). Purely observational — excluded from the campaign
+    #: fingerprint, and results are bit-for-bit identical across modes.
+    telemetry_mode: str = "metrics"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.mode not in ("inline", "process"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.telemetry_mode not in telemetry.MODES:
+            raise ValueError(
+                f"unknown telemetry_mode {self.telemetry_mode!r}")
         if self.sync_format not in SYNC_FORMATS:
             raise ValueError(f"unknown sync_format {self.sync_format!r}")
         if self.sync_every < 1:
@@ -262,22 +273,49 @@ class ParallelCampaign:
     def _run_in(self, root: Path, iterations: int,
                 sample_every: int) -> ParallelCampaignResult:
         specs = self._specs(iterations)
-        if self.fault_plan is not None and faults.active() is None:
-            # A plan passed as a field behaves exactly like one already
-            # installed around run() — both modes consult the global.
-            with faults.injected(self.fault_plan):
-                return self._dispatch(root, specs, sample_every)
-        return self._dispatch(root, specs, sample_every)
+        with telemetry.campaign_scope(self.telemetry_mode, root):
+            if self.fault_plan is not None and faults.active() is None:
+                # A plan passed as a field behaves exactly like one
+                # already installed around run() — both modes consult
+                # the global.
+                with faults.injected(self.fault_plan):
+                    return self._dispatch(root, specs, sample_every)
+            return self._dispatch(root, specs, sample_every)
 
     def _dispatch(self, root: Path, specs: list[WorkerSpec],
                   sample_every: int) -> ParallelCampaignResult:
         shared_bits = None
-        if self.mode == "process" and self.workers > 1:
-            reports, shared_bits = self._run_processes(root, specs,
-                                                       sample_every)
-        else:
-            reports = self._run_inline(root, specs, sample_every)
-        return self._merge(reports, shared_bits)
+        with telemetry.span("campaign.run"):
+            if self.mode == "process" and self.workers > 1:
+                reports, shared_bits = self._run_processes(root, specs,
+                                                           sample_every)
+            else:
+                reports = self._run_inline(root, specs, sample_every)
+        result = self._merge(reports, shared_bits)
+        result.telemetry = self._finish_telemetry(root, reports)
+        return result
+
+    def _finish_telemetry(self, root: Path,
+                          reports: list[WorkerReport]) -> dict | None:
+        """Fold worker registries in, persist the campaign aggregate.
+
+        Process-mode workers ship their registry snapshot inside their
+        report; inline workers already recorded into the campaign
+        registry. The merged snapshot is written to
+        ``<root>/metrics.json`` and, in ``full`` mode, the per-worker
+        event streams are merged into ``<root>/events.jsonl``.
+        """
+        if self.telemetry_mode == "off":
+            return None
+        registry = telemetry.registry()
+        for report in reports:
+            if report.telemetry is not None:
+                registry.merge_snapshot(report.telemetry)
+        telemetry.save_metrics(root / telemetry.METRICS_NAME)
+        if self.telemetry_mode == "full":
+            telemetry.flush()
+            telemetry.merge_events(root)
+        return telemetry.snapshot()
 
     # --- inline mode --------------------------------------------------------
 
@@ -410,7 +448,8 @@ class ParallelCampaign:
             sample_every=sample_every, sync_every=self.sync_every,
             config=config, fault_plan=self.fault_plan or faults.active(),
             sync_format=self.sync_format,
-            subsumption_filter=self.subsumption_filter)
+            subsumption_filter=self.subsumption_filter,
+            telemetry_mode=self.telemetry_mode)
         try:
             return supervisor.run(), supervisor.merged_virgin_bits
         finally:

@@ -27,8 +27,8 @@ unconditional and would have each exiting worker's tracker whine about
 from __future__ import annotations
 
 import logging
-from typing import Callable
 
+from repro import telemetry
 from repro.coverage.bitmap import MAP_SIZE
 
 log = logging.getLogger("repro.parallel")
@@ -88,33 +88,64 @@ class SharedVirginMap:
     def publish(self, bits: bytes) -> None:
         with self.lock:
             _or_into(self.shm.buf, bits)
+        telemetry.counter("shared_map.publishes")
 
     def snapshot(self) -> bytes:
         with self.lock:
             return bytes(self.shm.buf[:MAP_SIZE])
 
     def destroy(self) -> None:
-        """Close and unlink; safe to call exactly once, errors ignored."""
+        """Close and unlink; safe to call exactly once.
+
+        Only the *expected* endgame errors are swallowed — the segment
+        already gone (:class:`FileNotFoundError`) or a still-exported
+        buffer view (:class:`BufferError`). Anything else (a permission
+        flip, a bad handle) propagates: a bare ``pass`` here once hid a
+        real leak for an entire chaos run. ``unlink`` is attempted even
+        when ``close`` refuses, so the name never outlives the run.
+        """
         try:
             self.shm.close()
+        except (FileNotFoundError, BufferError):
+            pass
+        try:
             self.shm.unlink()
-        except OSError:  # pragma: no cover - already gone
+        except FileNotFoundError:
             pass
 
 
-def publisher(name: str, lock) -> Callable[[bytes], None]:
-    """A worker-side publish callable bound to segment *name*.
+class Publisher:
+    """A worker-side publish callable bound to one segment name.
 
-    Attachment is lazy (first publish) so building the callable in the
+    Attachment is lazy (first publish) so building the object in the
     parent before fork costs nothing, and the attached handle is cached
-    for the worker's lifetime.
+    for the worker's lifetime. :meth:`close` drops the mapping; the
+    worker entry point calls it in a ``finally`` so a mid-sync fault
+    cannot leak the segment mapping out of a dying worker.
     """
-    handle = []
 
-    def publish(bits: bytes) -> None:
-        if not handle:
-            handle.append(attach(name))
-        with lock:
-            _or_into(handle[0].buf, bits)
+    def __init__(self, name: str, lock) -> None:
+        self.name = name
+        self.lock = lock
+        self._shm = None
 
-    return publish
+    def __call__(self, bits: bytes) -> None:
+        if self._shm is None:
+            self._shm = attach(self.name)
+        with self.lock:
+            _or_into(self._shm.buf, bits)
+        telemetry.counter("shared_map.publishes")
+
+    def close(self) -> None:
+        """Drop the attached mapping (never the segment itself)."""
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            try:
+                shm.close()
+            except (FileNotFoundError, BufferError):
+                pass
+
+
+def publisher(name: str, lock) -> Publisher:
+    """A worker-side publish callable bound to segment *name*."""
+    return Publisher(name, lock)

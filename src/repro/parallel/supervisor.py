@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
 
-from repro import faults
+from repro import faults, telemetry
 from repro.parallel.worker import CampaignWorker, WorkerReport, WorkerSpec
 
 log = logging.getLogger("repro.parallel")
@@ -131,7 +131,8 @@ def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
                         sync_format: str = "v2",
                         subsumption_filter: bool = True,
                         shm_name: str | None = None,
-                        shm_lock=None) -> None:
+                        shm_lock=None,
+                        telemetry_mode: str = "metrics") -> None:
     """Child-process entry point: run one share, write the report.
 
     Resumes from the shard checkpoint when one exists (this is how a
@@ -142,11 +143,16 @@ def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
 
     When the supervisor created a shared virgin-map segment, its name
     and lock arrive here and the worker publishes into it at sync
-    rounds instead of shipping a 64 KiB snapshot in its report.
+    rounds instead of shipping a 64 KiB snapshot in its report. The
+    attached mapping is closed in a ``finally`` — even a fault raised
+    mid-sync must not leak the segment out of the worker (an injected
+    kill is the one exception: ``os._exit`` models a real SIGKILL,
+    where the OS reclaims the mapping, not the process).
     """
     rootp = Path(root)
     shard_dir = worker_dir(rootp, spec.index)
     shard_dir.mkdir(parents=True, exist_ok=True)
+    telemetry.init_worker(telemetry_mode, rootp, spec.index)
     if fault_plan is not None:
         faults.install(fault_plan)
         faults.set_current_worker(spec.index)
@@ -162,14 +168,24 @@ def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
             heartbeat_path=heartbeat_path(rootp, spec.index),
             checkpoint_path=checkpoint_path(rootp, spec.index),
             case_timeout=case_timeout)
+    shm_publisher = None
     if shm_name is not None and shm_lock is not None:
         from repro.parallel.shared_map import publisher
 
-        worker.virgin_publisher = publisher(shm_name, shm_lock)
+        shm_publisher = publisher(shm_name, shm_lock)
+        worker.virgin_publisher = shm_publisher
     try:
-        report = worker.run_share(sync_every)
+        try:
+            report = worker.run_share(sync_every)
+        finally:
+            if shm_publisher is not None:
+                shm_publisher.close()
     except faults.WorkerKilled:
         os._exit(faults.KILL_EXIT_CODE)
+    report.telemetry = telemetry.snapshot()
+    if telemetry_mode != "off":
+        telemetry.save_metrics(shard_dir / telemetry.METRICS_NAME)
+        telemetry.flush()
     from repro.fuzzer.crashes import atomic_write_bytes
 
     atomic_write_bytes(report_path(rootp, spec.index), pickle.dumps(report))
@@ -188,8 +204,15 @@ class Supervisor:
     fault_plan: faults.FaultPlan | None = None
     sync_format: str = "v2"
     subsumption_filter: bool = True
+    telemetry_mode: str = "metrics"
     events: list[SupervisorEvent] = field(default_factory=list)
     restarts: dict[int, int] = field(default_factory=dict)
+    #: Heartbeat-staleness tracking: index -> ((mtime_ns, size),
+    #: monotonic time that token was first observed). Hang detection
+    #: compares monotonic now against monotonic first-seen — file
+    #: mtimes are only ever compared with other mtimes, never with the
+    #: (NTP-steppable) wall clock.
+    _beat_seen: dict = field(default_factory=dict, init=False, repr=False)
     #: Final shared virgin-map snapshot; ``None`` when the segment was
     #: unavailable and reports carried full snapshots instead.
     merged_virgin_bits: bytes | None = field(default=None, init=False)
@@ -228,6 +251,7 @@ class Supervisor:
                     heartbeat_path(self.root, spec.index).unlink()
                 except OSError:
                     pass
+                self._beat_seen.pop(spec.index, None)
                 shared = self._shared
                 try:
                     proc = ctx.Process(
@@ -238,7 +262,8 @@ class Supervisor:
                               self.fault_plan, self.sync_format,
                               self.subsumption_filter,
                               shared.name if shared else None,
-                              shared.lock if shared else None),
+                              shared.lock if shared else None,
+                              self.telemetry_mode),
                         daemon=False)
                     proc.start()
                 except (OSError, RuntimeError, pickle.PicklingError) as exc:
@@ -249,6 +274,9 @@ class Supervisor:
                     self.events.append(SupervisorEvent(
                         spec.index, FailureKind.WORKER_CRASH,
                         f"process start failed: {exc}", "inline-fallback"))
+                    telemetry.counter("supervisor.inline_fallbacks")
+                    telemetry.event("supervisor.inline-fallback",
+                                    worker=spec.index, detail=str(exc))
                     reports[spec.index] = self._run_shard_inline(spec)
                     continue
                 running[spec.index] = (proc, time.monotonic())
@@ -297,16 +325,35 @@ class Supervisor:
     # --- classification helpers ----------------------------------------
 
     def _hung(self, index: int, started: float) -> bool:
+        """Stale-heartbeat detection on the monotonic clock only.
+
+        The obvious ``time.time() - st_mtime > budget`` check is wrong:
+        an NTP step (or any wall-clock skew between the clock that
+        stamps mtimes and the one ``time.time`` reads) makes a healthy
+        worker look hung — while ``started`` was already monotonic, so
+        the two branches disagreed about what a second even was. A
+        heartbeat's *mtime* is therefore only compared against other
+        observations of the same file: the supervisor remembers the
+        last (mtime_ns, size) token per worker and the monotonic
+        instant it first saw that token; the worker is hung when the
+        token has not changed for ``case_timeout`` monotonic seconds.
+        """
         beat = heartbeat_path(self.root, index)
         try:
-            reference = beat.stat().st_mtime
-            budget = self.config.case_timeout
+            stat = beat.stat()
         except OSError:
             # No heartbeat yet: measure from process start, with grace
             # for agent construction and module instrumentation.
+            self._beat_seen.pop(index, None)
             return (time.monotonic() - started
                     > self.config.case_timeout + self.config.startup_grace)
-        return time.time() - reference > budget
+        token = (stat.st_mtime_ns, stat.st_size)
+        now = time.monotonic()
+        seen = self._beat_seen.get(index)
+        if seen is None or seen[0] != token:
+            self._beat_seen[index] = (token, now)
+            return False
+        return now - seen[1] > self.config.case_timeout
 
     def _load_report(self, index: int) -> WorkerReport | None:
         try:
@@ -334,12 +381,16 @@ class Supervisor:
                         pending: list, reports: dict, by_index: dict) -> None:
         count = self.restarts.get(index, 0) + 1
         self.restarts[index] = count
+        telemetry.counter(f"supervisor.failures.{kind.value}")
         if count > self.config.max_restarts:
             log.error("worker %d: %s (%s); circuit breaker open after "
                       "%d failures, finishing the shard inline",
                       index, kind.value, detail, count - 1)
             self.events.append(SupervisorEvent(index, kind, detail,
                                                "circuit-open"))
+            telemetry.counter("supervisor.circuit_opens")
+            telemetry.event("supervisor.circuit-open", worker=index,
+                            kind=kind.value, detail=detail)
             reports[index] = self._run_shard_inline(by_index[index])
             return
         delay = min(self.config.backoff_cap,
@@ -348,6 +399,9 @@ class Supervisor:
                     index, kind.value, detail, count,
                     self.config.max_restarts, delay)
         self.events.append(SupervisorEvent(index, kind, detail, "restart"))
+        telemetry.counter("supervisor.restarts")
+        telemetry.event("supervisor.restart", worker=index, kind=kind.value,
+                        attempt=count, detail=detail)
         time.sleep(delay)
         pending.append(by_index[index])
 

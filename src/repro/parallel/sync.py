@@ -28,10 +28,11 @@ kept on a retry list, and imported after it heals.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro import faults
+from repro import faults, telemetry
 from repro.fuzzer.engine import FuzzEngine
 from repro.parallel import wire
 
@@ -130,6 +131,26 @@ class SyncDirectory:
         if self.sync_format not in SYNC_FORMATS:
             raise ValueError(f"unknown sync_format {self.sync_format!r}")
 
+    @contextmanager
+    def _timed(self, span_name: str, attr: str):
+        """Accumulate one phase's wall clock into ``stats.<attr>`` and
+        the telemetry histogram *span_name*.
+
+        The accounting lives in a ``finally`` so a guarded call that
+        raises — a corrupt-entry retry, an injected sync fault — still
+        charges its elapsed time. (The old ``stats.x += perf_counter()
+        - started`` shape silently dropped those paths from
+        ``sync_overhead``.) Both sinks see the *same* elapsed value, so
+        ``SyncStats`` and the telemetry report agree to the float.
+        """
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            setattr(self.stats, attr, getattr(self.stats, attr) + elapsed)
+            telemetry.observe(span_name, elapsed)
+
     # --- export ---------------------------------------------------------
 
     def export(self, engine: FuzzEngine, *,
@@ -140,13 +161,13 @@ class SyncDirectory:
         them all; v2 appends only the ones found since the last round).
         """
         queue_dir = worker_queue_dir(self.root, self.worker)
-        started = time.perf_counter()
-        if self.sync_format == "v1":
-            written = engine.save_corpus(queue_dir, exclude_imported=True)
-        else:
-            written = self._export_v2(engine, queue_dir, codec)
-        self.stats.export_seconds += time.perf_counter() - started
+        with self._timed("sync.export", "export_seconds"):
+            if self.sync_format == "v1":
+                written = engine.save_corpus(queue_dir, exclude_imported=True)
+            else:
+                written = self._export_v2(engine, queue_dir, codec)
         self.exports += 1
+        telemetry.event("sync.export", round=self.exports, written=written)
         plan = faults.active()
         if plan is not None:
             spec = plan.take_sync_fault(self.worker, self.exports)
@@ -219,11 +240,12 @@ class SyncDirectory:
                 payload = path.read_bytes()
             except OSError:
                 engine.stats.import_skipped += 1
+                telemetry.counter("sync.imports_skipped")
                 continue
-            started = time.perf_counter()
-            new_bits = engine.import_case(payload)
-            self.stats.execute_seconds += time.perf_counter() - started
+            with self._timed("sync.execute", "execute_seconds"):
+                new_bits = engine.import_case(payload)
             if new_bits is None:
+                telemetry.counter("sync.imports_skipped")
                 continue  # corrupt entry: counted, retried later
             seen.add(path.name)
             imported += 1
@@ -231,9 +253,8 @@ class SyncDirectory:
 
     def _import_v2(self, engine: FuzzEngine, partner: int, queue_dir: Path,
                    codec: wire.LineCodec | None, absorb_lines) -> int:
-        started = time.perf_counter()
-        manifest = wire.read_manifest(queue_dir)
-        self.stats.scan_seconds += time.perf_counter() - started
+        with self._timed("sync.scan", "scan_seconds"):
+            manifest = wire.read_manifest(queue_dir)
         consumed = self.consumed.get(partner, 0)
         retry = self.retry.setdefault(partner, set())
         todo = sorted(index for index in retry if index < len(manifest))
@@ -258,16 +279,17 @@ class SyncDirectory:
                         # Counted once; the retry set keeps the cursor
                         # moving while this record waits for its heal.
                         engine.stats.import_skipped += 1
+                        telemetry.counter("sync.imports_skipped")
                         retry.add(index)
                     continue
                 retry.discard(index)
                 if self._filtered(engine, record):
                     engine.import_subsumed(record, absorb_lines)
+                    telemetry.counter("sync.filter_subsumed")
                 else:
-                    run_started = time.perf_counter()
-                    engine.import_packed(record)
-                    self.stats.execute_seconds += (time.perf_counter()
-                                                   - run_started)
+                    with self._timed("sync.execute", "execute_seconds"):
+                        engine.import_packed(record)
+                    telemetry.counter("sync.filter_executed")
                 imported += 1
         self.consumed[partner] = len(manifest)
         return imported
@@ -287,7 +309,6 @@ class SyncDirectory:
             return False
         if record.crashed or record.anomaly:
             return False
-        started = time.perf_counter()
-        subsumed = engine.virgin.subsumes(record.coverage)
-        self.stats.filter_seconds += time.perf_counter() - started
+        with self._timed("sync.filter", "filter_seconds"):
+            subsumed = engine.virgin.subsumes(record.coverage)
         return subsumed

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro import faults
+from repro import faults, telemetry
 from repro.analysis.timeline import CoverageTimeline
 from repro.core.necofuzz import CampaignResult, NecoFuzz
 from repro.fuzzer.crashes import atomic_write_bytes
@@ -84,6 +84,12 @@ class WorkerReport:
     deadline_overruns: int = 0
     #: Per-phase sync wall-clock breakdown (None when not syncing).
     sync_stats: SyncStats | None = None
+    #: Process-mode only: the worker process's final metrics-registry
+    #: snapshot (:meth:`repro.telemetry.MetricsRegistry.snapshot`), so
+    #: the orchestrator can merge without touching the filesystem.
+    #: ``None`` in inline mode, where metrics land in the campaign
+    #: registry directly.
+    telemetry: dict | None = None
 
 
 @dataclass
@@ -144,11 +150,14 @@ class CampaignWorker:
         agent = self.campaign.agent
         engine = self.campaign.engine
         plan = faults.active()
-        # Tag hook firings with this worker for the chunk only: inline
-        # mode interleaves workers in one process, so the tag must not
-        # leak to the next worker (or outlive the campaign).
+        # Tag hook firings — and telemetry — with this worker for the
+        # chunk only: inline mode interleaves workers in one process,
+        # so the tag must not leak to the next worker (or outlive the
+        # campaign).
         previous_worker = faults.current_worker()
         faults.set_current_worker(self.spec.index)
+        previous_shard = telemetry.current_shard()
+        telemetry.set_shard(self.spec.index)
         timeout = self.case_timeout
         try:
             for _ in range(steps):
@@ -177,6 +186,7 @@ class CampaignWorker:
                     self.samples.append((i, delta))
         finally:
             faults.set_current_worker(previous_worker)
+            telemetry.set_shard(previous_shard)
         return steps
 
     # --- corpus sync -------------------------------------------------------
@@ -185,15 +195,18 @@ class CampaignWorker:
         """Publish locally found queue entries to the sync directory."""
         if self.sync is None:
             return 0
-        return self.sync.export(self.campaign.engine, codec=self.line_codec)
+        with telemetry.shard_scope(self.spec.index):
+            return self.sync.export(self.campaign.engine,
+                                    codec=self.line_codec)
 
     def import_new(self) -> int:
         """Consume partners' new entries; keep the locally novel ones."""
         if self.sync is None:
             return 0
-        return self.sync.import_new(self.campaign.engine,
-                                    codec=self.line_codec,
-                                    absorb_lines=self.campaign.agent.absorb_lines)
+        with telemetry.shard_scope(self.spec.index):
+            return self.sync.import_new(
+                self.campaign.engine, codec=self.line_codec,
+                absorb_lines=self.campaign.agent.absorb_lines)
 
     def publish_virgin(self) -> None:
         """OR local virgin bits into the shared map, if one is attached.
@@ -210,7 +223,8 @@ class CampaignWorker:
         if virgin.generation == self._published_generation:
             return
         try:
-            publisher(bytes(virgin.bits))
+            with telemetry.shard_scope(self.spec.index):
+                publisher(bytes(virgin.bits))
         except Exception as exc:
             log.warning("worker %d: shared virgin-map publish failed (%s); "
                         "falling back to report snapshots",
@@ -221,11 +235,18 @@ class CampaignWorker:
 
     def run_share(self, sync_every: int) -> "WorkerReport":
         """Self-paced loop for process mode: chunk, publish, import."""
+        rounds = 0
         while not self.finished:
             self.run_chunk(sync_every)
             self.export()
             self.import_new()
             self.publish_virgin()
+            rounds += 1
+            with telemetry.shard_scope(self.spec.index):
+                telemetry.event("worker.sync_round", round=rounds,
+                                done=self.done,
+                                queue=len(self.campaign.engine.queue))
+                telemetry.flush()
             self.save_checkpoint()
         if self.spec.iterations == 0:
             self.export()

@@ -19,6 +19,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
+from repro import telemetry
+
 _incremental = True
 
 
@@ -94,7 +96,9 @@ def memoized_check(struct, key, compute: Callable[[], list]):
                 struct.memo_put(key, (struct.generation, reads, value, trace))
             if struct._read_trace is not None:
                 struct._read_trace.update(reads)
+            telemetry.counter("perf.memo_hits")
             return value
+    telemetry.counter("perf.memo_misses")
     mark = len(sink) if sink is not None else 0
     outer = struct._read_trace
     reads = set()
@@ -153,7 +157,9 @@ def memoized_fixpoint(struct, key, run: Callable[[], object]):
                 struct.memo_put(key, (struct.generation, reads, value))
             if struct._read_trace is not None:
                 struct._read_trace.update(reads)
+            telemetry.counter("perf.memo_hits")
             return value
+    telemetry.counter("perf.memo_misses")
     outer = struct._read_trace
     reads = set()
     struct._read_trace = reads
@@ -212,6 +218,7 @@ def merge_state(state, src, *, build: Callable[[], object],
             # Recorded without a tracer: rebuild live to capture slices.
             changed = None
     if changed is None:
+        telemetry.counter("perf.merge_full")
         mark = len(sink) if sink is not None else 0
         merged = build()
         build_trace = tuple(sink[mark:]) if sink is not None else None
@@ -221,6 +228,7 @@ def merge_state(state, src, *, build: Callable[[], object],
         state.merge_cache = (src, src.generation, merged, build_trace,
                              ctrl_trace)
         return merged
+    telemetry.counter("perf.merge_incremental")
     merged = cache[2]
     for key in changed & state_fields:
         merged.write(key, src.read(key))

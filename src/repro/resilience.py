@@ -67,6 +67,12 @@ def campaign_fingerprint(result: ParallelCampaignResult) -> str:
     an implementation detail of how the same observable outcome was
     reached — including it would make v1 and v2 sync-format runs
     incomparable by construction.
+
+    Telemetry (``ParallelCampaignResult.telemetry`` and the campaign's
+    ``telemetry_mode``) is excluded for the same reason: it describes
+    how the run was *observed*, not what it found. The converse pin —
+    that ``off``/``metrics``/``full`` runs produce identical
+    fingerprints — lives in tests/telemetry/test_fingerprint_modes.py.
     """
     digest = hashlib.sha256()
     for location in sorted(result.covered_lines):

@@ -1,0 +1,257 @@
+"""Campaign telemetry: the measurement plane (DESIGN.md §11).
+
+One module-level switch (like :mod:`repro.perf`'s incremental knob)
+selects between three modes:
+
+``off``
+    Every call is a near-free early return. The mode the overhead gate
+    compares against.
+``metrics`` (default)
+    Counters, gauges, and fixed-bucket histograms accumulate in a
+    process-local :class:`~repro.telemetry.registry.MetricsRegistry`.
+    No I/O on the hot path.
+``full``
+    ``metrics`` plus a structured JSONL event stream per worker
+    (``<root>/worker-NNN/events.jsonl``), merged by the orchestrator.
+
+Telemetry is observational by contract: no RNG draws, no influence on
+scheduling, corpus, or coverage — campaign fingerprints are bit-for-bit
+identical across all three modes (pinned by
+``tests/telemetry/test_fingerprint_modes.py``), which is why the mode
+flag is excluded from the fingerprint in the first place.
+
+All span timing uses ``time.perf_counter`` — a monotonic clock — so an
+NTP step or wall-clock skew mid-campaign cannot produce negative or
+inflated durations. Wall-clock time never enters a duration anywhere in
+this package.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.telemetry.events import EventStream, merge_events, read_events
+from repro.telemetry.registry import BUCKETS, Histogram, MetricsRegistry
+
+__all__ = [
+    "BUCKETS",
+    "EventStream",
+    "Histogram",
+    "MODES",
+    "MetricsRegistry",
+    "METRICS_NAME",
+    "campaign_scope",
+    "counter",
+    "current_shard",
+    "event",
+    "gauge",
+    "init_worker",
+    "load_metrics",
+    "merge_events",
+    "mode",
+    "observe",
+    "read_events",
+    "registry",
+    "save_metrics",
+    "set_mode",
+    "set_shard",
+    "shard_scope",
+    "snapshot",
+    "span",
+]
+
+MODES = ("off", "metrics", "full")
+METRICS_NAME = "metrics.json"
+
+_mode: str = "metrics"
+_registry: MetricsRegistry = MetricsRegistry()
+_events: EventStream | None = None
+_shard = None
+
+
+def mode() -> str:
+    """The active telemetry mode."""
+    return _mode
+
+
+def set_mode(value: str) -> None:
+    global _mode
+    if value not in MODES:
+        raise ValueError(f"unknown telemetry mode {value!r}")
+    _mode = value
+
+
+def registry() -> MetricsRegistry:
+    """The live process-local registry."""
+    return _registry
+
+
+def current_shard():
+    return _shard
+
+
+def set_shard(index) -> None:
+    """Label subsequent metrics/events with worker *index* (or None)."""
+    global _shard
+    _shard = index
+
+
+@contextmanager
+def shard_scope(index) -> Iterator[None]:
+    """Temporarily attribute metrics to one shard (inline workers)."""
+    global _shard
+    saved = _shard
+    _shard = index
+    try:
+        yield
+    finally:
+        _shard = saved
+
+
+# --- recording ---------------------------------------------------------
+
+
+def counter(name: str, n: int = 1) -> None:
+    if _mode == "off":
+        return
+    _registry.counter(name, n, shard=_shard)
+
+
+def gauge(name: str, value: float) -> None:
+    if _mode == "off":
+        return
+    _registry.gauge(name, value, shard=_shard)
+
+
+def observe(name: str, seconds: float) -> None:
+    """Record one span duration (histogram + full-mode event)."""
+    if _mode == "off":
+        return
+    _registry.observe(name, seconds, shard=_shard)
+    if _events is not None:
+        _events.emit(_shard, "span", span=name, dur=round(seconds, 6))
+
+
+def event(name: str, **fields) -> None:
+    """Emit one structured event (``full`` mode only)."""
+    if _events is not None:
+        _events.emit(_shard, name, **fields)
+
+
+class _Span:
+    """Monotonic-clock span; records its duration even when the body
+    raises (the ``try/finally`` the old hand-rolled timers lacked)."""
+
+    __slots__ = ("name", "elapsed", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.elapsed = time.perf_counter() - self._started
+        observe(self.name, self.elapsed)
+        return False
+
+
+class _NoopSpan:
+    __slots__ = ()
+    elapsed = 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str):
+    """A context manager timing its body into histogram *name*."""
+    if _mode == "off":
+        return _NOOP_SPAN
+    return _Span(name)
+
+
+# --- lifecycle ---------------------------------------------------------
+
+
+def snapshot() -> dict:
+    """JSON-ready copy of the live registry."""
+    return _registry.snapshot()
+
+
+def save_metrics(path: Path) -> None:
+    """Atomically persist the live registry snapshot to *path*."""
+    from repro.fuzzer.crashes import atomic_write_bytes
+
+    payload = json.dumps(snapshot(), indent=2, sort_keys=True) + "\n"
+    atomic_write_bytes(Path(path), payload.encode())
+
+
+def load_metrics(path: Path) -> MetricsRegistry | None:
+    """Read a persisted snapshot; ``None`` when missing or corrupt."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    return MetricsRegistry.from_snapshot(data)
+
+
+def init_worker(mode_value: str, root: Path | None, shard) -> None:
+    """Configure telemetry inside a freshly spawned worker process.
+
+    Installs a fresh registry (the parent's pre-fork metrics must not
+    be double-counted through the worker's report) and, in ``full``
+    mode with a root, opens the worker's event stream.
+    """
+    global _registry, _events, _shard
+    set_mode(mode_value)
+    _registry = MetricsRegistry()
+    _shard = shard
+    if _events is not None:
+        _events.close()
+    _events = (EventStream(Path(root))
+               if mode_value == "full" and root is not None else None)
+
+
+@contextmanager
+def campaign_scope(mode_value: str, root: Path | None) -> Iterator[MetricsRegistry]:
+    """Scope one campaign's telemetry: fresh registry, own event root.
+
+    Everything recorded inside the scope lands in the yielded registry;
+    on exit the previous mode/registry/stream are restored (and the
+    scope's event files closed), so campaigns — and tests — can never
+    leak metrics into each other.
+    """
+    global _mode, _registry, _events, _shard
+    saved = (_mode, _registry, _events, _shard)
+    set_mode(mode_value)
+    _registry = MetricsRegistry()
+    _events = (EventStream(Path(root))
+               if mode_value == "full" and root is not None else None)
+    _shard = None
+    try:
+        yield _registry
+    finally:
+        if _events is not None:
+            _events.close()
+        _mode, _registry, _events, _shard = saved
+
+
+def flush() -> None:
+    """Flush any open event stream (pre-checkpoint, pre-exit)."""
+    if _events is not None:
+        _events.flush()

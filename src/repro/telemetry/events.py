@@ -1,0 +1,122 @@
+"""Structured JSONL event streams (``--telemetry full``).
+
+Each worker appends to its own ``<root>/worker-NNN/events.jsonl`` —
+append-only and single-writer, so no cross-process coordination is
+needed and a worker restarting from a checkpoint just keeps appending.
+The orchestrator merges the per-worker files into ``<root>/events.jsonl``
+at the end of the campaign (a time-ordered merge of already-ordered
+streams).
+
+Timestamps are **monotonic-relative** (seconds since the stream
+opened), never wall clock: an NTP step mid-campaign must not reorder or
+stretch the event timeline. Cross-worker timestamps are therefore only
+comparable per worker — which is all a per-phase breakdown needs.
+
+The reader side tolerates whatever a crash mid-append can leave behind:
+a torn final line is skipped, not raised on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import time
+from pathlib import Path
+
+EVENTS_NAME = "events.jsonl"
+
+
+def worker_events_path(root: Path, shard) -> Path:
+    if shard is None:
+        return Path(root) / "events-campaign.jsonl"
+    return Path(root) / f"worker-{shard:03d}" / EVENTS_NAME
+
+
+def merged_events_path(root: Path) -> Path:
+    return Path(root) / EVENTS_NAME
+
+
+class EventStream:
+    """Per-process JSONL event writer, one file per shard."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root)
+        self._files: dict = {}
+        self._t0 = time.perf_counter()
+
+    def emit(self, shard, name: str, **fields) -> None:
+        record = {"t": round(time.perf_counter() - self._t0, 6),
+                  "w": shard, "ev": name}
+        record.update(fields)
+        try:
+            handle = self._files.get(shard)
+            if handle is None:
+                path = worker_events_path(self.root, shard)
+                path.parent.mkdir(parents=True, exist_ok=True)
+                handle = self._files[shard] = open(path, "a")
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError:
+            pass  # observability must never take the worker down
+
+    def flush(self) -> None:
+        for handle in self._files.values():
+            try:
+                handle.flush()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        for handle in self._files.values():
+            try:
+                handle.close()
+            except OSError:
+                pass
+        self._files.clear()
+
+
+def read_events(path: Path) -> list:
+    """Parse one JSONL stream, skipping torn or garbled lines."""
+    events = []
+    try:
+        raw = Path(path).read_text()
+    except OSError:
+        return events
+    for line in raw.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn tail from a crash mid-append
+        if isinstance(record, dict):
+            events.append(record)
+    return events
+
+
+def merge_events(root: Path) -> Path:
+    """Merge every per-worker stream into ``<root>/events.jsonl``.
+
+    Per-worker streams are already time-ordered; the merge is a k-way
+    heap merge on the monotonic-relative timestamp (ties broken by
+    worker index for a stable result). Returns the merged path; an
+    existing merged file is rewritten, so re-merging is idempotent.
+    """
+    root = Path(root)
+    streams = []
+    campaign = root / "events-campaign.jsonl"
+    if campaign.exists():
+        streams.append(read_events(campaign))
+    for worker_dir in sorted(root.glob("worker-*")):
+        path = worker_dir / EVENTS_NAME
+        if path.exists():
+            streams.append(read_events(path))
+    merged = heapq.merge(
+        *streams,
+        key=lambda r: (r.get("t", 0.0),
+                       -1 if r.get("w") is None else r.get("w")))
+    out = merged_events_path(root)
+    with open(out, "w") as handle:
+        for record in merged:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return out

@@ -1,0 +1,204 @@
+"""Process-safe campaign metrics: counters, gauges, histograms.
+
+"Process-safe" here means *merge-safe*, not shared-memory: every
+process (and, in inline mode, every campaign) owns a private registry
+and the orchestrator folds snapshots together after the fact. That
+keeps the hot-path cost of a metric to a dict operation — no locks, no
+IPC — and makes the merge deterministic by construction:
+
+* counters add;
+* histograms share one fixed bucket-bound table (:data:`BUCKETS`), so
+  merging is element-wise addition of counts — two registries can never
+  disagree about bucket layout;
+* gauges (last-observed values) merge per shard, so two shards never
+  fight over one cell; merging the *same* shard twice keeps the
+  maximum, the only order-independent choice.
+
+Metrics are recorded under the current **shard** label (the worker
+index, or ``None`` for orchestrator-level metrics), which is what lets
+``repro telemetry-report`` show per-shard skew without any extra
+plumbing at the call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Fixed histogram bucket upper bounds, in seconds. The last implicit
+#: bucket is +inf. Fixed — never derived from observed data — so any
+#: two snapshots merge bucket-by-bucket.
+BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bound duration histogram (seconds)."""
+
+    counts: list = field(default_factory=lambda: [0] * (len(BUCKETS) + 1))
+    sum: float = 0.0
+    count: int = 0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        for i, bound in enumerate(BUCKETS):
+            if seconds <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.sum += seconds
+        self.count += 1
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.sum += other.sum
+        self.count += other.count
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def to_dict(self) -> dict:
+        return {"counts": list(self.counts), "sum": self.sum,
+                "count": self.count,
+                "min": self.min if self.count else None,
+                "max": self.max}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        hist = cls(counts=list(data["counts"]), sum=data["sum"],
+                   count=data["count"], max=data.get("max", 0.0))
+        raw_min = data.get("min")
+        hist.min = float("inf") if raw_min is None else raw_min
+        return hist
+
+
+@dataclass
+class ShardMetrics:
+    """One shard's slice of the registry."""
+
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+    histograms: dict = field(default_factory=dict)
+
+    def merge(self, other: "ShardMetrics") -> None:
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in other.gauges.items():
+            mine = self.gauges.get(name)
+            self.gauges[name] = value if mine is None else max(mine, value)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = Histogram.from_dict(hist.to_dict())
+            else:
+                mine.merge(hist)
+
+
+def _shard_key(shard) -> str:
+    return "campaign" if shard is None else str(shard)
+
+
+def _parse_shard_key(key: str):
+    return None if key == "campaign" else int(key)
+
+
+class MetricsRegistry:
+    """All metrics of one process (or one campaign scope)."""
+
+    def __init__(self) -> None:
+        self.shards: dict = {}
+
+    def _shard(self, shard) -> ShardMetrics:
+        metrics = self.shards.get(shard)
+        if metrics is None:
+            metrics = self.shards[shard] = ShardMetrics()
+        return metrics
+
+    def counter(self, name: str, n: int = 1, *, shard=None) -> None:
+        counters = self._shard(shard).counters
+        counters[name] = counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float, *, shard=None) -> None:
+        self._shard(shard).gauges[name] = value
+
+    def observe(self, name: str, seconds: float, *, shard=None) -> None:
+        histograms = self._shard(shard).histograms
+        hist = histograms.get(name)
+        if hist is None:
+            hist = histograms[name] = Histogram()
+        hist.observe(seconds)
+
+    # --- aggregation ----------------------------------------------------
+
+    def counter_total(self, name: str) -> int:
+        return sum(m.counters.get(name, 0) for m in self.shards.values())
+
+    def span_total(self, name: str) -> float:
+        return sum(m.histograms[name].sum for m in self.shards.values()
+                   if name in m.histograms)
+
+    def span_names(self) -> list:
+        names: set = set()
+        for metrics in self.shards.values():
+            names.update(metrics.histograms)
+        return sorted(names)
+
+    def counter_names(self) -> list:
+        names: set = set()
+        for metrics in self.shards.values():
+            names.update(metrics.counters)
+        return sorted(names)
+
+    def merged_histogram(self, name: str) -> Histogram:
+        merged = Histogram()
+        for metrics in self.shards.values():
+            hist = metrics.histograms.get(name)
+            if hist is not None:
+                merged.merge(hist)
+        return merged
+
+    # --- snapshots ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy; merging snapshots is deterministic."""
+        return {
+            "buckets": list(BUCKETS),
+            "shards": {
+                _shard_key(shard): {
+                    "counters": dict(metrics.counters),
+                    "gauges": dict(metrics.gauges),
+                    "histograms": {name: hist.to_dict()
+                                   for name, hist in
+                                   metrics.histograms.items()},
+                }
+                for shard, metrics in sorted(
+                    self.shards.items(),
+                    key=lambda kv: (kv[0] is None, kv[0]))
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` payload into this registry."""
+        for key, raw in snapshot.get("shards", {}).items():
+            other = ShardMetrics(
+                counters=dict(raw.get("counters", {})),
+                gauges=dict(raw.get("gauges", {})),
+                histograms={name: Histogram.from_dict(data)
+                            for name, data in
+                            raw.get("histograms", {}).items()})
+            self._shard(_parse_shard_key(key)).merge(other)
+
+    @classmethod
+    def from_snapshot(cls, snapshot: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge_snapshot(snapshot)
+        return registry

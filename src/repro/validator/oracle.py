@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro import faults, perf
+from repro import faults, perf, telemetry
 from repro.cpu.entry_checks import CheckStage, IncrementalChecker, Violation
 from repro.cpu.physical_cpu import VmxCpu
 from repro.validator.golden import golden_vmcs
@@ -204,6 +204,19 @@ class HardwareOracle:
         the caller ends up holding a hardware-approved state.
         """
         faults.hook("oracle.verify")
+        with telemetry.span("oracle.verify"):
+            report = self._verify(vmcs)
+        telemetry.counter("oracle.attempts", report.attempts)
+        telemetry.counter("oracle.entries", int(report.entered))
+        telemetry.counter("oracle.failures", int(not report.entered))
+        telemetry.counter("oracle.rule_activations",
+                          len(report.activated_rules))
+        telemetry.counter("oracle.golden_fallbacks",
+                          len(report.golden_fallbacks))
+        return report
+
+    def _verify(self, vmcs: Vmcs) -> OracleReport:
+        """The correction loop proper (§3.4), telemetry-free."""
         report = OracleReport(entered=False, attempts=0)
         self.apply_learned(vmcs)
         seen: set[tuple[str, str]] = set()

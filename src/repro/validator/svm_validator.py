@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import perf
+from repro import perf, telemetry
 from repro.arch.registers import Cr0, Cr4, Efer
 from repro.cpu.svm_cpu import SvmCpu, check_vmcb
 from repro.svm import fields as SF
@@ -125,8 +125,16 @@ class SvmHardwareOracle:
 
     def verify(self, vmcb: Vmcb) -> bool:
         """Run *vmcb* on a fresh SVM CPU; learn and fix on rejection."""
+        with telemetry.span("oracle.verify"):
+            entered = self._verify(vmcb)
+        telemetry.counter("oracle.entries", int(entered))
+        telemetry.counter("oracle.failures", int(not entered))
+        return entered
+
+    def _verify(self, vmcb: Vmcb) -> bool:
         validator = VmcbValidator()
         for _ in range(self.max_attempts):
+            telemetry.counter("oracle.attempts")
             cpu = SvmCpu()
             cpu.set_svme(True)
             cpu.set_hsave(0x3000)

@@ -62,6 +62,90 @@ class TestPublisherClosure:
             publish(bytes(MAP_SIZE))
 
 
+class TestDestroyErrorDiscipline:
+    """Only the *expected* endgame errors are swallowed by destroy()."""
+
+    class _FakeShm:
+        def __init__(self, close_exc=None, unlink_exc=None):
+            self.close_exc = close_exc
+            self.unlink_exc = unlink_exc
+            self.closed = False
+            self.unlinked = False
+
+        def close(self):
+            self.closed = True
+            if self.close_exc is not None:
+                raise self.close_exc
+
+        def unlink(self):
+            self.unlinked = True
+            if self.unlink_exc is not None:
+                raise self.unlink_exc
+
+    def _map(self, shm):
+        return SharedVirginMap(shm, multiprocessing.get_context().Lock())
+
+    def test_buffer_error_on_close_still_unlinks(self):
+        # An exported memoryview makes close() raise BufferError; the
+        # name must not outlive the run because of it.
+        shm = self._FakeShm(close_exc=BufferError("exported pointers"))
+        self._map(shm).destroy()
+        assert shm.unlinked
+
+    def test_vanished_segment_is_quiet(self):
+        shm = self._FakeShm(close_exc=FileNotFoundError(),
+                            unlink_exc=FileNotFoundError())
+        self._map(shm).destroy()
+        assert shm.closed and shm.unlinked
+
+    def test_unexpected_close_error_propagates(self):
+        # The regression: a bare `except Exception: pass` here once hid
+        # a real leak. A permission flip must be loud.
+        shm = self._FakeShm(close_exc=PermissionError("sealed"))
+        with pytest.raises(PermissionError):
+            self._map(shm).destroy()
+
+    def test_unexpected_unlink_error_propagates(self):
+        shm = self._FakeShm(unlink_exc=PermissionError("sealed"))
+        with pytest.raises(PermissionError):
+            self._map(shm).destroy()
+
+
+class TestPublisherClose:
+    """Worker-side mapping hygiene: close in finally, never leak."""
+
+    def test_close_before_any_publish_is_a_noop(self, shared):
+        publish = publisher(shared.name, shared.lock)
+        publish.close()  # lazy attach never happened
+        assert publish._shm is None
+
+    def test_close_drops_the_mapping_and_is_idempotent(self, shared):
+        publish = publisher(shared.name, shared.lock)
+        publish(bytes([0x01]) + bytes(MAP_SIZE - 1))
+        assert publish._shm is not None
+        publish.close()
+        assert publish._shm is None
+        publish.close()  # second close must not raise
+
+    def test_publish_after_close_reattaches(self, shared):
+        publish = publisher(shared.name, shared.lock)
+        publish(bytes([0x01]) + bytes(MAP_SIZE - 1))
+        publish.close()
+        publish(bytes([0x02]) + bytes(MAP_SIZE - 1))
+        assert shared.snapshot()[0] == 0x03
+
+    def test_close_tolerates_a_vanished_segment(self, shared):
+        # Mid-sync fault shape: the worker dies while the supervisor
+        # tears the segment down. The finally-path close must not turn
+        # that into a second exception.
+        publish = publisher(shared.name, shared.lock)
+        publish(bytes(MAP_SIZE))
+        publish._shm = TestDestroyErrorDiscipline._FakeShm(
+            close_exc=FileNotFoundError())
+        publish.close()
+        assert publish._shm is None
+
+
 def make_worker(**kwargs):
     spec = WorkerSpec(index=0, seed=7, iterations=4)
     from repro import Vendor

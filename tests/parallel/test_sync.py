@@ -224,6 +224,120 @@ class TestSubsumptionFilter:
         assert sync.stats.entries_scanned == len(producer.queue)
 
 
+class TestPhaseTimersSurviveFailures:
+    """Regression: phase timers are charged through ``finally``.
+
+    The old ``stats.x += perf_counter() - started`` accounting silently
+    dropped any phase that raised partway through, so a corrupt-sync
+    round (or a real crash mid-import) under-reported sync_overhead.
+    Every guarded phase must record its elapsed time even when the
+    guarded call blows up — and the matching telemetry span must see
+    the identical value.
+    """
+
+    def _registry(self, tmp_path):
+        from repro import telemetry
+
+        return telemetry.campaign_scope("metrics", tmp_path / "telemetry")
+
+    def test_crc_failed_records_still_charge_scan_time(self, tmp_path):
+        producer = make_engine(seed=1)
+        producer.run(3)
+        producer_sync = make_sync(tmp_path, 1, "v2")
+        plan = FaultPlan([FaultSpec("corrupt_sync", worker=1, at_export=1,
+                                    corrupt="garbage")])
+        with faults.injected(plan):
+            producer_sync.export(producer)
+
+        consumer = make_engine(seed=2)
+        sync = make_sync(tmp_path, 0, "v2")
+        with self._registry(tmp_path) as registry:
+            sync.import_new(consumer)
+        assert consumer.stats.import_skipped == 1
+        # The corrupt record was scanned, and its scan time counted.
+        assert sync.stats.scan_seconds > 0
+        assert sync.stats.entries_scanned == len(producer.queue)
+        assert registry.span_total("sync.scan") == pytest.approx(
+            sync.stats.scan_seconds)
+
+    def test_scan_time_recorded_when_manifest_read_raises(self, tmp_path,
+                                                          monkeypatch):
+        producer = make_engine(seed=1)
+        producer.run(2)
+        make_sync(tmp_path, 1, "v2").export(producer)
+
+        import repro.parallel.sync as sync_mod
+
+        def explode(queue_dir):
+            raise RuntimeError("torn manifest")
+
+        monkeypatch.setattr(sync_mod.wire, "read_manifest", explode)
+        sync = make_sync(tmp_path, 0, "v2")
+        with pytest.raises(RuntimeError):
+            sync.import_new(make_engine(seed=2))
+        assert sync.stats.scan_seconds > 0
+
+    def test_execute_time_recorded_when_import_raises(self, tmp_path,
+                                                      sync_format):
+        producer = make_engine(seed=1)
+        producer.run(2)
+        make_sync(tmp_path, 1, sync_format).export(producer)
+
+        consumer = make_engine(seed=2)
+        boom = RuntimeError("executor died")
+
+        def explode(*args, **kwargs):
+            raise boom
+
+        consumer.import_case = explode
+        consumer.import_packed = explode
+        sync = make_sync(tmp_path, 0, sync_format)
+        with pytest.raises(RuntimeError):
+            sync.import_new(consumer)
+        assert sync.stats.execute_seconds > 0
+
+    def test_filter_time_recorded_when_subsumes_raises(self, tmp_path,
+                                                       monkeypatch):
+        line = ("nested.py", 7)
+        codec = LineCodec([line])
+
+        def covered_execute(fi):
+            bitmap = CoverageBitmap()
+            bitmap.record_edge(64, 65)
+            return RunFeedback(bitmap=bitmap, lines=frozenset({line}))
+
+        producer = make_engine(seed=1, execute=covered_execute)
+        producer.run(2)
+        make_sync(tmp_path, 1, "v2").export(producer, codec=codec)
+
+        consumer = make_engine(seed=2, execute=covered_execute)
+        monkeypatch.setattr(
+            consumer.virgin, "subsumes",
+            lambda coverage: (_ for _ in ()).throw(RuntimeError("virgin")))
+        sync = make_sync(tmp_path, 0, "v2")
+        with pytest.raises(RuntimeError):
+            sync.import_new(consumer, codec=codec)
+        assert sync.stats.filter_seconds > 0
+
+    def test_export_time_recorded_when_export_raises(self, tmp_path,
+                                                     sync_format,
+                                                     monkeypatch):
+        engine = make_engine()
+        engine.run(2)
+        sync = make_sync(tmp_path, 0, sync_format)
+        import repro.parallel.sync as sync_mod
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(engine, "save_corpus", explode)
+        monkeypatch.setattr(sync_mod.wire, "append_records", explode)
+        monkeypatch.setattr(sync_mod.wire, "rewrite_records", explode)
+        with pytest.raises(OSError):
+            sync.export(engine)
+        assert sync.stats.export_seconds > 0
+
+
 class TestSyncCorruption:
     """Injected mid-write corruption: skip, count, heal on re-export."""
 

@@ -1,0 +1,73 @@
+"""JSONL event streams: append, torn-tail tolerance, k-way merge."""
+
+from repro.telemetry.events import (
+    EventStream,
+    merge_events,
+    merged_events_path,
+    read_events,
+    worker_events_path,
+)
+
+
+class TestEventStream:
+    def test_worker_events_land_in_the_shard_directory(self, tmp_path):
+        stream = EventStream(tmp_path)
+        stream.emit(3, "sync", round=1)
+        stream.close()
+        path = worker_events_path(tmp_path, 3)
+        assert path == tmp_path / "worker-003" / "events.jsonl"
+        events = read_events(path)
+        assert events == [{"t": events[0]["t"], "w": 3, "ev": "sync",
+                           "round": 1}]
+
+    def test_campaign_events_use_their_own_file(self, tmp_path):
+        stream = EventStream(tmp_path)
+        stream.emit(None, "merge")
+        stream.close()
+        assert read_events(tmp_path / "events-campaign.jsonl")[0]["w"] is None
+
+    def test_timestamps_are_monotonic_relative(self, tmp_path):
+        stream = EventStream(tmp_path)
+        stream.emit(0, "a")
+        stream.emit(0, "b")
+        stream.close()
+        t = [e["t"] for e in read_events(worker_events_path(tmp_path, 0))]
+        assert 0 <= t[0] <= t[1] < 60  # relative to stream open, ordered
+
+    def test_reader_skips_a_torn_tail(self, tmp_path):
+        stream = EventStream(tmp_path)
+        stream.emit(0, "ok")
+        stream.close()
+        path = worker_events_path(tmp_path, 0)
+        with open(path, "a") as handle:
+            handle.write('{"t": 9.9, "w": 0, "ev": "torn')  # crash mid-append
+        events = read_events(path)
+        assert [e["ev"] for e in events] == ["ok"]
+
+    def test_reader_tolerates_a_missing_file(self, tmp_path):
+        assert read_events(tmp_path / "nope.jsonl") == []
+
+
+class TestMergeEvents:
+    def test_merge_orders_by_time_across_workers(self, tmp_path):
+        for shard, times in ((0, (0.1, 0.5)), (1, (0.2, 0.3))):
+            path = worker_events_path(tmp_path, shard)
+            path.parent.mkdir(parents=True)
+            path.write_text("".join(
+                f'{{"t": {t}, "w": {shard}, "ev": "e"}}\n' for t in times))
+        out = merge_events(tmp_path)
+        assert out == merged_events_path(tmp_path)
+        merged = read_events(out)
+        assert [(e["t"], e["w"]) for e in merged] == [
+            (0.1, 0), (0.2, 1), (0.3, 1), (0.5, 0)]
+
+    def test_merge_includes_the_campaign_stream_and_is_idempotent(
+            self, tmp_path):
+        stream = EventStream(tmp_path)
+        stream.emit(None, "campaign-start")
+        stream.emit(0, "case")
+        stream.close()
+        first = read_events(merge_events(tmp_path))
+        second = read_events(merge_events(tmp_path))
+        assert first == second
+        assert {e["ev"] for e in first} == {"campaign-start", "case"}

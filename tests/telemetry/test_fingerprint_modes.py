@@ -1,0 +1,39 @@
+"""Telemetry is observational: fingerprints are mode-independent.
+
+The campaign fingerprint digests everything a campaign found (covered
+lines, virgin map, corpus bytes + provenance, engine stats). Running
+the identical campaign under ``off``/``metrics``/``full`` must produce
+the same digest bit for bit on both nesting stacks — telemetry draws no
+RNG, touches no scheduling, and is excluded from the fingerprint.
+"""
+
+import pytest
+
+from repro import Vendor
+from repro.resilience import ParallelCampaign, campaign_fingerprint
+
+SEED = 11
+BUDGET = 30
+
+STACKS = [
+    pytest.param("kvm", Vendor.INTEL, id="vmx-intel"),
+    pytest.param("kvm", Vendor.AMD, id="svm-amd"),
+]
+
+
+@pytest.mark.parametrize("hypervisor,vendor", STACKS)
+def test_fingerprint_identical_across_telemetry_modes(tmp_path, hypervisor,
+                                                      vendor):
+    prints = {}
+    for mode in ("off", "metrics", "full"):
+        campaign = ParallelCampaign(
+            hypervisor=hypervisor, vendor=vendor, seed=SEED, workers=2,
+            sync_every=10, mode="inline", sync_dir=tmp_path / mode,
+            telemetry_mode=mode)
+        prints[mode] = campaign_fingerprint(campaign.run(BUDGET))
+    assert prints["off"] == prints["metrics"] == prints["full"]
+
+
+def test_unknown_telemetry_mode_is_rejected():
+    with pytest.raises(ValueError):
+        ParallelCampaign(telemetry_mode="verbose")

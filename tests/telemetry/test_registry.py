@@ -1,0 +1,111 @@
+"""Registry semantics: deterministic, order-independent merging."""
+
+import json
+
+import pytest
+
+from repro.telemetry import BUCKETS, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_observe_lands_in_the_right_bucket(self):
+        hist = Histogram()
+        hist.observe(5e-6)       # <= 1e-5: first bucket
+        hist.observe(0.2)        # <= 0.5
+        hist.observe(1e9)        # beyond every bound: +inf bucket
+        assert hist.counts[0] == 1
+        assert hist.counts[BUCKETS.index(0.5)] == 1
+        assert hist.counts[-1] == 1
+        assert hist.count == 3
+        assert hist.min == 5e-6
+        assert hist.max == 1e9
+
+    def test_mean_of_empty_histogram_is_zero(self):
+        assert Histogram().mean == 0.0
+
+    def test_merge_is_elementwise(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.01)
+        b.observe(0.3)
+        b.observe(2.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.sum == pytest.approx(0.01 + 0.3 + 2.0)
+        assert a.min == 0.01 and a.max == 2.0
+
+    def test_dict_round_trip(self):
+        hist = Histogram()
+        hist.observe(0.02)
+        clone = Histogram.from_dict(hist.to_dict())
+        assert clone.to_dict() == hist.to_dict()
+
+    def test_empty_histogram_serializes_null_min(self):
+        # float("inf") is not valid JSON; an empty histogram must still
+        # produce a snapshot json.dumps accepts.
+        payload = Histogram().to_dict()
+        json.dumps(payload)
+        assert payload["min"] is None
+        assert Histogram.from_dict(payload).min == float("inf")
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate_per_shard(self):
+        reg = MetricsRegistry()
+        reg.counter("cases", 2, shard=0)
+        reg.counter("cases", 3, shard=1)
+        reg.counter("cases")  # campaign-level (shard None)
+        assert reg.counter_total("cases") == 6
+        assert reg.shards[0].counters["cases"] == 2
+
+    def test_gauges_keep_last_value_per_shard(self):
+        reg = MetricsRegistry()
+        reg.gauge("queue", 5, shard=0)
+        reg.gauge("queue", 3, shard=0)
+        assert reg.shards[0].gauges["queue"] == 3
+
+    def test_span_total_sums_across_shards(self):
+        reg = MetricsRegistry()
+        reg.observe("phase", 0.25, shard=0)
+        reg.observe("phase", 0.75, shard=1)
+        assert reg.span_total("phase") == 1.0
+        assert reg.merged_histogram("phase").count == 2
+
+    def test_snapshot_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a", 4, shard=0)
+        reg.gauge("g", 7.5, shard=1)
+        reg.observe("s", 0.1)
+        snap = reg.snapshot()
+        json.dumps(snap)  # must be JSON-clean
+        clone = MetricsRegistry.from_snapshot(snap)
+        assert clone.snapshot() == snap
+
+    def test_snapshot_records_the_bucket_bounds(self):
+        assert MetricsRegistry().snapshot()["buckets"] == list(BUCKETS)
+
+    def test_merge_is_order_independent(self):
+        def build(counter_n, span_s):
+            reg = MetricsRegistry()
+            reg.counter("cases", counter_n, shard=0)
+            reg.observe("exec", span_s, shard=0)
+            reg.gauge("depth", counter_n, shard=0)
+            return reg.snapshot()
+
+        a, b = build(2, 0.5), build(5, 0.01)
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge_snapshot(a)
+        ab.merge_snapshot(b)
+        ba.merge_snapshot(b)
+        ba.merge_snapshot(a)
+        assert ab.snapshot() == ba.snapshot()
+        assert ab.counter_total("cases") == 7
+        # Same-shard gauge conflict resolves to max (order-independent).
+        assert ab.shards[0].gauges["depth"] == 5
+
+    def test_merge_keeps_shards_separate(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("cases", 1, shard=0)
+        b.counter("cases", 10, shard=1)
+        a.merge_snapshot(b.snapshot())
+        assert a.shards[0].counters["cases"] == 1
+        assert a.shards[1].counters["cases"] == 10

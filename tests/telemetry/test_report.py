@@ -1,0 +1,112 @@
+"""`repro telemetry-report` on real campaign roots.
+
+The acceptance pin: a 2-shard process-mode run's merged per-phase sync
+span totals must agree with the ``SyncStats`` the workers reported,
+to within rounding — both sinks are fed the same elapsed value by
+``SyncDirectory._timed``, so disagreement means a dropped or
+double-counted span.
+"""
+
+import pytest
+
+from repro import Vendor
+from repro.__main__ import main
+from repro.parallel import ParallelCampaign
+from repro.telemetry.report import (
+    campaign_summary,
+    load_campaign_metrics,
+    render_report,
+)
+
+SEED = 11
+BUDGET = 40
+SYNC_EVERY = 10
+
+
+def _run(tmp_path, mode, telemetry_mode="full", **overrides):
+    kwargs = dict(hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED,
+                  workers=2, sync_every=SYNC_EVERY, mode=mode,
+                  sync_dir=tmp_path, telemetry_mode=telemetry_mode)
+    kwargs.update(overrides)
+    return ParallelCampaign(**kwargs).run(BUDGET, sample_every=20)
+
+
+def _assert_sync_totals_match(summary, sync_stats):
+    pairs = (("sync.export", sync_stats.export_seconds),
+             ("sync.scan", sync_stats.scan_seconds),
+             ("sync.filter", sync_stats.filter_seconds),
+             ("sync.execute", sync_stats.execute_seconds))
+    for span, stat_total in pairs:
+        span_total = summary["spans"].get(span, {}).get("total_seconds", 0.0)
+        assert span_total == pytest.approx(stat_total, rel=1e-6, abs=1e-9), (
+            f"{span}: telemetry says {span_total}, SyncStats says "
+            f"{stat_total}")
+
+
+class TestProcessModeReport:
+    def test_two_shard_process_run_sync_totals_match_syncstats(
+            self, tmp_path):
+        result = _run(tmp_path, "process")
+        summary = campaign_summary(tmp_path)
+
+        # Per-phase spans are present and merged across both shards.
+        assert summary["spans"]["sync.export"]["count"] > 0
+        per_shard = summary["shards"]["per_shard"]
+        assert set(per_shard) == {"0", "1"}
+        _assert_sync_totals_match(summary, result.sync_overhead)
+
+        # The result object carries the same merged snapshot that was
+        # persisted to <root>/metrics.json.
+        assert result.telemetry == load_campaign_metrics(tmp_path).snapshot()
+
+    def test_render_report_shows_phases_and_shards(self, tmp_path):
+        _run(tmp_path, "process")
+        text = render_report(tmp_path)
+        assert "sync.export" in text
+        assert "case.execute" in text
+        assert "shard 0:" in text and "shard 1:" in text
+        assert "event(s) in events.jsonl" in text
+
+    def test_report_falls_back_to_worker_snapshots(self, tmp_path):
+        # A killed orchestrator leaves no merged metrics.json; the
+        # report must still merge whatever shard snapshots survived.
+        _run(tmp_path, "process")
+        (tmp_path / "metrics.json").unlink()
+        summary = campaign_summary(tmp_path)
+        assert summary["spans"]["case.execute"]["count"] > 0
+
+
+class TestInlineModeReport:
+    def test_inline_sync_totals_match_syncstats(self, tmp_path):
+        result = _run(tmp_path, "inline")
+        summary = campaign_summary(tmp_path)
+        _assert_sync_totals_match(summary, result.sync_overhead)
+
+    def test_off_mode_leaves_no_snapshots(self, tmp_path):
+        result = _run(tmp_path, "inline", telemetry_mode="off")
+        assert result.telemetry is None
+        assert not (tmp_path / "metrics.json").exists()
+        with pytest.raises(FileNotFoundError):
+            campaign_summary(tmp_path)
+
+
+class TestCli:
+    def test_telemetry_report_subcommand(self, tmp_path, capsys):
+        _run(tmp_path, "inline")
+        assert main(["telemetry-report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "sync.export" in out
+
+    def test_telemetry_report_on_an_empty_root(self, tmp_path, capsys):
+        assert main(["telemetry-report", str(tmp_path)]) == 2
+        assert "no telemetry snapshots" in capsys.readouterr().err
+
+    def test_fuzz_cli_accepts_the_telemetry_flag(self, tmp_path, capsys):
+        code = main(["--iterations", "20", "--seed", "3", "--workers", "2",
+                     "--sync-every", "10", "--parallel-mode", "inline",
+                     "--sync-dir", str(tmp_path), "--telemetry", "full"])
+        assert code == 0
+        assert "telemetry-report" in capsys.readouterr().out
+        assert (tmp_path / "metrics.json").exists()
+        assert (tmp_path / "events.jsonl").exists()

@@ -1,0 +1,117 @@
+"""Module-level API: modes, spans, shard scoping, lifecycle."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def scoped_telemetry(tmp_path):
+    """Every test runs in its own campaign scope (no cross-test leaks)."""
+    with telemetry.campaign_scope("metrics", tmp_path) as registry:
+        yield registry
+
+
+class TestModes:
+    def test_default_scope_mode_is_metrics(self):
+        assert telemetry.mode() == "metrics"
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ValueError):
+            telemetry.set_mode("loud")
+
+    def test_off_mode_records_nothing(self, scoped_telemetry):
+        telemetry.set_mode("off")
+        telemetry.counter("c")
+        telemetry.gauge("g", 1)
+        telemetry.observe("s", 0.1)
+        with telemetry.span("sp"):
+            pass
+        assert scoped_telemetry.shards == {}
+
+    def test_campaign_scope_restores_previous_state(self, tmp_path):
+        outer_registry = telemetry.registry()
+        outer_mode = telemetry.mode()
+        with telemetry.campaign_scope("off", tmp_path / "inner"):
+            assert telemetry.mode() == "off"
+            assert telemetry.registry() is not outer_registry
+        assert telemetry.mode() == outer_mode
+        assert telemetry.registry() is outer_registry
+
+
+class TestSpans:
+    def test_span_records_a_duration(self, scoped_telemetry):
+        with telemetry.span("phase") as span:
+            pass
+        assert span.elapsed >= 0
+        hist = scoped_telemetry.merged_histogram("phase")
+        assert hist.count == 1
+        assert hist.sum == span.elapsed
+
+    def test_span_survives_an_exception(self, scoped_telemetry):
+        # The regression the hand-rolled `stats += perf_counter() - t`
+        # timers had: a raise between start and accumulate lost the time.
+        with pytest.raises(RuntimeError):
+            with telemetry.span("doomed"):
+                raise RuntimeError("boom")
+        assert scoped_telemetry.merged_histogram("doomed").count == 1
+
+    def test_off_mode_span_is_the_noop_singleton(self):
+        telemetry.set_mode("off")
+        assert telemetry.span("a") is telemetry.span("b")
+
+
+class TestShardScope:
+    def test_metrics_attribute_to_the_current_shard(self, scoped_telemetry):
+        telemetry.counter("cases")
+        with telemetry.shard_scope(2):
+            telemetry.counter("cases")
+        assert scoped_telemetry.shards[None].counters["cases"] == 1
+        assert scoped_telemetry.shards[2].counters["cases"] == 1
+
+    def test_shard_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with telemetry.shard_scope(5):
+                raise RuntimeError
+        assert telemetry.current_shard() is None
+
+
+class TestWorkerLifecycle:
+    def test_init_worker_installs_a_fresh_registry(self, tmp_path):
+        telemetry.counter("parent")  # pre-fork metric
+        telemetry.init_worker("metrics", tmp_path, shard=1)
+        assert telemetry.registry().counter_total("parent") == 0
+        telemetry.counter("child")
+        # Labelled with the worker's shard without any scope plumbing.
+        assert telemetry.registry().shards[1].counters["child"] == 1
+
+    def test_full_mode_opens_the_worker_event_stream(self, tmp_path):
+        telemetry.init_worker("full", tmp_path, shard=0)
+        telemetry.event("hello", n=1)
+        telemetry.flush()
+        from repro.telemetry.events import read_events, worker_events_path
+
+        events = read_events(worker_events_path(tmp_path, 0))
+        assert [e["ev"] for e in events] == ["hello"]
+
+    def test_metrics_mode_emits_no_events(self, tmp_path):
+        telemetry.init_worker("metrics", tmp_path, shard=0)
+        telemetry.event("hello")
+        from repro.telemetry.events import worker_events_path
+
+        assert not worker_events_path(tmp_path, 0).exists()
+
+    def test_save_and_load_metrics_round_trip(self, tmp_path,
+                                              scoped_telemetry):
+        telemetry.counter("cases", 3)
+        telemetry.observe("exec", 0.125)
+        path = tmp_path / "metrics.json"
+        telemetry.save_metrics(path)
+        loaded = telemetry.load_metrics(path)
+        assert loaded.snapshot() == scoped_telemetry.snapshot()
+
+    def test_load_metrics_tolerates_garbage(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text("{ not json")
+        assert telemetry.load_metrics(path) is None
+        assert telemetry.load_metrics(tmp_path / "absent.json") is None
