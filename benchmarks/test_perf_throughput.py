@@ -132,14 +132,21 @@ def test_parallel_wall_clock(capsys):
     sync_seconds = (overhead.export_seconds + overhead.scan_seconds
                     + overhead.filter_seconds + overhead.execute_seconds)
     serial_covered = serial_campaign.agent.covered_lines()
+    # On a single CPU the inline fallback time-slices both "workers" on
+    # one core, so a wall-clock "speedup" below 1.0 is an artifact of
+    # the runner, not a regression. Report null + a flag instead of a
+    # misleading number; the CI gate skips (with a logged reason) on it.
+    single_cpu = cpus < 2
     _update_json("parallel", {
         "mode": mode,
         "cpus": cpus,
+        "single_cpu": single_cpu,
         "workers": workers,
         "iterations_run": ran,
         "serial_seconds": round(serial_s, 2),
         "parallel_seconds": round(parallel_s, 2),
-        "wall_clock_speedup": round(serial_s / parallel_s, 2),
+        "wall_clock_speedup": (None if single_cpu
+                               else round(serial_s / parallel_s, 2)),
         "serial_covered": len(serial_covered),
         "merged_covered": len(merged.covered_lines),
         "shared_virgin_map": merged.shared_virgin_map,
@@ -162,8 +169,13 @@ def test_parallel_wall_clock(capsys):
                f"({len(serial_covered)} lines)")
     report.add(f"parallel    {parallel_s:6.2f}s  "
                f"({len(merged.covered_lines)} lines)")
-    report.add(f"speedup     {serial_s / parallel_s:6.2f}x"
-               + ("  [deadline truncated]" if serial_deadline.hit else ""))
+    if single_cpu:
+        report.add("speedup       n/a  (single-CPU runner: inline "
+                   "workers time-slice one core)")
+    else:
+        report.add(f"speedup     {serial_s / parallel_s:6.2f}x"
+                   + ("  [deadline truncated]" if serial_deadline.hit
+                      else ""))
     report.add(f"sync        {sync_seconds:6.2f}s  "
                f"(export {overhead.export_seconds:.2f} / "
                f"scan {overhead.scan_seconds:.2f} / "

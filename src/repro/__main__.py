@@ -67,6 +67,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--reuse-hypervisor", action="store_true",
                         help="reuse built hypervisors across same-config "
                              "cases (faster, changes trajectories)")
+    parser.add_argument("--batch-size", type=int, default=0, metavar="N",
+                        help="execute N cases per tick through the batched "
+                             "oracle hot path (DESIGN.md §12); 0 = classic "
+                             "loop, 1 = batched path with bit-identical "
+                             "results")
     parser.add_argument("--corpus-dir", type=Path, default=None,
                         help="resume from a saved corpus directory "
                              "(serial campaigns only); crash reproducers "
@@ -156,6 +161,9 @@ def main(argv: list[str] | None = None) -> int:
               "(use --workers >= 2, or --corpus-dir for serial resume)",
               file=sys.stderr)
         return 2
+    if args.batch_size < 0:
+        print("error: --batch-size must be >= 0", file=sys.stderr)
+        return 2
 
     toggles = ComponentToggles(
         use_harness=not args.no_harness_mutation,
@@ -184,6 +192,7 @@ def main(argv: list[str] | None = None) -> int:
             patched=patched,
             async_events=args.async_events,
             reuse_hypervisor=args.reuse_hypervisor,
+            batch_size=args.batch_size,
             case_timeout=args.case_timeout,
             max_restarts=args.max_restarts,
             checkpoint_interval=args.checkpoint_interval,
@@ -203,7 +212,8 @@ def main(argv: list[str] | None = None) -> int:
             async_events=args.async_events,
             reports_dir=args.reports_dir,
             corpus_dir=args.corpus_dir,
-            reuse_hypervisor=args.reuse_hypervisor)
+            reuse_hypervisor=args.reuse_hypervisor,
+            batch_size=args.batch_size)
     result = campaign.run(args.iterations, sample_every=args.sample_every)
 
     for point in result.timeline.points:

@@ -1,0 +1,367 @@
+"""Struct-of-arrays batching primitives for the oracle hot path.
+
+This module is the substrate of the batched execution pipeline
+(DESIGN.md §12). Three ideas compose:
+
+* **Column signatures.** Every check unit and correction pass in the
+  hot path is a deterministic function of a bounded field read set
+  (pinned by the declared-reads property tests). The tuple of *values*
+  of that read set — the column signature — therefore keys the result
+  independently of which structure object held the values. Signature
+  caches are shared across copies, attempts, cases, and batches: one
+  probe per (unit, column-signature) instead of one evaluation per
+  case.
+
+* **Struct-of-arrays columns.** :class:`StructBatch` mirrors N tracked
+  structures into per-field columns (one array per field across the
+  batch). Columns are built lazily and, when the lanes share a common
+  ancestor, the change journals prove most fields identical — those
+  share a broadcast column instead of N dict probes.
+
+* **Big-int lane masking.** For mask-style predicates a whole column is
+  packed into one Python big int and tested with a single replicated
+  AND — the same dense pre-check idiom the corpus-protocol bitmap
+  loops use. A zero result clears every lane at once; the (rare)
+  nonzero case narrows to the offending lanes via a translate table.
+
+Nothing here changes results: every consumer gates on
+``repro.perf.batch_enabled()`` and is pinned bit-identical to the
+incremental path by tests/unit/test_batch_equivalence.py.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro import telemetry
+
+#: Bounded-cache flush thresholds. Caches only affect speed, never
+#: results, so wholesale flushes are the simplest sound eviction.
+_SIGNATURE_CACHE_LIMIT = 65536
+_REPLAY_VARIANT_LIMIT = 64
+
+
+class SignatureCache:
+    """Value-keyed memo shared across structure objects.
+
+    Keys are ``(consumer_key, signature)`` where the signature is the
+    tuple of values of the consumer's declared read set. Entries must be
+    treated as immutable by callers (results are shared between lanes).
+    """
+
+    __slots__ = ("_table", "_limit")
+
+    _MISS = object()
+
+    def __init__(self, limit: int = _SIGNATURE_CACHE_LIMIT) -> None:
+        self._table: dict = {}
+        self._limit = limit
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, key, signature):
+        """The cached result, or the :data:`MISS` sentinel."""
+        hit = self._table.get((key, signature), self._MISS)
+        if hit is self._MISS:
+            telemetry.counter("batch.memo_miss")
+        else:
+            telemetry.counter("batch.memo_hit")
+        return hit
+
+    @property
+    def MISS(self):
+        """Sentinel distinguishing a miss from a cached ``None``."""
+        return self._MISS
+
+    def peek(self, key, signature):
+        """Like :meth:`lookup` but without touching the hit/miss
+        counters — for warm passes probing before they seed."""
+        return self._table.get((key, signature), self._MISS)
+
+    def store(self, key, signature, value) -> None:
+        """Record a result for (key, signature)."""
+        if len(self._table) >= self._limit:
+            self._table.clear()
+        self._table[(key, signature)] = value
+
+
+class _FirstReads:
+    """Read-trace sink recording each field's value at *first* read.
+
+    Duck-types the ``set`` surface the structures' ``_read_trace`` hook
+    uses (``add``/``update``), but captures values: a deterministic
+    pass re-reading identical first-read values takes identical
+    branches, which is what makes replay sound.
+    """
+
+    __slots__ = ("values", "_struct_values")
+
+    def __init__(self, struct) -> None:
+        self.values: dict = {}
+        self._struct_values = struct._values
+
+    def add(self, key) -> None:
+        if key not in self.values:
+            self.values[key] = self._struct_values[key]
+
+    def update(self, keys) -> None:
+        for key in keys:
+            self.add(key)
+
+
+class ReplayMemo:
+    """Memo for a deterministic pass that may *write* its structure.
+
+    ``memoized_fixpoint`` only caches a pass at its fixed point — every
+    mutating invocation re-runs in full. This memo closes that gap for
+    the batched path: a run records (first-read values, net writes,
+    result); a later structure whose current values match every
+    recorded first-read value gets the writes replayed and the result
+    returned without running the pass. Replay applies only each field's
+    *final* value — the journal then carries the same changed-field set
+    (write/revert churn inside one pass collapses), which is all any
+    journal consumer observes.
+
+    Soundness: the probe demands that *all* recorded first-read values
+    match. Fields first read after the pass wrote them record derived
+    values and can only cause spurious misses, never spurious hits.
+    Returned results are shared between hits; callers must not mutate
+    them.
+    """
+
+    __slots__ = ("fn", "variants", "_limit")
+
+    def __init__(self, fn: Callable, limit: int = _REPLAY_VARIANT_LIMIT) -> None:
+        self.fn = fn
+        self.variants: list = []
+        self._limit = limit
+
+    def _probe(self, struct):
+        values = struct._values
+        anchor = struct._anchor
+        delta = None
+        if anchor is not None:
+            # Anchored structs (batched deserialize) know their exact
+            # field delta vs. a frozen master: a variant whose reads are
+            # verified against the master once is then re-checked on
+            # only the delta fields — O(journal) instead of O(reads).
+            delta = struct.changes_since(anchor.generation)
+        # Witness propagation for the full-scan path: when a variant
+        # fails on some field, sibling variants (recorded from similar
+        # inputs) usually disagree with the probe on that same field,
+        # so each candidate first re-tests the last witness — one
+        # lookup — before paying a full scan.
+        witness = None
+        for index, variant in enumerate(self.variants):
+            reads = variant[0]
+            if delta is not None:
+                matched = variant[3]
+                mm = matched.get(id(anchor))
+                if mm is None:
+                    mvals = anchor._values
+                    bad = None
+                    for key, val in reads.items():
+                        if mvals[key] != val:
+                            bad = key
+                            break
+                    # The anchor reference keeps the id stable for the
+                    # lifetime of the cache row.
+                    mm = (anchor, bad)
+                    if len(matched) >= _REPLAY_VARIANT_LIMIT:
+                        matched.clear()
+                    matched[id(anchor)] = mm
+                bad = mm[1]
+                if bad is None:
+                    for key in delta:
+                        val = reads.get(key)
+                        if val is not None and values[key] != val:
+                            break
+                    else:
+                        if index:
+                            self.variants.insert(0, self.variants.pop(index))
+                        telemetry.counter("batch.memo_hit")
+                        return variant
+                    continue
+                if bad not in delta:
+                    # Master mismatch on an untouched field: the struct
+                    # holds the master's value there, so it mismatches
+                    # identically. One lookup, no scan.
+                    continue
+                # The struct rewrote the master's mismatching field —
+                # fall through to the full scan.
+            if witness is not None:
+                current = values[witness]
+                if reads.get(witness, current) != current:
+                    continue
+            for key, val in reads.items():
+                if values[key] != val:
+                    witness = key
+                    break
+            else:
+                if index:  # move-to-front: recent signatures repeat
+                    self.variants.insert(0, self.variants.pop(index))
+                telemetry.counter("batch.memo_hit")
+                return variant
+        telemetry.counter("batch.memo_miss")
+        return None
+
+    def _record(self, struct):
+        """Run the pass on *struct* with first-read tracing; record it."""
+        outer = struct._read_trace
+        recorder = _FirstReads(struct)
+        struct._read_trace = recorder
+        log_base = struct._log_base
+        mark = len(struct._log)
+        try:
+            result = self.fn(struct)
+        finally:
+            struct._read_trace = outer
+        if outer is not None:
+            outer.update(recorder.values)
+        writes: tuple = ()
+        recordable = struct._log_base == log_base  # journal not truncated
+        if recordable:
+            seen: set = set()
+            changed = []
+            for key in struct._log[mark:]:
+                if key not in seen:
+                    seen.add(key)
+                    changed.append(key)
+            values = struct._values
+            writes = tuple((key, values[key]) for key in changed)
+            if len(self.variants) >= self._limit:
+                self.variants.pop()
+            # Fourth slot: per-master match cache for anchored probes —
+            # {id(master): (master, first mismatching read or None)}.
+            self.variants.insert(0, (recorder.values, writes, result, {}))
+        return result, writes
+
+    def run(self, struct):
+        """Run (or replay) the pass against *struct*, mutating it."""
+        variant = self._probe(struct)
+        if variant is not None:
+            reads, writes, result = variant[0], variant[1], variant[2]
+            for key, value in writes:
+                struct.write(key, value)
+            outer = struct._read_trace
+            if outer is not None:
+                outer.update(reads)
+            return result
+        result, _ = self._record(struct)
+        return result
+
+    def predict(self, struct):
+        """The pass's (result, net writes) for *struct*, without mutating.
+
+        A miss runs the pass on a throwaway light image of *struct*, so
+        prediction is exactly as accurate as execution.
+        """
+        variant = self._probe(struct)
+        if variant is not None:
+            reads, writes, result = variant[0], variant[1], variant[2]
+            outer = struct._read_trace
+            if outer is not None:
+                outer.update(reads)
+            return result, writes
+        return self._record(struct.light_image())
+
+
+class StructBatch:
+    """Struct-of-arrays view over N tracked structures (Vmcs or Vmcb).
+
+    Columns (one tuple of per-lane values per field) build lazily. With
+    a *base* ancestor, the lanes' change journals bound which fields
+    can differ: everything outside the union of journals shares one
+    broadcast column built from a single read of the base.
+    """
+
+    def __init__(self, structs: Sequence, base=None,
+                 base_generation: int | None = None) -> None:
+        self.structs = list(structs)
+        self._columns: dict = {}
+        self._changed = None
+        if base is not None:
+            gen = (base.generation if base_generation is None
+                   else base_generation)
+            changed: set | None = set()
+            for struct in self.structs:
+                delta = struct.changes_since(gen)
+                if delta is None:  # journal truncated: no bound known
+                    changed = None
+                    break
+                changed |= delta
+            self._changed = changed
+            self._base_values = base._values
+        else:
+            self._base_values = None
+
+    def __len__(self) -> int:
+        return len(self.structs)
+
+    def column(self, key) -> tuple:
+        """The per-lane value column for field *key*."""
+        col = self._columns.get(key)
+        if col is None:
+            if (self._changed is not None and key not in self._changed
+                    and self._base_values is not None):
+                col = (self._base_values[key],) * len(self.structs)
+            else:
+                col = tuple(s._values[key] for s in self.structs)
+            self._columns[key] = col
+        return col
+
+    def signatures(self, reads: Sequence) -> list[tuple]:
+        """Per-lane column signatures over *reads* (zip of columns)."""
+        if not self.structs:
+            return []
+        return list(zip(*(self.column(key) for key in reads)))
+
+
+# --------------------------------------------------------------------------
+# Big-int lane masking (the PR-4 dense bitmap idioms, lifted to columns)
+# --------------------------------------------------------------------------
+
+#: Translate table classifying bytes as zero / nonzero in C speed.
+_NONZERO_BYTE = bytes(1 if b else 0 for b in range(256))
+
+
+def pack_lanes(column: Sequence[int], bits: int) -> int:
+    """Pack a value column into one big int, *bits* per lane."""
+    packed = 0
+    shift = 0
+    for value in column:
+        packed |= value << shift
+        shift += bits
+    return packed
+
+
+def replicate_mask(mask: int, bits: int, lanes: int) -> int:
+    """*mask* repeated across *lanes* lane slots of *bits* each."""
+    out = mask
+    width = bits
+    total = bits * lanes
+    while width < total:  # geometric doubling
+        out |= out << width
+        width *= 2
+    return out & ((1 << total) - 1)
+
+
+def masked_lanes(column: Sequence[int], mask: int, bits: int) -> list[int]:
+    """Lane indices where ``value & mask`` is nonzero.
+
+    One replicated AND answers the common all-clean case with a single
+    big-int zero test; only a dirty column pays the per-lane narrowing,
+    which classifies bytes through a translate table instead of
+    shifting the big int once per lane.
+    """
+    lanes = len(column)
+    if not lanes:
+        return []
+    hits = pack_lanes(column, bits) & replicate_mask(mask, bits, lanes)
+    if not hits:
+        return []
+    lane_bytes = bits // 8
+    flags = hits.to_bytes(lanes * lane_bytes, "little").translate(_NONZERO_BYTE)
+    return [i for i in range(lanes)
+            if 1 in flags[i * lane_bytes:(i + 1) * lane_bytes]]

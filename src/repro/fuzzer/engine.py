@@ -26,7 +26,7 @@ from repro.fuzzer.input import (
     VM_STATE_REGION,
     FuzzInput,
 )
-from repro.fuzzer.mutators import havoc, region_havoc, splice
+from repro.fuzzer.mutators import mutate_candidate
 from repro.fuzzer.queue import SeedQueue
 from repro.fuzzer.rng import Rng
 
@@ -92,6 +92,12 @@ class FuzzEngine:
     #: isolates (counted in ``stats.case_exceptions``) but keeps no
     #: deduplicated records and persists no reproducers.
     crashes: CrashStore | None = None
+    #: Optional batched warm hook (the agent's columnar pre-pass): called
+    #: with the whole tick's candidates before any of them executes. A
+    #: warm pass may only seed value-keyed caches — it must not change
+    #: results — so failures are contained here rather than charged to
+    #: any case.
+    warm_batch: Callable[[list[FuzzInput]], None] | None = None
 
     def __post_init__(self) -> None:
         # Scratch feedback for isolated cases: an escaped exception left
@@ -107,12 +113,11 @@ class FuzzEngine:
         if not len(self.queue):
             return FuzzInput(self.rng.bytes(INPUT_SIZE))
         entry = self.queue.pick(self.rng)
-        data = entry.data
+        partner = None
         if len(self.queue) > 1 and self.rng.chance(0.1):
-            partner = self.queue.pick_other(self.rng, entry)
-            data = splice(data, partner.data, self.rng)
-        data = havoc(data, self.rng)
-        return FuzzInput(region_havoc(data, self.rng, _REGIONS))
+            partner = self.queue.pick_other(self.rng, entry).data
+        return FuzzInput(
+            mutate_candidate(entry.data, self.rng, _REGIONS, partner))
 
     def _execute_isolated(self, candidate: FuzzInput) -> RunFeedback:
         """Run one case with crash isolation at the case boundary.
@@ -152,6 +157,44 @@ class FuzzEngine:
         self.stats.iterations += 1
         candidate = self._next_input()
         feedback = self._execute_isolated(candidate)
+        return self._fold(candidate, feedback)
+
+    def step_batch(self, count: int) -> list[RunFeedback]:
+        """Execute *count* mutated cases as one batch (DESIGN.md §12).
+
+        Candidate generation is hoisted to the start of the tick, then
+        the warm hook sees the whole batch columnwise before any case
+        executes; execution and feedback folding stay strictly in case
+        order. At ``count == 1`` this is bit-identical to :meth:`step`;
+        at larger sizes the trajectory is still deterministic, but a
+        mid-tick finding joins the queue one tick later than
+        incremental scheduling would place it.
+
+        Exception accounting is per case, not per batch: a poisoned
+        case is isolated by ``_execute_isolated`` exactly like in
+        :meth:`step`, and the remaining lanes run normally.
+        """
+        candidates = []
+        for _ in range(count):
+            self.stats.iterations += 1
+            candidates.append(self._next_input())
+        telemetry.observe("batch.size", float(len(candidates)))
+        if self.warm_batch is not None and len(candidates) > 1:
+            try:
+                self.warm_batch(candidates)
+            except Exception:
+                # The warm pass only seeds caches; a failure there must
+                # neither kill the batch nor count against any case.
+                telemetry.counter("batch.warm_errors")
+        feedbacks = []
+        with telemetry.span("case.execute_batch"):
+            for candidate in candidates:
+                feedback = self._execute_isolated(candidate)
+                feedbacks.append(self._fold(candidate, feedback))
+        return feedbacks
+
+    def _fold(self, candidate: FuzzInput, feedback: RunFeedback) -> RunFeedback:
+        """Fold one case's feedback into queue/virgin/stats state."""
         telemetry.counter("engine.cases")
         if feedback.crashed or feedback.anomaly:
             self.stats.crashes += feedback.crashed
@@ -243,6 +286,30 @@ class FuzzEngine:
                                    crashed=feedback.crashed,
                                    anomaly=feedback.anomaly is not None)
         return new_bits
+
+    def import_batch(self, payloads: list[bytes]) -> list[int | None]:
+        """:meth:`import_case` over a batch, warming columnwise first.
+
+        Corrupt entries are skipped and counted per entry exactly as in
+        the single-case path; the decodable remainder is handed to the
+        warm hook as one batch, then executed in order.
+        """
+        decoded = [self._decode_entry(payload) for payload in payloads]
+        runnable = [FuzzInput(FuzzInput.normalize(data))
+                    for data in decoded if data is not None]
+        if self.warm_batch is not None and len(runnable) > 1:
+            try:
+                self.warm_batch(runnable)
+            except Exception:
+                telemetry.counter("batch.warm_errors")
+        results: list[int | None] = []
+        for data in decoded:
+            if data is None:
+                self.stats.import_skipped += 1
+                results.append(None)
+            else:
+                results.append(self._run_import(data))
+        return results
 
     def import_packed(self, record) -> int:
         """Execute one already-decoded protocol-v2 partner record."""

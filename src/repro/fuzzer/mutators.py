@@ -126,6 +126,23 @@ def havoc(data: bytes, rng: Rng, *, max_stack: int = 8) -> bytes:
     return out
 
 
+def mutate_candidate(data: bytes, rng: Rng,
+                     regions: tuple[tuple[int, int], ...],
+                     partner: bytes | None = None) -> bytes:
+    """The engine's full per-candidate mutation stack.
+
+    Exactly the sequence :class:`repro.fuzzer.engine.FuzzEngine`
+    applies — optional splice with *partner*, uniform havoc, then region
+    havoc — factored out so the batched and single-case pipelines share
+    one definition. RNG call order here is part of every campaign
+    fingerprint; do not reorder.
+    """
+    if partner is not None:
+        data = splice(data, partner, rng)
+    data = havoc(data, rng)
+    return region_havoc(data, rng, regions)
+
+
 def region_havoc(data: bytes, rng: Rng,
                  regions: tuple[tuple[int, int], ...]) -> bytes:
     """Partition-aware havoc — the NecoFuzz extension to AFL++.

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.cpuid import Vendor
 from repro.arch.msr import IA32_EFER, MsrFile
-from repro.arch.registers import Cr4, Efer
+from repro.arch.registers import Efer
 from repro.hypervisors.base import (
     ExecResult,
     GuestInstruction,
@@ -25,7 +25,6 @@ from repro.hypervisors.kvm.nested_svm import NestedSvm, SvmNestedState
 from repro.hypervisors.kvm.nested_vmx import NestedVmx, VmxNestedState
 from repro.hypervisors.l2map import AMD_L2_EXITS, INTEL_L2_EXITS, svm_exception_code
 from repro.hypervisors.memory import GuestMemory
-from repro.svm.exit_codes import SvmExitCode
 from repro.vmx.exit_reasons import ExitReason
 
 #: Mnemonics of SVM instructions routed to the nested-SVM handlers.

@@ -193,6 +193,9 @@ class ParallelCampaign:
     async_events: bool = False
     iterations_per_hour: float = 10.0
     reuse_hypervisor: bool = False
+    #: Batched execution per worker (DESIGN.md §12); 0 keeps the classic
+    #: one-case-per-tick loop. Forwarded to every worker's NecoFuzz.
+    batch_size: int = 0
     # --- resilience ---------------------------------------------------
     #: Per-case wall-clock deadline. Enforced by the supervisor in
     #: process mode (a stale heartbeat gets the worker killed and
@@ -230,6 +233,8 @@ class ParallelCampaign:
             raise ValueError("sync_every must be >= 1")
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be >= 0")
+        if self.batch_size < 0:
+            raise ValueError("batch_size must be >= 0")
         if self.checkpoint_interval < 0:
             raise ValueError("checkpoint_interval must be >= 0")
         if self.resume and self.sync_dir is None:
@@ -249,7 +254,8 @@ class ParallelCampaign:
             runtime_iterations=self.runtime_iterations,
             async_events=self.async_events,
             iterations_per_hour=self.iterations_per_hour,
-            reuse_hypervisor=self.reuse_hypervisor)
+            reuse_hypervisor=self.reuse_hypervisor,
+            batch_size=self.batch_size)
 
     def _specs(self, iterations: int) -> list[WorkerSpec]:
         base, remainder = divmod(iterations, self.workers)

@@ -1,7 +1,5 @@
 """Corpus protocol v2 wire-format tests: records, manifest, healing."""
 
-import pytest
-
 from repro.fuzzer.engine import FuzzEngine, RunFeedback
 from repro.fuzzer.input import INPUT_SIZE
 from repro.fuzzer.queue import QueueEntry

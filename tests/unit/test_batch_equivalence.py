@@ -1,0 +1,326 @@
+"""Pins the equivalence contract of the batched hot path (DESIGN.md §12).
+
+Batching — signature-keyed caches, replay-memoized rounding, anchored
+byte-diff deserialize, and the ``step_batch`` engine loop — must be a
+pure optimisation. The contract has three tiers:
+
+* **batch size 1** is bit-identical to the incremental path: same
+  violations, corrections, coverage, and campaign fingerprints;
+* **black-box batch N** is bit-identical to incremental for any N
+  (no scheduling feedback exists to reorder);
+* **guided batch N > 1** is deterministic (two identical runs agree)
+  and survives kill-and-resume mid-batch with an identical fingerprint.
+
+Exception accounting is also pinned here (the satellite contract): a
+poisoned case mid-batch increments ``case_exceptions`` exactly once and
+leaves the other lanes' results intact.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro import NecoFuzz, Vendor, faults, perf
+from repro.core.vcpu_config import VcpuConfig
+from repro.coverage.bitmap import CoverageBitmap
+from repro.faults import FaultPlan, FaultSpec
+from repro.fuzzer.engine import FuzzEngine, RunFeedback
+from repro.fuzzer.input import INPUT_SIZE, FuzzInput
+from repro.fuzzer.rng import Rng
+from repro.hypervisors.kvm import KvmHypervisor
+from repro.hypervisors.kvm.nested_svm import SvmNestedState
+from repro.hypervisors.kvm.nested_vmx import VmxNestedState
+from repro.resilience import (
+    CampaignAborted,
+    ParallelCampaign,
+    campaign_fingerprint,
+)
+from repro.svm import fields as SF
+from repro.svm.vmcb import Vmcb
+from repro.validator.golden import golden_vmcb, golden_vmcs
+from repro.validator.oracle import HardwareOracle
+from repro.validator.rounding import VmStateValidator
+from repro.validator.svm_validator import SvmHardwareOracle, VmcbValidator
+from repro.vmx import fields as F
+from repro.vmx.vmcs import Vmcs
+
+_VMX_MUTABLE = [s for s in F.ALL_FIELDS
+                if s.group is not F.FieldGroup.READ_ONLY]
+
+vmx_mutations = st.lists(
+    st.tuples(st.integers(0, len(_VMX_MUTABLE) - 1), st.integers(0, 63)),
+    min_size=1, max_size=6)
+svm_mutations = st.lists(
+    st.tuples(st.integers(0, len(SF.ALL_FIELDS) - 1), st.integers(0, 63)),
+    min_size=1, max_size=6)
+
+
+def _vmx_pipeline(batch: int, mutations) -> tuple:
+    """The per-case hot path on a persistent VMCS; returns observables.
+
+    ``batch == 0`` is the incremental mode baseline; ``batch > 0`` runs
+    the same sequence under ``perf.batch_mode`` (signature caches,
+    replay memos, the oracle's probe-based fast path).
+    """
+    with perf.incremental_mode(True), perf.batch_mode(batch):
+        hv = KvmHypervisor(VcpuConfig.default(Vendor.INTEL))
+        nested = hv.nested_vmx
+        validator = VmStateValidator(nested.caps)
+        oracle = HardwareOracle(nested.caps)
+        state = VmxNestedState()
+        vmcs = golden_vmcs(nested.caps)
+        trail = []
+        for index, bit in mutations:
+            spec = _VMX_MUTABLE[index]
+            vmcs.write(spec.encoding,
+                       vmcs.read(spec.encoding) ^ (1 << (bit % spec.bits)))
+            report = validator.round_to_valid(vmcs)
+            oracle_report = oracle.verify(vmcs)
+            prep = nested.prepare_vmcs02(state, vmcs)
+            trail.append((
+                [str(c) for c in report.all],
+                oracle_report.entered,
+                oracle_report.attempts,
+                oracle_report.activated_rules,
+                oracle_report.golden_fallbacks,
+                oracle_report.silent_fixup_fields,
+                [str(v) for v in oracle_report.final_violations],
+                (prep.detail, prep.exit_reason) if prep is not None else None,
+                vmcs.serialize(),
+                state.vmcs02.serialize(),
+            ))
+        return tuple(trail)
+
+
+def _svm_pipeline(batch: int, mutations) -> tuple:
+    with perf.incremental_mode(True), perf.batch_mode(batch):
+        hv = KvmHypervisor(VcpuConfig.default(Vendor.AMD))
+        nested = hv.nested_svm
+        validator = VmcbValidator()
+        oracle = SvmHardwareOracle()
+        state = SvmNestedState()
+        vmcb = golden_vmcb()
+        trail = []
+        for index, bit in mutations:
+            spec = SF.ALL_FIELDS[index]
+            vmcb.write(spec.name,
+                       vmcb.read(spec.name) ^ (1 << (bit % spec.bits)))
+            corrections = validator.round_to_valid(vmcb)
+            entered = oracle.verify(vmcb)
+            prep = nested.prepare_vmcb02(state, vmcb)
+            trail.append((
+                [str(c) for c in corrections],
+                entered,
+                dict(oracle.fixup_masks),
+                (prep.detail, prep.exit_reason) if prep is not None else None,
+                vmcb.serialize(),
+                state.vmcb02.serialize(),
+            ))
+        return tuple(trail)
+
+
+class TestPipelineEquivalence:
+    """Batched pipelines equal the incremental baseline case for case."""
+
+    @given(vmx_mutations)
+    @settings(max_examples=15, deadline=None)
+    def test_vmx_batched_matches_incremental(self, mutations):
+        assert _vmx_pipeline(0, mutations) == _vmx_pipeline(8, mutations)
+
+    @given(svm_mutations)
+    @settings(max_examples=15, deadline=None)
+    def test_svm_batched_matches_incremental(self, mutations):
+        assert _svm_pipeline(0, mutations) == _svm_pipeline(8, mutations)
+
+
+class TestDeserializeEquivalence:
+    """The anchored byte-diff deserializer is value-identical to a full
+    parse, and the anchor journal names exactly the differing fields."""
+
+    @given(st.binary(min_size=F.LAYOUT_BYTES, max_size=F.LAYOUT_BYTES),
+           st.lists(st.tuples(st.integers(0, F.LAYOUT_BYTES - 1),
+                              st.integers(1, 255)), max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_vmcs_deserialize_matches_parse(self, base, patches):
+        img = bytearray(base)
+        for offset, xor in patches:
+            img[offset] ^= xor
+        img = bytes(img)
+        with perf.batch_mode(8):
+            Vmcs.deserialize(base)  # make the base a reference master
+            fast = Vmcs.deserialize(img)
+        slow = Vmcs._parse(img, 0x12)
+        assert fast._values == slow._values
+        assert fast.serialize() == slow.serialize()
+        master = fast._anchor
+        assert master is not None
+        delta = fast.changes_since(master.generation)
+        assert delta is not None
+        for enc, value in fast._values.items():
+            if enc not in delta:
+                assert value == master._values[enc]
+
+    @given(st.binary(min_size=SF.LAYOUT_BYTES, max_size=SF.LAYOUT_BYTES),
+           st.lists(st.tuples(st.integers(0, SF.LAYOUT_BYTES - 1),
+                              st.integers(1, 255)), max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_vmcb_deserialize_matches_parse(self, base, patches):
+        img = bytearray(base)
+        for offset, xor in patches:
+            img[offset] ^= xor
+        img = bytes(img)
+        with perf.batch_mode(8):
+            Vmcb.deserialize(base)
+            fast = Vmcb.deserialize(img)
+        slow = Vmcb._parse(img)
+        assert fast._values == slow._values
+        assert fast.serialize() == slow.serialize()
+        master = fast._anchor
+        assert master is not None
+        delta = fast.changes_since(master.generation)
+        assert delta is not None
+        for name, value in fast._values.items():
+            if name not in delta:
+                assert value == master._values[name]
+
+
+def _fingerprint(result):
+    return (sorted(result.covered_lines),
+            result.engine_stats.queue_adds,
+            result.engine_stats.case_exceptions,
+            [(r.iteration, r.anomaly.signature()) for r in result.reports])
+
+
+def _run_campaign(vendor, *, batch_size, guided=True, iterations=80):
+    campaign = NecoFuzz(hypervisor="kvm", vendor=vendor, seed=11,
+                        coverage_guided=guided, batch_size=batch_size)
+    return _fingerprint(campaign.run(iterations))
+
+
+class TestCampaignEquivalence:
+    """Whole campaigns — trajectory, coverage, findings — are pinned."""
+
+    @pytest.mark.parametrize("vendor", [Vendor.INTEL, Vendor.AMD],
+                             ids=["kvm-intel", "kvm-amd"])
+    def test_batch_of_one_matches_incremental(self, vendor):
+        # --batch-size 1 must reproduce the incremental-mode campaign
+        # fingerprint bit for bit (the issue's acceptance pin).
+        assert (_run_campaign(vendor, batch_size=0)
+                == _run_campaign(vendor, batch_size=1))
+
+    @pytest.mark.parametrize("vendor", [Vendor.INTEL, Vendor.AMD],
+                             ids=["kvm-intel", "kvm-amd"])
+    def test_blackbox_batch_matches_incremental(self, vendor):
+        # Without coverage feedback there is no scheduling to reorder:
+        # any batch size must equal the incremental trajectory exactly.
+        assert (_run_campaign(vendor, batch_size=0, guided=False)
+                == _run_campaign(vendor, batch_size=8, guided=False))
+
+    def test_guided_batch_is_deterministic(self):
+        assert (_run_campaign(Vendor.INTEL, batch_size=8)
+                == _run_campaign(Vendor.INTEL, batch_size=8))
+
+
+class _StubExecutor:
+    """Deterministic engine target: unique bitmap per input, optional
+    poisoned cases that raise at exact call indices."""
+
+    def __init__(self, poison_at=()):
+        self.calls = 0
+        self.poison_at = set(poison_at)
+        self.seen: list[bytes] = []
+
+    def __call__(self, candidate: FuzzInput) -> RunFeedback:
+        self.calls += 1
+        self.seen.append(candidate.data)
+        if self.calls in self.poison_at:
+            raise ValueError(f"poisoned case {self.calls}")
+        bitmap = CoverageBitmap()
+        bitmap.record_edge(candidate.data[0], candidate.data[1])
+        return RunFeedback(bitmap=bitmap)
+
+
+def _stub_engine(execute, seed=5) -> FuzzEngine:
+    engine = FuzzEngine(execute=execute, rng=Rng(seed))
+    engine.add_seed(bytes(range(256)) * (INPUT_SIZE // 256 + 1))
+    return engine
+
+
+class TestBatchExceptionAccounting:
+    """Satellite contract: per-case isolation inside a batch."""
+
+    def test_poisoned_case_counts_once_and_spares_the_rest(self):
+        execute = _StubExecutor(poison_at={3})
+        engine = _stub_engine(execute)
+        with perf.batch_mode(8):
+            feedbacks = engine.step_batch(8)
+        assert len(feedbacks) == 8
+        assert engine.stats.case_exceptions == 1
+        assert engine.stats.iterations == 8
+        crashed = [f.crashed for f in feedbacks]
+        assert crashed.count(True) == 1 and crashed[2]
+        assert "poisoned case 3" in feedbacks[2].anomaly
+        # The other seven lanes executed and reported normally.
+        assert execute.calls == 8
+        assert not any(f.crashed for i, f in enumerate(feedbacks) if i != 2)
+
+    def test_step_batch_of_one_equals_step(self):
+        runs = []
+        for batched in (False, True):
+            execute = _StubExecutor()
+            engine = _stub_engine(execute)
+            if batched:
+                with perf.batch_mode(1):
+                    for _ in range(12):
+                        engine.step_batch(1)
+            else:
+                for _ in range(12):
+                    engine.step()
+            runs.append((execute.seen, engine.stats.queue_adds,
+                         engine.stats.iterations))
+        assert runs[0] == runs[1]
+
+    def test_import_batch_counts_corrupt_entries_per_entry(self):
+        execute = _StubExecutor()
+        engine = _stub_engine(execute)
+        good = bytes(INPUT_SIZE)
+        with perf.batch_mode(8):
+            results = engine.import_batch(
+                [good, b"\x00" * 7, good, b'{"not": "an input"}'])
+        assert results[1] is None and results[3] is None
+        assert results[0] is not None and results[2] is not None
+        assert engine.stats.import_skipped == 2
+        assert engine.stats.imported == 2
+        assert engine.stats.case_exceptions == 0
+
+
+SEED = 11
+BUDGET = 40
+
+
+def _parallel(sync_dir, **overrides):
+    kwargs = dict(hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED,
+                  workers=2, sync_every=10, mode="inline",
+                  sync_dir=sync_dir, checkpoint_interval=1, batch_size=8)
+    kwargs.update(overrides)
+    return ParallelCampaign(**kwargs)
+
+
+class TestBatchedResume:
+    def test_kill_and_resume_mid_batch_reproduces_fingerprint(self, tmp_path):
+        clean = _parallel(tmp_path / "clean").run(BUDGET)
+
+        # Kill worker 0 at case 15 — mid-tick for batch size 8 — after
+        # round 1 has been checkpointed.
+        crashed_dir = tmp_path / "crashed"
+        plan = FaultPlan([FaultSpec("kill_worker", worker=0, at_case=15)])
+        with faults.injected(plan):
+            with pytest.raises(CampaignAborted):
+                _parallel(crashed_dir, max_restarts=0).run(BUDGET)
+        assert (crashed_dir / "campaign.ckpt").exists()
+
+        resumed = _parallel(crashed_dir, resume=True).run(BUDGET)
+        assert resumed.engine_stats.iterations == BUDGET
+        assert campaign_fingerprint(resumed) == campaign_fingerprint(clean)
