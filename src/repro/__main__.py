@@ -59,6 +59,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="inline = deterministic round-robin in one "
                              "process; process = one forked OS process "
                              "per worker")
+    parser.add_argument("--schedule", choices=("static", "stealing"),
+                        default="static",
+                        help="static = fixed per-worker shares; stealing = "
+                             "workers pull adaptively sized leases off a "
+                             "shared board, and stragglers' leases are "
+                             "reclaimed and re-issued (DESIGN.md §13)")
+    parser.add_argument("--lease-size", type=int, default=0, metavar="CASES",
+                        help="fixed cases per lease under --schedule "
+                             "stealing; 0 (default) sizes leases from each "
+                             "worker's measured cases/sec")
+    parser.add_argument("--sync-adaptive", action="store_true",
+                        help="back off the corpus-sync interval "
+                             "geometrically while the subsumption filter "
+                             "absorbs >=90%% of imports; snap back to "
+                             "--sync-every on new virgin bits")
     parser.add_argument("--sync-format", choices=("v1", "v2"), default="v2",
                         help="corpus wire format between workers: v2 = "
                              "binary append-only queue (default), v1 = "
@@ -164,6 +179,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.batch_size < 0:
         print("error: --batch-size must be >= 0", file=sys.stderr)
         return 2
+    if args.schedule == "stealing" and args.workers == 1:
+        print("error: --schedule stealing needs --workers >= 2 "
+              "(one worker has nobody to steal from)", file=sys.stderr)
+        return 2
+    if args.lease_size < 0:
+        print("error: --lease-size must be >= 0", file=sys.stderr)
+        return 2
+    if args.lease_size and args.schedule != "stealing":
+        print("error: --lease-size applies to --schedule stealing",
+              file=sys.stderr)
+        return 2
 
     toggles = ComponentToggles(
         use_harness=not args.no_harness_mutation,
@@ -197,7 +223,10 @@ def main(argv: list[str] | None = None) -> int:
             max_restarts=args.max_restarts,
             checkpoint_interval=args.checkpoint_interval,
             resume=args.resume,
-            telemetry_mode=args.telemetry)
+            telemetry_mode=args.telemetry,
+            schedule=args.schedule,
+            lease_size=args.lease_size,
+            sync_adaptive=args.sync_adaptive)
     else:
         from repro import telemetry
 

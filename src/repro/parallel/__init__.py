@@ -9,6 +9,15 @@ one :class:`ParallelCampaignResult`. See DESIGN.md, "Parallel campaigns
 """
 
 from repro.parallel.campaign import ParallelCampaign, ParallelCampaignResult
+from repro.parallel.scheduler import (
+    SCHEDULES,
+    AdaptiveSync,
+    FileLeaseBoard,
+    Lease,
+    LeaseBoard,
+    LeaseRecord,
+    WorkerPool,
+)
 from repro.parallel.supervisor import (
     CampaignAborted,
     FailureKind,
@@ -20,17 +29,24 @@ from repro.parallel.sync import SYNC_FORMATS, SyncDirectory, SyncStats
 from repro.parallel.worker import CampaignWorker, WorkerSpec, worker_seed
 
 __all__ = [
+    "AdaptiveSync",
     "CampaignAborted",
     "CampaignWorker",
     "FailureKind",
+    "FileLeaseBoard",
+    "Lease",
+    "LeaseBoard",
+    "LeaseRecord",
     "ParallelCampaign",
     "ParallelCampaignResult",
+    "SCHEDULES",
     "SYNC_FORMATS",
     "Supervisor",
     "SupervisorConfig",
     "SupervisorEvent",
     "SyncDirectory",
     "SyncStats",
+    "WorkerPool",
     "WorkerSpec",
     "worker_seed",
 ]

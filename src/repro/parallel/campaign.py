@@ -41,6 +41,15 @@ from repro.core.necofuzz import CampaignResult
 from repro.coverage.bitmap import VirginMap
 from repro.fuzzer.crashes import atomic_write_bytes
 from repro.fuzzer.engine import EngineStats
+from repro.parallel.scheduler import (
+    LEASE_MIN,
+    SCHEDULES,
+    AdaptiveSync,
+    FileLeaseBoard,
+    LeaseBoard,
+    LeaseRecord,
+    WorkerPool,
+)
 from repro.parallel.supervisor import (
     CampaignAborted,
     FailureKind,
@@ -85,6 +94,21 @@ class ParallelCampaignResult(CampaignResult):
     #: same payload ``<root>/metrics.json`` persists. ``None`` when the
     #: campaign ran with ``telemetry_mode="off"``.
     telemetry: dict | None = None
+    #: Which scheduler ran the campaign: "static" or "stealing".
+    schedule: str = "static"
+    #: Completion-ordered lease ledger (stealing only). Feeding it back
+    #: as ``ParallelCampaign(lease_log=...)`` replays the identical
+    #: lease assignment, pinning the fingerprint of an adaptively sized
+    #: run.
+    lease_log: list[LeaseRecord] = field(default_factory=list)
+    #: Leases claimed beyond a worker's static fair share (or re-issued
+    #: after a reclaim) — the work the stealing schedule actually moved.
+    steals: int = 0
+    #: Leases taken back from dead or retired workers and re-issued.
+    reclaims: int = 0
+    #: Warm workers this run continued from the ``pool=`` handle
+    #: instead of rebuilding.
+    pool_reuse: int = 0
 
     def summary(self) -> str:
         text = (super().summary()
@@ -93,6 +117,11 @@ class ParallelCampaignResult(CampaignResult):
         skipped = self.engine_stats.imports_skipped_subsumed
         if skipped:
             text += f" ({skipped} subsumed, not re-executed)"
+        if self.schedule == "stealing":
+            text += (f", {len(self.lease_log)} lease(s) "
+                     f"({self.steals} stolen, {self.reclaims} reclaimed)")
+        if self.pool_reuse:
+            text += f", {self.pool_reuse} warm worker(s) reused"
         if self.events:
             restarted = sum(1 for e in self.events if e.action == "restart")
             text += (f", {len(self.events)} fault event(s) "
@@ -218,12 +247,46 @@ class ParallelCampaign:
     #: §11). Purely observational — excluded from the campaign
     #: fingerprint, and results are bit-for-bit identical across modes.
     telemetry_mode: str = "metrics"
+    # --- scheduling (DESIGN.md §13) -----------------------------------
+    #: "static" — the classic fixed divmod split; "stealing" — workers
+    #: pull adaptively sized leases off a shared board, and a dead
+    #: worker's leases are reclaimed and re-issued.
+    schedule: str = "static"
+    #: Fixed cases per lease (stealing). 0 sizes each lease from the
+    #: claimant's measured cases/sec; a fixed size makes inline
+    #: stealing fully deterministic.
+    lease_size: int = 0
+    #: Back off the sync interval geometrically while the subsumption
+    #: filter absorbs >=90% of imports; snap back on new virgin bits.
+    sync_adaptive: bool = False
+    #: Warm worker pool (inline only). Pass the same ``WorkerPool``
+    #: to successive campaigns with the same shape and each ``run()``
+    #: continues the pooled workers — cumulative stats, no respawn.
+    pool: WorkerPool | None = None
+    #: Replay a previous stealing run's ``result.lease_log`` verbatim
+    #: (inline only): same seed + same lease log => identical
+    #: fingerprint, even when the original sizing was adaptive.
+    lease_log: list[LeaseRecord] | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.mode not in ("inline", "process"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.schedule not in SCHEDULES:
+            raise ValueError(f"unknown schedule {self.schedule!r}")
+        if self.lease_size < 0:
+            raise ValueError("lease_size must be >= 0")
+        if self.lease_log is not None and self.schedule != "stealing":
+            raise ValueError("lease_log replay requires schedule='stealing'")
+        if self.lease_log is not None and self.mode != "inline":
+            raise ValueError("lease_log replay requires mode='inline'")
+        if self.lease_log is not None and self.resume:
+            raise ValueError("lease_log replay and resume are exclusive")
+        if self.pool is not None and self.mode != "inline":
+            raise ValueError("a worker pool requires mode='inline' "
+                             "(process workers already persist for the "
+                             "campaign's lifetime)")
         if self.telemetry_mode not in telemetry.MODES:
             raise ValueError(
                 f"unknown telemetry_mode {self.telemetry_mode!r}")
@@ -257,14 +320,42 @@ class ParallelCampaign:
             reuse_hypervisor=self.reuse_hypervisor,
             batch_size=self.batch_size)
 
+    def _stealing_worker_count(self, iterations: int) -> int:
+        """How many workers a stealing campaign actually spawns.
+
+        There is no point holding a worker hostage for fewer cases than
+        one minimum lease, so the count is capped at the number of
+        minimum-sized leases the budget divides into. The formula is a
+        pure function of (workers, iterations, lease_size): a lease-log
+        replay rebuilds the identical worker set — every worker
+        contributes its corpus digest to the fingerprint, claimant or
+        not.
+        """
+        floor = self.lease_size if self.lease_size > 0 else LEASE_MIN
+        leases = -(-iterations // floor) if iterations else 1
+        return max(1, min(self.workers, leases))
+
     def _specs(self, iterations: int) -> list[WorkerSpec]:
+        if self.schedule == "stealing":
+            # Shares are claimed lease by lease; specs start empty and
+            # grow (WorkerSpec.iterations tracks the claimed total).
+            return [WorkerSpec(index=i, seed=worker_seed(self.seed, i),
+                               iterations=0)
+                    for i in range(self._stealing_worker_count(iterations))]
         base, remainder = divmod(iterations, self.workers)
-        return [
+        specs = [
             WorkerSpec(index=i,
                        seed=worker_seed(self.seed, i),
                        iterations=base + (1 if i < remainder else 0))
             for i in range(self.workers)
         ]
+        # With iterations < workers the tail shards get zero cases;
+        # spawning them would cost a process + an empty report each.
+        # Keeping the non-empty prefix (shares are monotone
+        # non-increasing) preserves contiguous worker indices, which
+        # partner scans and derived seeds both rely on.
+        active = [spec for spec in specs if spec.iterations > 0]
+        return active or specs[:1]
 
     def run(self, iterations: int, *,
             sample_every: int = 10) -> ParallelCampaignResult:
@@ -285,19 +376,25 @@ class ParallelCampaign:
                 # already installed around run() — both modes consult
                 # the global.
                 with faults.injected(self.fault_plan):
-                    return self._dispatch(root, specs, sample_every)
-            return self._dispatch(root, specs, sample_every)
+                    return self._dispatch(root, specs, iterations,
+                                          sample_every)
+            return self._dispatch(root, specs, iterations, sample_every)
 
     def _dispatch(self, root: Path, specs: list[WorkerSpec],
+                  iterations: int,
                   sample_every: int) -> ParallelCampaignResult:
         shared_bits = None
+        sched: dict = {}
         with telemetry.span("campaign.run"):
-            if self.mode == "process" and self.workers > 1:
-                reports, shared_bits = self._run_processes(root, specs,
-                                                           sample_every)
+            if self.mode == "process" and len(specs) > 1:
+                reports, shared_bits, sched = self._run_processes(
+                    root, specs, iterations, sample_every)
+            elif self.schedule == "stealing":
+                reports, sched = self._run_inline_stealing(
+                    root, specs, iterations, sample_every)
             else:
-                reports = self._run_inline(root, specs, sample_every)
-        result = self._merge(reports, shared_bits)
+                reports, sched = self._run_inline(root, specs, sample_every)
+        result = self._merge(reports, shared_bits, sched)
         result.telemetry = self._finish_telemetry(root, reports)
         return result
 
@@ -328,30 +425,36 @@ class ParallelCampaign:
     def _campaign_checkpoint_path(self, root: Path) -> Path:
         return root / "campaign.ckpt"
 
-    def _manifest(self, specs: list[WorkerSpec], sample_every: int) -> tuple:
+    def _manifest(self, specs: list[WorkerSpec], sample_every: int,
+                  iterations: int | None = None) -> tuple:
+        shares = (tuple(spec.iterations for spec in specs)
+                  if self.schedule == "static" else (iterations or 0,))
         return (self.seed, self.workers, self.hypervisor, self.vendor.value,
-                tuple(spec.iterations for spec in specs), sample_every,
-                self.sync_every)
+                shares, sample_every, self.sync_every, self.schedule,
+                self.lease_size, self.sync_adaptive)
 
     def _save_campaign_checkpoint(self, path: Path, manifest: tuple,
                                   workers: list[CampaignWorker],
-                                  rounds: int) -> None:
+                                  rounds: int, extra: dict | None = None
+                                  ) -> None:
         payload = {"manifest": manifest, "rounds": rounds, "workers": workers}
+        if extra:
+            payload.update(extra)
         atomic_write_bytes(path, pickle.dumps(payload))
 
     def _load_campaign_checkpoint(self, path: Path, manifest: tuple):
-        """(workers, rounds) from a matching checkpoint, else (None, 0)."""
+        """The checkpoint payload dict if it matches, else ``None``."""
         try:
             payload = pickle.loads(path.read_bytes())
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
-            return None, 0
+            return None
         if (not isinstance(payload, dict)
                 or payload.get("manifest") != manifest):
             log.warning("ignoring checkpoint %s: campaign shape changed",
                         path)
-            return None, 0
-        return payload["workers"], payload["rounds"]
+            return None
+        return payload
 
     def _run_chunk_isolated(self, worker: CampaignWorker,
                             restarts: dict[int, int]) -> None:
@@ -392,29 +495,76 @@ class ParallelCampaign:
                 worker.__dict__.clear()
                 worker.__dict__.update(restored.__dict__)
 
+    def _pool_key(self, specs: list[WorkerSpec]) -> tuple:
+        return (self.hypervisor, self.vendor.value, self.seed, len(specs),
+                self.schedule, self.sync_format, self.batch_size)
+
+    def _build_inline_workers(self, root: Path, specs: list[WorkerSpec],
+                              sample_every: int, syncing: bool
+                              ) -> tuple[list[CampaignWorker], int]:
+        """Build (or warm-acquire) the inline worker set.
+
+        A pooled worker carries its engine, corpus, and virgin map from
+        the previous ``run()``; this run *continues* it — its share is
+        extended by the new spec's budget and its stats stay cumulative.
+        Pooled workers are re-bound to this run's sync root when it
+        changed: the fresh ``SyncDirectory``'s zeroed export cursor
+        fails the tail-intact check against the new (empty) queue dir,
+        which rewrites the full live queue there — nothing is lost.
+        """
+        key = self._pool_key(specs)
+        workers: list[CampaignWorker] = []
+        reused = 0
+        for spec in specs:
+            warm = (self.pool.acquire(key, spec.index)
+                    if self.pool is not None else None)
+            if warm is not None:
+                warm.spec.iterations += spec.iterations
+                if not syncing:
+                    warm.sync = None
+                elif (warm.sync is None
+                        or Path(warm.sync.root) != Path(root)):
+                    warm.sync = SyncDirectory(
+                        root, spec.index, len(specs),
+                        sync_format=self.sync_format,
+                        subsumption_filter=self.subsumption_filter)
+                workers.append(warm)
+                reused += 1
+                continue
+            workers.append(CampaignWorker(
+                spec, self._campaign_kwargs(), sample_every=sample_every,
+                sync=SyncDirectory(
+                    root, spec.index, len(specs),
+                    sync_format=self.sync_format,
+                    subsumption_filter=self.subsumption_filter)
+                if syncing else None,
+                case_timeout=self.case_timeout))
+        return workers, reused
+
+    def _adaptives(self, specs: list[WorkerSpec]) -> dict:
+        return {spec.index: (AdaptiveSync(base=self.sync_every)
+                             if self.sync_adaptive else None)
+                for spec in specs}
+
     def _run_inline(self, root: Path, specs: list[WorkerSpec],
-                    sample_every: int) -> list[WorkerReport]:
-        syncing = self.workers > 1
+                    sample_every: int) -> tuple[list[WorkerReport], dict]:
+        syncing = len(specs) > 1
         checkpointing = self.checkpoint_interval > 0 or self.resume
         ckpt = self._campaign_checkpoint_path(root) if checkpointing else None
         manifest = self._manifest(specs, sample_every)
-        workers, rounds = None, 0
+        workers, rounds, adaptives, pool_reuse = None, 0, None, 0
         if self.resume and ckpt is not None and ckpt.exists():
-            workers, rounds = self._load_campaign_checkpoint(ckpt, manifest)
-            if workers is not None:
+            payload = self._load_campaign_checkpoint(ckpt, manifest)
+            if payload is not None:
+                workers = payload["workers"]
+                rounds = payload["rounds"]
+                adaptives = payload.get("adaptives")
                 log.info("resuming inline campaign from round %d", rounds)
         if workers is None:
-            workers = [
-                CampaignWorker(
-                    spec, self._campaign_kwargs(), sample_every=sample_every,
-                    sync=SyncDirectory(
-                        root, spec.index, self.workers,
-                        sync_format=self.sync_format,
-                        subsumption_filter=self.subsumption_filter)
-                    if syncing else None,
-                    case_timeout=self.case_timeout)
-                for spec in specs
-            ]
+            workers, pool_reuse = self._build_inline_workers(
+                root, specs, sample_every, syncing)
+        if adaptives is None:
+            adaptives = self._adaptives(specs)
         restarts: dict[int, int] = {}
         while any(not worker.finished for worker in workers):
             for worker in workers:
@@ -425,19 +575,171 @@ class ParallelCampaign:
                 # Bidirectional round: everyone has published, so every
                 # worker sees every partner's finds from this round.
                 for worker in workers:
-                    worker.import_new()
+                    worker.maybe_import(adaptives[worker.spec.index])
             rounds += 1
             if (ckpt is not None and self.checkpoint_interval
                     and rounds % self.checkpoint_interval == 0):
                 self._save_campaign_checkpoint(ckpt, manifest, workers,
-                                               rounds)
-        return [worker.report() for worker in workers]
+                                               rounds,
+                                               {"adaptives": adaptives})
+        if self.pool is not None:
+            self.pool.park(self._pool_key(specs), workers)
+        return ([worker.report() for worker in workers],
+                {"schedule": "static", "pool_reuse": pool_reuse})
+
+    # --- inline stealing (DESIGN.md §13) ------------------------------------
+
+    def _run_lease_isolated(self, worker: CampaignWorker, lease, board,
+                            restarts: dict[int, int]) -> bool:
+        """Run one lease, surviving injected deaths; False = retired.
+
+        Same snapshot-and-replay contract as the static chunk path, with
+        one stealing-specific twist past ``max_restarts``: instead of
+        aborting the campaign, the worker is **retired** — rolled back
+        to its pre-lease snapshot and its lease reclaimed for a
+        surviving partner to pick up (with the same id and size, so the
+        ledger still records that lease exactly once).
+        """
+        while True:
+            snapshot = (pickle.dumps(worker)
+                        if faults.active() is not None else None)
+            try:
+                worker.run_lease(lease.size)
+                return True
+            except faults.WorkerKilled as death:
+                index = worker.spec.index
+                restarts[index] = restarts.get(index, 0) + 1
+                if snapshot is None:
+                    self.events.append(SupervisorEvent(
+                        index, FailureKind.WORKER_CRASH, str(death),
+                        "abort"))
+                    raise CampaignAborted(
+                        f"worker {index} died without a snapshot to "
+                        f"restore") from death
+                restored = pickle.loads(snapshot)
+                worker.__dict__.clear()
+                worker.__dict__.update(restored.__dict__)
+                if restarts[index] > self.max_restarts:
+                    board.reclaim_lease(lease.id)
+                    log.warning(
+                        "worker %d died %d time(s), exceeding "
+                        "max_restarts=%d; retiring it and re-issuing "
+                        "lease %d", index, restarts[index],
+                        self.max_restarts, lease.id)
+                    self.events.append(SupervisorEvent(
+                        index, FailureKind.WORKER_CRASH, str(death),
+                        "circuit-open"))
+                    return False
+                log.warning("worker %d died inline (%s); restart %d/%d "
+                            "from pre-lease snapshot", index, death,
+                            restarts[index], self.max_restarts)
+                self.events.append(SupervisorEvent(
+                    index, FailureKind.WORKER_CRASH, str(death), "restart"))
+
+    def _replay_leases(self, board, workers: list[CampaignWorker],
+                       adaptives: dict, syncing: bool) -> None:
+        """Re-drive a recorded lease log verbatim (fingerprint replay)."""
+        by_index = {worker.spec.index: worker for worker in workers}
+        by_round: dict[int, list[LeaseRecord]] = {}
+        for record in self.lease_log or []:
+            by_round.setdefault(record.round, []).append(record)
+        for round_no in sorted(by_round):
+            for record in by_round[round_no]:
+                worker = by_index.get(record.worker)
+                if worker is None:
+                    raise ValueError(
+                        f"lease log names worker {record.worker}, but "
+                        f"this campaign builds {len(workers)} worker(s)")
+                board.claim_replay(record, record.worker)
+                worker.run_lease(record.size)
+                board.complete(record.id, record.worker,
+                               round_no=record.round)
+                worker.export()
+            if syncing:
+                for worker in workers:
+                    worker.maybe_import(adaptives[worker.spec.index])
+        if not board.drained():
+            raise ValueError(
+                f"lease log is short of the budget: {board.remaining} "
+                f"case(s) left unassigned")
+
+    def _run_inline_stealing(self, root: Path, specs: list[WorkerSpec],
+                             iterations: int, sample_every: int
+                             ) -> tuple[list[WorkerReport], dict]:
+        syncing = len(specs) > 1
+        checkpointing = self.checkpoint_interval > 0 or self.resume
+        ckpt = self._campaign_checkpoint_path(root) if checkpointing else None
+        manifest = self._manifest(specs, sample_every, iterations)
+        workers = board = adaptives = None
+        rounds, pool_reuse = 0, 0
+        retired: set[int] = set()
+        if self.resume and ckpt is not None and ckpt.exists():
+            payload = self._load_campaign_checkpoint(ckpt, manifest)
+            if payload is not None:
+                workers = payload["workers"]
+                rounds = payload["rounds"]
+                board = payload.get("board")
+                adaptives = payload.get("adaptives")
+                retired = payload.get("retired", set())
+                log.info("resuming stealing campaign from round %d "
+                         "(%d lease(s) completed)", rounds,
+                         len(board.log) if board is not None else 0)
+        if workers is None:
+            workers, pool_reuse = self._build_inline_workers(
+                root, specs, sample_every, syncing)
+        if board is None:
+            board = LeaseBoard(total=iterations, workers=len(specs),
+                               lease_size=self.lease_size)
+        if adaptives is None:
+            adaptives = self._adaptives(specs)
+        if self.lease_log is not None:
+            self._replay_leases(board, workers, adaptives, syncing)
+        else:
+            restarts: dict[int, int] = {}
+            while not board.drained():
+                for worker in workers:
+                    index = worker.spec.index
+                    if index in retired:
+                        continue
+                    lease = board.claim(index, rate=worker.rate)
+                    if lease is None:
+                        continue
+                    if self._run_lease_isolated(worker, lease, board,
+                                                restarts):
+                        board.complete(lease.id, index, round_no=rounds)
+                        worker.export()
+                    else:
+                        retired.add(index)
+                if syncing:
+                    for worker in workers:
+                        if worker.spec.index not in retired:
+                            worker.maybe_import(adaptives[worker.spec.index])
+                rounds += 1
+                if len(retired) == len(workers) and not board.drained():
+                    raise CampaignAborted(
+                        f"all {len(workers)} worker(s) retired with "
+                        f"{board.total - board.completed_total()} case(s) "
+                        f"unexecuted")
+                if (ckpt is not None and self.checkpoint_interval
+                        and rounds % self.checkpoint_interval == 0):
+                    self._save_campaign_checkpoint(
+                        ckpt, manifest, workers, rounds,
+                        {"board": board, "adaptives": adaptives,
+                         "retired": retired})
+        if self.pool is not None:
+            self.pool.park(self._pool_key(specs), workers)
+        summary = board.summary()
+        return ([worker.report() for worker in workers],
+                {"schedule": "stealing", "lease_log": summary["log"],
+                 "steals": summary["steals"],
+                 "reclaims": summary["reclaims"],
+                 "pool_reuse": pool_reuse})
 
     # --- process mode -------------------------------------------------------
 
     def _run_processes(self, root: Path, specs: list[WorkerSpec],
-                       sample_every: int
-                       ) -> tuple[list[WorkerReport], bytes | None]:
+                       iterations: int, sample_every: int
+                       ) -> tuple[list[WorkerReport], bytes | None, dict]:
         from repro.parallel import supervisor as sup
 
         if not self.resume:
@@ -446,6 +748,13 @@ class ParallelCampaign:
             for spec in specs:
                 sup.checkpoint_path(root, spec.index).unlink(missing_ok=True)
                 sup.report_path(root, spec.index).unlink(missing_ok=True)
+        board = None
+        if self.schedule == "stealing":
+            board = FileLeaseBoard(root)
+            if not (self.resume and board.exists()):
+                board = FileLeaseBoard.create(
+                    root, iterations, len(specs),
+                    lease_size=self.lease_size)
         config = SupervisorConfig(max_restarts=self.max_restarts)
         if self.case_timeout is not None:
             config.case_timeout = self.case_timeout
@@ -455,16 +764,27 @@ class ParallelCampaign:
             config=config, fault_plan=self.fault_plan or faults.active(),
             sync_format=self.sync_format,
             subsumption_filter=self.subsumption_filter,
-            telemetry_mode=self.telemetry_mode)
+            telemetry_mode=self.telemetry_mode,
+            schedule=self.schedule, sync_adaptive=self.sync_adaptive,
+            lease_board=board)
         try:
-            return supervisor.run(), supervisor.merged_virgin_bits
+            reports = supervisor.run()
+            sched = {"schedule": self.schedule, "pool_reuse": 0}
+            if board is not None:
+                summary = board.summary()
+                sched.update(lease_log=summary["log"],
+                             steals=summary["steals"],
+                             reclaims=summary["reclaims"])
+            return reports, supervisor.merged_virgin_bits, sched
         finally:
             self.events.extend(supervisor.events)
 
     # --- merge --------------------------------------------------------------
 
     def _merge(self, reports: list[WorkerReport],
-               shared_bits: bytes | None = None) -> ParallelCampaignResult:
+               shared_bits: bytes | None = None,
+               sched: dict | None = None) -> ParallelCampaignResult:
+        sched = sched or {}
         reports = sorted(reports, key=lambda r: r.index)
         instrumented = reports[0].result.instrumented_lines
         for report in reports[1:]:
@@ -492,4 +812,9 @@ class ParallelCampaign:
             events=list(self.events),
             deadline_overruns=sum(r.deadline_overruns for r in reports),
             sync_overhead=_merge_sync_overhead(reports),
-            shared_virgin_map=shared_bits is not None)
+            shared_virgin_map=shared_bits is not None,
+            schedule=sched.get("schedule", self.schedule),
+            lease_log=list(sched.get("lease_log", [])),
+            steals=sched.get("steals", 0),
+            reclaims=sched.get("reclaims", 0),
+            pool_reuse=sched.get("pool_reuse", 0))

@@ -40,6 +40,7 @@ from enum import Enum
 from pathlib import Path
 
 from repro import faults, telemetry
+from repro.parallel.scheduler import AdaptiveSync, FileLeaseBoard
 from repro.parallel.worker import CampaignWorker, WorkerReport, WorkerSpec
 
 log = logging.getLogger("repro.parallel")
@@ -132,7 +133,9 @@ def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
                         subsumption_filter: bool = True,
                         shm_name: str | None = None,
                         shm_lock=None,
-                        telemetry_mode: str = "metrics") -> None:
+                        telemetry_mode: str = "metrics",
+                        schedule: str = "static",
+                        sync_adaptive: bool = False) -> None:
     """Child-process entry point: run one share, write the report.
 
     Resumes from the shard checkpoint when one exists (this is how a
@@ -174,9 +177,14 @@ def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
 
         shm_publisher = publisher(shm_name, shm_lock)
         worker.virgin_publisher = shm_publisher
+    adaptive = (AdaptiveSync(base=sync_every) if sync_adaptive else None)
     try:
         try:
-            report = worker.run_share(sync_every)
+            if schedule == "stealing":
+                board = FileLeaseBoard(rootp)
+                report = worker.run_leases(board, adaptive=adaptive)
+            else:
+                report = worker.run_share(sync_every, adaptive)
         finally:
             if shm_publisher is not None:
                 shm_publisher.close()
@@ -205,6 +213,15 @@ class Supervisor:
     sync_format: str = "v2"
     subsumption_filter: bool = True
     telemetry_mode: str = "metrics"
+    #: "static" (fixed shares) or "stealing" (shared lease board).
+    schedule: str = "static"
+    #: Adaptive sync-interval back-off in the workers (DESIGN.md §13).
+    sync_adaptive: bool = False
+    #: The shared lease board when ``schedule == "stealing"`` — the
+    #: supervisor reclaims a confirmed-dead worker's claims from it
+    #: before restarting, so stragglers' leases are re-issued instead
+    #: of lost.
+    lease_board: FileLeaseBoard | None = None
     events: list[SupervisorEvent] = field(default_factory=list)
     restarts: dict[int, int] = field(default_factory=dict)
     #: Heartbeat-staleness tracking: index -> ((mtime_ns, size),
@@ -263,7 +280,8 @@ class Supervisor:
                               self.subsumption_filter,
                               shared.name if shared else None,
                               shared.lock if shared else None,
-                              self.telemetry_mode),
+                              self.telemetry_mode, self.schedule,
+                              self.sync_adaptive),
                         daemon=False)
                     proc.start()
                 except (OSError, RuntimeError, pickle.PicklingError) as exc:
@@ -379,6 +397,20 @@ class Supervisor:
 
     def _handle_failure(self, index: int, kind: FailureKind, detail: str,
                         pending: list, reports: dict, by_index: dict) -> None:
+        if self.lease_board is not None:
+            # Every path into here has confirmed the worker process
+            # dead (exited, or terminated after a stale heartbeat), so
+            # its unfinished leases are safe to re-issue: the partial
+            # work died unrecorded with the process, and the restarted
+            # replacement resumes from its last checkpoint and claims
+            # fresh — a lease is only ever *executed to completion*
+            # once.
+            reclaimed = self.lease_board.reclaim(index)
+            if reclaimed:
+                log.warning("worker %d: reclaimed %d unfinished lease(s) "
+                            "for re-issue", index, reclaimed)
+                telemetry.event("sched.reclaim", worker=index,
+                                leases=reclaimed)
         count = self.restarts.get(index, 0) + 1
         self.restarts[index] = count
         telemetry.counter(f"supervisor.failures.{kind.value}")
@@ -425,8 +457,13 @@ class Supervisor:
         previous_worker = faults.current_worker()
         if self.fault_plan is not None:
             faults.install(self.fault_plan)
+        adaptive = (AdaptiveSync(base=self.sync_every)
+                    if self.sync_adaptive else None)
         try:
-            return worker.run_share(self.sync_every)
+            if self.lease_board is not None:
+                return worker.run_leases(self.lease_board,
+                                         adaptive=adaptive)
+            return worker.run_share(self.sync_every, adaptive)
         except faults.WorkerKilled as death:
             self.events.append(SupervisorEvent(
                 spec.index, FailureKind.WORKER_CRASH, str(death), "abort"))

@@ -87,6 +87,11 @@ class SyncStats:
     execute_seconds: float = 0.0  # running entries that passed the filter
     entries_exported: int = 0
     entries_scanned: int = 0
+    #: Import rounds that actually scanned partners.
+    import_rounds: int = 0
+    #: Import rounds the adaptive-sync controller elided (the scan cost
+    #: the geometric back-off saved; see DESIGN.md §13).
+    rounds_skipped_adaptive: int = 0
 
     def merged_with(self, other: "SyncStats") -> "SyncStats":
         return SyncStats(
@@ -95,7 +100,10 @@ class SyncStats:
             filter_seconds=self.filter_seconds + other.filter_seconds,
             execute_seconds=self.execute_seconds + other.execute_seconds,
             entries_exported=self.entries_exported + other.entries_exported,
-            entries_scanned=self.entries_scanned + other.entries_scanned)
+            entries_scanned=self.entries_scanned + other.entries_scanned,
+            import_rounds=self.import_rounds + other.import_rounds,
+            rounds_skipped_adaptive=(self.rounds_skipped_adaptive
+                                     + other.rounds_skipped_adaptive))
 
 
 @dataclass
@@ -213,6 +221,7 @@ class SyncDirectory:
         and retried on later rounds, after the owner heals them.
         """
         imported = 0
+        self.stats.import_rounds += 1
         for partner in range(self.total_workers):
             if partner == self.worker:
                 continue

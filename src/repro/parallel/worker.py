@@ -32,6 +32,7 @@ from repro import faults, perf, telemetry
 from repro.analysis.timeline import CoverageTimeline
 from repro.core.necofuzz import CampaignResult, NecoFuzz
 from repro.fuzzer.crashes import atomic_write_bytes
+from repro.parallel.scheduler import AdaptiveSync
 from repro.parallel.sync import SyncDirectory, SyncStats
 from repro.parallel.wire import LineCodec
 
@@ -114,6 +115,11 @@ class CampaignWorker:
     done: int = field(default=0, init=False)
     deadline_overruns: int = field(default=0, init=False)
     _published_generation: int = field(default=0, init=False)
+    #: Measured throughput (cases/sec) of the last lease — what the
+    #: lease board sizes this worker's next lease from.
+    rate: float = field(default=0.0, init=False)
+    #: Cases executed since the last import round (adaptive-sync gate).
+    _since_import: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self.campaign = NecoFuzz(seed=self.spec.seed, **self.campaign_kwargs)
@@ -187,6 +193,23 @@ class CampaignWorker:
         finally:
             faults.set_current_worker(previous_worker)
             telemetry.set_shard(previous_shard)
+        self._since_import += steps
+        return steps
+
+    def run_lease(self, size: int) -> int:
+        """Extend this worker's share by one lease and run it.
+
+        Under the stealing schedule a worker's share is whatever it has
+        claimed so far: the spec grows lease by lease, so ``finished``,
+        sampling, and reports all see the claimed total. The lease's
+        wall-clock feeds :attr:`rate`, which sizes the next claim.
+        """
+        self.spec.iterations += size
+        started = time.perf_counter()
+        steps = self.run_chunk(size)
+        elapsed = time.perf_counter() - started
+        if steps and elapsed > 0:
+            self.rate = steps / elapsed
         return steps
 
     def _sample(self, i: int, agent) -> None:
@@ -261,6 +284,40 @@ class CampaignWorker:
                 self.campaign.engine, codec=self.line_codec,
                 absorb_lines=self.campaign.agent.absorb_lines)
 
+    def maybe_import(self, adaptive: AdaptiveSync | None = None) -> int:
+        """Import partners' finds, subject to the adaptive-sync gate.
+
+        With no controller this is :meth:`import_new`. With one, the
+        scan only runs once the cases executed since the last import
+        reach the controller's current interval; the round's outcome
+        (executed vs subsumed entries, whether any import lit new
+        virgin bits) is fed back to the controller, and the resulting
+        interval is published as the ``sync.interval`` gauge. Skipped
+        rounds are counted in ``sync_stats.rounds_skipped_adaptive`` —
+        they are the sync overhead the controller saved.
+        """
+        if self.sync is None:
+            return 0
+        if adaptive is not None and self._since_import < adaptive.interval:
+            self.sync.stats.rounds_skipped_adaptive += 1
+            return 0
+        stats = self.campaign.engine.stats
+        virgin = self.campaign.engine.virgin
+        imported_before = stats.imported
+        subsumed_before = stats.imports_skipped_subsumed
+        generation_before = virgin.generation
+        imported = self.import_new()
+        self._since_import = 0
+        if adaptive is not None:
+            subsumed = stats.imports_skipped_subsumed - subsumed_before
+            executed = (stats.imported - imported_before) - subsumed
+            interval = adaptive.record_round(
+                executed=executed, subsumed=subsumed,
+                new_bits=virgin.generation > generation_before)
+            with telemetry.shard_scope(self.spec.index):
+                telemetry.gauge("sync.interval", interval)
+        return imported
+
     def publish_virgin(self) -> None:
         """OR local virgin bits into the shared map, if one is attached.
 
@@ -286,13 +343,14 @@ class CampaignWorker:
             return
         self._published_generation = virgin.generation
 
-    def run_share(self, sync_every: int) -> "WorkerReport":
+    def run_share(self, sync_every: int,
+                  adaptive: AdaptiveSync | None = None) -> "WorkerReport":
         """Self-paced loop for process mode: chunk, publish, import."""
         rounds = 0
         while not self.finished:
             self.run_chunk(sync_every)
             self.export()
-            self.import_new()
+            self.maybe_import(adaptive)
             self.publish_virgin()
             rounds += 1
             with telemetry.shard_scope(self.spec.index):
@@ -303,6 +361,45 @@ class CampaignWorker:
             self.save_checkpoint()
         if self.spec.iterations == 0:
             self.export()
+        return self.report()
+
+    def run_leases(self, board, *, adaptive: AdaptiveSync | None = None,
+                   idle_poll: float = 0.01) -> "WorkerReport":
+        """Self-paced stealing loop for process mode: claim, run, sync.
+
+        The worker pulls leases off the shared board until the board is
+        drained. ``board.complete`` runs **before** the checkpoint, so
+        the ledger — not the snapshot — is authoritative: a lease can
+        never be re-executed because its completion record survives any
+        crash that follows it (the converse window, a crash between
+        completion and checkpoint, costs at most one lease's engine
+        state and is documented in DESIGN.md §13). An idle worker — the
+        board is empty but partners still hold leases that may yet be
+        reclaimed — keeps stamping its heartbeat so the supervisor does
+        not mistake patience for a hang.
+        """
+        rounds = 0
+        while True:
+            lease = board.claim(self.spec.index, rate=self.rate)
+            if lease is None:
+                if board.finished():
+                    break
+                self._heartbeat()
+                time.sleep(idle_poll)
+                continue
+            self.run_lease(lease.size)
+            board.complete(lease.id, self.spec.index, round_no=rounds)
+            self.export()
+            self.maybe_import(adaptive)
+            self.publish_virgin()
+            rounds += 1
+            with telemetry.shard_scope(self.spec.index):
+                telemetry.event("worker.lease", round=rounds,
+                                lease=lease.id, size=lease.size,
+                                done=self.done)
+                telemetry.flush()
+            self.save_checkpoint()
+        self.export()
         return self.report()
 
     # --- checkpointing ------------------------------------------------------

@@ -158,6 +158,18 @@ class MetricsRegistry:
             names.update(metrics.counters)
         return sorted(names)
 
+    def gauge_names(self) -> list:
+        names: set = set()
+        for metrics in self.shards.values():
+            names.update(metrics.gauges)
+        return sorted(names)
+
+    def gauge_max(self, name: str) -> float | None:
+        """The largest per-shard value of a gauge (the merge rule)."""
+        values = [m.gauges[name] for m in self.shards.values()
+                  if name in m.gauges]
+        return max(values) if values else None
+
     def merged_histogram(self, name: str) -> Histogram:
         merged = Histogram()
         for metrics in self.shards.values():

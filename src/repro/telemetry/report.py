@@ -60,11 +60,34 @@ def campaign_summary(root: Path) -> dict:
         }
     counters = {name: registry.counter_total(name)
                 for name in registry.counter_names()}
+    gauges = {name: registry.gauge_max(name)
+              for name in registry.gauge_names()}
     skew = _shard_skew(registry)
     events_path = merged_events_path(root)
     events = read_events(events_path) if events_path.exists() else []
     return {"root": str(root), "spans": spans, "counters": counters,
+            "gauges": gauges, "scheduler": _scheduler_summary(registry),
             "shards": skew, "event_count": len(events)}
+
+
+#: The work-stealing scheduler's own counters (DESIGN.md §13), pulled
+#: into their own report block so lease churn is visible at a glance.
+_SCHED_COUNTERS = ("sched.leases_issued", "sched.steals", "sched.reclaims",
+                   "pool.worker_reuse")
+
+
+def _scheduler_summary(registry: MetricsRegistry) -> dict:
+    """Scheduler block: lease counters plus the adaptive-sync interval.
+
+    Empty when the campaign ran the static schedule with adaptive sync
+    off — the renderer then omits the section entirely.
+    """
+    summary = {name: total for name in _SCHED_COUNTERS
+               if (total := registry.counter_total(name))}
+    interval = registry.gauge_max("sync.interval")
+    if interval is not None:
+        summary["sync.interval"] = interval
+    return summary
 
 
 def _shard_skew(registry: MetricsRegistry) -> dict:
@@ -111,6 +134,15 @@ def render_report(root: Path, *, top: int = 12) -> str:
     for name, value in counters:
         lines.append(f"  {name:<40} {value:>12}")
     lines.append("")
+
+    scheduler = summary.get("scheduler") or {}
+    if scheduler:
+        lines.append("scheduler")
+        for name, value in sorted(scheduler.items()):
+            rendered = (f"{value:g}" if isinstance(value, float)
+                        else f"{value}")
+            lines.append(f"  {name:<40} {rendered:>12}")
+        lines.append("")
 
     per_shard = summary["shards"]["per_shard"]
     if per_shard:

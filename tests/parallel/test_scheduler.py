@@ -1,0 +1,234 @@
+"""Unit and property tests for the work-stealing scheduler layer.
+
+The accounting contract (DESIGN.md §13) pinned here, independent of any
+campaign: every carved lease completes exactly once, completed sizes
+always sum to the requested budget, reclaimed leases keep their
+identity, and the adaptive-sync controller moves monotonically between
+its base and its cap.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.parallel.scheduler import (
+    LEASE_MAX,
+    LEASE_MIN,
+    AdaptiveSync,
+    FileLeaseBoard,
+    LeaseBoard,
+    LeaseRecord,
+    PoolMismatch,
+    WorkerPool,
+)
+
+
+class TestLeaseBoard:
+    def test_fixed_lease_size_is_honoured_exactly(self):
+        board = LeaseBoard(total=60, workers=3, lease_size=10)
+        lease = board.claim(0)
+        assert lease.size == 10
+
+    def test_remainder_lease_is_short(self):
+        board = LeaseBoard(total=25, workers=1, lease_size=10)
+        sizes = []
+        while (lease := board.claim(0)) is not None:
+            sizes.append(lease.size)
+            board.complete(lease.id, 0)
+        assert sizes == [10, 10, 5]
+        assert board.drained()
+
+    def test_adaptive_size_clamped_to_bounds(self):
+        board = LeaseBoard(total=100_000, workers=2)
+        slow = board.claim(0, rate=1.0)        # ~0.5 cases/target
+        fast = board.claim(1, rate=1_000_000)  # ~500k cases/target
+        assert slow.size == LEASE_MIN
+        assert fast.size == LEASE_MAX
+
+    def test_adaptive_size_tracks_rate(self):
+        board = LeaseBoard(total=100_000, workers=1)
+        lease = board.claim(0, rate=300.0)  # 150 cases per 0.5 s target
+        assert LEASE_MIN <= lease.size <= LEASE_MAX
+        assert lease.size == 150
+
+    def test_reclaimed_lease_keeps_identity_and_is_reissued_first(self):
+        board = LeaseBoard(total=300, workers=2, lease_size=100)
+        lease = board.claim(0)
+        board.reclaim_lease(lease.id)
+        reissued = board.claim(1)
+        assert (reissued.id, reissued.size) == (lease.id, lease.size)
+        assert board.reclaims == 1
+        board.complete(reissued.id, 1)
+        record = board.log[-1]
+        assert record.reissued and record.steal
+        assert record.worker == 1
+
+    def test_claim_beyond_fair_share_counts_as_steal(self):
+        board = LeaseBoard(total=200, workers=2, lease_size=50)
+        for _ in range(2):  # worker 0 claims its full 100-case share
+            lease = board.claim(0)
+            board.complete(lease.id, 0)
+        assert board.steals == 0
+        lease = board.claim(0)  # third claim crosses ceil(200/2)
+        board.complete(lease.id, 0)
+        assert board.steals == 1
+        assert board.log[-1].steal
+
+    def test_double_complete_asserts(self):
+        board = LeaseBoard(total=10, workers=1, lease_size=10)
+        lease = board.claim(0)
+        board.complete(lease.id, 0)
+        with pytest.raises(KeyError):
+            board.complete(lease.id, 0)
+
+    def test_accounting_invariant_under_random_churn(self):
+        rng = random.Random(1234)
+        for trial in range(25):
+            total = rng.randrange(1, 2000)
+            workers = rng.randrange(1, 6)
+            board = LeaseBoard(total=total, workers=workers,
+                               lease_size=rng.choice([0, 7, 64]))
+            while not board.drained():
+                worker = rng.randrange(workers)
+                lease = board.claim(worker, rate=rng.uniform(0, 5000))
+                if lease is None:
+                    # Budget carved out; only reclaims can unblock.
+                    assert board.issued
+                    victim = rng.choice(list(board.issued))
+                    board.reclaim_lease(victim)
+                    continue
+                if rng.random() < 0.2:
+                    board.reclaim_lease(lease.id)
+                else:
+                    board.complete(lease.id, worker)
+            assert board.completed_total() == total
+            ids = [record.id for record in board.log]
+            assert len(ids) == len(set(ids)), "a lease completed twice"
+
+    def test_board_pickles_for_checkpoints(self):
+        board = LeaseBoard(total=50, workers=2, lease_size=10)
+        lease = board.claim(0)
+        board.complete(lease.id, 0)
+        clone = pickle.loads(pickle.dumps(board))
+        assert clone.completed_total() == 10
+        assert clone.log[0].id == lease.id
+
+    def test_replay_overrunning_budget_rejected(self):
+        board = LeaseBoard(total=10, workers=1, lease_size=10)
+        with pytest.raises(ValueError):
+            board.claim_replay(LeaseRecord(id=0, worker=0, size=11), 0)
+
+
+class TestFileLeaseBoard:
+    def test_claim_complete_roundtrip(self, tmp_path):
+        board = FileLeaseBoard.create(tmp_path, total=30, workers=2,
+                                      lease_size=10)
+        sizes = []
+        while (lease := board.claim(0)) is not None:
+            sizes.append(lease.size)
+            board.complete(lease.id, 0)
+        assert sizes == [10, 10, 10]
+        assert board.finished()
+        summary = board.summary()
+        assert summary["completed"] == 30
+        assert [record.id for record in summary["log"]] == [0, 1, 2]
+
+    def test_reclaim_requeues_a_dead_workers_claims(self, tmp_path):
+        board = FileLeaseBoard.create(tmp_path, total=40, workers=2,
+                                      lease_size=10)
+        dead = board.claim(0)
+        board.claim(1)
+        assert board.reclaim(0) == 1
+        assert not board.finished()
+        reissued = board.claim(1)
+        assert (reissued.id, reissued.size) == (dead.id, dead.size)
+        summary = board.summary()
+        assert summary["reclaims"] == 1
+
+    def test_complete_after_reclaim_is_a_noop(self, tmp_path):
+        # A worker presumed dead that races its own completion against
+        # the supervisor's reclaim must not double-count the lease.
+        board = FileLeaseBoard.create(tmp_path, total=20, workers=2,
+                                      lease_size=10)
+        lease = board.claim(0)
+        board.reclaim(0)
+        board.complete(lease.id, 0)  # late completion: ignored
+        assert board.summary()["completed"] == 0
+        reissued = board.claim(1)
+        board.complete(reissued.id, 1)
+        assert board.summary()["completed"] == 10
+
+    def test_fresh_create_clobbers_previous_campaign(self, tmp_path):
+        board = FileLeaseBoard.create(tmp_path, total=10, workers=1,
+                                      lease_size=10)
+        lease = board.claim(0)
+        board.complete(lease.id, 0)
+        board = FileLeaseBoard.create(tmp_path, total=20, workers=1,
+                                      lease_size=10)
+        assert not board.finished()
+        assert board.summary()["completed"] == 0
+
+
+class TestAdaptiveSync:
+    def test_interval_growth_is_monotone_and_capped(self):
+        sync = AdaptiveSync(base=100)
+        seen = [sync.interval]
+        for _ in range(10):
+            seen.append(sync.record_round(executed=0, subsumed=10,
+                                          new_bits=False))
+        assert seen == sorted(seen), "back-off must be monotone"
+        assert seen[0] == 100
+        assert seen[-1] == sync.cap == 800
+
+    def test_empty_rounds_also_back_off(self):
+        sync = AdaptiveSync(base=50)
+        assert sync.record_round(executed=0, subsumed=0,
+                                 new_bits=False) == 100
+
+    def test_new_bits_snap_back_to_base(self):
+        sync = AdaptiveSync(base=100)
+        for _ in range(5):
+            sync.record_round(executed=0, subsumed=10, new_bits=False)
+        assert sync.interval > 100
+        assert sync.record_round(executed=3, subsumed=0,
+                                 new_bits=True) == 100
+
+    def test_sub_threshold_absorption_counts_as_productive(self):
+        sync = AdaptiveSync(base=100)
+        sync.record_round(executed=0, subsumed=10, new_bits=False)
+        # 5 of 10 absorbed is well below the 90% threshold: partners
+        # are shipping things we do not have, so sync eagerly again.
+        assert sync.record_round(executed=5, subsumed=5,
+                                 new_bits=False) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSync(base=0)
+        with pytest.raises(ValueError):
+            AdaptiveSync(base=10, growth=1)
+
+
+class TestWorkerPool:
+    class _Worker:
+        def __init__(self, index):
+            from repro.parallel.worker import WorkerSpec
+
+            self.spec = WorkerSpec(index=index, seed=index, iterations=0)
+
+    def test_cold_pool_returns_none_then_reuses(self):
+        pool = WorkerPool()
+        key = ("kvm", "intel", 1, 2)
+        assert pool.acquire(key, 0) is None
+        workers = [self._Worker(0), self._Worker(1)]
+        pool.park(key, workers)
+        assert pool.acquire(key, 0) is workers[0]
+        assert pool.acquire(key, 1) is workers[1]
+        assert pool.reused == 2
+        assert pool.runs == 1
+
+    def test_mismatched_shape_raises(self):
+        pool = WorkerPool()
+        pool.park(("kvm", "intel", 1, 2), [self._Worker(0)])
+        with pytest.raises(PoolMismatch):
+            pool.acquire(("xen", "amd", 9, 4), 0)
