@@ -290,6 +290,97 @@ def test_stealing_wall_clock(capsys):
 
 
 @pytest.mark.benchmark(group="perf-throughput")
+def test_federation_wall_clock(capsys):
+    """Federated transport vs. inline stealing, same lease schedule.
+
+    The federation moves every lease grant and corpus record over a
+    real socket (AF_UNIX under the campaign root), so this stage prices
+    the transport: wall clock against the inline stealing loop it
+    reproduces, with the fingerprint-equality acceptance pin recorded
+    in the JSON. On a single-CPU runner the in-process node threads
+    time-slice one core either way, so the stage records null timings
+    and skips, matching the stealing stage's convention.
+    """
+    from repro.resilience import (
+        FederatedCampaign,
+        campaign_fingerprint,
+    )
+
+    cpus = os.cpu_count() or 1
+    lease_size = max(1, BUDGET // 8)
+    if cpus < 2:
+        _update_json("federation", {
+            "cpus": cpus,
+            "single_cpu": True,
+            "workers": None,
+            "lease_size": lease_size,
+            "inline_seconds": None,
+            "federated_seconds": None,
+            "transport_overhead": None,
+            "fingerprint_match": None,
+            "deadline_truncated": {"inline": False, "federated": False},
+        })
+        report = BenchReport("Federation wall clock")
+        report.add(f"SKIP: {cpus} CPU(s) — node threads would time-slice "
+                   "one core, so the comparison would measure the "
+                   "runner, not the transport. Recorded a null stage in "
+                   "BENCH_throughput.json instead.")
+        report.emit(capsys)
+        pytest.skip("federation comparison needs >= 2 CPUs")
+
+    workers = 2
+
+    inline_deadline = PhaseDeadline()
+    start = time.perf_counter()
+    inline = ParallelCampaign(
+        hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED, workers=workers,
+        mode="inline", schedule="stealing",
+        lease_size=lease_size).run(BUDGET, sample_every=100)
+    inline_s = time.perf_counter() - start
+    inline_deadline.expired()
+
+    federated_deadline = PhaseDeadline()
+    start = time.perf_counter()
+    federated = FederatedCampaign(
+        hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED, workers=workers,
+        lease_size=lease_size, telemetry_mode="off").run(
+            BUDGET, sample_every=100)
+    federated_s = time.perf_counter() - start
+    federated_deadline.expired()
+
+    truncated = inline_deadline.hit or federated_deadline.hit
+    match = campaign_fingerprint(federated) == campaign_fingerprint(inline)
+    overhead = federated_s / inline_s
+
+    _update_json("federation", {
+        "cpus": cpus,
+        "single_cpu": False,
+        "workers": workers,
+        "lease_size": lease_size,
+        "inline_seconds": round(inline_s, 2),
+        "federated_seconds": round(federated_s, 2),
+        "transport_overhead": round(overhead, 2),
+        "fingerprint_match": match,
+        "deadline_truncated": {"inline": inline_deadline.hit,
+                               "federated": federated_deadline.hit},
+    })
+
+    report = BenchReport(
+        f"Federation wall clock ({workers} socket nodes)")
+    report.add(f"inline      {inline_s:6.2f}s")
+    report.add(f"federated   {federated_s:6.2f}s  "
+               f"({len(federated.lease_log)} leases over the wire)")
+    report.add(f"overhead    {overhead:6.2f}x"
+               + ("  [deadline truncated]" if truncated else ""))
+    report.add(f"fingerprint {'MATCH' if match else 'MISMATCH'}")
+    report.emit(capsys)
+
+    assert match, "federated fingerprint diverged from inline stealing"
+    assert federated.engine_stats.iterations == BUDGET
+    assert sum(r.size for r in federated.lease_log) == BUDGET
+
+
+@pytest.mark.benchmark(group="perf-throughput")
 def test_virgin_merge_fast_path(capsys):
     """`merge_from` with nothing to contribute must be near-free."""
     rounds = max(50, BUDGET)

@@ -8,6 +8,7 @@ one :class:`ParallelCampaignResult`. See DESIGN.md, "Parallel campaigns
 & performance".
 """
 
+from repro.parallel.backoff import expo_backoff
 from repro.parallel.campaign import ParallelCampaign, ParallelCampaignResult
 from repro.parallel.scheduler import (
     SCHEDULES,
@@ -15,6 +16,7 @@ from repro.parallel.scheduler import (
     FileLeaseBoard,
     Lease,
     LeaseBoard,
+    LeaseBoardError,
     LeaseRecord,
     WorkerPool,
 )
@@ -26,6 +28,11 @@ from repro.parallel.supervisor import (
     SupervisorEvent,
 )
 from repro.parallel.sync import SYNC_FORMATS, SyncDirectory, SyncStats
+from repro.parallel.transport import (
+    FederatedCampaign,
+    TransportError,
+    run_federated_node,
+)
 from repro.parallel.worker import CampaignWorker, WorkerSpec, worker_seed
 
 __all__ = [
@@ -33,9 +40,11 @@ __all__ = [
     "CampaignAborted",
     "CampaignWorker",
     "FailureKind",
+    "FederatedCampaign",
     "FileLeaseBoard",
     "Lease",
     "LeaseBoard",
+    "LeaseBoardError",
     "LeaseRecord",
     "ParallelCampaign",
     "ParallelCampaignResult",
@@ -46,7 +55,10 @@ __all__ = [
     "SupervisorEvent",
     "SyncDirectory",
     "SyncStats",
+    "TransportError",
     "WorkerPool",
     "WorkerSpec",
+    "expo_backoff",
+    "run_federated_node",
     "worker_seed",
 ]

@@ -117,7 +117,7 @@ class ParallelCampaignResult(CampaignResult):
         skipped = self.engine_stats.imports_skipped_subsumed
         if skipped:
             text += f" ({skipped} subsumed, not re-executed)"
-        if self.schedule == "stealing":
+        if self.schedule in ("stealing", "federated"):
             text += (f", {len(self.lease_log)} lease(s) "
                      f"({self.steals} stolen, {self.reclaims} reclaimed)")
         if self.pool_reuse:

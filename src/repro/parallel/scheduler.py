@@ -55,6 +55,18 @@ LEASE_TARGET_SECONDS = 0.5
 SCHEDULES = ("static", "stealing")
 
 
+class LeaseBoardError(RuntimeError):
+    """The shared lease board is unreadable or corrupt.
+
+    Raised instead of a raw ``JSONDecodeError`` escaping from inside a
+    worker: the message names the board file and the failure shape, and
+    the supervisor treats the resulting worker death as a restartable
+    failure (the board file is written atomically, so corruption means
+    external damage, not a mid-write race — a restart surfaces the same
+    clear error instead of an opaque traceback).
+    """
+
+
 @dataclass(frozen=True)
 class Lease:
     """One claimable chunk of the campaign budget."""
@@ -310,7 +322,25 @@ class FileLeaseBoard:
         return self.state_path.exists()
 
     def _read(self) -> dict:
-        return json.loads(self.state_path.read_text())
+        try:
+            raw = self.state_path.read_text()
+        except OSError as exc:
+            raise LeaseBoardError(
+                f"lease board {self.state_path} is unreadable: {exc}"
+            ) from exc
+        try:
+            state = json.loads(raw)
+        except ValueError as exc:
+            raise LeaseBoardError(
+                f"lease board {self.state_path} is corrupt "
+                f"({exc}); a fresh campaign must recreate it"
+            ) from exc
+        if not isinstance(state, dict) or "remaining" not in state:
+            raise LeaseBoardError(
+                f"lease board {self.state_path} has unexpected shape "
+                f"({type(state).__name__}); a fresh campaign must "
+                f"recreate it")
+        return state
 
     def _write(self, state: dict) -> None:
         payload = json.dumps(state, sort_keys=True).encode()
@@ -318,35 +348,98 @@ class FileLeaseBoard:
 
     # --- transactions ---------------------------------------------------
 
+    @staticmethod
+    def _carve(state: dict, worker: int, rate: float
+               ) -> tuple[int, int, bool] | None:
+        """Cut (or re-issue) the next lease for *worker* inside *state*.
+
+        Mutates *state*; the caller persists it. Returns
+        ``(lease_id, size, steal)`` or ``None`` when nothing is
+        claimable.
+        """
+        reissued = False
+        if state["reissue"]:
+            lease_id, size = state["reissue"].pop(0)
+            reissued = True
+        elif state["remaining"] > 0:
+            size = _cut(state["remaining"], state["lease_size"],
+                        state["lease_min"], state["lease_max"], rate)
+            lease_id = state["next_id"]
+            state["next_id"] += 1
+            state["remaining"] -= size
+        else:
+            return None
+        prior = state["claimed_by"].get(str(worker), 0)
+        steal = (reissued
+                 or prior >= _fair_share(state["total"],
+                                         state["workers"]))
+        state["claimed_by"][str(worker)] = prior + size
+        state["issued"][str(lease_id)] = [worker, size, steal, reissued]
+        if steal:
+            state["steals"] += 1
+        return lease_id, size, steal
+
     def claim(self, worker: int, *, rate: float = 0.0) -> Lease | None:
         with _locked(self.lock_path):
             state = self._read()
-            reissued = False
-            if state["reissue"]:
-                lease_id, size = state["reissue"].pop(0)
-                reissued = True
-            elif state["remaining"] > 0:
-                size = _cut(state["remaining"], state["lease_size"],
-                            state["lease_min"], state["lease_max"], rate)
-                lease_id = state["next_id"]
-                state["next_id"] += 1
-                state["remaining"] -= size
-            else:
+            carved = self._carve(state, worker, rate)
+            if carved is None:
                 return None
-            prior = state["claimed_by"].get(str(worker), 0)
-            steal = (reissued
-                     or prior >= _fair_share(state["total"],
-                                             state["workers"]))
-            state["claimed_by"][str(worker)] = prior + size
-            state["issued"][str(lease_id)] = [worker, size, steal, reissued]
-            if steal:
-                state["steals"] += 1
+            lease_id, size, steal = carved
             self._write(state)
         with telemetry.shard_scope(worker):
             telemetry.counter("sched.leases_issued")
             if steal:
                 telemetry.counter("sched.steals")
         return Lease(lease_id, size)
+
+    def claim_once(self, worker: int, key: str, *,
+                   rate: float = 0.0) -> Lease | None:
+        """Idempotent claim, persisted under *key* (federation API).
+
+        The federation coordinator keys claims by ``"round:node"``: the
+        grant (or the fact that nothing was claimable) is recorded in
+        the same atomic board transaction that carves the lease, so a
+        node resending a claim after a lost reply — or a coordinator
+        restarting after a crash between carve and reply — returns the
+        recorded outcome instead of leaking a second lease out of the
+        budget.
+        """
+        with _locked(self.lock_path):
+            state = self._read()
+            grants = state.setdefault("grants", {})
+            if key in grants:
+                recorded = grants[key]
+                return (Lease(recorded[0], recorded[1])
+                        if recorded is not None else None)
+            carved = self._carve(state, worker, rate)
+            if carved is None:
+                grants[key] = None
+                self._write(state)
+                return None
+            lease_id, size, steal = carved
+            grants[key] = [lease_id, size]
+            self._write(state)
+        with telemetry.shard_scope(worker):
+            telemetry.counter("sched.leases_issued")
+            if steal:
+                telemetry.counter("sched.steals")
+        return Lease(lease_id, size)
+
+    def recorded_grant(self, key: str) -> tuple[bool, Lease | None]:
+        """Look up a :meth:`claim_once` outcome without carving.
+
+        Returns ``(recorded, lease)``: the federation coordinator uses
+        it to answer resent claims for already-released rounds without
+        taking the write path.
+        """
+        state = self._read()
+        grants = state.get("grants", {})
+        if key not in grants:
+            return False, None
+        recorded = grants[key]
+        return True, (Lease(recorded[0], recorded[1])
+                      if recorded is not None else None)
 
     def complete(self, lease_id: int, worker: int, *,
                  round_no: int = 0) -> None:
@@ -385,11 +478,14 @@ class FileLeaseBoard:
         return len(mine)
 
     def finished(self) -> bool:
-        """No budget left, nothing issued, nothing awaiting re-issue."""
-        try:
-            state = self._read()
-        except (OSError, ValueError):
-            return False
+        """No budget left, nothing issued, nothing awaiting re-issue.
+
+        A corrupt board raises :class:`LeaseBoardError` (it used to
+        return ``False``, which left idle process workers spinning on a
+        board that could never drain — a silent hang; crashing is
+        restartable, spinning is not).
+        """
+        state = self._read()
         return (state["remaining"] == 0 and not state["issued"]
                 and not state["reissue"])
 

@@ -40,7 +40,8 @@ from enum import Enum
 from pathlib import Path
 
 from repro import faults, telemetry
-from repro.parallel.scheduler import AdaptiveSync, FileLeaseBoard
+from repro.parallel.backoff import expo_backoff
+from repro.parallel.scheduler import AdaptiveSync, FileLeaseBoard, LeaseBoardError
 from repro.parallel.worker import CampaignWorker, WorkerReport, WorkerSpec
 
 log = logging.getLogger("repro.parallel")
@@ -425,8 +426,8 @@ class Supervisor:
                             kind=kind.value, detail=detail)
             reports[index] = self._run_shard_inline(by_index[index])
             return
-        delay = min(self.config.backoff_cap,
-                    self.config.backoff_base * (2 ** (count - 1)))
+        delay = expo_backoff(self.config.backoff_base,
+                             self.config.backoff_cap, count)
         log.warning("worker %d: %s (%s); restart %d/%d after %.2fs",
                     index, kind.value, detail, count,
                     self.config.max_restarts, delay)
@@ -470,5 +471,14 @@ class Supervisor:
             raise CampaignAborted(
                 f"shard {spec.index} failed inline after the circuit "
                 f"breaker opened: {death}") from death
+        except LeaseBoardError as damage:
+            # The inline fallback shares the board file with everyone
+            # else; if the board itself is the casualty there is no
+            # schedule left to run, and the operator needs the board
+            # path, not a JSON traceback.
+            self.events.append(SupervisorEvent(
+                spec.index, FailureKind.SYNC_ERROR, str(damage), "abort"))
+            raise CampaignAborted(
+                f"shard {spec.index} cannot continue: {damage}") from damage
         finally:
             faults.set_current_worker(previous_worker)

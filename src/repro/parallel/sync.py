@@ -39,6 +39,47 @@ from repro.parallel import wire
 SYNC_FORMATS = ("v1", "v2")
 
 
+def record_subsumed(engine: FuzzEngine, record: wire.WireRecord, *,
+                    enabled: bool = True) -> bool:
+    """The subsumption-filter contract, in one place.
+
+    Skip execution only when it provably changes nothing: the record
+    must ship both coverage and absorbable lines, must not have crashed
+    or anomaled when found (those always re-execute so crash accounting
+    matches v1), and every shipped ``(cell, class-bit)`` pair must
+    already be present in the local virgin map.
+    """
+    if not enabled:
+        return False
+    if record.coverage is None or record.lines is None:
+        return False
+    if record.crashed or record.anomaly:
+        return False
+    return engine.virgin.subsumes(record.coverage)
+
+
+def consume_record(engine: FuzzEngine, record: wire.WireRecord, *,
+                   absorb_lines=None, subsumption_filter: bool = True
+                   ) -> bool:
+    """Apply one partner record to *engine*; True when it was absorbed
+    without execution.
+
+    This is the exactly-once apply step both transports share: the
+    filesystem sync directory (:meth:`SyncDirectory._import_v2`) and
+    the federation node (:mod:`repro.parallel.transport`) — however a
+    record travelled, applying it goes through the same filter and the
+    same engine entry points, so the two data planes are
+    fingerprint-equivalent by construction.
+    """
+    if record_subsumed(engine, record, enabled=subsumption_filter):
+        engine.import_subsumed(record, absorb_lines)
+        telemetry.counter("sync.filter_subsumed")
+        return True
+    engine.import_packed(record)
+    telemetry.counter("sync.filter_executed")
+    return False
+
+
 def worker_queue_dir(root: Path, index: int) -> Path:
     """The queue directory one worker exports to."""
     return Path(root) / f"worker-{index:03d}" / "queue"
@@ -304,20 +345,8 @@ class SyncDirectory:
         return imported
 
     def _filtered(self, engine: FuzzEngine, record: wire.WireRecord) -> bool:
-        """The subsumption-filter contract, in one place.
-
-        Skip execution only when it provably changes nothing: the record
-        must ship both coverage and absorbable lines, must not have
-        crashed or anomaled when found (those always re-execute so crash
-        accounting matches v1), and every shipped ``(cell, class-bit)``
-        pair must already be present in the local virgin map.
-        """
-        if not self.subsumption_filter:
-            return False
-        if record.coverage is None or record.lines is None:
-            return False
-        if record.crashed or record.anomaly:
-            return False
+        """:func:`record_subsumed`, with the check's wall clock charged
+        to ``stats.filter_seconds``."""
         with self._timed("sync.filter", "filter_seconds"):
-            subsumed = engine.virgin.subsumes(record.coverage)
-        return subsumed
+            return record_subsumed(engine, record,
+                                   enabled=self.subsumption_filter)

@@ -1,0 +1,39 @@
+"""Federated campaign transport (DESIGN.md §14).
+
+Fault-tolerant corpus replication and lease scheduling over a
+length-prefixed, CRC-framed socket protocol:
+
+* :mod:`frames` — the wire framing (control JSON + binary blobs).
+* :mod:`coordinator` — the single-threaded lease/relay server.
+* :mod:`node` — the retrying RPC client and the node protocol loop.
+* :mod:`federation` — :class:`FederatedCampaign` and the external-node
+  entry point :func:`run_federated_node`.
+"""
+
+from repro.parallel.transport.coordinator import (
+    Coordinator,
+    TransportError,
+    default_local_address,
+    format_address,
+    parse_address,
+)
+from repro.parallel.transport.federation import (
+    FederatedCampaign,
+    run_federated_node,
+)
+from repro.parallel.transport.frames import FrameDecoder, FrameError
+from repro.parallel.transport.node import NodeClient, run_node
+
+__all__ = [
+    "Coordinator",
+    "FederatedCampaign",
+    "FrameDecoder",
+    "FrameError",
+    "NodeClient",
+    "TransportError",
+    "default_local_address",
+    "format_address",
+    "parse_address",
+    "run_federated_node",
+    "run_node",
+]

@@ -1,0 +1,157 @@
+"""Length-prefixed, CRC-framed messages for the federation transport.
+
+Every byte on a federation socket is a **frame**: a fixed header
+(:data:`FRAME_HEADER` — magic, version, type, payload length, payload
+CRC32) followed by the payload. Two frame types exist:
+
+``FT_CTRL``
+    A JSON control message (``{"op": ..., "seq": ..., ...}``) — the
+    request/response vocabulary of the lease API, barriers, heartbeats.
+
+``FT_BLOB``
+    A control header plus raw bytes in one frame: a 4-byte meta length,
+    the JSON meta, then the binary payload (NCQ2 record blobs, virgin
+    bitmaps, pickled reports). Records cross the wire in exactly the
+    bytes :func:`repro.parallel.wire.pack_record` produced, so their
+    own header + coverage digest stay verifiable end to end.
+
+Corruption handling is deliberately blunt: a receiver that sees a bad
+magic, an impossible length, or a CRC mismatch raises
+:class:`FrameError` and the connection is torn down. There is no
+in-band resync — the stream position is untrustworthy after a corrupt
+header — and none is needed, because every RPC is idempotent and the
+sender resends over a fresh connection (at-least-once delivery,
+exactly-once apply; DESIGN.md §14).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+FRAME_MAGIC = b"NCF1"
+FRAME_VERSION = 1
+
+#: magic, version, frame type, payload length, payload crc32.
+FRAME_HEADER = struct.Struct("<4sBBII")
+_META_LEN = struct.Struct("<I")
+_BLOB_LEN = struct.Struct("<I")
+
+FT_CTRL = 1
+FT_BLOB = 2
+
+#: Hard ceiling on one frame's payload; anything bigger is treated as a
+#: corrupt length field, not a legitimate message.
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+class FrameError(RuntimeError):
+    """The byte stream is not a valid frame sequence (corrupt link)."""
+
+
+def pack_frame(ftype: int, payload: bytes) -> bytes:
+    """One wire frame around *payload*."""
+    return FRAME_HEADER.pack(FRAME_MAGIC, FRAME_VERSION, ftype,
+                             len(payload), zlib.crc32(payload)) + payload
+
+
+def pack_ctrl(message: dict) -> bytes:
+    """A JSON control frame."""
+    return pack_frame(FT_CTRL, json.dumps(message, sort_keys=True).encode())
+
+
+def pack_blob(meta: dict, raw: bytes) -> bytes:
+    """A control-header-plus-binary frame."""
+    encoded = json.dumps(meta, sort_keys=True).encode()
+    return pack_frame(FT_BLOB,
+                      _META_LEN.pack(len(encoded)) + encoded + raw)
+
+
+def split_blob(payload: bytes) -> tuple[dict, bytes]:
+    """Decode a ``FT_BLOB`` payload back into (meta, raw)."""
+    if len(payload) < _META_LEN.size:
+        raise FrameError("blob frame too short for its meta length")
+    (meta_len,) = _META_LEN.unpack_from(payload)
+    if _META_LEN.size + meta_len > len(payload):
+        raise FrameError("blob meta length exceeds the frame payload")
+    try:
+        meta = json.loads(payload[_META_LEN.size:_META_LEN.size + meta_len])
+    except ValueError as exc:
+        raise FrameError(f"blob meta is not valid JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise FrameError("blob meta must be a JSON object")
+    return meta, payload[_META_LEN.size + meta_len:]
+
+
+def encode_blobs(blobs: list[bytes]) -> bytes:
+    """Concatenate record blobs with 4-byte length prefixes."""
+    return b"".join(_BLOB_LEN.pack(len(blob)) + blob for blob in blobs)
+
+
+def decode_blobs(raw: bytes) -> list[bytes]:
+    """Invert :func:`encode_blobs`; raises :class:`FrameError` on a torn
+    or lying length prefix."""
+    blobs = []
+    pos = 0
+    while pos < len(raw):
+        if pos + _BLOB_LEN.size > len(raw):
+            raise FrameError("torn blob length prefix")
+        (length,) = _BLOB_LEN.unpack_from(raw, pos)
+        pos += _BLOB_LEN.size
+        if pos + length > len(raw):
+            raise FrameError("blob length prefix exceeds the payload")
+        blobs.append(raw[pos:pos + length])
+        pos += length
+    return blobs
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte stream.
+
+    Feed it whatever ``recv`` returned; it yields complete
+    ``(ftype, payload)`` pairs and buffers the rest. Any malformed
+    header or failed CRC raises :class:`FrameError` — the caller drops
+    the connection and lets the resend machinery recover.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list[tuple[int, bytes]]:
+        self._buffer += data
+        frames = []
+        while True:
+            if len(self._buffer) < FRAME_HEADER.size:
+                break
+            magic, version, ftype, length, crc = FRAME_HEADER.unpack_from(
+                self._buffer)
+            if magic != FRAME_MAGIC:
+                raise FrameError(f"bad frame magic {bytes(magic)!r}")
+            if version != FRAME_VERSION:
+                raise FrameError(f"unsupported frame version {version}")
+            if ftype not in (FT_CTRL, FT_BLOB):
+                raise FrameError(f"unknown frame type {ftype}")
+            if length > MAX_PAYLOAD:
+                raise FrameError(f"frame payload length {length} exceeds "
+                                 f"the {MAX_PAYLOAD}-byte ceiling")
+            if len(self._buffer) < FRAME_HEADER.size + length:
+                break
+            payload = bytes(
+                self._buffer[FRAME_HEADER.size:FRAME_HEADER.size + length])
+            del self._buffer[:FRAME_HEADER.size + length]
+            if zlib.crc32(payload) != crc:
+                raise FrameError("frame payload failed its CRC check")
+            frames.append((ftype, payload))
+        return frames
+
+
+def parse_ctrl(payload: bytes) -> dict:
+    """Decode a ``FT_CTRL`` payload."""
+    try:
+        message = json.loads(payload)
+    except ValueError as exc:
+        raise FrameError(f"control frame is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict) or "op" not in message:
+        raise FrameError("control frame must be an object with an 'op'")
+    return message

@@ -1,0 +1,399 @@
+"""The federation node: retrying RPC client + the per-node protocol loop.
+
+:class:`NodeClient` owns one socket to the coordinator and gives the
+protocol loop exactly one primitive: :meth:`request` — send an
+idempotent, sequence-numbered message and wait for the matching reply.
+Everything unreliable about the link is absorbed here:
+
+* **Timeout + resend.** Replies are matched by ``seq``; stale replies
+  are discarded. "Patient" requests (the barrier ops — claim, fetch)
+  resend forever, one send per timeout period, which doubles as a
+  keepalive while the coordinator holds them at a barrier; short ops
+  resend up to ``max_attempts`` and then raise
+  :class:`~repro.parallel.transport.coordinator.TransportError`.
+* **Reconnect with capped exponential backoff + jitter**
+  (:func:`repro.parallel.backoff.expo_backoff`) after any connection
+  failure — including the ones the chaos plan injects.
+* **Fault gate.** Every outbound protocol frame passes
+  :meth:`FaultPlan.take_net_fault`: ``drop_frame`` swallows the send
+  (the resend recovers it), ``delay_frame`` sleeps first,
+  ``corrupt_frame`` flips a byte so the coordinator's CRC check tears
+  the connection down, ``partition`` closes the link and holds it down
+  for ``seconds`` — execution continues locally; on reconnect the
+  resends and the offset-based push catch the node back up.
+* **Heartbeats.** A daemon thread sends ``hb`` frames every interval so
+  the coordinator can tell a slow node from a dead one. Heartbeats
+  bypass the fault gate and the frame counter (they are timing-driven;
+  counting them would make ``at_frame`` plans machine-dependent) and
+  fall silent during a partition, exactly like the real link.
+
+:func:`run_node` is the whole node-side protocol: the lockstep
+claim → run → push → complete → fetch → apply round, identical in
+observable schedule to one worker of the inline stealing loop.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+
+from repro import faults, telemetry
+from repro.parallel import wire
+from repro.parallel.backoff import expo_backoff
+from repro.parallel.sync import consume_record
+from repro.parallel.transport import frames
+from repro.parallel.transport.coordinator import (
+    TransportError,
+    connect_socket,
+)
+
+#: The telemetry registry has no internal locking; node threads and
+#: their heartbeat threads share one process, so net.* counters funnel
+#: through this lock.
+_TELEMETRY_LOCK = threading.Lock()
+
+
+def _count(name: str, value: int = 1) -> None:
+    with _TELEMETRY_LOCK:
+        telemetry.counter(name, value)
+
+
+class NodeClient:
+    """One node's connection to the coordinator (thread-compatible:
+    owned by a single protocol thread plus its heartbeat daemon)."""
+
+    def __init__(self, address: tuple, node: int | None, *,
+                 timeout: float = 5.0,
+                 max_attempts: int = 8,
+                 connect_attempts: int = 64,
+                 backoff_base: float = 0.05,
+                 backoff_cap: float = 2.0,
+                 heartbeat_interval: float = 1.0,
+                 fault_plan: faults.FaultPlan | None = None) -> None:
+        self.address = address
+        self.node = node
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.connect_attempts = connect_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.heartbeat_interval = heartbeat_interval
+        self.fault_plan = fault_plan
+        self._sock = None
+        self._decoder = frames.FrameDecoder()
+        self._seq = 0
+        self._frames = 0  # outbound protocol frames (heartbeats excluded)
+        self._send_lock = threading.Lock()
+        self._partition_until = 0.0
+        self._hb_stop = threading.Event()
+        self._hb_thread: threading.Thread | None = None
+
+    # --- connection management ----------------------------------------------
+
+    def _plan(self) -> faults.FaultPlan | None:
+        return (self.fault_plan if self.fault_plan is not None
+                else faults.active())
+
+    def _close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _ensure_connected(self) -> None:
+        """Connect (or reconnect) with capped expo backoff + jitter.
+
+        A live partition window is honoured first: the link is down by
+        decree, so connecting blocks until the window ends — which is
+        exactly what the node loop should do, because running an
+        already-held lease needs no network (graceful degradation)."""
+        if self._sock is not None:
+            return
+        self._wait_partition()
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                sock = connect_socket(self.address, self.timeout)
+            except OSError as exc:
+                if attempt >= self.connect_attempts:
+                    raise TransportError(
+                        f"node {self.node}: coordinator at "
+                        f"{self.address} unreachable after {attempt} "
+                        f"attempts: {exc}") from exc
+                time.sleep(expo_backoff(self.backoff_base, self.backoff_cap,
+                                        attempt, jitter=0.25))
+                self._wait_partition()
+                continue
+            sock.settimeout(self.timeout)
+            self._sock = sock
+            self._decoder = frames.FrameDecoder()
+            if attempt > 1 or self._frames:
+                _count("net.reconnects")
+            return
+
+    def _wait_partition(self) -> None:
+        while True:
+            remaining = self._partition_until - time.monotonic()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.05))
+
+    # --- sending ------------------------------------------------------------
+
+    def _send_protocol(self, data: bytes) -> None:
+        """One outbound protocol frame, through the fault gate."""
+        with self._send_lock:
+            self._frames += 1
+            plan = self._plan()
+            if plan is not None:
+                spec = plan.take_net_fault(self.node, self._frames)
+                if spec is not None:
+                    plan.record(spec.kind, self.node,
+                                f"frame {self._frames}")
+                    if spec.kind == "drop_frame":
+                        _count("net.frames_dropped")
+                        return
+                    if spec.kind == "partition":
+                        self._partition_until = (time.monotonic()
+                                                 + spec.seconds)
+                        self._close()
+                        _count("net.partition_seconds", int(spec.seconds))
+                        return  # the frame is lost with the link
+                    if spec.kind == "delay_frame":
+                        time.sleep(spec.seconds)
+                    elif spec.kind == "corrupt_frame":
+                        flipped = bytearray(data)
+                        flipped[-1] ^= 0xFF
+                        data = bytes(flipped)
+            self._ensure_connected()
+            try:
+                self._sock.sendall(data)
+                _count("net.frames_sent")
+            except OSError:
+                # The await/resend path notices and reconnects.
+                self._close()
+
+    def _send_heartbeat(self) -> None:
+        with self._send_lock:
+            if self._sock is None or time.monotonic() < self._partition_until:
+                return  # a downed link carries no heartbeats
+            try:
+                self._sock.sendall(frames.pack_ctrl(
+                    {"op": "hb", "node": self.node}))
+            except OSError:
+                self._close()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._hb_stop.wait(self.heartbeat_interval):
+            self._send_heartbeat()
+
+    def start_heartbeats(self) -> None:
+        if self._hb_thread is None:
+            self._hb_thread = threading.Thread(
+                target=self._heartbeat_loop, daemon=True,
+                name=f"necofuzz-hb-{self.node}")
+            self._hb_thread.start()
+
+    def close(self) -> None:
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=2.0)
+            self._hb_thread = None
+        with self._send_lock:
+            self._close()
+
+    # --- request/reply ------------------------------------------------------
+
+    def request(self, op: str, body: dict | None = None, *,
+                blob: bytes | None = None,
+                patient: bool = False) -> tuple[dict, bytes]:
+        """Send one idempotent request; return ``(reply, raw)``.
+
+        At-least-once delivery: the request is resent after every
+        timeout period until its reply arrives (*patient*), or up to
+        ``max_attempts`` times. The receiving side is exactly-once by
+        construction — every op is idempotent — so resends are always
+        safe.
+        """
+        self._seq += 1
+        seq = self._seq
+        msg = {"op": op, "node": self.node, "seq": seq}
+        if body:
+            msg.update(body)
+        data = (frames.pack_blob(msg, blob) if blob is not None
+                else frames.pack_ctrl(msg))
+        attempt = 0
+        while True:
+            attempt += 1
+            if attempt > 1:
+                _count("net.frames_resent")
+            self._send_protocol(data)
+            reply = self._await_reply(seq)
+            if reply is not None:
+                return reply
+            if not patient and attempt >= self.max_attempts:
+                raise TransportError(
+                    f"node {self.node}: no reply to {op!r} after "
+                    f"{attempt} attempt(s)")
+
+    def _await_reply(self, seq: int) -> tuple[dict, bytes] | None:
+        """Wait up to one timeout period for the reply matching *seq*.
+
+        ``None`` means resend: the period elapsed, the link died, or
+        the inbound stream was corrupt.
+        """
+        deadline = time.monotonic() + self.timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            sock = self._sock
+            if sock is None:
+                return None  # dropped mid-wait; resend reconnects
+            try:
+                sock.settimeout(min(remaining, 0.25))
+                data = sock.recv(65536)
+            except (TimeoutError, OSError) as exc:
+                if isinstance(exc, TimeoutError):
+                    continue
+                self._close()
+                return None
+            if not data:
+                self._close()
+                return None
+            try:
+                received = self._decoder.feed(data)
+            except frames.FrameError:
+                _count("net.decode_errors")
+                self._close()
+                return None
+            for ftype, payload in received:
+                _count("net.frames_received")
+                if ftype == frames.FT_BLOB:
+                    reply, raw = frames.split_blob(payload)
+                else:
+                    reply, raw = frames.parse_ctrl(payload), b""
+                if reply.get("seq") == seq:
+                    return reply, raw
+                # A stale reply to an earlier (resent) request: discard.
+
+    # --- protocol ops -------------------------------------------------------
+
+    def hello(self, *, want_config: bool = False) -> tuple[dict, bytes]:
+        body: dict = {"want_config": True} if want_config else {}
+        return self.request("hello", body)
+
+    def claim(self, round_no: int, rate: float) -> dict:
+        reply, _raw = self.request("claim",
+                                   {"round": round_no, "rate": rate},
+                                   patient=True)
+        return reply
+
+    def push(self, base: int, blobs: list[bytes]) -> int:
+        reply, _raw = self.request(
+            "push", {"base": base, "count": len(blobs)},
+            blob=frames.encode_blobs(blobs))
+        return int(reply["acked"])
+
+    def complete(self, lease_id: int, round_no: int) -> None:
+        self.request("complete", {"lease": lease_id, "round": round_no})
+
+    def fetch(self, round_no: int, offsets: dict) -> tuple[dict, bytes]:
+        return self.request("fetch",
+                            {"round": round_no, "offsets": offsets},
+                            patient=True)
+
+    def report(self, payload: bytes) -> None:
+        self.request("report", blob=payload)
+
+    def bye(self) -> None:
+        self.request("bye")
+
+
+# --- the node protocol loop -------------------------------------------------
+
+
+class _NullLock:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def run_node(client: NodeClient, worker, *,
+             subsumption_filter: bool = True,
+             exec_lock=None):
+    """Drive one :class:`CampaignWorker` through the federation protocol.
+
+    The observable schedule is one worker of the inline stealing loop:
+    claim at the round barrier; run the granted lease; publish fresh
+    corpus records; complete the lease; fetch and apply every partner's
+    round records (in partner index order, through
+    :func:`repro.parallel.sync.consume_record` — the same exactly-once
+    apply step the filesystem sync path uses).
+
+    *exec_lock* serializes engine execution for in-process federations:
+    the coverage tracer is process-global, so only one node may run
+    cases at a time. Barrier waits happen outside the lock — a node
+    blocked on the network never stops a partner from fuzzing.
+    """
+    lock = exec_lock if exec_lock is not None else _NullLock()
+    engine = worker.campaign.engine
+    codec = worker.line_codec
+    absorb = worker.campaign.agent.absorb_lines
+    reply, _raw = client.hello()
+    if reply.get("status") != "ok":
+        raise TransportError(
+            f"node {client.node}: coordinator refused hello "
+            f"(status={reply.get('status')!r})")
+    client.start_heartbeats()
+    rounds = 0
+    pushed = 0        # records acked into our relay queue
+    offsets: dict[str, int] = {}  # partner -> relay records consumed
+    while True:
+        grant = client.claim(rounds, worker.rate)
+        if grant.get("drained") or grant.get("retired"):
+            break
+        lease = grant.get("lease")
+        if lease is not None:
+            lease_id, size = lease
+            with lock:
+                worker.run_lease(size)
+            # Push everything past the acked offset: after a partition
+            # or a lost ack this resends the tail, and the coordinator
+            # deduplicates against its relay manifest.
+            outbound = [e for e in engine.queue.entries if not e.imported]
+            blobs = [wire.pack_record(pushed + k, entry, codec)
+                     for k, entry in enumerate(outbound[pushed:])]
+            pushed = client.push(pushed, blobs)
+            client.complete(lease_id, rounds)
+        reply, raw = client.fetch(rounds, offsets)
+        parts = reply.get("parts", [])
+        blobs = frames.decode_blobs(raw)
+        pos = 0
+        with lock:
+            for partner, count in parts:
+                for blob in blobs[pos:pos + count]:
+                    record = wire.parse_record(blob, codec)
+                    if record is None:
+                        # Unreachable over an intact transport (records
+                        # are CRC-checked twice); counted like the
+                        # filesystem path counts undecodable entries.
+                        engine.stats.import_skipped += 1
+                        continue
+                    consume_record(engine, record, absorb_lines=absorb,
+                                   subsumption_filter=subsumption_filter)
+                pos += count
+                offsets[str(partner)] = (offsets.get(str(partner), 0)
+                                         + count)
+        rounds += 1
+    with lock:
+        report = worker.report()
+    client.report(pickle.dumps(report))
+    client.bye()
+    return report

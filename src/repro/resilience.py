@@ -31,12 +31,18 @@ from repro.faults import (
 )
 from repro.fuzzer.crashes import CrashSignature, CrashStore, load_reproducer
 from repro.parallel.campaign import ParallelCampaign, ParallelCampaignResult
+from repro.parallel.scheduler import LeaseBoardError
 from repro.parallel.supervisor import (
     CampaignAborted,
     FailureKind,
     Supervisor,
     SupervisorConfig,
     SupervisorEvent,
+)
+from repro.parallel.transport import (
+    FederatedCampaign,
+    TransportError,
+    run_federated_node,
 )
 
 __all__ = [
@@ -46,16 +52,20 @@ __all__ = [
     "FailureKind",
     "FaultPlan",
     "FaultSpec",
+    "FederatedCampaign",
     "InjectedFault",
+    "LeaseBoardError",
     "ParallelCampaign",
     "ParallelCampaignResult",
     "Supervisor",
     "SupervisorConfig",
     "SupervisorEvent",
+    "TransportError",
     "WorkerKilled",
     "campaign_fingerprint",
     "injected",
     "load_reproducer",
+    "run_federated_node",
 ]
 
 

@@ -67,6 +67,7 @@ def campaign_summary(root: Path) -> dict:
     events = read_events(events_path) if events_path.exists() else []
     return {"root": str(root), "spans": spans, "counters": counters,
             "gauges": gauges, "scheduler": _scheduler_summary(registry),
+            "net": _net_summary(registry),
             "shards": skew, "event_count": len(events)}
 
 
@@ -88,6 +89,23 @@ def _scheduler_summary(registry: MetricsRegistry) -> dict:
     if interval is not None:
         summary["sync.interval"] = interval
     return summary
+
+
+#: The federation transport's counters (DESIGN.md §14): traffic volume,
+#: then the robustness machinery actually firing — resends, reconnects,
+#: decode errors, expiries, partition time.
+_NET_COUNTERS = ("net.frames_sent", "net.frames_received",
+                 "net.frames_resent", "net.frames_dropped",
+                 "net.decode_errors", "net.reconnects",
+                 "net.coordinator_restarts", "net.node_expiries",
+                 "net.lease_expiries", "net.partition_seconds",
+                 "net.records_pushed", "net.records_fetched")
+
+
+def _net_summary(registry: MetricsRegistry) -> dict:
+    """Transport block; empty (section omitted) for local campaigns."""
+    return {name: total for name in _NET_COUNTERS
+            if (total := registry.counter_total(name))}
 
 
 def _shard_skew(registry: MetricsRegistry) -> dict:
@@ -142,6 +160,13 @@ def render_report(root: Path, *, top: int = 12) -> str:
             rendered = (f"{value:g}" if isinstance(value, float)
                         else f"{value}")
             lines.append(f"  {name:<40} {rendered:>12}")
+        lines.append("")
+
+    net = summary.get("net") or {}
+    if net:
+        lines.append("net (federation transport)")
+        for name, value in sorted(net.items()):
+            lines.append(f"  {name:<40} {value:>12}")
         lines.append("")
 
     per_shard = summary["shards"]["per_shard"]

@@ -1,0 +1,319 @@
+"""Chaos suite, federation transport: network faults against the
+coordinator/node protocol (DESIGN.md §14).
+
+The contract pinned here is the acceptance criterion of the federated
+transport: a federated campaign with a fixed ``lease_size`` produces
+the **identical campaign fingerprint** to the equivalent inline
+stealing run — and keeps producing it under every injected network
+fault (dropped, delayed, and corrupted frames; partitions shorter than
+the node TTL; coordinator crash/restart). Separately, lease accounting
+stays exactly-once when a node goes permanently silent and its lease
+is expired and re-issued, and the corpus relay never holds a corrupt
+record (zero record loss).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import Vendor
+from repro.faults import FaultPlan, FaultSpec
+from repro.parallel import FileLeaseBoard, ParallelCampaign
+from repro.parallel.transport import NodeClient
+from repro.parallel.transport.coordinator import Coordinator
+from repro.parallel.wire import (
+    QUEUE_BIN,
+    parse_record,
+    read_manifest,
+    read_record_blob,
+)
+from repro.resilience import FederatedCampaign, campaign_fingerprint
+
+SEED = 11
+BUDGET = 32
+LEASE = 8
+WORKERS = 2
+
+
+def _federated(**overrides) -> FederatedCampaign:
+    kwargs = dict(hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED,
+                  workers=WORKERS, lease_size=LEASE, telemetry_mode="off",
+                  transport_timeout=1.0, heartbeat_interval=0.1)
+    kwargs.update(overrides)
+    return FederatedCampaign(**kwargs)
+
+
+def _inline(**overrides) -> ParallelCampaign:
+    kwargs = dict(hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED,
+                  workers=WORKERS, schedule="stealing", lease_size=LEASE,
+                  mode="inline", telemetry_mode="off")
+    kwargs.update(overrides)
+    return ParallelCampaign(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def inline_fingerprint() -> str:
+    """The clean inline-stealing fingerprint every chaos run must hit."""
+    return campaign_fingerprint(_inline().run(BUDGET))
+
+
+def _ledger_is_sound(result, budget=BUDGET):
+    assert result.engine_stats.iterations == budget
+    assert sum(record.size for record in result.lease_log) == budget
+    ids = [record.id for record in result.lease_log]
+    assert len(ids) == len(set(ids)), "a lease completed twice"
+
+
+def _relay_is_clean(root) -> int:
+    """Every record in every relay queue must be CRC-valid and
+    parseable — the transport never persists a corrupt record."""
+    total = 0
+    for relay in sorted((root / Coordinator.RELAY).glob("node-*")):
+        manifest = read_manifest(relay)
+        with open(relay / QUEUE_BIN, "rb") as handle:
+            for offset, length, crc in manifest:
+                blob = read_record_blob(handle, offset, length, crc)
+                assert blob is not None, "relay record failed its CRC"
+                assert parse_record(blob) is not None
+        total += len(manifest)
+    return total
+
+
+# --- fault-free parity ------------------------------------------------------
+
+
+class TestFaultFreeParity:
+    def test_federated_matches_inline_stealing(self, inline_fingerprint,
+                                               tmp_path):
+        result = _federated(sync_dir=tmp_path).run(BUDGET)
+        _ledger_is_sound(result)
+        assert result.schedule == "federated"
+        assert campaign_fingerprint(result) == inline_fingerprint
+        assert _relay_is_clean(tmp_path) > 0
+
+    def test_remainder_lease_parity(self):
+        """Budget that does not divide evenly: the last round grants a
+        short lease to one node and None to the other — both paths must
+        match inline exactly."""
+        federated = _federated(lease_size=20).run(50)
+        inline = _inline(lease_size=20).run(50)
+        _ledger_is_sound(federated, budget=50)
+        assert (campaign_fingerprint(federated)
+                == campaign_fingerprint(inline))
+
+    def test_parity_over_loopback_tcp(self, inline_fingerprint):
+        result = _federated(address="127.0.0.1:0").run(BUDGET)
+        assert campaign_fingerprint(result) == inline_fingerprint
+
+    def test_net_counters_reach_telemetry(self, tmp_path):
+        from repro.telemetry.report import campaign_summary
+        _federated(sync_dir=tmp_path, telemetry_mode="metrics").run(BUDGET)
+        net = campaign_summary(tmp_path)["net"]
+        assert net.get("net.frames_sent", 0) > 0
+        assert net.get("net.records_pushed", 0) > 0
+        assert net.get("net.records_fetched", 0) > 0
+
+
+# --- frame-level faults -----------------------------------------------------
+
+
+class TestFrameFaults:
+    # at_frame counts each node's outbound protocol frames (heartbeats
+    # excluded): 1=hello, 2=claim(r0), then push/complete/fetch…
+    @pytest.mark.parametrize("spec", [
+        FaultSpec("drop_frame", worker=0, at_frame=2),   # claim swallowed
+        FaultSpec("drop_frame", worker=1, at_frame=5),   # fetch swallowed
+        FaultSpec("delay_frame", worker=0, at_frame=3, seconds=0.3),
+        FaultSpec("corrupt_frame", worker=1, at_frame=3),  # push corrupted
+        FaultSpec("corrupt_frame", worker=0, at_frame=2),  # claim corrupted
+    ], ids=["drop-claim", "drop-fetch", "delay-push", "corrupt-push",
+            "corrupt-claim"])
+    def test_single_fault_preserves_fingerprint(self, spec,
+                                                inline_fingerprint,
+                                                tmp_path):
+        plan = FaultPlan([spec])
+        result = _federated(sync_dir=tmp_path, fault_plan=plan).run(BUDGET)
+        assert plan.exhausted, "the fault never fired"
+        assert plan.fired and plan.fired[0][0] == spec.kind
+        _ledger_is_sound(result)
+        assert campaign_fingerprint(result) == inline_fingerprint
+        _relay_is_clean(tmp_path)
+
+    def test_fault_volley_preserves_fingerprint(self, inline_fingerprint,
+                                                tmp_path):
+        """Several faults across both nodes in one campaign."""
+        plan = FaultPlan([
+            FaultSpec("drop_frame", worker=0, at_frame=2),
+            FaultSpec("corrupt_frame", worker=1, at_frame=4),
+            FaultSpec("drop_frame", worker=1, at_frame=7),
+            FaultSpec("delay_frame", worker=0, at_frame=6, seconds=0.2),
+        ])
+        result = _federated(sync_dir=tmp_path, fault_plan=plan).run(BUDGET)
+        assert plan.exhausted
+        _ledger_is_sound(result)
+        assert campaign_fingerprint(result) == inline_fingerprint
+        _relay_is_clean(tmp_path)
+
+
+# --- partitions -------------------------------------------------------------
+
+
+class TestPartition:
+    def test_partition_shorter_than_ttl_recovers(self, inline_fingerprint,
+                                                 tmp_path):
+        """A partitioned node falls silent, reconnects with backoff once
+        the window ends, and catches back up via resends — no expiry,
+        no lost records, identical fingerprint."""
+        plan = FaultPlan([
+            FaultSpec("partition", worker=1, at_frame=4, seconds=0.6),
+        ])
+        result = _federated(sync_dir=tmp_path, fault_plan=plan,
+                            node_ttl=300.0).run(BUDGET)
+        assert plan.exhausted
+        _ledger_is_sound(result)
+        assert campaign_fingerprint(result) == inline_fingerprint
+        assert result.reclaims == 0, "a partition must not expire a node"
+        _relay_is_clean(tmp_path)
+
+    def test_double_partition_both_nodes(self, inline_fingerprint):
+        plan = FaultPlan([
+            FaultSpec("partition", worker=0, at_frame=3, seconds=0.4),
+            FaultSpec("partition", worker=1, at_frame=5, seconds=0.4),
+        ])
+        result = _federated(fault_plan=plan, node_ttl=300.0).run(BUDGET)
+        assert plan.exhausted
+        _ledger_is_sound(result)
+        assert campaign_fingerprint(result) == inline_fingerprint
+
+
+# --- coordinator crash/restart ---------------------------------------------
+
+
+class TestCoordinatorCrash:
+    @pytest.mark.parametrize("at_event", [3, 6, 9],
+                             ids=["mid-claim", "mid-round", "late"])
+    def test_crash_restart_preserves_fingerprint(self, at_event,
+                                                 inline_fingerprint,
+                                                 tmp_path):
+        """The coordinator drops every connection and reloads persisted
+        state; nodes reconnect and resend. Grants are keyed and
+        persisted with the board, so the replayed schedule is
+        identical."""
+        plan = FaultPlan([FaultSpec("kill_coordinator", at_event=at_event)])
+        result = _federated(sync_dir=tmp_path, fault_plan=plan).run(BUDGET)
+        assert plan.exhausted, "the coordinator crash never fired"
+        _ledger_is_sound(result)
+        assert campaign_fingerprint(result) == inline_fingerprint
+        _relay_is_clean(tmp_path)
+
+    def test_two_crashes_one_campaign(self, inline_fingerprint):
+        plan = FaultPlan([
+            FaultSpec("kill_coordinator", at_event=4),
+            FaultSpec("kill_coordinator", at_event=12),
+        ])
+        result = _federated(fault_plan=plan).run(BUDGET)
+        assert plan.exhausted
+        _ledger_is_sound(result)
+        assert campaign_fingerprint(result) == inline_fingerprint
+
+
+# --- lease expiry (permanently silent node) ---------------------------------
+
+
+class TestLeaseExpiry:
+    def test_expired_lease_reissued_exactly_once(self, tmp_path):
+        """Node 0 claims a lease and goes permanently silent; the
+        coordinator expires it after ``node_ttl`` and reclaims the
+        lease, and node 1 finishes the whole budget. Every lease id
+        completes exactly once and completed sizes sum to the budget —
+        exactly-once accounting under expiry."""
+        total, lease_size = 40, 20
+        board = FileLeaseBoard.create(tmp_path, total, 2,
+                                      lease_size=lease_size)
+        coordinator = Coordinator(tmp_path, board, 2, node_ttl=0.8)
+        address = coordinator.start(("unix", str(tmp_path / "c.sock")))
+        silent_grant: list = []
+        survivor_rounds: list = []
+        errors: list = []
+
+        def silent_node():
+            client = NodeClient(address, 0, timeout=0.3,
+                                heartbeat_interval=0.1)
+            try:
+                client.hello()
+                silent_grant.append(client.claim(0, 0.0))
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+            finally:
+                client.close()  # goes dark holding its lease
+
+        def survivor_node():
+            client = NodeClient(address, 1, timeout=0.3,
+                                heartbeat_interval=0.1)
+            try:
+                client.hello()
+                client.start_heartbeats()
+                rounds = 0
+                while True:
+                    grant = client.claim(rounds, 0.0)
+                    if grant.get("drained") or grant.get("retired"):
+                        break
+                    lease = grant.get("lease")
+                    if lease is not None:
+                        client.complete(lease[0], rounds)
+                    client.fetch(rounds, {})
+                    rounds += 1
+                survivor_rounds.append(rounds)
+                client.bye()
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+            finally:
+                client.close()
+
+        threads = [threading.Thread(target=silent_node),
+                   threading.Thread(target=survivor_node)]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30.0)
+            assert not any(t.is_alive() for t in threads), \
+                "federation hung instead of expiring the silent node"
+        finally:
+            coordinator.stop()
+        assert not errors, errors
+        assert coordinator.error is None
+
+        # The silent node really held a lease when it went dark.
+        assert silent_grant and silent_grant[0]["lease"] is not None
+        held_id = silent_grant[0]["lease"][0]
+
+        # Exactly-once accounting: budget conserved, ids unique, the
+        # dead node's lease re-issued (same id) and completed once.
+        summary = board.summary()
+        assert board.finished()
+        assert sum(r.size for r in summary["log"]) == total
+        ids = [r.id for r in summary["log"]]
+        assert len(ids) == len(set(ids))
+        assert held_id in ids
+        reissued = [r for r in summary["log"] if r.id == held_id]
+        assert reissued[0].reissued and reissued[0].worker == 1
+        assert summary["reclaims"] == 1
+        assert coordinator._state["expired"] == [0]
+
+    def test_expired_node_returning_is_told_so(self, tmp_path):
+        board = FileLeaseBoard.create(tmp_path, 8, 1, lease_size=8)
+        coordinator = Coordinator(tmp_path, board, 1, node_ttl=300.0)
+        coordinator._state["expired"] = [0]
+        address = coordinator.start(("unix", str(tmp_path / "c.sock")))
+        try:
+            client = NodeClient(address, 0, timeout=0.5)
+            try:
+                reply, _raw = client.hello()
+                assert reply["status"] == "expired"
+            finally:
+                client.close()
+        finally:
+            coordinator.stop()
