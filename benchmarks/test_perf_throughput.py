@@ -380,6 +380,103 @@ def test_federation_wall_clock(capsys):
     assert sum(r.size for r in federated.lease_log) == BUDGET
 
 
+#: The delta stage's acceptance floor (issue): the coverage plane must
+#: shrink federation wire volume by at least this factor at the full
+#: shape. Measured ~5.5x on the dev container.
+MIN_DELTA_REDUCTION = 5.0
+#: Shape the reduction is specified at: coarse rounds (one lease per
+#: node) maximize cross-node redundancy, which is exactly the traffic
+#: the delta plane exists to elide.
+DELTA_WORKERS = 3
+DELTA_BUDGET = 3600
+
+
+@pytest.mark.benchmark(group="perf-throughput")
+def test_federation_delta_reduction(capsys):
+    """Delta-compressed coverage plane vs. pure record replay.
+
+    Runs the identical federated campaign twice — virgin-map deltas on
+    and off — and compares total relay wire volume: record bytes plus
+    delta bytes against record bytes alone. Both runs must produce the
+    same campaign fingerprint (elision is observationally invisible);
+    the reduction floor is only asserted at the full shape, since the
+    subsumed fraction shrinks with the budget. Wire volume is
+    deterministic, so unlike the wall-clock stages this one runs on any
+    CPU count; a generous transport timeout keeps loaded runners from
+    inflating byte counts with resends.
+    """
+    from repro.resilience import FederatedCampaign, campaign_fingerprint
+    from repro.telemetry.report import campaign_summary
+
+    budget = (DELTA_BUDGET if BUDGET >= DEFAULT_BUDGET
+              else max(DELTA_WORKERS * 8, 3 * BUDGET))
+    lease_size = budget // DELTA_WORKERS
+
+    def run_plane(delta_plane: bool, root: Path):
+        deadline = PhaseDeadline()
+        start = time.perf_counter()
+        result = FederatedCampaign(
+            hypervisor="kvm", vendor=Vendor.INTEL, seed=11,
+            workers=DELTA_WORKERS, lease_size=lease_size, sync_dir=root,
+            telemetry_mode="metrics", transport_timeout=10.0,
+            delta_plane=delta_plane).run(budget, sample_every=100)
+        elapsed = time.perf_counter() - start
+        deadline.expired()
+        plane = campaign_summary(root)["coverage_plane"]
+        wire_bytes = (plane.get("net.relay_bytes", 0)
+                      + plane.get("net.delta_bytes", 0))
+        return result, plane, wire_bytes, elapsed, deadline.hit
+
+    with tempfile.TemporaryDirectory(prefix="necofuzz-delta-on-") as on_dir:
+        on, on_plane, on_bytes, on_s, on_hit = run_plane(
+            True, Path(on_dir))
+    with tempfile.TemporaryDirectory(prefix="necofuzz-delta-off-") as off_dir:
+        off, _off_plane, off_bytes, off_s, off_hit = run_plane(
+            False, Path(off_dir))
+
+    match = campaign_fingerprint(on) == campaign_fingerprint(off)
+    reduction = off_bytes / on_bytes if on_bytes else 0.0
+    truncated = on_hit or off_hit
+    full_shape = budget == DELTA_BUDGET and not truncated
+
+    _update_json("federation_delta", {
+        "workers": DELTA_WORKERS,
+        "budget": budget,
+        "lease_size": lease_size,
+        "record_replay_bytes": off_bytes,
+        "delta_plane_bytes": on_bytes,
+        "delta_bytes": on_plane.get("net.delta_bytes", 0),
+        "records_elided": on_plane.get("net.records_delta_skipped", 0),
+        "bytes_saved": on_plane.get("net.bytes_saved", 0),
+        "reduction": round(reduction, 2),
+        "fingerprint_match": match,
+        "full_shape": full_shape,
+        "seconds": {"delta_on": round(on_s, 2),
+                    "delta_off": round(off_s, 2)},
+    })
+
+    report = BenchReport(
+        f"Federation delta plane ({DELTA_WORKERS} nodes, "
+        f"{budget} cases)")
+    report.add(f"record replay {off_bytes:>12,} bytes  ({off_s:5.1f}s)")
+    report.add(f"delta plane   {on_bytes:>12,} bytes  ({on_s:5.1f}s)")
+    report.add(f"reduction     {reduction:6.2f}x  "
+               f"({on_plane.get('net.records_delta_skipped', 0)} records "
+               "elided)")
+    report.add(f"fingerprint   {'MATCH' if match else 'MISMATCH'}")
+    if not full_shape:
+        report.add("reduction floor gated off (reduced budget or "
+                   "deadline truncation)")
+    report.emit(capsys)
+
+    assert match, "delta plane changed the campaign fingerprint"
+    assert on.engine_stats.iterations == budget
+    if full_shape:
+        assert reduction >= MIN_DELTA_REDUCTION, (
+            f"coverage plane reduced wire volume only {reduction:.2f}x "
+            f"(floor {MIN_DELTA_REDUCTION}x)")
+
+
 @pytest.mark.benchmark(group="perf-throughput")
 def test_virgin_merge_fast_path(capsys):
     """`merge_from` with nothing to contribute must be near-free."""

@@ -1,0 +1,225 @@
+"""NCD1 coverage deltas: sparse, run-length diffs of the virgin map.
+
+The distributed coverage plane used to move *corpus records* whenever a
+peer needed to learn what a node had covered — 2 KiB of case payload
+per entry to communicate a few dozen classified-bitmap cells. An NCD1
+delta moves only the coverage: the XOR of two snapshots of a node's
+64 KiB virgin map, encoded as ``(start, bytes)`` runs over the nonzero
+stretches, sealed with a CRC32 (:mod:`repro.parallel.checksum`).
+
+Two properties make the encoding exact for virgin maps:
+
+* The map grows **monotonically** (cells only ever OR in new class
+  bits), so ``old XOR new == new & ~old`` — applying a delta by ORing
+  its runs into *old* reconstructs *new* bit-for-bit, and applying it
+  to any map that already advanced past *old* is a plain merge.
+* Every delta carries the **generation watermark** pair it was diffed
+  across (:attr:`CoverageDelta.base_generation` →
+  :attr:`CoverageDelta.generation`, the :class:`VirginMap` mutation
+  counter). A receiver whose stored generation does not match the base
+  rejects the delta and asks for a resync — a full-map delta with
+  ``base_generation == 0``, which is always applicable.
+
+The diff hot loop is vectorized like the bitmap kernels: one big-int
+XOR over the whole map, then a single C-level regex scan
+(:data:`_RUN_SCAN`) finds the nonzero runs, coalescing gaps smaller
+than a run header so a cluster of nearby cells costs one run, not ten.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass
+
+from repro.coverage.bitmap import MAP_SIZE
+from repro.parallel import checksum
+
+DELTA_MAGIC = b"NCD1"
+
+#: magic, base generation (0 = full snapshot), generation, run count.
+_HEADER = struct.Struct("<4sIII")
+#: Per-run prefix: start offset, byte length.
+_RUN = struct.Struct("<II")
+
+#: Nonzero byte runs, tolerating gaps of up to 7 zero bytes inside one
+#: run: a gap shorter than a run header (8 bytes) is cheaper shipped as
+#: literal zeros than split into two runs.
+_RUN_SCAN = re.compile(rb"[^\x00](?:\x00{0,7}[^\x00])*", re.DOTALL)
+
+
+class DeltaError(ValueError):
+    """A delta payload is corrupt or not applicable here."""
+
+
+@dataclass(frozen=True)
+class CoverageDelta:
+    """One virgin-map diff between two generation watermarks."""
+
+    #: Generation the diff was taken against; 0 means "against the
+    #: zero map" — a full snapshot, applicable to any baseline.
+    base_generation: int
+    #: Generation of the map the diff produces.
+    generation: int
+    #: Sorted, non-overlapping ``(start, bytes)`` runs of the XOR diff.
+    runs: tuple[tuple[int, bytes], ...]
+
+    @property
+    def empty(self) -> bool:
+        return not self.runs
+
+    @property
+    def full(self) -> bool:
+        """Is this a resync snapshot (applicable to any baseline)?"""
+        return self.base_generation == 0
+
+    def payload_bytes(self) -> int:
+        """Run payload volume (what density the diff actually carries)."""
+        return sum(len(run) for _start, run in self.runs)
+
+
+def diff_runs(old: bytes, new: bytes) -> tuple[tuple[int, bytes], ...]:
+    """The nonzero runs of ``old XOR new`` (both full-map payloads)."""
+    if len(old) != MAP_SIZE or len(new) != MAP_SIZE:
+        raise ValueError("virgin-map payloads must be MAP_SIZE bytes")
+    xor = (int.from_bytes(old, "little") ^ int.from_bytes(new, "little"))
+    if not xor:
+        return ()
+    diff = xor.to_bytes(MAP_SIZE, "little")
+    return tuple((match.start(), match.group())
+                 for match in _RUN_SCAN.finditer(diff))
+
+
+def delta_between(old: bytes, new: bytes, base_generation: int,
+                  generation: int) -> CoverageDelta:
+    """The delta carrying *old* → *new* across the given watermarks."""
+    return CoverageDelta(base_generation=base_generation,
+                         generation=generation,
+                         runs=diff_runs(old, new))
+
+
+def full_delta(bits: bytes, generation: int) -> CoverageDelta:
+    """A resync snapshot (``base_generation == 0``) of *bits*."""
+    return CoverageDelta(base_generation=0, generation=generation,
+                         runs=diff_runs(bytes(MAP_SIZE), bits))
+
+
+def apply_runs(bits: bytearray, runs) -> bool:
+    """OR delta runs into a live map; returns whether anything changed.
+
+    Correct for any baseline at or past the delta's base: the runs are
+    ``new & ~old`` of a monotone map, so ORing them is a merge.
+    """
+    changed = False
+    for start, run in runs:
+        end = start + len(run)
+        merged = (int.from_bytes(bits[start:end], "little")
+                  | int.from_bytes(run, "little"))
+        chunk = merged.to_bytes(len(run), "little")
+        if chunk != bits[start:end]:
+            bits[start:end] = chunk
+            changed = True
+    return changed
+
+
+def runs_subsumed(bits, runs) -> bool:
+    """Would applying *runs* to *bits* change nothing?
+
+    The whole-batch analogue of :meth:`VirginMap.subsumes`: a partner
+    whose entire map diff is already present locally cannot ship any
+    record that would light up new bits.
+    """
+    for start, run in runs:
+        end = start + len(run)
+        if (int.from_bytes(run, "little")
+                & ~int.from_bytes(bits[start:end], "little")):
+            return False
+    return True
+
+
+def encode(delta: CoverageDelta) -> bytes:
+    """Serialize one delta; the payload is CRC-sealed end to end."""
+    parts = [_HEADER.pack(DELTA_MAGIC, delta.base_generation,
+                          delta.generation, len(delta.runs))]
+    for start, run in delta.runs:
+        parts.append(_RUN.pack(start, len(run)))
+        parts.append(run)
+    return checksum.seal(b"".join(parts))
+
+
+def decode(raw: bytes) -> CoverageDelta:
+    """Invert :func:`encode`; :class:`DeltaError` on any corruption."""
+    payload = checksum.unseal(raw)
+    if payload is None:
+        raise DeltaError("delta payload failed its CRC check")
+    if len(payload) < _HEADER.size:
+        raise DeltaError("delta payload shorter than its header")
+    magic, base_generation, generation, count = _HEADER.unpack_from(payload)
+    if magic != DELTA_MAGIC:
+        raise DeltaError(f"bad delta magic {bytes(magic)!r}")
+    runs = []
+    pos = _HEADER.size
+    last_end = 0
+    for _ in range(count):
+        if pos + _RUN.size > len(payload):
+            raise DeltaError("truncated delta run header")
+        start, length = _RUN.unpack_from(payload, pos)
+        pos += _RUN.size
+        if length == 0 or start < last_end or start + length > MAP_SIZE:
+            raise DeltaError("delta run out of bounds or out of order")
+        if pos + length > len(payload):
+            raise DeltaError("truncated delta run payload")
+        runs.append((start, payload[pos:pos + length]))
+        pos += length
+        last_end = start + length
+    if pos != len(payload):
+        raise DeltaError("trailing bytes after the last delta run")
+    return CoverageDelta(base_generation=base_generation,
+                         generation=generation, runs=tuple(runs))
+
+
+class DeltaTracker:
+    """Per-peer baseline for producing a chain of deltas.
+
+    The producer side of the watermark protocol: :meth:`take` diffs the
+    live map against the last baseline the peer acknowledged;
+    :meth:`commit` advances the baseline once the peer acked;
+    :meth:`resync` drops it to zero so the next :meth:`take` ships a
+    full snapshot (what a peer that lost state, or rejected a corrupt
+    delta, asks for).
+    """
+
+    def __init__(self) -> None:
+        self._bits = bytes(MAP_SIZE)
+        self._generation = 0
+        self._pending: CoverageDelta | None = None
+        self._pending_bits: bytes | None = None
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def take(self, virgin) -> CoverageDelta:
+        """The delta from the acked baseline to *virgin*'s current bits."""
+        bits = bytes(virgin.bits)
+        delta = delta_between(self._bits, bits, self._generation,
+                              virgin.generation)
+        self._pending = delta
+        self._pending_bits = bits
+        return delta
+
+    def commit(self, delta: CoverageDelta) -> None:
+        """The peer acked *delta*: advance the baseline to it."""
+        if self._pending is not delta or self._pending_bits is None:
+            raise DeltaError("commit of a delta this tracker did not take")
+        self._bits = self._pending_bits
+        self._generation = delta.generation
+        self._pending = None
+        self._pending_bits = None
+
+    def resync(self) -> None:
+        """Drop the baseline: the next :meth:`take` is a full snapshot."""
+        self._bits = bytes(MAP_SIZE)
+        self._generation = 0
+        self._pending = None
+        self._pending_bits = None

@@ -38,7 +38,12 @@ KINDS = frozenset({"kill_worker", "delay_case", "corrupt_sync",
                    "raise_in_hook",
                    # Network faults (federation transport, DESIGN.md §14):
                    "drop_frame", "delay_frame", "corrupt_frame",
-                   "partition", "kill_coordinator"})
+                   "partition", "kill_coordinator",
+                   # Coverage plane (DESIGN.md §15): flip a byte inside
+                   # an encoded NCD1 delta *before* framing, so the
+                   # frame decodes but the delta's own CRC fails and
+                   # the watermark resync path is exercised.
+                   "corrupt_delta"})
 
 #: The subset injected at a node's outbound-frame gate.
 NET_KINDS = frozenset({"drop_frame", "delay_frame", "corrupt_frame",
@@ -88,6 +93,9 @@ class FaultSpec:
     #: Coordinator message counter (1-based) for ``kill_coordinator``;
     #: ``None`` = the next message the coordinator processes.
     at_event: int | None = None
+    #: Federation round (1-based) for ``corrupt_delta``; ``None`` = the
+    #: node's next coverage-delta push.
+    at_round: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -152,6 +160,14 @@ class FaultPlan:
             s.kind in NET_KINDS
             and (s.worker is None or s.worker == worker)
             and (s.at_frame is None or s.at_frame == frame_no)))
+
+    def take_delta_fault(self, worker: int | None,
+                         round_no: int) -> FaultSpec | None:
+        """The ``corrupt_delta`` fault due at *worker*'s Nth delta push."""
+        return self._take(lambda s: (
+            s.kind == "corrupt_delta"
+            and (s.worker is None or s.worker == worker)
+            and (s.at_round is None or s.at_round == round_no)))
 
     def take_coordinator_fault(self, event_no: int) -> FaultSpec | None:
         """The ``kill_coordinator`` fault due at the Nth handled message."""

@@ -330,6 +330,24 @@ class FuzzEngine:
         if absorb_lines is not None and record.lines:
             absorb_lines(record.lines)
 
+    def import_subsumed_batch(self, count: int) -> None:
+        """Bookkeeping for *count* partner records elided by the
+        coverage plane (DESIGN.md §15) without ever crossing the wire
+        or the disk.
+
+        Count-for-count identical to calling :meth:`import_subsumed`
+        once per record — the relay proved subsumption from the
+        receiver's own pushed virgin map, so the per-record decision is
+        reproduced exactly. Line coverage travels separately (one
+        unioned payload) and is absorbed by the caller.
+        """
+        if count <= 0:
+            return
+        self.stats.imported += count
+        self.stats.imports_skipped_subsumed += count
+        telemetry.counter("engine.imports", count)
+        telemetry.counter("engine.imports_subsumed", count)
+
     # --- corpus persistence (AFL queue-directory style) -----------------
 
     def save_corpus(self, directory, *, exclude_imported: bool = False) -> int:

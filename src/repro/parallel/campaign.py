@@ -215,6 +215,10 @@ class ParallelCampaign:
     #: already subsumed locally. Off isolates the wire format from the
     #: filter (equivalence pins, debugging).
     subsumption_filter: bool = True
+    #: Publish per-worker coverage sidecars so importers can reject a
+    #: partner's whole fresh batch from one virgin-map delta before
+    #: scanning its queue file (DESIGN.md §15). Fingerprint-neutral.
+    sync_delta: bool = True
     toggles: ComponentToggles = field(default_factory=ComponentToggles)
     coverage_guided: bool = True
     patched: frozenset = frozenset()
@@ -527,7 +531,8 @@ class ParallelCampaign:
                     warm.sync = SyncDirectory(
                         root, spec.index, len(specs),
                         sync_format=self.sync_format,
-                        subsumption_filter=self.subsumption_filter)
+                        subsumption_filter=self.subsumption_filter,
+                        delta_plane=self.sync_delta)
                 workers.append(warm)
                 reused += 1
                 continue
@@ -536,7 +541,8 @@ class ParallelCampaign:
                 sync=SyncDirectory(
                     root, spec.index, len(specs),
                     sync_format=self.sync_format,
-                    subsumption_filter=self.subsumption_filter)
+                    subsumption_filter=self.subsumption_filter,
+                    delta_plane=self.sync_delta)
                 if syncing else None,
                 case_timeout=self.case_timeout))
         return workers, reused
@@ -764,6 +770,7 @@ class ParallelCampaign:
             config=config, fault_plan=self.fault_plan or faults.active(),
             sync_format=self.sync_format,
             subsumption_filter=self.subsumption_filter,
+            sync_delta=self.sync_delta,
             telemetry_mode=self.telemetry_mode,
             schedule=self.schedule, sync_adaptive=self.sync_adaptive,
             lease_board=board)

@@ -132,6 +132,7 @@ def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
                         fault_plan: faults.FaultPlan | None,
                         sync_format: str = "v2",
                         subsumption_filter: bool = True,
+                        sync_delta: bool = True,
                         shm_name: str | None = None,
                         shm_lock=None,
                         telemetry_mode: str = "metrics",
@@ -168,7 +169,8 @@ def process_worker_main(spec: WorkerSpec, campaign_kwargs: dict,
             spec, campaign_kwargs, sample_every=sample_every,
             sync=SyncDirectory(rootp, spec.index, total_workers,
                                sync_format=sync_format,
-                               subsumption_filter=subsumption_filter),
+                               subsumption_filter=subsumption_filter,
+                               delta_plane=sync_delta),
             heartbeat_path=heartbeat_path(rootp, spec.index),
             checkpoint_path=checkpoint_path(rootp, spec.index),
             case_timeout=case_timeout)
@@ -213,6 +215,8 @@ class Supervisor:
     fault_plan: faults.FaultPlan | None = None
     sync_format: str = "v2"
     subsumption_filter: bool = True
+    #: Coverage-sidecar batch rejection in the workers (DESIGN.md §15).
+    sync_delta: bool = True
     telemetry_mode: str = "metrics"
     #: "static" (fixed shares) or "stealing" (shared lease board).
     schedule: str = "static"
@@ -278,7 +282,7 @@ class Supervisor:
                               self.sync_every, str(self.root),
                               len(self.specs), self.config.case_timeout,
                               self.fault_plan, self.sync_format,
-                              self.subsumption_filter,
+                              self.subsumption_filter, self.sync_delta,
                               shared.name if shared else None,
                               shared.lock if shared else None,
                               self.telemetry_mode, self.schedule,
@@ -449,7 +453,8 @@ class Supervisor:
                 spec, self.campaign_kwargs, sample_every=self.sample_every,
                 sync=SyncDirectory(self.root, spec.index, len(self.specs),
                                    sync_format=self.sync_format,
-                                   subsumption_filter=self.subsumption_filter),
+                                   subsumption_filter=self.subsumption_filter,
+                                   delta_plane=self.sync_delta),
                 heartbeat_path=heartbeat_path(self.root, spec.index),
                 checkpoint_path=checkpoint_path(self.root, spec.index),
                 case_timeout=self.config.case_timeout)

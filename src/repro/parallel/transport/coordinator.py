@@ -61,6 +61,8 @@ import time
 from pathlib import Path
 
 from repro import faults, telemetry
+from repro.coverage import delta
+from repro.coverage.bitmap import MAP_SIZE
 from repro.fuzzer.crashes import atomic_write_bytes
 from repro.parallel import wire
 from repro.parallel.transport import frames
@@ -170,6 +172,9 @@ class Coordinator:
     RELAY = "relay"
     REPORTS = "reports"
     STATE = "coord.json"
+    #: Per-node virgin-map mirror inside the node's relay directory,
+    #: reconstructed from its pushed NCD1 deltas (DESIGN.md §15).
+    VIRGIN = "virgin.bin"
 
     def __init__(self, root: Path, board, workers: int, *,
                  node_ttl: float = 300.0,
@@ -204,13 +209,22 @@ class Coordinator:
         self._claim_waits: dict[int, dict[int, tuple]] = {}
         #: round -> {node: (conn, seq, offsets)} for buffered fetches.
         self._fetch_waits: dict[int, dict[int, tuple]] = {}
+        #: node -> (manifest entries, queue.idx bytes parsed): the relay
+        #: manifests are append-only, so fetches past round 0 read only
+        #: the fresh tail instead of re-parsing from byte 0 every RPC.
+        self._manifests: dict[int, tuple[list, int]] = {}
+        #: node -> mirrored virgin bits (lazily loaded from VIRGIN).
+        self._virgin_cache: dict[int, bytearray] = {}
         self._state = self._load_state()
 
     # --- persistent state ---------------------------------------------------
 
     def _default_state(self) -> dict:
         return {"fetch_round": -1, "drained_round": None,
-                "byed": [], "expired": [], "assigned": 0}
+                "byed": [], "expired": [], "assigned": 0,
+                #: str(node) -> [generation, delta_round, line_universe]
+                #: watermarks for the mirrored virgin maps.
+                "coverage": {}}
 
     def _load_state(self) -> dict:
         if not self.state_path.exists():
@@ -383,7 +397,7 @@ class Coordinator:
     # --- message dispatch ---------------------------------------------------
 
     def _handle(self, conn: _Conn, ftype: int, payload: bytes) -> None:
-        if ftype == frames.FT_BLOB:
+        if ftype in (frames.FT_BLOB, frames.FT_DELTA):
             msg, raw = frames.split_blob(payload)
         else:
             msg, raw = frames.parse_ctrl(payload), b""
@@ -423,6 +437,8 @@ class Coordinator:
             self._drop_conn(sock)
         self._claim_waits.clear()
         self._fetch_waits.clear()
+        self._manifests.clear()
+        self._virgin_cache.clear()
         self._state = self._load_state()
         now = time.monotonic()
         for node in range(self.workers):
@@ -548,11 +564,46 @@ class Coordinator:
     def _relay_dir(self, node: int) -> Path:
         return self.relay_root / f"node-{node:03d}"
 
+    def _relay_manifest(self, node: int) -> list[tuple[int, int, int]]:
+        """The node's relay manifest, read incrementally.
+
+        ``queue.idx`` under the relay is append-only (only this
+        coordinator writes it), so the cache keeps the parsed entries
+        plus the byte offset they came from and every later call reads
+        just the fresh tail — O(new records) per fetch instead of
+        O(corpus). A shrunken file (a fresh campaign reusing the root)
+        falls back to a full reload; the cache dies with :meth:`_crash`
+        like all in-memory state.
+        """
+        entries, parsed = self._manifests.get(node, ([], 0))
+        idx_path = self._relay_dir(node) / wire.QUEUE_IDX
+        try:
+            size = idx_path.stat().st_size
+        except OSError:
+            size = 0
+        if size < parsed:
+            entries, parsed = [], 0
+        usable = size - size % wire.MANIFEST_RECORD.size
+        if usable > parsed:
+            try:
+                with open(idx_path, "rb") as handle:
+                    handle.seek(parsed)
+                    raw = handle.read(usable - parsed)
+            except OSError:
+                return entries
+            tail = len(raw) - len(raw) % wire.MANIFEST_RECORD.size
+            entries = entries + [
+                wire.MANIFEST_RECORD.unpack_from(raw, pos)
+                for pos in range(0, tail, wire.MANIFEST_RECORD.size)]
+            parsed += tail
+            self._manifests[node] = (entries, parsed)
+        return entries
+
     def _on_push(self, conn: _Conn, msg: dict, raw: bytes) -> None:
         node, base = msg["node"], msg["base"]
         relay = self._relay_dir(node)
         relay.mkdir(parents=True, exist_ok=True)
-        applied = len(wire.read_manifest(relay))
+        applied = len(self._relay_manifest(node))
         blobs = frames.decode_blobs(raw)
         if applied >= base:
             fresh = blobs[applied - base:]
@@ -566,6 +617,84 @@ class Coordinator:
         # the gap instead of losing records.
         self._queue_send(conn, frames.pack_ctrl(
             {"op": "push_ok", "seq": msg["seq"], "acked": applied}))
+
+    # --- coverage plane (DESIGN.md §15) -------------------------------------
+
+    def _node_virgin(self, node: int) -> bytearray | None:
+        """The node's mirrored virgin bits, or None when unavailable."""
+        bits = self._virgin_cache.get(node)
+        if bits is not None:
+            return bits
+        if str(node) not in self._state["coverage"]:
+            return None
+        try:
+            raw = (self._relay_dir(node) / self.VIRGIN).read_bytes()
+        except OSError:
+            return None
+        if len(raw) != MAP_SIZE:
+            return None
+        bits = bytearray(raw)
+        self._virgin_cache[node] = bits
+        return bits
+
+    def _store_virgin(self, node: int, bits: bytearray, generation: int,
+                      round_no: int, universe: int) -> None:
+        relay = self._relay_dir(node)
+        relay.mkdir(parents=True, exist_ok=True)
+        atomic_write_bytes(relay / self.VIRGIN, bytes(bits))
+        self._virgin_cache[node] = bits
+        self._state["coverage"][str(node)] = [generation, round_no,
+                                              universe]
+        self._persist()
+
+    def _on_delta(self, conn: _Conn, msg: dict, raw: bytes) -> None:
+        """Apply one pushed coverage delta against its watermark.
+
+        Accept rules: a full snapshot (``base_generation == 0``) always
+        applies (it is the resync payload); an incremental delta applies
+        only when its base matches the stored generation. A resend whose
+        target generation we already hold is acked as a duplicate.
+        Anything else — corrupt payload, watermark mismatch — gets a
+        ``resync`` reply and the node falls back to a full snapshot;
+        meanwhile fetches for this node fall back to full NCQ2 relay,
+        so coverage semantics never depend on a delta landing.
+        """
+        node, rnd = msg["node"], msg["round"]
+        telemetry.counter("net.delta_bytes", len(raw))
+        entry = self._state["coverage"].get(str(node))
+        stored_gen = entry[0] if entry else 0
+        try:
+            pushed = delta.decode(raw)
+        except delta.DeltaError as exc:
+            log.warning("node %d pushed a corrupt coverage delta for "
+                        "round %d (%s); requesting resync", node, rnd, exc)
+            telemetry.counter("net.delta_resyncs")
+            self._queue_send(conn, frames.pack_ctrl(
+                {"op": "delta_ok", "seq": msg["seq"], "status": "resync"}))
+            return
+        bits = self._node_virgin(node)
+        if pushed.full:
+            bits = bits if bits is not None else bytearray(MAP_SIZE)
+            delta.apply_runs(bits, pushed.runs)
+        elif (bits is None or entry is None
+                or pushed.base_generation != stored_gen):
+            if entry is not None and pushed.generation == stored_gen:
+                # A resent delta we already applied: ack idempotently.
+                entry[1] = max(entry[1], rnd)
+                self._persist()
+                self._queue_send(conn, frames.pack_ctrl(
+                    {"op": "delta_ok", "seq": msg["seq"], "status": "ok"}))
+                return
+            telemetry.counter("net.delta_resyncs")
+            self._queue_send(conn, frames.pack_ctrl(
+                {"op": "delta_ok", "seq": msg["seq"], "status": "resync"}))
+            return
+        else:
+            delta.apply_runs(bits, pushed.runs)
+        self._store_virgin(node, bits, pushed.generation, rnd,
+                           int(msg.get("universe", 0)))
+        self._queue_send(conn, frames.pack_ctrl(
+            {"op": "delta_ok", "seq": msg["seq"], "status": "ok"}))
 
     def _on_fetch(self, conn: _Conn, msg: dict, raw: bytes) -> None:
         node, rnd = msg["node"], msg["round"]
@@ -594,30 +723,103 @@ class Coordinator:
 
     def _send_fetch_reply(self, conn: _Conn, seq: int, node: int, rnd: int,
                           offsets: dict) -> None:
+        """Serve one fetch: delta-elided when the watermarks allow it.
+
+        **Delta mode** requires a current mirror of the requester's own
+        virgin map — a delta pushed for this round or later. The skip
+        decision is then *exact*, not heuristic: the requester's map
+        cannot change between its delta push and its fetch apply (both
+        sides of the same barrier), so walking the pending records in
+        apply order against a simulation seeded from the mirror
+        reproduces, record for record, the subsumption decisions the
+        requester's own filter would have made. Elided records ship as
+        a count plus one unioned line payload; everything else ships
+        verbatim. A requester that is behind on deltas (resync pending,
+        delta plane off, corrupt push) falls back to full NCQ2 relay —
+        the fallback changes bytes on the wire, never coverage.
+        """
+        started = time.perf_counter()
+        entry = self._state["coverage"].get(str(node))
+        sim = self._node_virgin(node) if entry is not None else None
+        use_delta = (sim is not None and entry[1] >= rnd)
+        if use_delta:
+            sim = bytearray(sim)  # simulation must not mutate the mirror
+            universe = entry[2]
         parts = []
         chunks: list[bytes] = []
+        skipped_total = 0
+        saved_bytes = 0
+        line_union: set[int] = set()
         for partner in range(self.workers):
             if partner == node:
                 continue
             relay = self._relay_dir(partner)
-            manifest = wire.read_manifest(relay)
+            manifest = self._relay_manifest(partner)
             start = int(offsets.get(str(partner), 0))
             blobs = []
+            skipped = 0
             pending = manifest[start:]
             if pending:
                 with open(relay / wire.QUEUE_BIN, "rb") as handle:
                     for offset, length, crc in pending:
                         blob = wire.read_record_blob(handle, offset,
                                                      length, crc)
-                        if blob is not None:
-                            blobs.append(blob)
-            parts.append([partner, len(blobs)])
+                        if blob is None:
+                            continue
+                        if use_delta and self._simulate_subsumed(
+                                sim, blob, universe, line_union):
+                            skipped += 1
+                            saved_bytes += len(blob)
+                            continue
+                        blobs.append(blob)
+            if use_delta:
+                parts.append([partner, len(blobs), skipped])
+            else:
+                parts.append([partner, len(blobs)])
+            skipped_total += skipped
             chunks.extend(blobs)
+        meta = {"op": "fetch_ok", "seq": seq, "round": rnd, "parts": parts,
+                "mode": "delta" if use_delta else "records"}
+        if skipped_total:
+            meta["lines"] = True
+            chunks.append(wire.pack_line_indices(line_union))
+            telemetry.counter("net.records_delta_skipped", skipped_total)
+            telemetry.counter("net.bytes_saved", saved_bytes)
         if chunks:
-            telemetry.counter("net.records_fetched", len(chunks))
-        self._queue_send(conn, frames.pack_blob(
-            {"op": "fetch_ok", "seq": seq, "round": rnd, "parts": parts},
-            frames.encode_blobs(chunks)))
+            telemetry.counter("net.records_fetched",
+                              len(chunks) - (1 if skipped_total else 0))
+        raw = frames.encode_blobs(chunks)
+        telemetry.counter("net.relay_bytes", len(raw))
+        telemetry.observe("net.fetch", time.perf_counter() - started)
+        self._queue_send(conn, frames.pack_blob(meta, raw))
+
+    def _simulate_subsumed(self, sim: bytearray, blob: bytes,
+                           universe: int, line_union: set[int]) -> bool:
+        """Would the requester's filter absorb *blob* without running it?
+
+        Walks the same structural gates as
+        :func:`repro.parallel.sync.record_subsumed` — coverage + lines
+        shipped, not crashed/anomalous, every ``(cell, class-bit)``
+        already lit — against the simulated map, then advances the
+        simulation exactly as the requester's map would advance:
+        elided records contribute nothing; shipped records merge their
+        recorded coverage (deterministic replay makes the execution's
+        map contribution identical to the recorded one).
+        """
+        summary = wire.summarize_record(blob)
+        if summary is None:
+            return False  # relay verbatim; the receiver's parse decides
+        subsumed = False
+        if (summary.skippable
+                and all(i < universe for i in summary.line_indices)
+                and all(not cls & ~sim[cell]
+                        for cell, cls in summary.coverage)):
+            line_union.update(summary.line_indices)
+            subsumed = True
+        elif summary.coverage is not None:
+            for cell, cls in summary.coverage:
+                sim[cell] |= cls
+        return subsumed
 
     def _on_report(self, conn: _Conn, msg: dict, raw: bytes) -> None:
         node = msg["node"]

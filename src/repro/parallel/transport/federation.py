@@ -65,6 +65,11 @@ class FederatedCampaign:
     #: directory when None.
     sync_dir: Path | None = None
     subsumption_filter: bool = True
+    #: Ship virgin-map coverage deltas each round so the coordinator can
+    #: elide relay records the receiver's own filter would reject
+    #: (DESIGN.md §15). Off reproduces the pure record-replay plane;
+    #: both settings yield the identical campaign fingerprint.
+    delta_plane: bool = True
     toggles: ComponentToggles = field(default_factory=ComponentToggles)
     coverage_guided: bool = True
     patched: frozenset = frozenset()
@@ -129,6 +134,7 @@ class FederatedCampaign:
             "campaign_kwargs": self._inner._campaign_kwargs(),
             "sample_every": sample_every,
             "subsumption_filter": self.subsumption_filter,
+            "delta_plane": self.delta_plane,
         })
 
     def run(self, iterations: int, *,
@@ -217,7 +223,8 @@ class FederatedCampaign:
             try:
                 run_node(client, worker,
                          subsumption_filter=self.subsumption_filter,
-                         exec_lock=exec_lock)
+                         exec_lock=exec_lock,
+                         delta_plane=self.delta_plane)
             except BaseException as exc:
                 errors[worker.spec.index] = exc
                 log.exception("federated node %d failed",
@@ -273,6 +280,7 @@ def run_federated_node(address: tuple | str, *, timeout: float = 5.0,
             sample_every=config.get("sample_every", 10), sync=None)
         return run_node(
             client, worker,
-            subsumption_filter=config.get("subsumption_filter", True))
+            subsumption_filter=config.get("subsumption_filter", True),
+            delta_plane=config.get("delta_plane", True))
     finally:
         client.close()

@@ -15,6 +15,14 @@ CRC32) followed by the payload. Two frame types exist:
     bytes :func:`repro.parallel.wire.pack_record` produced, so their
     own header + coverage digest stay verifiable end to end.
 
+``FT_DELTA``
+    Same layout as ``FT_BLOB``, but the binary payload is an NCD1
+    coverage delta (:mod:`repro.coverage.delta`). A distinct frame type
+    keeps the coverage plane visually separable on the wire and lets a
+    receiver route it without peeking at the meta: the delta carries
+    its own CRC seal, so a corrupt *delta* (frame intact, NCD1 payload
+    bad) degrades to a resync reply instead of a torn connection.
+
 Corruption handling is deliberately blunt: a receiver that sees a bad
 magic, an impossible length, or a CRC mismatch raises
 :class:`FrameError` and the connection is torn down. There is no
@@ -28,7 +36,8 @@ from __future__ import annotations
 
 import json
 import struct
-import zlib
+
+from repro.parallel import checksum
 
 FRAME_MAGIC = b"NCF1"
 FRAME_VERSION = 1
@@ -36,10 +45,12 @@ FRAME_VERSION = 1
 #: magic, version, frame type, payload length, payload crc32.
 FRAME_HEADER = struct.Struct("<4sBBII")
 _META_LEN = struct.Struct("<I")
-_BLOB_LEN = struct.Struct("<I")
 
 FT_CTRL = 1
 FT_BLOB = 2
+FT_DELTA = 3
+
+_FRAME_TYPES = (FT_CTRL, FT_BLOB, FT_DELTA)
 
 #: Hard ceiling on one frame's payload; anything bigger is treated as a
 #: corrupt length field, not a legitimate message.
@@ -53,7 +64,8 @@ class FrameError(RuntimeError):
 def pack_frame(ftype: int, payload: bytes) -> bytes:
     """One wire frame around *payload*."""
     return FRAME_HEADER.pack(FRAME_MAGIC, FRAME_VERSION, ftype,
-                             len(payload), zlib.crc32(payload)) + payload
+                             len(payload),
+                             checksum.checksum(payload)) + payload
 
 
 def pack_ctrl(message: dict) -> bytes:
@@ -61,15 +73,20 @@ def pack_ctrl(message: dict) -> bytes:
     return pack_frame(FT_CTRL, json.dumps(message, sort_keys=True).encode())
 
 
-def pack_blob(meta: dict, raw: bytes) -> bytes:
+def pack_blob(meta: dict, raw: bytes, *, ftype: int = FT_BLOB) -> bytes:
     """A control-header-plus-binary frame."""
     encoded = json.dumps(meta, sort_keys=True).encode()
-    return pack_frame(FT_BLOB,
+    return pack_frame(ftype,
                       _META_LEN.pack(len(encoded)) + encoded + raw)
 
 
+def pack_delta(meta: dict, raw: bytes) -> bytes:
+    """A coverage-delta frame (``FT_DELTA``; same layout as a blob)."""
+    return pack_blob(meta, raw, ftype=FT_DELTA)
+
+
 def split_blob(payload: bytes) -> tuple[dict, bytes]:
-    """Decode a ``FT_BLOB`` payload back into (meta, raw)."""
+    """Decode a ``FT_BLOB``/``FT_DELTA`` payload back into (meta, raw)."""
     if len(payload) < _META_LEN.size:
         raise FrameError("blob frame too short for its meta length")
     (meta_len,) = _META_LEN.unpack_from(payload)
@@ -86,24 +103,16 @@ def split_blob(payload: bytes) -> tuple[dict, bytes]:
 
 def encode_blobs(blobs: list[bytes]) -> bytes:
     """Concatenate record blobs with 4-byte length prefixes."""
-    return b"".join(_BLOB_LEN.pack(len(blob)) + blob for blob in blobs)
+    return checksum.pack_chunks(blobs)
 
 
 def decode_blobs(raw: bytes) -> list[bytes]:
     """Invert :func:`encode_blobs`; raises :class:`FrameError` on a torn
     or lying length prefix."""
-    blobs = []
-    pos = 0
-    while pos < len(raw):
-        if pos + _BLOB_LEN.size > len(raw):
-            raise FrameError("torn blob length prefix")
-        (length,) = _BLOB_LEN.unpack_from(raw, pos)
-        pos += _BLOB_LEN.size
-        if pos + length > len(raw):
-            raise FrameError("blob length prefix exceeds the payload")
-        blobs.append(raw[pos:pos + length])
-        pos += length
-    return blobs
+    try:
+        return checksum.unpack_chunks(raw)
+    except ValueError as exc:
+        raise FrameError(str(exc)) from exc
 
 
 class FrameDecoder:
@@ -130,7 +139,7 @@ class FrameDecoder:
                 raise FrameError(f"bad frame magic {bytes(magic)!r}")
             if version != FRAME_VERSION:
                 raise FrameError(f"unsupported frame version {version}")
-            if ftype not in (FT_CTRL, FT_BLOB):
+            if ftype not in _FRAME_TYPES:
                 raise FrameError(f"unknown frame type {ftype}")
             if length > MAX_PAYLOAD:
                 raise FrameError(f"frame payload length {length} exceeds "
@@ -140,7 +149,7 @@ class FrameDecoder:
             payload = bytes(
                 self._buffer[FRAME_HEADER.size:FRAME_HEADER.size + length])
             del self._buffer[:FRAME_HEADER.size + length]
-            if zlib.crc32(payload) != crc:
+            if not checksum.verify(payload, crc):
                 raise FrameError("frame payload failed its CRC check")
             frames.append((ftype, payload))
         return frames

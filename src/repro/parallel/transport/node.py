@@ -39,6 +39,7 @@ import threading
 import time
 
 from repro import faults, telemetry
+from repro.coverage import delta
 from repro.parallel import wire
 from repro.parallel.backoff import expo_backoff
 from repro.parallel.sync import consume_record
@@ -210,6 +211,7 @@ class NodeClient:
 
     def request(self, op: str, body: dict | None = None, *,
                 blob: bytes | None = None,
+                blob_type: int = frames.FT_BLOB,
                 patient: bool = False) -> tuple[dict, bytes]:
         """Send one idempotent request; return ``(reply, raw)``.
 
@@ -224,8 +226,8 @@ class NodeClient:
         msg = {"op": op, "node": self.node, "seq": seq}
         if body:
             msg.update(body)
-        data = (frames.pack_blob(msg, blob) if blob is not None
-                else frames.pack_ctrl(msg))
+        data = (frames.pack_blob(msg, blob, ftype=blob_type)
+                if blob is not None else frames.pack_ctrl(msg))
         attempt = 0
         while True:
             attempt += 1
@@ -273,7 +275,7 @@ class NodeClient:
                 return None
             for ftype, payload in received:
                 _count("net.frames_received")
-                if ftype == frames.FT_BLOB:
+                if ftype in (frames.FT_BLOB, frames.FT_DELTA):
                     reply, raw = frames.split_blob(payload)
                 else:
                     reply, raw = frames.parse_ctrl(payload), b""
@@ -298,6 +300,14 @@ class NodeClient:
             "push", {"base": base, "count": len(blobs)},
             blob=frames.encode_blobs(blobs))
         return int(reply["acked"])
+
+    def push_delta(self, round_no: int, payload: bytes,
+                   universe: int) -> dict:
+        """Push one encoded NCD1 coverage delta for *round_no*."""
+        reply, _raw = self.request(
+            "delta", {"round": round_no, "universe": universe},
+            blob=payload, blob_type=frames.FT_DELTA)
+        return reply
 
     def complete(self, lease_id: int, round_no: int) -> None:
         self.request("complete", {"lease": lease_id, "round": round_no})
@@ -325,17 +335,56 @@ class _NullLock:
         return False
 
 
+def _push_coverage_delta(client: NodeClient, engine,
+                         tracker: delta.DeltaTracker, round_no: int,
+                         universe: int) -> None:
+    """Publish this node's virgin-map delta for *round_no*.
+
+    At most three attempts: a rejected or corrupt delta gets a
+    ``resync`` reply, the tracker drops its baseline, and the next
+    attempt ships a full snapshot (``base_generation == 0``), which the
+    coordinator always accepts. Still failing after that is harmless —
+    the coordinator simply serves this node full NCQ2 relay until a
+    later round's delta lands (the fallback leg of DESIGN.md §15).
+    """
+    for _attempt in range(3):
+        taken = tracker.take(engine.virgin)
+        payload = delta.encode(taken)
+        plan = client._plan()
+        if plan is not None:
+            spec = plan.take_delta_fault(client.node, round_no + 1)
+            if spec is not None:
+                plan.record("corrupt_delta", client.node,
+                            f"round {round_no}")
+                # Flip a byte inside the sealed NCD1 payload: the frame
+                # stays valid, the delta CRC fails at the coordinator.
+                corrupted = bytearray(payload)
+                corrupted[len(corrupted) // 2] ^= 0xFF
+                payload = bytes(corrupted)
+        reply = client.push_delta(round_no, payload, universe)
+        if reply.get("status") == "ok":
+            tracker.commit(taken)
+            return
+        tracker.resync()
+
+
 def run_node(client: NodeClient, worker, *,
              subsumption_filter: bool = True,
-             exec_lock=None):
+             exec_lock=None, delta_plane: bool = True):
     """Drive one :class:`CampaignWorker` through the federation protocol.
 
     The observable schedule is one worker of the inline stealing loop:
     claim at the round barrier; run the granted lease; publish fresh
-    corpus records; complete the lease; fetch and apply every partner's
-    round records (in partner index order, through
+    corpus records; complete the lease; push the round's coverage delta
+    (*delta_plane*); fetch and apply every partner's round records (in
+    partner index order, through
     :func:`repro.parallel.sync.consume_record` — the same exactly-once
-    apply step the filesystem sync path uses).
+    apply step the filesystem sync path uses). Records the coordinator
+    elided against our own pushed map arrive as a count plus one
+    unioned line payload and book through
+    :meth:`FuzzEngine.import_subsumed_batch` — the decisions are the
+    ones our local filter would have made, so the fingerprint matches
+    the record-replay path bit for bit.
 
     *exec_lock* serializes engine execution for in-process federations:
     the coverage tracer is process-global, so only one node may run
@@ -352,6 +401,8 @@ def run_node(client: NodeClient, worker, *,
             f"node {client.node}: coordinator refused hello "
             f"(status={reply.get('status')!r})")
     client.start_heartbeats()
+    tracker = delta.DeltaTracker() if delta_plane else None
+    universe = len(codec.universe) if codec is not None else 0
     rounds = 0
     pushed = 0        # records acked into our relay queue
     offsets: dict[str, int] = {}  # partner -> relay records consumed
@@ -372,12 +423,21 @@ def run_node(client: NodeClient, worker, *,
                      for k, entry in enumerate(outbound[pushed:])]
             pushed = client.push(pushed, blobs)
             client.complete(lease_id, rounds)
+        if tracker is not None:
+            # Every member pushes (even leaseless rounds): the fetch
+            # barrier guarantees the coordinator holds this round's map
+            # before it computes anyone's reply.
+            _push_coverage_delta(client, engine, tracker, rounds, universe)
         reply, raw = client.fetch(rounds, offsets)
         parts = reply.get("parts", [])
         blobs = frames.decode_blobs(raw)
+        lines_blob = blobs.pop() if reply.get("lines") else None
+        delta_mode = reply.get("mode") == "delta"
         pos = 0
         with lock:
-            for partner, count in parts:
+            for part in parts:
+                partner, count = part[0], part[1]
+                skipped = part[2] if delta_mode and len(part) > 2 else 0
                 for blob in blobs[pos:pos + count]:
                     record = wire.parse_record(blob, codec)
                     if record is None:
@@ -389,8 +449,15 @@ def run_node(client: NodeClient, worker, *,
                     consume_record(engine, record, absorb_lines=absorb,
                                    subsumption_filter=subsumption_filter)
                 pos += count
+                if skipped:
+                    engine.import_subsumed_batch(skipped)
+                    _count("sync.filter_subsumed", skipped)
                 offsets[str(partner)] = (offsets.get(str(partner), 0)
-                                         + count)
+                                         + count + skipped)
+            if lines_blob is not None and codec is not None:
+                decoded = codec.decode(lines_blob)
+                if decoded and absorb is not None:
+                    absorb(decoded)
         rounds += 1
     with lock:
         report = worker.report()

@@ -41,10 +41,11 @@ from __future__ import annotations
 
 import hashlib
 import struct
-import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import BinaryIO, Iterable, Sequence
+
+from repro.parallel import checksum
 
 QUEUE_BIN = "queue.bin"
 QUEUE_IDX = "queue.idx"
@@ -196,6 +197,78 @@ def parse_record(blob: bytes, codec: LineCodec | None = None
         coverage=coverage, lines=lines)
 
 
+@dataclass(frozen=True)
+class RecordSummary:
+    """A codec-free header view of one record (coverage plane).
+
+    What the federation coordinator can see without holding the
+    campaign's :class:`LineCodec`: flags, the verified sparse coverage,
+    and the *raw* line indices (every worker of a campaign shares one
+    sorted universe, so indices are meaningful without decoding).
+    """
+
+    flags: int
+    #: Verified sorted ``(cell, class-bit)`` pairs, or None.
+    coverage: tuple[tuple[int, int], ...] | None
+    #: Raw u16 indices into the shared line universe, or None.
+    line_indices: tuple[int, ...] | None
+
+    @property
+    def skippable(self) -> bool:
+        """May a relay elide this record for a subsuming receiver?
+
+        Mirrors :func:`repro.parallel.sync.record_subsumed`'s structural
+        half: coverage and lines must both be shipped, and crashing or
+        anomalous entries always travel in full (they re-execute).
+        """
+        return (self.coverage is not None
+                and self.line_indices is not None
+                and not self.flags & (FLAG_CRASHED | FLAG_ANOMALY))
+
+
+def summarize_record(blob: bytes) -> RecordSummary | None:
+    """Header + coverage view of one record, without a codec.
+
+    ``None`` for anything malformed — the caller then relays the blob
+    verbatim and lets the receiver's own parse handle it, so a relay
+    never makes a skip decision on bytes it could not verify.
+    """
+    if len(blob) < RECORD_HEADER.size:
+        return None
+    (magic, _index, _found_at, _new_bits, flags, cell_count, line_count,
+     data_len, digest) = RECORD_HEADER.unpack_from(blob)
+    expected = (RECORD_HEADER.size + data_len + cell_count * _CELL.size
+                + line_count * _LINE.size)
+    if magic != RECORD_MAGIC or data_len == 0 or len(blob) != expected:
+        return None
+    offset = RECORD_HEADER.size + data_len
+    coverage = None
+    if flags & FLAG_COVERAGE:
+        coverage = tuple(
+            _CELL.unpack_from(blob, offset + k * _CELL.size)
+            for k in range(cell_count))
+        if coverage_digest(coverage) != digest:
+            return None
+    offset += cell_count * _CELL.size
+    line_indices = None
+    if flags & FLAG_LINES:
+        line_indices = tuple(
+            i for (i,) in _LINE.iter_unpack(
+                blob[offset:offset + line_count * _LINE.size]))
+    return RecordSummary(flags=flags, coverage=coverage,
+                         line_indices=line_indices)
+
+
+def pack_line_indices(indices: Iterable[int]) -> bytes:
+    """Raw u16 line indices as one :meth:`LineCodec.decode`-able payload.
+
+    The coordinator unions the indices of every record it elides and
+    ships them once; the receiver decodes the union with its own codec
+    and absorbs it in one call.
+    """
+    return b"".join(_LINE.pack(i) for i in sorted(indices))
+
+
 # --- file layer ---------------------------------------------------------
 
 
@@ -222,7 +295,7 @@ def read_record_blob(handle: BinaryIO, offset: int, length: int,
         blob = handle.read(length)
     except OSError:
         return None
-    if len(blob) != length or zlib.crc32(blob) != crc:
+    if len(blob) != length or not checksum.verify(blob, crc):
         return None
     return blob
 
@@ -243,7 +316,7 @@ def append_records(queue_dir: Path, blobs: Sequence[bytes]) -> int:
         for blob in blobs:
             f.write(blob)
             manifest += MANIFEST_RECORD.pack(offset + added, len(blob),
-                                             zlib.crc32(blob))
+                                             checksum.checksum(blob))
             added += len(blob)
         f.flush()
     with open(queue_dir / QUEUE_IDX, "ab") as f:
@@ -260,7 +333,8 @@ def rewrite_records(queue_dir: Path, blobs: Sequence[bytes]) -> int:
     manifest = bytearray()
     offset = 0
     for blob in blobs:
-        manifest += MANIFEST_RECORD.pack(offset, len(blob), zlib.crc32(blob))
+        manifest += MANIFEST_RECORD.pack(offset, len(blob),
+                                         checksum.checksum(blob))
         offset += len(blob)
     atomic_write_bytes(queue_dir / QUEUE_BIN, b"".join(blobs))
     atomic_write_bytes(queue_dir / QUEUE_IDX, bytes(manifest))

@@ -68,6 +68,7 @@ def campaign_summary(root: Path) -> dict:
     return {"root": str(root), "spans": spans, "counters": counters,
             "gauges": gauges, "scheduler": _scheduler_summary(registry),
             "net": _net_summary(registry),
+            "coverage_plane": _coverage_plane_summary(registry),
             "shards": skew, "event_count": len(events)}
 
 
@@ -106,6 +107,27 @@ def _net_summary(registry: MetricsRegistry) -> dict:
     """Transport block; empty (section omitted) for local campaigns."""
     return {name: total for name in _NET_COUNTERS
             if (total := registry.counter_total(name))}
+
+
+#: The coverage plane's counters (DESIGN.md §15): delta traffic and what
+#: it saved — relay records elided against pushed virgin-map mirrors,
+#: local batches rejected from one sidecar delta — plus the resyncs the
+#: fallback leg absorbed.
+_COVERAGE_PLANE_COUNTERS = ("net.delta_bytes", "net.bytes_saved",
+                            "net.relay_bytes", "net.records_delta_skipped",
+                            "net.delta_resyncs", "sync.delta_rejects")
+
+
+def _coverage_plane_summary(registry: MetricsRegistry) -> dict:
+    """Coverage-plane block; empty (section omitted) when the campaign
+    never exchanged a delta."""
+    summary = {name: total for name in _COVERAGE_PLANE_COUNTERS
+               if (total := registry.counter_total(name))}
+    saved = summary.get("net.bytes_saved", 0)
+    relayed = summary.get("net.relay_bytes", 0)
+    if saved and relayed:
+        summary["relay_reduction"] = round((relayed + saved) / relayed, 2)
+    return summary
 
 
 def _shard_skew(registry: MetricsRegistry) -> dict:
@@ -167,6 +189,15 @@ def render_report(root: Path, *, top: int = 12) -> str:
         lines.append("net (federation transport)")
         for name, value in sorted(net.items()):
             lines.append(f"  {name:<40} {value:>12}")
+        lines.append("")
+
+    plane = summary.get("coverage_plane") or {}
+    if plane:
+        lines.append("coverage plane (virgin-map deltas)")
+        for name, value in sorted(plane.items()):
+            rendered = (f"{value:g}" if isinstance(value, float)
+                        else f"{value}")
+            lines.append(f"  {name:<40} {rendered:>12}")
         lines.append("")
 
     per_shard = summary["shards"]["per_shard"]

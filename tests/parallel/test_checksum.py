@@ -1,0 +1,69 @@
+"""Unit tests for the shared CRC32 + chunk helpers.
+
+The checksum module is the single seam the three binary protocols
+(corpus v2, NCF1 frames, NCD1 deltas) hash through; these tests pin the
+seal/unseal and pack/unpack contracts — including the torn and lying
+length prefixes the sync and transport corruption paths depend on — and
+the bit-compatibility of the delegating protocol layers.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.parallel import checksum
+
+
+def test_checksum_is_zlib_crc32():
+    payload = b"necofuzz coverage plane"
+    assert checksum.checksum(payload) == zlib.crc32(payload)
+    assert checksum.verify(payload, zlib.crc32(payload))
+    assert not checksum.verify(payload, zlib.crc32(payload) ^ 1)
+
+
+def test_seal_unseal_round_trip():
+    for payload in (b"", b"\x00", b"x" * 1000):
+        assert checksum.unseal(checksum.seal(payload)) == payload
+
+
+def test_unseal_rejects_corruption():
+    sealed = bytearray(checksum.seal(b"payload bytes"))
+    sealed[3] ^= 0x40
+    assert checksum.unseal(bytes(sealed)) is None
+
+
+def test_unseal_rejects_short_blob():
+    assert checksum.unseal(b"ab") is None
+
+
+def test_pack_unpack_chunks_round_trip():
+    chunks = [b"", b"a", b"bb" * 500, b"\x00\xff"]
+    assert checksum.unpack_chunks(checksum.pack_chunks(chunks)) == chunks
+    assert checksum.unpack_chunks(b"") == []
+
+
+def test_unpack_chunks_rejects_torn_prefix():
+    raw = checksum.pack_chunks([b"abc"])
+    with pytest.raises(ValueError, match="torn"):
+        checksum.unpack_chunks(raw + b"\x01\x02")
+
+
+def test_unpack_chunks_rejects_lying_prefix():
+    raw = bytearray(checksum.pack_chunks([b"abc"]))
+    raw[0] = 200  # claims 200 bytes; only 3 follow
+    with pytest.raises(ValueError, match="exceeds"):
+        checksum.unpack_chunks(bytes(raw))
+
+
+def test_frames_and_wire_delegate_to_shared_checksum():
+    # The protocols must stay bit-compatible: one definition, not three.
+    from repro.parallel.transport import frames
+
+    chunks = [b"one", b"two"]
+    assert frames.encode_blobs(chunks) == checksum.pack_chunks(chunks)
+    assert frames.decode_blobs(checksum.pack_chunks(chunks)) == chunks
+    raw = frames.pack_ctrl({"op": "ping"})
+    crc = frames.FRAME_HEADER.unpack_from(raw)[4]
+    assert checksum.verify(raw[frames.FRAME_HEADER.size:], crc)

@@ -1,0 +1,117 @@
+"""Federation coverage plane: delta-compressed relay parity (DESIGN.md §15).
+
+The acceptance pin of the delta plane: a federated campaign that ships
+virgin-map deltas and elides subsumed relay records produces the
+**bit-identical campaign fingerprint** to the same campaign running
+pure record replay — on both vendors, and under corrupt-delta faults
+that force the watermark resync fallback, including a node whose delta
+push never lands (the coordinator must quietly fall back to shipping
+records for it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Vendor
+from repro.faults import FaultPlan, FaultSpec
+from repro.resilience import FederatedCampaign, campaign_fingerprint
+from repro.telemetry.report import campaign_summary
+
+SEED = 11
+BUDGET = 32
+LEASE = 8
+WORKERS = 2
+
+
+def _federated(**overrides) -> FederatedCampaign:
+    kwargs = dict(hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED,
+                  workers=WORKERS, lease_size=LEASE, telemetry_mode="off",
+                  transport_timeout=1.0, heartbeat_interval=0.1)
+    kwargs.update(overrides)
+    return FederatedCampaign(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def replay_fingerprint() -> dict:
+    """Record-replay (delta plane off) fingerprints, one per vendor."""
+    return {vendor: campaign_fingerprint(
+                _federated(vendor=vendor, delta_plane=False).run(BUDGET))
+            for vendor in (Vendor.INTEL, Vendor.AMD)}
+
+
+# --- parity -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("vendor", [Vendor.INTEL, Vendor.AMD],
+                         ids=["intel", "amd"])
+def test_delta_plane_matches_record_replay(vendor, replay_fingerprint):
+    result = _federated(vendor=vendor, delta_plane=True).run(BUDGET)
+    assert campaign_fingerprint(result) == replay_fingerprint[vendor]
+
+
+def test_delta_traffic_reaches_telemetry(tmp_path):
+    _federated(sync_dir=tmp_path, telemetry_mode="metrics").run(BUDGET)
+    plane = campaign_summary(tmp_path)["coverage_plane"]
+    assert plane.get("net.delta_bytes", 0) > 0
+    assert plane.get("net.relay_bytes", 0) > 0
+    # No resyncs on a clean link.
+    assert "net.delta_resyncs" not in plane
+
+
+# --- corrupt-delta fallback -------------------------------------------------
+
+
+class TestCorruptDeltaFallback:
+    def test_single_corrupt_delta_resyncs_and_matches(self,
+                                                      replay_fingerprint,
+                                                      tmp_path):
+        """A corrupt NCD1 payload (frame CRC fine, delta CRC bad) must
+        degrade to a resync snapshot on the retry — never a torn
+        connection, never a fingerprint change."""
+        plan = FaultPlan([FaultSpec("corrupt_delta", worker=0, at_round=1)])
+        result = _federated(sync_dir=tmp_path, fault_plan=plan,
+                            telemetry_mode="metrics").run(BUDGET)
+        assert plan.exhausted, "the corrupt_delta fault never fired"
+        assert plan.fired and plan.fired[0][0] == "corrupt_delta"
+        assert (campaign_fingerprint(result)
+                == replay_fingerprint[Vendor.INTEL])
+        plane = campaign_summary(tmp_path)["coverage_plane"]
+        assert plane.get("net.delta_resyncs", 0) >= 1
+
+    def test_corrupt_deltas_on_both_nodes(self, replay_fingerprint):
+        plan = FaultPlan([
+            FaultSpec("corrupt_delta", worker=0, at_round=1),
+            FaultSpec("corrupt_delta", worker=1, at_round=2),
+        ])
+        result = _federated(fault_plan=plan).run(BUDGET)
+        assert plan.exhausted
+        assert (campaign_fingerprint(result)
+                == replay_fingerprint[Vendor.INTEL])
+
+    def test_node_whose_delta_never_lands_falls_back_to_records(
+            self, replay_fingerprint, tmp_path):
+        """All three push attempts in one round corrupted: the node gives
+        up on that round's delta, so the coordinator's mirror for it
+        stays behind the fetch round and the reply must carry records,
+        not a delta verdict — with the fingerprint unchanged."""
+        plan = FaultPlan([FaultSpec("corrupt_delta", worker=0, at_round=1)
+                          for _ in range(3)])
+        result = _federated(sync_dir=tmp_path, fault_plan=plan,
+                            telemetry_mode="metrics").run(BUDGET)
+        assert plan.exhausted
+        assert (campaign_fingerprint(result)
+                == replay_fingerprint[Vendor.INTEL])
+        plane = campaign_summary(tmp_path)["coverage_plane"]
+        assert plane.get("net.delta_resyncs", 0) >= 3
+
+
+# --- mixed planes -----------------------------------------------------------
+
+
+def test_delta_plane_off_ships_no_deltas(tmp_path):
+    _federated(sync_dir=tmp_path, delta_plane=False,
+               telemetry_mode="metrics").run(BUDGET)
+    summary = campaign_summary(tmp_path)
+    assert not summary["coverage_plane"].get("net.delta_bytes")
+    assert summary["net"].get("net.records_fetched", 0) > 0

@@ -6,6 +6,8 @@ everything a campaign can observe. Format-specific classes cover the
 on-disk layout and the v2-only subsumption filter.
 """
 
+import json
+
 import pytest
 
 from repro import faults
@@ -14,7 +16,11 @@ from repro.faults import FaultPlan, FaultSpec
 from repro.fuzzer.engine import FuzzEngine, RunFeedback
 from repro.fuzzer.input import INPUT_SIZE
 from repro.fuzzer.rng import Rng
-from repro.parallel.sync import SyncDirectory, worker_queue_dir
+from repro.parallel.sync import (
+    COVERAGE_SIDECAR,
+    SyncDirectory,
+    worker_queue_dir,
+)
 from repro.parallel.wire import QUEUE_BIN, QUEUE_IDX, LineCodec
 
 
@@ -392,3 +398,225 @@ class TestSyncCorruption:
         assert consumer.stats.import_skipped == 0
         orphans = list(worker_queue_dir(tmp_path, 1).glob("*.tmp"))
         assert orphans  # the fault really did leave one behind
+
+
+class TestDeltaBatchReject:
+    """V2-only coverage sidecar (DESIGN.md §15): a reader whose virgin
+    map subsumes the exporter's entire map absorbs the fresh batch from
+    one NCD1 delta, without opening ``queue.bin`` — and every fallback
+    (corrupt or stale sidecar, flagged head record, novel coverage,
+    torn tail) degrades to the per-record path with identical results.
+    """
+
+    LINES = [("nested.py", n) for n in range(1, 9)]
+
+    def _novel_lines_execute(self, executions=None):
+        counter = {"n": 0}
+
+        def execute(fi):
+            if executions is not None:
+                executions.append(bytes(fi))
+            counter["n"] += 1
+            bitmap = CoverageBitmap()
+            bitmap.record_edge(counter["n"] * 64, counter["n"] * 64 + 1)
+            line = self.LINES[counter["n"] % len(self.LINES)]
+            return RunFeedback(bitmap=bitmap, lines=frozenset({line}))
+
+        return execute
+
+    def _producer(self, tmp_path, codec, runs=3):
+        producer = make_engine(seed=1, execute=self._novel_lines_execute())
+        producer.run(runs)
+        psync = make_sync(tmp_path, 1, "v2")
+        psync.export(producer, codec=codec)
+        return producer, psync
+
+    def _catch_up(self, tmp_path, codec, consumer, sync, absorbed):
+        """First round: reader imports everything per-record (the seed
+        heads the batch and is flagged — no coverage — so the batch
+        path must decline) and ends a full superset of the exporter."""
+        imported = sync.import_new(consumer, codec=codec,
+                                   absorb_lines=absorbed.extend)
+        assert imported > 0
+        assert sync.stats.batches_delta_rejected == 0
+        return imported
+
+    def test_sidecar_written_next_to_queue(self, tmp_path):
+        codec = LineCodec(self.LINES)
+        producer, _psync = self._producer(tmp_path, codec)
+        sidecar = worker_queue_dir(tmp_path, 1) / COVERAGE_SIDECAR
+        assert sidecar.exists()
+        from repro.coverage import delta
+        from repro.parallel import checksum
+        chunks = checksum.unpack_chunks(checksum.unseal(sidecar.read_bytes()))
+        meta = json.loads(chunks[0])
+        assert meta["records"] == len(producer.queue)
+        assert meta["universe"] == len(codec.universe)
+        assert meta["flagged"] == [0]  # the seed ships no coverage
+        side = delta.decode(chunks[1])
+        assert side.full
+        rebuilt = bytearray(len(producer.virgin.bits))
+        delta.apply_runs(rebuilt, side.runs)
+        assert rebuilt == producer.virgin.bits
+        # One packed line payload per skippable record.
+        assert len(chunks) == 2 + meta["records"] - 1
+
+    def test_superset_reader_rejects_batch_without_reading_records(
+            self, tmp_path):
+        codec = LineCodec(self.LINES)
+        producer, psync = self._producer(tmp_path, codec)
+        executions = []
+        consumer = make_engine(seed=2,
+                               execute=self._novel_lines_execute(executions))
+        consumer.virgin.merge_bits(producer.virgin.snapshot())
+        sync = make_sync(tmp_path, 0, "v2")
+        absorbed = []
+        self._catch_up(tmp_path, codec, consumer, sync, absorbed)
+
+        producer.run(3)
+        psync.export(producer, codec=codec)
+        consumer.virgin.merge_bits(producer.virgin.snapshot())
+        skipped_before = consumer.stats.imports_skipped_subsumed
+        executed_before = len(executions)
+        imported = sync.import_new(consumer, codec=codec,
+                                   absorb_lines=absorbed.extend)
+        assert imported == 3
+        assert sync.stats.batches_delta_rejected == 1
+        assert consumer.stats.imports_skipped_subsumed == skipped_before + 3
+        assert len(executions) == executed_before  # nothing executed
+        # The fresh records' own lines were absorbed from the sidecar.
+        fresh_lines = {e.lines for e in producer.queue.entries[-3:]}
+        assert all(line in absorbed
+                   for lines in fresh_lines for line in lines)
+        # The cursor really advanced: nothing left to import.
+        assert sync.import_new(consumer, codec=codec) == 0
+
+    def test_batch_and_per_record_paths_are_equivalent(self, tmp_path):
+        """The acceptance pin: a delta-plane reader and a per-record
+        reader observe identical engine state from the same queue."""
+        codec = LineCodec(self.LINES)
+        producer, psync = self._producer(tmp_path, codec)
+
+        readers = {}
+        for worker, delta_plane in ((0, True), (2, False)):
+            consumer = make_engine(seed=2,
+                                   execute=self._novel_lines_execute())
+            consumer.virgin.merge_bits(producer.virgin.snapshot())
+            sync = SyncDirectory(tmp_path, worker=worker, total_workers=3,
+                                 sync_format="v2", delta_plane=delta_plane)
+            absorbed = []
+            sync.import_new(consumer, codec=codec,
+                            absorb_lines=absorbed.extend)
+            readers[worker] = (consumer, sync, absorbed)
+
+        producer.run(3)
+        psync.export(producer, codec=codec)
+        for worker, (consumer, sync, absorbed) in readers.items():
+            consumer.virgin.merge_bits(producer.virgin.snapshot())
+            sync.import_new(consumer, codec=codec,
+                            absorb_lines=absorbed.extend)
+
+        on, off = readers[0], readers[2]
+        assert on[1].stats.batches_delta_rejected == 1
+        assert off[1].stats.batches_delta_rejected == 0
+        assert on[0].stats.imported == off[0].stats.imported
+        assert (on[0].stats.imports_skipped_subsumed
+                == off[0].stats.imports_skipped_subsumed)
+        assert sorted(set(on[2])) == sorted(set(off[2]))
+        assert bytes(on[0].virgin.bits) == bytes(off[0].virgin.bits)
+
+    @pytest.mark.parametrize("damage", ["corrupt", "stale", "missing"])
+    def test_unusable_sidecar_falls_back_to_per_record(self, tmp_path,
+                                                       damage):
+        codec = LineCodec(self.LINES)
+        producer, psync = self._producer(tmp_path, codec)
+        consumer = make_engine(seed=2, execute=self._novel_lines_execute())
+        consumer.virgin.merge_bits(producer.virgin.snapshot())
+        sync = make_sync(tmp_path, 0, "v2")
+        self._catch_up(tmp_path, codec, consumer, sync, [])
+
+        producer.run(3)
+        psync.export(producer, codec=codec)
+        sidecar = worker_queue_dir(tmp_path, 1) / COVERAGE_SIDECAR
+        if damage == "corrupt":
+            raw = bytearray(sidecar.read_bytes())
+            raw[len(raw) // 2] ^= 0xFF
+            sidecar.write_bytes(bytes(raw))
+        elif damage == "stale":
+            # A sidecar describing the previous, shorter manifest.
+            producer2 = make_engine(seed=1,
+                                    execute=self._novel_lines_execute())
+            producer2.run(3)
+            stale_root = tmp_path / "stale"
+            make_sync(stale_root, 1, "v2").export(producer2, codec=codec)
+            sidecar.write_bytes(
+                (worker_queue_dir(stale_root, 1) / COVERAGE_SIDECAR)
+                .read_bytes())
+        else:
+            sidecar.unlink()
+
+        consumer.virgin.merge_bits(producer.virgin.snapshot())
+        skipped_before = consumer.stats.imports_skipped_subsumed
+        imported = sync.import_new(consumer, codec=codec)
+        assert imported == 3
+        assert sync.stats.batches_delta_rejected == 0
+        # Per-record filtering still absorbed every record.
+        assert consumer.stats.imports_skipped_subsumed == skipped_before + 3
+
+    def test_novel_partner_coverage_declines_the_batch(self, tmp_path):
+        codec = LineCodec(self.LINES)
+        producer, psync = self._producer(tmp_path, codec)
+        executions = []
+        consumer = make_engine(seed=2,
+                               execute=self._novel_lines_execute(executions))
+        sync = make_sync(tmp_path, 0, "v2")
+        # No superset merge: the partner's map holds bits this reader
+        # has never seen, so the whole-batch subsumption must fail and
+        # every record must execute.
+        imported = sync.import_new(consumer, codec=codec)
+        assert imported == len(producer.queue)
+        assert sync.stats.batches_delta_rejected == 0
+        assert consumer.stats.imports_skipped_subsumed == 0
+
+    def test_torn_tail_declines_batch_then_heals(self, tmp_path):
+        codec = LineCodec(self.LINES)
+        producer, psync = self._producer(tmp_path, codec)
+        consumer = make_engine(seed=2, execute=self._novel_lines_execute())
+        consumer.virgin.merge_bits(producer.virgin.snapshot())
+        sync = make_sync(tmp_path, 0, "v2")
+        self._catch_up(tmp_path, codec, consumer, sync, [])
+
+        producer.run(3)
+        psync.export(producer, codec=codec)
+        consumer.virgin.merge_bits(producer.virgin.snapshot())
+
+        # Tear the append tail the way a partner crash would: the batch
+        # prefix reaches the manifest end, so the O(1) tail CRC check
+        # must catch it and decline the whole batch.
+        from repro.parallel.wire import read_manifest
+        queue_dir = worker_queue_dir(tmp_path, 1)
+        offset, length, _crc = read_manifest(queue_dir)[-1]
+        raw = bytearray((queue_dir / QUEUE_BIN).read_bytes())
+        original = raw[offset + 5]
+        raw[offset + 5] ^= 0xFF
+        (queue_dir / QUEUE_BIN).write_bytes(bytes(raw))
+
+        imported = sync.import_new(consumer, codec=codec)
+        assert sync.stats.batches_delta_rejected == 0
+        assert imported == 2  # the torn record parked on the retry list
+        assert consumer.stats.import_skipped == 1
+
+        # Heal the tail; the retry set forces the per-record path.
+        raw[offset + 5] = original
+        (queue_dir / QUEUE_BIN).write_bytes(bytes(raw))
+        assert sync.import_new(consumer, codec=codec) == 1
+        assert consumer.stats.import_skipped == 1  # counted once
+
+    def test_delta_plane_off_writes_no_sidecar(self, tmp_path):
+        codec = LineCodec(self.LINES)
+        producer = make_engine(seed=1, execute=self._novel_lines_execute())
+        producer.run(2)
+        psync = make_sync(tmp_path, 1, "v2")
+        psync.delta_plane = False
+        psync.export(producer, codec=codec)
+        assert not (worker_queue_dir(tmp_path, 1) / COVERAGE_SIDECAR).exists()

@@ -136,6 +136,76 @@ def test_decode_blobs_rejects_torn_tail():
         frames.decode_blobs(wire + b"\x01\x00")
 
 
+def test_delta_frame_round_trip():
+    meta = {"op": "delta", "round": 2, "base": 7}
+    raw = b"NCD1" + bytes(range(64))
+    (ftype, payload), = frames.FrameDecoder().feed(
+        frames.pack_delta(meta, raw))
+    assert ftype == frames.FT_DELTA
+    assert frames.split_blob(payload) == (meta, raw)
+
+
+# --- mid-frame reconnects ---------------------------------------------------
+#
+# A connection can die with a frame half-delivered (the coordinator
+# crashing mid-send, a node-side timeout mid-recv). Recovery discards
+# the old decoder with the socket: the resent RPC arrives on a fresh
+# connection with a fresh FrameDecoder, so the stale half-frame must
+# never leak into the new stream — and the abandoned decoder must stay
+# quietly buffered rather than erroring on the bytes it already holds.
+
+
+def test_reconnect_after_partial_header():
+    wire = frames.pack_ctrl({"op": "claim", "seq": 4})
+    stale = frames.FrameDecoder()
+    assert stale.feed(wire[:frames.FRAME_HEADER.size - 3]) == []
+
+    fresh = frames.FrameDecoder()
+    (ftype, payload), = fresh.feed(wire)
+    assert frames.parse_ctrl(payload)["seq"] == 4
+    # The abandoned decoder never completes, and never errors either.
+    assert stale.feed(b"") == []
+
+
+def test_reconnect_after_partial_blob_payload():
+    wire = frames.pack_blob({"op": "push", "seq": 9}, bytes(4096))
+    stale = frames.FrameDecoder()
+    # Header plus half the payload delivered before the link died.
+    assert stale.feed(wire[:frames.FRAME_HEADER.size + 2048]) == []
+
+    fresh = frames.FrameDecoder()
+    (ftype, payload), = fresh.feed(wire)
+    assert ftype == frames.FT_BLOB
+    meta, raw = frames.split_blob(payload)
+    assert meta["seq"] == 9 and len(raw) == 4096
+
+
+def test_stale_decoder_tail_does_not_corrupt_resent_frame():
+    # The failure mode reconnect-with-a-fresh-decoder prevents: feeding
+    # the resent frame into the *stale* decoder misframes the stream.
+    wire = frames.pack_ctrl({"op": "claim", "seq": 1})
+    stale = frames.FrameDecoder()
+    stale.feed(wire[:10])
+    with pytest.raises(frames.FrameError):
+        # Half a header followed by a full frame is a corrupt stream.
+        stale.feed(wire)
+
+
+def test_reconnect_mid_multi_frame_burst():
+    first = frames.pack_ctrl({"op": "claim", "seq": 1})
+    second = frames.pack_blob({"op": "push", "seq": 2}, b"payload")
+    stale = frames.FrameDecoder()
+    # The first frame and part of the second arrived, then the link died.
+    decoded = stale.feed(first + second[:8])
+    assert [frames.parse_ctrl(p)["seq"] for _, p in decoded] == [1]
+
+    # The sender resends only the unacknowledged RPC on the new link.
+    fresh = frames.FrameDecoder()
+    (ftype, payload), = fresh.feed(second)
+    assert ftype == frames.FT_BLOB
+    assert frames.split_blob(payload)[0]["seq"] == 2
+
+
 # --- addresses -------------------------------------------------------------
 
 
