@@ -29,6 +29,8 @@ from repro.fuzzer.input import (
 from repro.fuzzer.mutators import mutate_candidate
 from repro.fuzzer.queue import SeedQueue
 from repro.fuzzer.rng import Rng
+from repro.schedule.bandit import OperatorBandit
+from repro.schedule.power import FlatSchedule, PowerSchedule
 
 #: The partitions region-aware havoc keeps in motion.
 _REGIONS = (VM_STATE_REGION, MUTATION_REGION, HARNESS_REGION, CONFIG_REGION)
@@ -98,26 +100,57 @@ class FuzzEngine:
     #: results — so failures are contained here rather than charged to
     #: any case.
     warm_batch: Callable[[list[FuzzInput]], None] | None = None
+    #: Seed-selection strategy (DESIGN.md §16). The default flat
+    #: schedule delegates to ``queue.pick`` verbatim, pinning campaign
+    #: fingerprints to the pre-schedule behaviour; the fast schedule
+    #: weights entries by energy and distills the corpus periodically.
+    schedule: PowerSchedule = field(default_factory=FlatSchedule)
+    #: Operator bandit (fast schedule only). When set, havoc operators
+    #: come from Thompson sampling on the bandit's private RNG stream
+    #: and every folded case's feedback updates the posteriors. None
+    #: (flat mode) keeps the uniform draw and its fingerprints.
+    bandit: OperatorBandit | None = None
 
     def __post_init__(self) -> None:
         # Scratch feedback for isolated cases: an escaped exception left
         # no usable bitmap, so the engine reports an empty one.
         self._fault_bitmap = CoverageBitmap()
+        # FIFO of bandit tickets: step_batch hoists candidate creation,
+        # so per-case op lists queue here until the case's feedback
+        # folds. Plain list of tuples — pickles with the engine.
+        self._tickets: list[tuple[str, ...]] = []
 
     def add_seed(self, data: bytes) -> None:
         """Register one initial seed."""
         self.queue.add_seed(FuzzInput.normalize(data))
 
     def _next_input(self) -> FuzzInput:
-        """Produce the next candidate via seed selection + mutation."""
+        """Produce the next candidate via seed selection + mutation.
+
+        With a bandit, the ops applied to this candidate are collected
+        on a ticket and queued; :meth:`_fold` settles tickets in the
+        same order, so credit assignment survives batch hoisting.
+        """
+        if self.bandit is not None:
+            self.bandit.begin_case()
         if not len(self.queue):
-            return FuzzInput(self.rng.bytes(INPUT_SIZE))
-        entry = self.queue.pick(self.rng)
-        partner = None
-        if len(self.queue) > 1 and self.rng.chance(0.1):
-            partner = self.queue.pick_other(self.rng, entry).data
-        return FuzzInput(
-            mutate_candidate(entry.data, self.rng, _REGIONS, partner))
+            candidate = FuzzInput(self.rng.bytes(INPUT_SIZE))
+        else:
+            entry = self.schedule.pick(self.queue, self.rng)
+            partner = None
+            if len(self.queue) > 1:
+                # Flat mode: the historical 10% coin from the main
+                # stream. Fast mode: the bandit's learned splice gate,
+                # drawn from its private stream.
+                splice_now = (self.rng.chance(0.1) if self.bandit is None
+                              else self.bandit.gate("splice"))
+                if splice_now:
+                    partner = self.queue.pick_other(self.rng, entry).data
+            candidate = FuzzInput(mutate_candidate(
+                entry.data, self.rng, _REGIONS, partner, bandit=self.bandit))
+        if self.bandit is not None:
+            self._tickets.append(self.bandit.take_ticket())
+        return candidate
 
     def _execute_isolated(self, candidate: FuzzInput) -> RunFeedback:
         """Run one case with crash isolation at the case boundary.
@@ -203,8 +236,8 @@ class FuzzEngine:
             telemetry.counter("engine.crashes", int(feedback.crashed))
             telemetry.counter("engine.anomalies",
                               int(feedback.anomaly is not None))
+        new_bits = self.virgin.has_new_bits(feedback.bitmap)
         if self.coverage_guided:
-            new_bits = self.virgin.has_new_bits(feedback.bitmap)
             if new_bits:
                 self.queue.add_finding(
                     candidate.data, self.stats.iterations, new_bits,
@@ -214,10 +247,14 @@ class FuzzEngine:
                 self.stats.queue_adds += 1
                 self.stats.last_find = self.stats.iterations
                 telemetry.counter("engine.queue_adds")
-        else:
-            # Black-box mode still merges the map so external observers
-            # can measure coverage, but scheduling ignores it.
-            self.virgin.has_new_bits(feedback.bitmap)
+        # else: black-box mode still merges the map (above) so external
+        # observers can measure coverage, but scheduling ignores it.
+        if self.bandit is not None and self._tickets:
+            # "Hit" means coverage novelty: the ops on this case's
+            # ticket steered the target somewhere the virgin map had
+            # not seen. Crashes without new bits are already dedupable
+            # by signature and do not reward the operators.
+            self.bandit.settle(self._tickets.pop(0), hit=new_bits > 0)
         telemetry.gauge("engine.queue_depth", len(self.queue))
         telemetry.gauge("engine.corpus_bytes", len(self.queue) * INPUT_SIZE)
         return feedback

@@ -58,6 +58,7 @@ from repro.parallel.supervisor import (
     SupervisorEvent,
 )
 from repro.parallel.sync import SYNC_FORMATS, SyncDirectory, SyncStats
+from repro.schedule import SCHEDULE_MODES
 from repro.parallel.worker import (
     CampaignWorker,
     WorkerReport,
@@ -271,6 +272,12 @@ class ParallelCampaign:
     #: (inline only): same seed + same lease log => identical
     #: fingerprint, even when the original sizing was adaptive.
     lease_log: list[LeaseRecord] | None = None
+    #: Seed scheduling inside every worker (DESIGN.md §16): ``flat``
+    #: keeps the historical uniform draw (fingerprint-pinned), ``fast``
+    #: enables energy weighting + the operator bandit + distillation.
+    #: Schedule/bandit state rides worker checkpoints but — like
+    #: telemetry — never enters the campaign fingerprint.
+    power_schedule: str = "flat"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -296,6 +303,9 @@ class ParallelCampaign:
                 f"unknown telemetry_mode {self.telemetry_mode!r}")
         if self.sync_format not in SYNC_FORMATS:
             raise ValueError(f"unknown sync_format {self.sync_format!r}")
+        if self.power_schedule not in SCHEDULE_MODES:
+            raise ValueError(
+                f"unknown power_schedule {self.power_schedule!r}")
         if self.sync_every < 1:
             raise ValueError("sync_every must be >= 1")
         if self.max_restarts < 0:
@@ -322,7 +332,8 @@ class ParallelCampaign:
             async_events=self.async_events,
             iterations_per_hour=self.iterations_per_hour,
             reuse_hypervisor=self.reuse_hypervisor,
-            batch_size=self.batch_size)
+            batch_size=self.batch_size,
+            power_schedule=self.power_schedule)
 
     def _stealing_worker_count(self, iterations: int) -> int:
         """How many workers a stealing campaign actually spawns.
@@ -435,7 +446,7 @@ class ParallelCampaign:
                   if self.schedule == "static" else (iterations or 0,))
         return (self.seed, self.workers, self.hypervisor, self.vendor.value,
                 shares, sample_every, self.sync_every, self.schedule,
-                self.lease_size, self.sync_adaptive)
+                self.lease_size, self.sync_adaptive, self.power_schedule)
 
     def _save_campaign_checkpoint(self, path: Path, manifest: tuple,
                                   workers: list[CampaignWorker],
@@ -501,7 +512,8 @@ class ParallelCampaign:
 
     def _pool_key(self, specs: list[WorkerSpec]) -> tuple:
         return (self.hypervisor, self.vendor.value, self.seed, len(specs),
-                self.schedule, self.sync_format, self.batch_size)
+                self.schedule, self.sync_format, self.batch_size,
+                self.power_schedule)
 
     def _build_inline_workers(self, root: Path, specs: list[WorkerSpec],
                               sample_every: int, syncing: bool

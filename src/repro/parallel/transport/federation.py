@@ -78,6 +78,10 @@ class FederatedCampaign:
     iterations_per_hour: float = 10.0
     reuse_hypervisor: bool = False
     batch_size: int = 0
+    #: Seed scheduling inside every node's workers (DESIGN.md §16);
+    #: forwarded through the inner campaign, so external nodes receive
+    #: it in their config payload.
+    power_schedule: str = "flat"
     #: Endpoint: an address tuple, an ``"addr:port"`` / ``"unix:/path"``
     #: string, or None for AF_UNIX under the campaign root (loopback
     #: TCP where AF_UNIX is unavailable or the socket path too long).
@@ -114,6 +118,7 @@ class FederatedCampaign:
             iterations_per_hour=self.iterations_per_hour,
             reuse_hypervisor=self.reuse_hypervisor,
             batch_size=self.batch_size,
+            power_schedule=self.power_schedule,
             subsumption_filter=self.subsumption_filter,
             schedule="stealing", lease_size=self.lease_size,
             telemetry_mode=self.telemetry_mode)

@@ -1,0 +1,121 @@
+"""Deterministic Thompson-sampling bandit over mutation operators.
+
+The uniform havoc table treats a bit flip and a block copy as equally
+promising forever; the bandit learns, per campaign, which operators
+actually light virgin bits on *this* hypervisor target. Each operator
+is one arm with a Beta(α, β) posterior over "a case this operator
+touched found new coverage":
+
+* havoc stack slots pick the arm whose sampled θ is largest (classic
+  Thompson sampling);
+* the optional ``splice`` and ``region_havoc`` stages are Bernoulli
+  gates — the stage runs with its sampled posterior probability, so a
+  stage that keeps paying stays frequent and a useless one decays
+  toward (but never reaches) zero.
+
+Every stochastic decision draws from the bandit's **own** RNG stream,
+forked off the campaign seed via :meth:`repro.fuzzer.rng.Rng.fork` —
+the engine's main stream never sees a bandit draw, and a pickled
+bandit (worker checkpoints, lease-log replays) resumes both posterior
+and stream position exactly, so fast-mode campaigns replay bit for bit.
+
+Credit assignment is per *case*: the ops applied while building one
+candidate are collected on a ticket, and when the case's feedback folds
+the whole ticket is rewarded (α+1 on new coverage) or penalised (β+1).
+Per-operator use/hit counters are mirrored into the telemetry registry
+(``sched.op_uses.*`` / ``sched.op_hits.*``) for the
+``repro telemetry-report`` scheduler-learning section.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import telemetry
+from repro.fuzzer.mutators import HAVOC_OPS
+from repro.fuzzer.rng import Rng
+
+#: ``Rng.fork`` salt for the bandit's private stream. Disjoint from the
+#: corpus-seed salts (1..3 in ``NecoFuzz.__post_init__``) and the
+#: worker-seed salt space (``repro.parallel.worker._WORKER_SALT``).
+_BANDIT_SALT = 0x0B4D17
+
+#: Stage arms: optional pipeline stages the bandit gates, as opposed to
+#: the havoc arms it selects among.
+STAGE_ARMS = ("splice", "region_havoc")
+
+#: Every arm, in posterior-sampling order (determinism depends on it).
+BANDIT_ARMS = tuple(name for name, _ in HAVOC_OPS) + STAGE_ARMS
+
+
+class OperatorBandit:
+    """Thompson sampling over :data:`BANDIT_ARMS` with Beta posteriors."""
+
+    def __init__(self, rng: Rng) -> None:
+        self.rng = rng
+        self.alpha = {name: 1.0 for name in BANDIT_ARMS}
+        self.beta = {name: 1.0 for name in BANDIT_ARMS}
+        self.uses = {name: 0 for name in BANDIT_ARMS}
+        self.hits = {name: 0 for name in BANDIT_ARMS}
+        self._ticket: list[str] = []
+
+    @classmethod
+    def fork_from(cls, rng: Rng) -> "OperatorBandit":
+        """A bandit on its own child stream of the campaign RNG."""
+        return cls(rng.fork(_BANDIT_SALT))
+
+    # --- per-case ticket ----------------------------------------------
+
+    def begin_case(self) -> None:
+        """Start collecting the ops applied to the next candidate."""
+        self._ticket = []
+
+    def take_ticket(self) -> tuple[str, ...]:
+        """The (deduplicated, order-preserving) ops of the current case."""
+        ticket = tuple(dict.fromkeys(self._ticket))
+        self._ticket = []
+        return ticket
+
+    # --- decisions ----------------------------------------------------
+
+    def _sample(self, name: str) -> float:
+        return self.rng.beta(self.alpha[name], self.beta[name])
+
+    def choose_havoc(self) -> Callable:
+        """Pick one havoc operator by posterior sampling (argmax θ)."""
+        best_fn: Callable | None = None
+        best_name = ""
+        best_theta = -1.0
+        for name, fn in HAVOC_OPS:
+            theta = self._sample(name)
+            if theta > best_theta:
+                best_theta = theta
+                best_name, best_fn = name, fn
+        self._ticket.append(best_name)
+        return best_fn
+
+    def gate(self, name: str) -> bool:
+        """Probability-matching gate for an optional pipeline stage."""
+        applied = self.rng.chance(self._sample(name))
+        if applied:
+            self._ticket.append(name)
+        return applied
+
+    # --- learning -----------------------------------------------------
+
+    def settle(self, ticket: tuple[str, ...], hit: bool) -> None:
+        """Reward (or penalise) every op that touched a finished case."""
+        for name in ticket:
+            self.uses[name] += 1
+            telemetry.counter(f"sched.op_uses.{name}")
+            if hit:
+                self.alpha[name] += 1.0
+                self.hits[name] += 1
+                telemetry.counter(f"sched.op_hits.{name}")
+            else:
+                self.beta[name] += 1.0
+
+    def hit_rates(self) -> dict[str, float]:
+        """Observed per-operator hit rates (used arms only)."""
+        return {name: self.hits[name] / self.uses[name]
+                for name in BANDIT_ARMS if self.uses[name]}

@@ -1,0 +1,53 @@
+"""Periodic corpus distillation: a greedy minimal-subset cover.
+
+After enough findings, many queue entries cover only bits that earlier
+entries already cover; spending mutation energy on them re-explores
+known behaviour. Distillation walks the queue in discovery order and
+keeps the first entry to contribute each ``(cell, class-bit)`` pair —
+the same greedy minimal-cover AFL's ``cull_queue`` approximates — and
+**demotes** the rest by setting :attr:`QueueEntry.redundant`.
+
+Demotion, never deletion: the fast power schedule drops a redundant
+entry's energy to the floor, but the entry stays in the queue (corpus
+digests, sync exports, and reproducibility all depend on the queue
+being append-only). Three classes are exempt even from demotion:
+
+* crashed entries and anomaly entries — they are evidence, and their
+  inputs are the cheapest route back to the behaviour;
+* seeds and legacy-loaded entries (``coverage is None``) — with no
+  recorded coverage there is nothing to prove redundancy against.
+"""
+
+from __future__ import annotations
+
+from repro.coverage.bitmap import VirginMap
+from repro.fuzzer.queue import SeedQueue
+
+
+def distill(queue: SeedQueue) -> int:
+    """Recompute every entry's ``redundant`` flag; returns the count.
+
+    Deterministic: the greedy cover is built in discovery (queue)
+    order, so two replicas of the same queue always demote the same
+    entries. Exempt entries still merge their coverage into the cover —
+    a later duplicate of a crasher's coverage is exactly the kind of
+    entry distillation exists to demote.
+    """
+    cover = VirginMap()
+    bits = cover.bits
+    redundant = 0
+    for entry in queue.entries:
+        if entry.coverage is None or entry.crashed or entry.anomaly:
+            entry.redundant = False
+            if entry.coverage:
+                for idx, cls in entry.coverage:
+                    bits[idx] |= cls
+            continue
+        if cover.subsumes(entry.coverage):
+            entry.redundant = True
+            redundant += 1
+        else:
+            entry.redundant = False
+            for idx, cls in entry.coverage:
+                bits[idx] |= cls
+    return redundant

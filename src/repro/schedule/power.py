@@ -1,0 +1,142 @@
+"""AFLFast-style power schedules over the seed queue.
+
+Two modes, selected with ``--power-schedule``:
+
+* ``flat`` (default) — delegates to :meth:`SeedQueue.pick` verbatim.
+  Zero extra RNG draws, zero behaviour change: a flat-mode campaign
+  fingerprint is pinned bit-for-bit equal to one from before this
+  package existed.
+* ``fast`` — every entry gets an integer *energy* and the next seed is
+  one weighted draw over the queue. Energy rises with coverage novelty
+  (``new_bits``) and favored status, grows slowly with discovery depth,
+  and decays with exercise count and execution cost, so late, cheap,
+  novel seeds out-compete the over-fuzzed early corpus — the AFLFast
+  observation that flat draws re-spend most of the budget on
+  high-frequency paths.
+
+Execution cost is the **touched-cell count** of the entry's recorded
+coverage, not wall-clock time: an entry that lights more bitmap cells
+exercised a longer path through the hypervisor model, and — unlike a
+timer — the proxy is bit-for-bit reproducible under checkpoint/resume
+and lease-log replay, which fast mode's acceptance criteria require.
+
+The fast schedule also owns the distillation cadence: every
+``distill_every`` picks it recomputes the queue's ``redundant`` flags
+via :func:`repro.schedule.distill.distill` and drops demoted entries to
+the energy floor (they are never removed — see the distill module).
+All schedule state is plain picklable attributes, so it rides worker
+checkpoints with the engine and stays outside campaign fingerprints,
+exactly like telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.fuzzer.queue import EXERCISE_CAP, QueueEntry, SeedQueue
+from repro.fuzzer.rng import Rng
+from repro.schedule.bandit import OperatorBandit
+from repro.schedule.distill import distill
+
+SCHEDULE_MODES = ("flat", "fast")
+
+#: Energy of an unremarkable entry before novelty/decay adjustments.
+BASE_ENERGY = 16
+
+
+class PowerSchedule:
+    """Strategy interface: choose the next queue entry to mutate."""
+
+    mode = "base"
+
+    def pick(self, queue: SeedQueue, rng: Rng) -> QueueEntry:
+        raise NotImplementedError
+
+
+@dataclass
+class FlatSchedule(PowerSchedule):
+    """The pre-schedule behaviour, verbatim (fingerprint-pinned)."""
+
+    mode = "flat"
+
+    def pick(self, queue: SeedQueue, rng: Rng) -> QueueEntry:
+        return queue.pick(rng)
+
+
+@dataclass
+class FastSchedule(PowerSchedule):
+    """Energy-weighted selection with periodic corpus distillation."""
+
+    mode = "fast"
+    #: Picks between distillation passes (0 disables distillation).
+    distill_every: int = 512
+    picks: int = 0
+    distill_runs: int = 0
+
+    def energy(self, entry: QueueEntry) -> int:
+        """Integer energy >= 1 (integer-only: replays must not depend
+        on float rounding).
+
+        * novelty: a new-edge finding (``new_bits == 2``) is worth 4x,
+          a new-bucket finding 2x;
+        * favored entries still under the exercise cap get 2x (the
+          favored pool keeps its priority under the weighted draw);
+        * discovery depth adds ``found_at.bit_length()`` (late finds
+          needed the preceding corpus — nudge, not dominate);
+        * exercise decay halves energy per 8 picks, floored at 1/16;
+        * execution cost divides by ``1 + cells/64`` — touched bitmap
+          cells as the deterministic stand-in for wall-clock;
+        * distillation-demoted entries sit at the floor.
+        """
+        if entry.redundant:
+            return 1
+        energy = BASE_ENERGY
+        if entry.new_bits >= 2:
+            energy *= 4
+        elif entry.new_bits == 1:
+            energy *= 2
+        if entry.favored and entry.exercised < EXERCISE_CAP:
+            energy *= 2
+        energy += min(entry.found_at.bit_length(), 16)
+        energy >>= min(entry.exercised // 8, 4)
+        cost = len(entry.coverage) if entry.coverage else 0
+        energy //= 1 + cost // 64
+        return max(energy, 1)
+
+    def pick(self, queue: SeedQueue, rng: Rng) -> QueueEntry:
+        """One weighted draw over the queue (single ``rng.below`` call)."""
+        if not queue.entries:
+            raise RuntimeError("empty seed queue")
+        self.picks += 1
+        if self.distill_every and self.picks % self.distill_every == 0:
+            demoted = distill(queue)
+            self.distill_runs += 1
+            telemetry.counter("sched.distill_runs")
+            telemetry.gauge("sched.queue_redundant", float(demoted))
+        weights = [self.energy(entry) for entry in queue.entries]
+        draw = rng.below(sum(weights))
+        for entry, weight in zip(queue.entries, weights):
+            draw -= weight
+            if draw < 0:
+                break
+        entry.exercised += 1
+        return entry
+
+
+def make_schedule(mode: str,
+                  rng: Rng) -> tuple[PowerSchedule, OperatorBandit | None]:
+    """Build the (schedule, bandit) pair for *mode*.
+
+    Flat mode gets no bandit: its whole contract is "no extra RNG
+    draws anywhere", and a bandit would add posterior sampling to every
+    candidate. The fast bandit forks its own stream off *rng* without
+    consuming any parent draws (:meth:`Rng.fork` is pure seed
+    arithmetic), so constructing it never perturbs the campaign.
+    """
+    if mode not in SCHEDULE_MODES:
+        raise ValueError(
+            f"unknown power schedule {mode!r}; expected one of {SCHEDULE_MODES}")
+    if mode == "flat":
+        return FlatSchedule(), None
+    return FastSchedule(), OperatorBandit.fork_from(rng)

@@ -78,6 +78,26 @@ class TestSplice:
         out = M.splice(bytes(32), bytes(8), Rng(6))
         assert len(out) == 32
 
+    @given(st.binary(min_size=0, max_size=1),
+           st.binary(min_size=0, max_size=64), seed_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_short_inputs_pass_through(self, data, other, seed):
+        """Regression: length <= 1 used to raise ValueError through
+        ``rng.below(0)`` — exactly what a 0/1-byte corpus entry feeds."""
+        rng = Rng(seed)
+        before = rng.getstate()
+        assert M.splice(data, other, rng) == data
+        # The guard consumes no draw, like a zero-length cut would.
+        assert rng.getstate() == before
+
+    def test_zero_and_one_byte_corpus_entries_mutable(self):
+        """End-to-end shape of the original crash: a tiny corpus entry
+        spliced with a full-size partner inside mutate_candidate."""
+        for data in (b"", b"\x7f"):
+            out = M.mutate_candidate(data, Rng(3), ((0, 1),),
+                                     partner=bytes(64))
+            assert isinstance(out, bytes)
+
 
 class TestRegionHavoc:
     REGIONS = ((0, 16), (16, 32), (32, 64))

@@ -1,0 +1,95 @@
+"""Seed-queue scheduling invariants (pick, pick_other, the cull rule)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzer.queue import EXERCISE_CAP, SeedQueue
+from repro.fuzzer.rng import Rng
+
+seed_strategy = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _queue(entries):
+    queue = SeedQueue()
+    for i in range(entries):
+        queue.add_seed(bytes([i]))
+    return queue
+
+
+class TestPickOther:
+    @given(seed_strategy, st.integers(2, 5))
+    @settings(max_examples=100, deadline=None)
+    def test_never_self_splices_with_partners_available(self, seed, size):
+        """Regression: 4 bounded retries used to fall back to *entry*
+        itself (~6% self-splices on a 2-entry queue). The fallback is
+        now the deterministic successor in queue order."""
+        queue = _queue(size)
+        rng = Rng(seed)
+        entry = queue.entries[0]
+        for _ in range(50):
+            assert queue.pick_other(rng, entry) is not entry
+
+    def test_single_entry_queue_returns_entry(self):
+        queue = _queue(1)
+        entry = queue.entries[0]
+        assert queue.pick_other(Rng(1), entry) is entry
+
+    def test_draw_count_matches_legacy(self):
+        """The retry loop must consume exactly the draws the historical
+        implementation did — the fallback activates only after all four
+        draws, so flat-mode fingerprints stay pinned."""
+        queue = _queue(3)
+        entry = queue.entries[1]
+        r1, r2 = Rng(42), Rng(42)
+        for _ in range(200):
+            queue.pick_other(r1, entry)
+            # Legacy draw pattern: up to 4 choices, stop on first miss.
+            for _ in range(4):
+                if r2.choice(queue.entries) is not entry:
+                    break
+        assert r1.getstate() == r2.getstate()
+
+
+class TestCullRule:
+    def test_add_finding_unfavors_exhausted_entries(self):
+        """Regression: favored flags used to linger after ``exercised``
+        crossed the cap, silently diverging from the pick() pool."""
+        queue = _queue(1)
+        spent = queue.add_finding(b"a", iteration=1, new_bits=2)
+        assert spent.favored
+        spent.exercised = EXERCISE_CAP
+        queue.add_finding(b"b", iteration=2, new_bits=2)
+        assert not spent.favored
+
+    def test_under_cap_stays_favored(self):
+        queue = _queue(1)
+        fresh = queue.add_finding(b"a", iteration=1, new_bits=2)
+        fresh.exercised = EXERCISE_CAP - 1
+        queue.add_finding(b"b", iteration=2, new_bits=2)
+        assert fresh.favored
+
+    def test_recull_is_draw_neutral(self):
+        """Clearing stale flags must not change the pick trajectory."""
+        q1, q2 = _queue(2), _queue(2)
+        for q in (q1, q2):
+            entry = q.add_finding(b"a", iteration=1, new_bits=2)
+            entry.exercised = EXERCISE_CAP
+        q1.recull()
+        r1, r2 = Rng(7), Rng(7)
+        seq1 = [q1.entries.index(q1.pick(r1)) for _ in range(100)]
+        seq2 = [q2.entries.index(q2.pick(r2)) for _ in range(100)]
+        assert seq1 == seq2
+        assert r1.getstate() == r2.getstate()
+
+    @given(seed_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_favored_pool_matches_flags_after_recull(self, seed):
+        rng = Rng(seed)
+        queue = _queue(2)
+        for i in range(6):
+            entry = queue.add_finding(bytes([i]), iteration=i + 1,
+                                      new_bits=2)
+            entry.exercised = rng.below(2 * EXERCISE_CAP)
+        queue.recull()
+        for entry in queue.entries:
+            assert not (entry.favored and entry.exercised >= EXERCISE_CAP)

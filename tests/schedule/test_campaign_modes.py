@@ -1,0 +1,139 @@
+"""Campaign-level schedule contracts (DESIGN.md §16).
+
+* flat (the default) is fingerprint-pinned: the schedule machinery adds
+  zero RNG draws, so a flat campaign reproduces the pre-schedule
+  fingerprint bit for bit on both vendors;
+* fast is a different, but fully deterministic, trajectory — including
+  under checkpoint/resume and lease-log replay, because the schedule
+  and bandit state ride the worker pickle.
+"""
+
+import pytest
+
+from repro import NecoFuzz, Vendor, faults
+from repro.faults import FaultPlan, FaultSpec
+from repro.resilience import (
+    CampaignAborted,
+    ParallelCampaign,
+    campaign_fingerprint,
+)
+
+SEED = 11
+BUDGET = 40
+SYNC_EVERY = 10
+
+STACKS = [
+    pytest.param("kvm", Vendor.INTEL, id="vmx-intel"),
+    pytest.param("kvm", Vendor.AMD, id="svm-amd"),
+]
+
+
+def _campaign(hypervisor, vendor, sync_dir, **overrides):
+    kwargs = dict(hypervisor=hypervisor, vendor=vendor, seed=SEED,
+                  workers=2, sync_every=SYNC_EVERY, mode="inline",
+                  sync_dir=sync_dir)
+    kwargs.update(overrides)
+    return ParallelCampaign(**kwargs)
+
+
+class TestFlatParity:
+    @pytest.mark.parametrize("hypervisor,vendor", STACKS)
+    def test_flat_equals_default_fingerprint(self, tmp_path, hypervisor,
+                                             vendor):
+        """Explicit ``power_schedule="flat"`` is the default, verbatim."""
+        default = _campaign(hypervisor, vendor, tmp_path / "a").run(BUDGET)
+        explicit = _campaign(hypervisor, vendor, tmp_path / "b",
+                             power_schedule="flat").run(BUDGET)
+        assert (campaign_fingerprint(default)
+                == campaign_fingerprint(explicit))
+
+    def test_serial_flat_matches_default(self):
+        default = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL,
+                           seed=SEED).run(BUDGET)
+        explicit = NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL,
+                            seed=SEED, power_schedule="flat").run(BUDGET)
+        assert default.covered_lines == explicit.covered_lines
+        assert (default.engine_stats.queue_adds
+                == explicit.engine_stats.queue_adds)
+
+
+class TestFastDeterminism:
+    @pytest.mark.parametrize("hypervisor,vendor", STACKS)
+    def test_fast_campaign_reproducible(self, tmp_path, hypervisor, vendor):
+        one = _campaign(hypervisor, vendor, tmp_path / "a",
+                        power_schedule="fast").run(BUDGET)
+        two = _campaign(hypervisor, vendor, tmp_path / "b",
+                        power_schedule="fast").run(BUDGET)
+        assert campaign_fingerprint(one) == campaign_fingerprint(two)
+
+    def test_fast_diverges_from_flat(self, tmp_path):
+        """fast must actually change scheduling, not just relabel it."""
+        flat = _campaign("kvm", Vendor.INTEL, tmp_path / "flat").run(BUDGET)
+        fast = _campaign("kvm", Vendor.INTEL, tmp_path / "fast",
+                         power_schedule="fast").run(BUDGET)
+        assert campaign_fingerprint(flat) != campaign_fingerprint(fast)
+
+    def test_serial_fast_reproducible_and_learning(self):
+        runs = [NecoFuzz(hypervisor="kvm", vendor=Vendor.INTEL, seed=SEED,
+                         power_schedule="fast") for _ in range(2)]
+        results = [c.run(BUDGET) for c in runs]
+        assert results[0].covered_lines == results[1].covered_lines
+        rates = [c.engine.bandit.hit_rates() for c in runs]
+        assert rates[0] == rates[1] and rates[0]
+
+
+class TestFastResume:
+    @pytest.mark.parametrize("hypervisor,vendor", STACKS)
+    def test_fast_resume_reproduces_fingerprint(self, tmp_path, hypervisor,
+                                                vendor):
+        """Schedule + bandit state ride the checkpoint pickle."""
+        clean = _campaign(hypervisor, vendor, tmp_path / "clean",
+                          power_schedule="fast",
+                          checkpoint_interval=1).run(BUDGET)
+
+        crashed_dir = tmp_path / "crashed"
+        plan = FaultPlan([FaultSpec("kill_worker", worker=0, at_case=15)])
+        with faults.injected(plan):
+            with pytest.raises(CampaignAborted):
+                _campaign(hypervisor, vendor, crashed_dir,
+                          power_schedule="fast", checkpoint_interval=1,
+                          max_restarts=0).run(BUDGET)
+
+        resumed = _campaign(hypervisor, vendor, crashed_dir,
+                            power_schedule="fast", checkpoint_interval=1,
+                            resume=True).run(BUDGET)
+        assert campaign_fingerprint(resumed) == campaign_fingerprint(clean)
+
+    def test_checkpoint_manifest_pins_power_schedule(self, tmp_path):
+        """A fast checkpoint must not be resumable by a flat campaign:
+        the manifest tuple (the checkpoint-compatibility guard) has to
+        distinguish the two schedules."""
+        flat = _campaign("kvm", Vendor.INTEL, tmp_path)
+        fast = _campaign("kvm", Vendor.INTEL, tmp_path,
+                         power_schedule="fast")
+        assert (flat._manifest(flat._specs(BUDGET), 10)
+                != fast._manifest(fast._specs(BUDGET), 10))
+
+
+class TestFastLeaseReplay:
+    def test_lease_log_replay_pins_fast_fingerprint(self, tmp_path):
+        original = _campaign("kvm", Vendor.INTEL, tmp_path / "a",
+                             power_schedule="fast", schedule="stealing",
+                             lease_size=8).run(BUDGET)
+        assert original.lease_log
+        replayed = _campaign("kvm", Vendor.INTEL, tmp_path / "b",
+                             power_schedule="fast", schedule="stealing",
+                             lease_size=8,
+                             lease_log=original.lease_log).run(BUDGET)
+        assert (campaign_fingerprint(replayed)
+                == campaign_fingerprint(original))
+
+
+class TestValidation:
+    def test_unknown_power_schedule_rejected(self):
+        with pytest.raises(ValueError, match="power_schedule"):
+            ParallelCampaign(power_schedule="bogus")
+
+    def test_unknown_mode_rejected_serially(self):
+        with pytest.raises(ValueError, match="power schedule"):
+            NecoFuzz(power_schedule="bogus")

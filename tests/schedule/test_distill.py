@@ -1,0 +1,86 @@
+"""Corpus-distillation invariants: exemptions, determinism, greedy cover."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzer.queue import SeedQueue
+from repro.schedule import distill
+
+coverage_strategy = st.lists(
+    st.tuples(st.integers(0, 2047), st.sampled_from((1, 2, 4, 8))),
+    min_size=1, max_size=20).map(lambda pairs: tuple(sorted(set(pairs))))
+
+
+def _random_queue(draw_covs, flags):
+    queue = SeedQueue()
+    queue.add_seed(b"seed")  # coverage None: exempt
+    for i, (cov, (crashed, anomaly)) in enumerate(zip(draw_covs, flags)):
+        queue.add_finding(bytes([i % 256]) * 4, iteration=i + 1, new_bits=1,
+                          coverage=cov, crashed=crashed, anomaly=anomaly)
+    return queue
+
+
+class TestExemptions:
+    @given(st.lists(coverage_strategy, min_size=1, max_size=12),
+           st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_never_demotes_crashed_anomaly_or_seed_entries(self, covs, data):
+        flags = [(data.draw(st.booleans()), data.draw(st.booleans()))
+                 for _ in covs]
+        queue = _random_queue(covs, flags)
+        distill(queue)
+        for entry in queue.entries:
+            if entry.coverage is None or entry.crashed or entry.anomaly:
+                assert not entry.redundant
+
+    def test_nothing_is_ever_dropped(self):
+        covs = [((1, 1),), ((1, 1),), ((2, 2),)]
+        queue = _random_queue(covs, [(False, False)] * 3)
+        size = len(queue)
+        demoted = distill(queue)
+        assert len(queue) == size
+        assert demoted == 1
+
+
+class TestGreedyCover:
+    def test_duplicate_coverage_demoted_in_discovery_order(self):
+        queue = _random_queue(
+            [((1, 1), (2, 1)), ((1, 1),), ((3, 4),)],
+            [(False, False)] * 3)
+        distill(queue)
+        assert [e.redundant for e in queue.entries] == [
+            False, False, True, False]
+
+    def test_crasher_coverage_still_blocks_duplicates(self):
+        # A crasher is exempt from demotion, but an ordinary later entry
+        # duplicating its coverage is exactly what distillation demotes.
+        queue = _random_queue(
+            [((5, 1),), ((5, 1),)],
+            [(True, False), (False, False)])
+        distill(queue)
+        assert not queue.entries[1].redundant  # the crasher
+        assert queue.entries[2].redundant      # its shadow
+
+    def test_promotion_back_when_cover_changes(self):
+        # redundant is recomputed, not sticky: an entry demoted once is
+        # promoted again if the entries before it change.
+        queue = _random_queue([((1, 1),), ((1, 1),)], [(False, False)] * 2)
+        distill(queue)
+        assert queue.entries[2].redundant
+        del queue.entries[1]
+        distill(queue)
+        assert not queue.entries[1].redundant
+
+
+class TestDeterminism:
+    @given(st.lists(coverage_strategy, min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent_and_replica_stable(self, covs):
+        q1 = _random_queue(covs, [(False, False)] * len(covs))
+        q2 = _random_queue(covs, [(False, False)] * len(covs))
+        first = distill(q1)
+        again = distill(q1)
+        replica = distill(q2)
+        assert first == again == replica
+        assert ([e.redundant for e in q1.entries]
+                == [e.redundant for e in q2.entries])

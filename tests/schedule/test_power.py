@@ -1,0 +1,180 @@
+"""Power-schedule invariants: energy, flat parity, fast determinism."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.fuzzer.queue import EXERCISE_CAP, QueueEntry, SeedQueue
+from repro.fuzzer.rng import Rng
+from repro.schedule import (
+    BASE_ENERGY,
+    SCHEDULE_MODES,
+    FastSchedule,
+    FlatSchedule,
+    OperatorBandit,
+    make_schedule,
+)
+
+coverage_strategy = st.one_of(
+    st.none(),
+    st.lists(st.tuples(st.integers(0, 65535), st.sampled_from((1, 2, 4, 8))),
+             max_size=300).map(tuple))
+
+entry_strategy = st.builds(
+    QueueEntry,
+    data=st.binary(min_size=0, max_size=8),
+    found_at=st.integers(0, 10**9),
+    new_bits=st.integers(0, 2),
+    exercised=st.integers(0, 10**4),
+    favored=st.booleans(),
+    imported=st.booleans(),
+    coverage=coverage_strategy,
+    crashed=st.booleans(),
+    anomaly=st.booleans(),
+    redundant=st.booleans())
+
+
+class TestEnergy:
+    @given(entry_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_energy_always_positive_integer(self, entry):
+        energy = FastSchedule().energy(entry)
+        assert isinstance(energy, int)
+        assert energy >= 1
+
+    def test_novelty_orders_energy(self):
+        sched = FastSchedule()
+        entries = [QueueEntry(b"x", found_at=10, new_bits=bits)
+                   for bits in (0, 1, 2)]
+        energies = [sched.energy(e) for e in entries]
+        assert energies == sorted(energies)
+        assert energies[0] < energies[2]
+
+    def test_favored_under_cap_boosted(self):
+        sched = FastSchedule()
+        plain = QueueEntry(b"x", found_at=10, new_bits=1)
+        favored = QueueEntry(b"x", found_at=10, new_bits=1, favored=True)
+        assert sched.energy(favored) > sched.energy(plain)
+
+    def test_favored_boost_expires_at_cap(self):
+        sched = FastSchedule()
+        spent = QueueEntry(b"x", found_at=10, new_bits=1, favored=True,
+                           exercised=EXERCISE_CAP)
+        plain = QueueEntry(b"x", found_at=10, new_bits=1,
+                           exercised=EXERCISE_CAP)
+        assert sched.energy(spent) == sched.energy(plain)
+
+    def test_exercise_decays_energy(self):
+        sched = FastSchedule()
+        fresh = QueueEntry(b"x", found_at=10, new_bits=2)
+        tired = QueueEntry(b"x", found_at=10, new_bits=2, exercised=40)
+        assert sched.energy(tired) < sched.energy(fresh)
+
+    def test_costly_coverage_penalised(self):
+        sched = FastSchedule()
+        cheap = QueueEntry(b"x", found_at=10, new_bits=2,
+                           coverage=tuple((i, 1) for i in range(8)))
+        costly = QueueEntry(b"x", found_at=10, new_bits=2,
+                            coverage=tuple((i, 1) for i in range(512)))
+        assert sched.energy(costly) < sched.energy(cheap)
+
+    def test_redundant_sits_at_floor(self):
+        sched = FastSchedule()
+        entry = QueueEntry(b"x", found_at=10, new_bits=2, favored=True,
+                           redundant=True)
+        assert sched.energy(entry) == 1
+
+    def test_base_energy_is_the_plain_seed_scale(self):
+        # A fresh initial seed (new_bits 0, found_at 0) carries exactly
+        # the base energy — the formula's neutral point.
+        assert FastSchedule().energy(
+            QueueEntry(b"x", found_at=0, new_bits=0)) == BASE_ENERGY
+
+
+def _queue(entries=6):
+    queue = SeedQueue()
+    queue.add_seed(b"seed")
+    for i in range(entries - 1):
+        queue.add_finding(bytes([i]) * 4, iteration=10 * (i + 1),
+                          new_bits=2 - (i % 2),
+                          coverage=((i, 1), (i + 100, 2)))
+    return queue
+
+
+class TestFlatParity:
+    def test_flat_pick_is_queue_pick_verbatim(self):
+        """FlatSchedule must add zero draws and zero behaviour.
+
+        Drive two equal queues, one through the schedule and one
+        through the raw pre-schedule call; every pick and the final RNG
+        stream position must match exactly.
+        """
+        sched = FlatSchedule()
+        q1, q2 = _queue(), _queue()
+        r1, r2 = Rng(7), Rng(7)
+        for _ in range(64):
+            assert (q1.entries.index(sched.pick(q1, r1))
+                    == q2.entries.index(q2.pick(r2)))
+        assert r1.getstate() == r2.getstate()
+
+
+class TestFastSchedule:
+    def test_pick_sequence_deterministic(self):
+        s1, s2 = FastSchedule(), FastSchedule()
+        q1, q2 = _queue(), _queue()
+        r1, r2 = Rng(5), Rng(5)
+        seq1 = [q1.entries.index(s1.pick(q1, r1)) for _ in range(200)]
+        seq2 = [q2.entries.index(s2.pick(q2, r2)) for _ in range(200)]
+        assert seq1 == seq2
+
+    def test_pick_increments_exercised(self):
+        sched, queue, rng = FastSchedule(), _queue(), Rng(5)
+        before = sum(e.exercised for e in queue.entries)
+        sched.pick(queue, rng)
+        assert sum(e.exercised for e in queue.entries) == before + 1
+
+    def test_empty_queue_raises(self):
+        with pytest.raises(RuntimeError):
+            FastSchedule().pick(SeedQueue(), Rng(1))
+
+    def test_distillation_runs_on_cadence(self):
+        sched = FastSchedule(distill_every=10)
+        queue, rng = _queue(), Rng(5)
+        # A duplicate of an earlier entry's coverage: distillable.
+        queue.add_finding(b"dup", iteration=99, new_bits=1,
+                          coverage=queue.entries[1].coverage)
+        for _ in range(10):
+            sched.pick(queue, rng)
+        assert sched.distill_runs == 1
+        assert queue.entries[-1].redundant
+
+    def test_distillation_disabled_at_zero(self):
+        sched = FastSchedule(distill_every=0)
+        queue, rng = _queue(), Rng(5)
+        for _ in range(50):
+            sched.pick(queue, rng)
+        assert sched.distill_runs == 0
+
+
+class TestMakeSchedule:
+    def test_flat_has_no_bandit(self):
+        sched, bandit = make_schedule("flat", Rng(3))
+        assert isinstance(sched, FlatSchedule) and bandit is None
+
+    def test_fast_gets_forked_bandit(self):
+        rng = Rng(3)
+        before = rng.getstate()
+        sched, bandit = make_schedule("fast", rng)
+        assert isinstance(sched, FastSchedule)
+        assert isinstance(bandit, OperatorBandit)
+        # Forking must not consume main-stream draws.
+        assert rng.getstate() == before
+        assert bandit.rng.seed != rng.seed
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_schedule("bogus", Rng(1))
+
+    def test_modes_enumerated(self):
+        assert SCHEDULE_MODES == ("flat", "fast")
